@@ -1,0 +1,76 @@
+//===- bench/BenchUtil.h - Shared helpers for the benchmark harness ---------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table printing and search-driving helpers shared by the experiment
+/// binaries (bench_examples, bench_ablations, bench_lexer). Output format:
+/// one aligned text table per experiment, matching the rows documented in
+/// EXPERIMENTS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_BENCH_BENCHUTIL_H
+#define HOTG_BENCH_BENCHUTIL_H
+
+#include "core/Search.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hotg::bench {
+
+/// Minimal fixed-width text table writer.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Headers)
+      : Headers(std::move(Headers)) {}
+
+  void addRow(std::vector<std::string> Row) { Rows.push_back(std::move(Row)); }
+
+  void print() const {
+    std::vector<size_t> Widths(Headers.size());
+    for (size_t C = 0; C != Headers.size(); ++C)
+      Widths[C] = Headers[C].size();
+    for (const auto &Row : Rows)
+      for (size_t C = 0; C != Row.size() && C != Widths.size(); ++C)
+        Widths[C] = std::max(Widths[C], Row[C].size());
+
+    auto PrintRow = [&](const std::vector<std::string> &Row) {
+      std::fputs("| ", stdout);
+      for (size_t C = 0; C != Widths.size(); ++C) {
+        const std::string &Cell = C < Row.size() ? Row[C] : std::string();
+        std::printf("%-*s | ", static_cast<int>(Widths[C]), Cell.c_str());
+      }
+      std::fputs("\n", stdout);
+    };
+    PrintRow(Headers);
+    std::fputs("|", stdout);
+    for (size_t C = 0; C != Widths.size(); ++C) {
+      for (size_t I = 0; I != Widths[C] + 2; ++I)
+        std::fputc('-', stdout);
+      std::fputc('|', stdout);
+    }
+    std::fputs("\n", stdout);
+    for (const auto &Row : Rows)
+      PrintRow(Row);
+  }
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+inline const char *yesNo(bool V) { return V ? "yes" : "no"; }
+
+/// Prints an experiment banner.
+inline void banner(const char *Id, const char *Title) {
+  std::printf("\n==== %s — %s ====\n\n", Id, Title);
+}
+
+} // namespace hotg::bench
+
+#endif // HOTG_BENCH_BENCHUTIL_H

@@ -1,0 +1,207 @@
+//===- bench/bench_ablations.cpp - E5, E7, E8, E10: design-choice ablations -------===//
+//
+// Regenerates the ablations DESIGN.md calls out:
+//  * E5  — uninterpreted-function sampling on/off (Example 4: pub).
+//  * E7  — sample antecedent in POST(pc) on/off (Example 6: offset).
+//  * E8  — multi-step bound k sweep (Example 7: foo needs k >= 1).
+//  * E10 — eager vs delayed concretization constraints (Section 3.3).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "app/Examples.h"
+#include "lang/Parser.h"
+#include "support/Support.h"
+#include "core/Search.h"
+#include "support/StringUtils.h"
+
+using namespace hotg;
+using namespace hotg::app;
+using namespace hotg::bench;
+using namespace hotg::core;
+using namespace hotg::dse;
+using namespace hotg::interp;
+
+namespace {
+
+SearchResult runConfigured(std::string_view Name,
+                           ConcretizationPolicy Policy,
+                           std::function<void(SearchOptions &)> Tweak) {
+  ExampleProgram Example = exampleByName(Name);
+  lang::Program Prog = compileExample(Example);
+  NativeRegistry Natives;
+  registerExampleNatives(Natives);
+
+  SearchOptions Options;
+  Options.Policy = Policy;
+  Options.MaxTests = 32;
+  Options.InitialInput = Example.InitialInput;
+  if (Tweak)
+    Tweak(Options);
+  DirectedSearch Search(Prog, Natives, Example.Entry, Options);
+  return Search.run();
+}
+
+} // namespace
+
+int main() {
+  std::printf("hotg bench_ablations: higher-order test generation "
+              "design-choice ablations\n");
+
+  banner("E5", "uninterpreted-function sampling (Example 4: pub)");
+  {
+    Table T({"configuration", "error found", "tests"});
+    SearchResult With = runConfigured(
+        "pub", ConcretizationPolicy::HigherOrder, {});
+    SearchResult Without = runConfigured(
+        "pub", ConcretizationPolicy::HigherOrder, [](SearchOptions &O) {
+          O.RecordSamples = false;
+          O.MultiStepBound = 0;
+        });
+    T.addRow({"samples recorded (paper default)",
+              yesNo(With.foundErrorSite(0)),
+              formatString("%u", With.testsRun())});
+    T.addRow({"samples disabled (Example 4 failure mode)",
+              yesNo(Without.foundErrorSite(0)),
+              formatString("%u", Without.testsRun())});
+    T.print();
+    std::printf("Expected: only the sampled configuration reaches the "
+                "error — ∃x,y: h(x)>0 ∧ y=10 is invalid without the "
+                "antecedent h(1)=5.\n");
+  }
+
+  banner("E7", "sample antecedent in POST(pc) (Example 6: offset)");
+  {
+    Table T({"configuration", "error found", "validity calls"});
+    SearchResult With = runConfigured(
+        "offset", ConcretizationPolicy::HigherOrder, {});
+    SearchResult Without = runConfigured(
+        "offset", ConcretizationPolicy::HigherOrder, [](SearchOptions &O) {
+          O.UseAntecedent = false;
+          O.MultiStepBound = 0;
+        });
+    T.addRow({"antecedent used (paper default)",
+              yesNo(With.foundErrorSite(0)),
+              formatString("%u", With.ValidityCalls)});
+    T.addRow({"antecedent dropped",
+              yesNo(Without.foundErrorSite(0)),
+              formatString("%u", Without.ValidityCalls)});
+    T.print();
+    std::printf("Expected: f(x) = f(y) + 1 is provable only from the "
+                "observed samples f(0)=0, f(1)=1.\n");
+  }
+
+  banner("E8", "multi-step bound k (Example 7: foo)");
+  {
+    Table T({"k (learning runs allowed)", "error found", "tests",
+             "multi-step runs"});
+    for (unsigned K = 0; K <= 3; ++K) {
+      SearchResult R = runConfigured(
+          "foo", ConcretizationPolicy::HigherOrder,
+          [K](SearchOptions &O) { O.MultiStepBound = K; });
+      T.addRow({formatString("%u", K), yesNo(R.foundErrorSite(0)),
+                formatString("%u", R.testsRun()),
+                formatString("%u", R.MultiStepRuns)});
+    }
+    T.print();
+    std::printf("Expected: k = 0 fails (h(10) never sampled); k >= 1 "
+                "finds the error via the paper's two-step strategy.\n");
+  }
+
+  banner("E11", "full strategy solver vs the Section 7 ad-hoc procedure");
+  {
+    Table T({"example", "ground-then-verify", "ad-hoc inversion"});
+    for (const char *Name : {"obscure", "pub", "eq_pair", "offset", "foo"}) {
+      std::string Cells[2];
+      int Idx = 0;
+      for (auto Mode : {ValidityOptions::StrategyMode::GroundThenVerify,
+                        ValidityOptions::StrategyMode::AdHocInversion}) {
+        SearchResult R = runConfigured(
+            Name, ConcretizationPolicy::HigherOrder,
+            [Mode](SearchOptions &O) { O.ValidityOpts.Mode = Mode; });
+        Cells[Idx++] = formatString("%s (%u tests, %u div)",
+                                    yesNo(R.foundErrorSite(0)),
+                                    R.testsRun(), R.Divergences);
+      }
+      T.addRow({Name, Cells[0], Cells[1]});
+    }
+    T.print();
+    std::printf("Expected: the ad-hoc preimage rewriting (the paper's "
+                "partial implementation, \"handles only limited cases\") "
+                "inverts plain hash equalities (obscure) and gets lucky on "
+                "pub/eq_pair via the inner solver's invented "
+                "interpretations, but it cannot prove Example 6's offset "
+                "(its satisfiability fallback diverges) and cannot plan the "
+                "multi-step runs foo needs.\n");
+  }
+
+  banner("E12", "compositional mode (Section 8: summaries + UFs)");
+  {
+    // A caller whose branch depends on a helper's result; with
+    // SummarizeCalls the helper becomes an opaque sum:<name> application
+    // grounded by instantiating its recorded disjuncts.
+    const char *Source = R"(
+extern hash(int) -> int;
+fun clamp(v: int) -> int {
+  if (v < 0) { return 0; }
+  if (v > 100) { return 100; }
+  return v;
+}
+fun main(x: int, y: int) -> int {
+  if (clamp(x) + 1 == 42) {
+    if (y == hash(x)) {
+      error("composed");
+    }
+  }
+  return 0;
+}
+)";
+    DiagnosticEngine Diags;
+    auto Prog = lang::parseAndCheck(Source, Diags);
+    if (!Prog)
+      reportFatalError("E12 program failed to compile");
+    NativeRegistry Natives;
+    Natives.registerDefaultHashes();
+
+    Table T({"mode", "error found", "tests", "summary disjuncts"});
+    for (bool Summarize : {false, true}) {
+      SearchOptions Options;
+      Options.Policy = ConcretizationPolicy::HigherOrder;
+      Options.SummarizeCalls = Summarize;
+      Options.MaxTests = 32;
+      TestInput Init;
+      Init.Cells = {7, 3};
+      Options.InitialInput = Init;
+      DirectedSearch Search(*Prog, Natives, "main", Options);
+      SearchResult R = Search.run();
+      T.addRow({Summarize ? "compositional (summaries)" : "inlined",
+                yesNo(R.foundErrorSite(0)), formatString("%u", R.testsRun()),
+                formatString("%zu", Search.summaries().size())});
+    }
+    T.print();
+    std::printf("Both modes reach the error; the compositional mode does "
+                "so through opaque sum:clamp applications grounded by "
+                "instantiated disjuncts (Section 8's \"higher-order "
+                "compositional test generation\"), composing with the "
+                "hash sample for the inner constraint.\n");
+  }
+
+  banner("E10", "eager vs delayed concretization (Section 3.3 variant)");
+  {
+    Table T({"policy", "error found", "divergences", "tests"});
+    for (ConcretizationPolicy Policy :
+         {ConcretizationPolicy::Sound, ConcretizationPolicy::SoundDelayed}) {
+      SearchResult R = runConfigured("assign_then_test", Policy, {});
+      T.addRow({policyName(Policy), yesNo(R.foundErrorSite(0)),
+                formatString("%u", R.Divergences),
+                formatString("%u", R.testsRun())});
+    }
+    T.print();
+    std::printf("Expected: eager sound concretization pins y when hash(y) "
+                "is computed and misses the error; the delayed variant "
+                "keeps y free and finds it — both stay divergence-free.\n");
+  }
+
+  return 0;
+}

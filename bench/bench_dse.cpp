@@ -1,0 +1,149 @@
+//===- bench/bench_dse.cpp - P2: symbolic-execution throughput --------------------===//
+//
+// google-benchmark timings for the execution substrate: concrete
+// interpretation, concrete+symbolic co-execution under each concretization
+// policy (the cost of the paper's instrumentation), and whole directed
+// searches on the example programs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "app/Examples.h"
+#include "app/KeywordLexer.h"
+#include "core/Search.h"
+#include "dse/SymbolicExecutor.h"
+#include "interp/Interp.h"
+#include "lang/Parser.h"
+#include "support/Support.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace hotg;
+using namespace hotg::app;
+using namespace hotg::core;
+using namespace hotg::dse;
+using namespace hotg::interp;
+
+namespace {
+
+/// A loop-heavy program for throughput measurements.
+const char *ThroughputProgram = R"(
+extern hash(int) -> int;
+fun main(n: int, seed: int) -> int {
+  var acc: int = seed;
+  var i: int = 0;
+  while (i < n) {
+    acc = acc + i * 3 - 1;
+    if (acc > 1000) { acc = acc - 1000; }
+    i = i + 1;
+  }
+  if (acc == hash(seed)) { return 1; }
+  return acc;
+}
+)";
+
+lang::Program compileSource(const char *Source) {
+  DiagnosticEngine Diags;
+  auto Prog = lang::parseAndCheck(Source, Diags);
+  if (!Prog)
+    reportFatalError("bench program failed to compile:\n" + Diags.render());
+  return std::move(*Prog);
+}
+
+void BM_ConcreteInterpreter(benchmark::State &State) {
+  lang::Program Prog = compileSource(ThroughputProgram);
+  NativeRegistry Natives;
+  Natives.registerDefaultHashes();
+  Interpreter Interp(Prog, Natives);
+  TestInput Input;
+  Input.Cells = {static_cast<int64_t>(State.range(0)), 17};
+  uint64_t Steps = 0;
+  for (auto _ : State) {
+    RunResult R = Interp.run("main", Input);
+    Steps += R.Steps;
+    benchmark::DoNotOptimize(R.Status);
+  }
+  State.counters["steps/s"] = benchmark::Counter(
+      static_cast<double>(Steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ConcreteInterpreter)->Arg(64)->Arg(512);
+
+void BM_SymbolicCoExecution(benchmark::State &State) {
+  lang::Program Prog = compileSource(ThroughputProgram);
+  NativeRegistry Natives;
+  Natives.registerDefaultHashes();
+  auto Policy = static_cast<ConcretizationPolicy>(State.range(1));
+
+  TestInput Input;
+  Input.Cells = {static_cast<int64_t>(State.range(0)), 17};
+  uint64_t Steps = 0;
+  for (auto _ : State) {
+    // Fresh arena per run, as the directed search reuses one across runs
+    // but benchmarks should not accumulate unbounded terms.
+    smt::TermArena Arena;
+    smt::SampleTable Samples;
+    ExecOptions Options;
+    Options.Policy = Policy;
+    SymbolicExecutor Exec(Prog, Natives, Arena, Options);
+    PathResult PR = Exec.execute("main", Input, &Samples);
+    Steps += PR.Run.Steps;
+    benchmark::DoNotOptimize(PR.PC.size());
+  }
+  State.counters["steps/s"] = benchmark::Counter(
+      static_cast<double>(Steps), benchmark::Counter::kIsRate);
+  State.SetLabel(policyName(Policy));
+}
+BENCHMARK(BM_SymbolicCoExecution)
+    ->Args({64, static_cast<long>(ConcretizationPolicy::Unsound)})
+    ->Args({64, static_cast<long>(ConcretizationPolicy::Sound)})
+    ->Args({64, static_cast<long>(ConcretizationPolicy::SoundDelayed)})
+    ->Args({64, static_cast<long>(ConcretizationPolicy::HigherOrder)});
+
+void BM_DirectedSearchExample(benchmark::State &State) {
+  ExampleProgram Example = exampleByName("foo");
+  lang::Program Prog = compileExample(Example);
+  NativeRegistry Natives;
+  registerExampleNatives(Natives);
+  auto Policy = static_cast<ConcretizationPolicy>(State.range(0));
+
+  for (auto _ : State) {
+    SearchOptions Options;
+    Options.Policy = Policy;
+    Options.MaxTests = 16;
+    Options.InitialInput = Example.InitialInput;
+    DirectedSearch Search(Prog, Natives, Example.Entry, Options);
+    SearchResult R = Search.run();
+    benchmark::DoNotOptimize(R.testsRun());
+  }
+  State.SetLabel(policyName(Policy));
+}
+BENCHMARK(BM_DirectedSearchExample)
+    ->Arg(static_cast<long>(ConcretizationPolicy::Unsound))
+    ->Arg(static_cast<long>(ConcretizationPolicy::Sound))
+    ->Arg(static_cast<long>(ConcretizationPolicy::HigherOrder));
+
+void BM_LexerSearchHigherOrder(benchmark::State &State) {
+  LexerApp App = buildKeywordLexer(
+      {static_cast<unsigned>(State.range(0)), 2});
+  DiagnosticEngine Diags;
+  auto Prog = lang::parseAndCheck(App.Source, Diags);
+  if (!Prog)
+    reportFatalError("lexer app failed to compile");
+  NativeRegistry Natives;
+  Natives.registerDefaultHashes();
+
+  for (auto _ : State) {
+    SearchOptions Options;
+    Options.Policy = ConcretizationPolicy::HigherOrder;
+    Options.MaxTests = 32;
+    Options.InitialInput = App.identifierInput();
+    Options.SkipCoveredTargets = false;
+    DirectedSearch Search(*Prog, Natives, App.Entry, Options);
+    SearchResult R = Search.run();
+    benchmark::DoNotOptimize(R.testsRun());
+  }
+}
+BENCHMARK(BM_LexerSearchHigherOrder)->Arg(4)->Arg(8);
+
+} // namespace
+
+BENCHMARK_MAIN();

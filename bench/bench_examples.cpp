@@ -1,0 +1,143 @@
+//===- bench/bench_examples.cpp - E1-E4, E6: the paper's example matrix -----------===//
+//
+// Regenerates the qualitative evaluation of the paper: for every example
+// program and every test-generation strategy, report whether the error was
+// found, how many divergences occurred, and how many tests were needed.
+// Expected shapes are listed in EXPERIMENTS.md (who wins on which example).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "app/Examples.h"
+#include "app/PacketParser.h"
+#include "lang/Parser.h"
+#include "core/Search.h"
+#include "support/StringUtils.h"
+#include "support/Support.h"
+
+using namespace hotg;
+using namespace hotg::app;
+using namespace hotg::bench;
+using namespace hotg::core;
+using namespace hotg::dse;
+using namespace hotg::interp;
+
+namespace {
+
+struct Row {
+  std::string Example;
+  std::string Policy;
+  SearchResult Result;
+};
+
+SearchResult runPolicy(const ExampleProgram &Example,
+                       ConcretizationPolicy Policy) {
+  lang::Program Prog = compileExample(Example);
+  NativeRegistry Natives;
+  registerExampleNatives(Natives);
+
+  SearchOptions Options;
+  Options.Policy = Policy;
+  Options.MaxTests = 32;
+  Options.InitialInput = Example.InitialInput;
+  DirectedSearch Search(Prog, Natives, Example.Entry, Options);
+  return Search.run();
+}
+
+} // namespace
+
+int main() {
+  std::printf("hotg bench_examples: strategy outcome matrix for the "
+              "paper's example programs\n");
+  std::printf("(paper references in parentheses; 32-test budget per "
+              "cell; deterministic seeds)\n");
+
+  const char *ExampleNames[] = {"obscure",  "foo",     "foo_bis",
+                                "bar",      "pub",     "eq_pair",
+                                "offset",   "assign_then_test",
+                                "chained_hash", "nonlinear"};
+  const ConcretizationPolicy Policies[] = {
+      ConcretizationPolicy::Unsound, ConcretizationPolicy::Sound,
+      ConcretizationPolicy::SoundDelayed, ConcretizationPolicy::HigherOrder};
+
+  banner("E1-E4, E6", "error discovery per example and strategy");
+  Table T({"example (paper ref)", "strategy", "error found", "divergences",
+           "tests", "solver calls", "validity calls", "multi-step runs"});
+  for (const char *Name : ExampleNames) {
+    ExampleProgram Example = exampleByName(Name);
+    for (ConcretizationPolicy Policy : Policies) {
+      SearchResult R = runPolicy(Example, Policy);
+      T.addRow({formatString("%s (%s)", Example.Name.c_str(),
+                             Example.PaperRef.c_str()),
+                policyName(Policy), yesNo(R.foundErrorSite(0)),
+                formatString("%u", R.Divergences),
+                formatString("%u", R.testsRun()),
+                formatString("%u", R.SolverCalls),
+                formatString("%u", R.ValidityCalls),
+                formatString("%u", R.MultiStepRuns)});
+    }
+  }
+  T.print();
+
+  banner("E13", "CRC-gated packet parser (Section 6's 'CRC-ing data')");
+  {
+    PacketApp App = buildPacketParser();
+    DiagnosticEngine Diags;
+    auto Prog = lang::parseAndCheck(App.Source, Diags);
+    if (!Prog)
+      reportFatalError("packet parser failed to compile");
+    NativeRegistry Natives;
+    registerPacketNatives(Natives);
+
+    Table T2({"strategy", "privileged handler", "combo handler",
+              "tests", "learning runs", "divergences"});
+    for (ConcretizationPolicy Policy : Policies) {
+      SearchOptions Options;
+      Options.Policy = Policy;
+      Options.MaxTests = 128;
+      Options.InitialInput = App.garbagePacket();
+      Options.SkipCoveredTargets = false;
+      DirectedSearch Search(*Prog, Natives, App.Entry, Options);
+      SearchResult R = Search.run();
+      T2.addRow({policyName(Policy), yesNo(R.foundErrorSite(0)),
+                 yesNo(R.foundErrorSite(1)),
+                 formatString("%u", R.testsRun()),
+                 formatString("%u", R.MultiStepRuns),
+                 formatString("%u", R.Divergences)});
+    }
+    {
+      SearchResult R = runRandomSearch(*Prog, Natives, App.Entry, 128, 0,
+                                       1000000, 11);
+      T2.addRow({"random", yesNo(R.foundErrorSite(0)),
+                 yesNo(R.foundErrorSite(1)),
+                 formatString("%u", R.testsRun()), "0", "0"});
+    }
+    T2.print();
+    std::printf("Expected: only higher-order generation passes the "
+                "checksum gate — it forges crc5 from observed samples and "
+                "re-learns it after every payload mutation; every other "
+                "strategy is stopped cold at 'checksum mismatch'.\n");
+  }
+
+  std::printf(
+      "\nExpected shape (from the paper):\n"
+      "  obscure  — every dynamic strategy reaches the error; higher-order "
+      "does so without divergences.\n"
+      "  foo      — unsound diverges and misses; sound gives up (UNSAT); "
+      "higher-order needs a 2-step strategy and succeeds.\n"
+      "  foo_bis  — unsound finds the error via a *good divergence*; sound "
+      "provably cannot; higher-order cannot target it one-shot but may "
+      "stumble on it during a multi-step learning run.\n"
+      "  bar      — nobody finds it: unsound diverges, higher-order's "
+      "formula is invalid (Example 3).\n"
+      "  pub      — sound and higher-order (with samples) find it "
+      "(Example 4/Theorem 4).\n"
+      "  eq_pair  — only higher-order finds it, via the congruence "
+      "strategy x = y (Example 5).\n"
+      "  offset   — only higher-order finds it, via the sample antecedent "
+      "(Example 6).\n"
+      "  assign_then_test — sound-delayed finds it, eager sound cannot "
+      "(Section 3.3 variant).\n");
+  return 0;
+}

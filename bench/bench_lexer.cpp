@@ -1,0 +1,163 @@
+//===- bench/bench_lexer.cpp - E9: the Section 7 keyword-hash lexer ---------------===//
+//
+// Regenerates the paper's flagship comparison: on a lexer that recognizes
+// keywords by hashing, higher-order test generation inverts the hash
+// through its recorded samples, while plain dynamic test generation "is no
+// better than blackbox random testing". Two series are produced:
+//
+//  * keyword coverage vs. keyword-set size at a fixed budget, and
+//  * keyword coverage vs. test budget at a fixed keyword-set size
+//    (the "figure": a growth curve for HOTG, a flat zero for the rest).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "app/KeywordLexer.h"
+#include "core/Search.h"
+#include "lang/Parser.h"
+#include "support/StringUtils.h"
+#include "support/Support.h"
+
+using namespace hotg;
+using namespace hotg::app;
+using namespace hotg::bench;
+using namespace hotg::core;
+using namespace hotg::dse;
+using namespace hotg::interp;
+
+namespace {
+
+struct Outcome {
+  unsigned Keywords = 0;
+  bool ErrorFound = false;
+  unsigned Tests = 0;
+};
+
+Outcome runStrategy(const LexerApp &App, const lang::Program &Prog,
+                    std::string_view Strategy, unsigned Budget) {
+  NativeRegistry Natives;
+  Natives.registerDefaultHashes();
+
+  SearchResult R;
+  if (Strategy == "random") {
+    R = runRandomSearch(Prog, Natives, App.Entry, Budget, 32, 126,
+                        /*Seed=*/7);
+  } else {
+    SearchOptions Options;
+    Options.Policy = Strategy == "unsound"
+                         ? ConcretizationPolicy::Unsound
+                     : Strategy == "sound" ? ConcretizationPolicy::Sound
+                                           : ConcretizationPolicy::HigherOrder;
+    Options.MaxTests = Budget;
+    Options.InitialInput = App.identifierInput();
+    Options.RandomLo = 32;
+    Options.RandomHi = 126;
+    Options.SkipCoveredTargets = false; // classify() repeats per chunk.
+    DirectedSearch Search(Prog, Natives, App.Entry, Options);
+    R = Search.run();
+  }
+  Outcome Out;
+  Out.Keywords = countKeywordsMatched(App, R.Cov);
+  Out.ErrorFound = R.foundErrorSite(0);
+  Out.Tests = R.testsRun();
+  return Out;
+}
+
+lang::Program compileApp(const LexerApp &App) {
+  DiagnosticEngine Diags;
+  auto Prog = lang::parseAndCheck(App.Source, Diags);
+  if (!Prog)
+    reportFatalError("lexer app failed to compile:\n" + Diags.render());
+  return std::move(*Prog);
+}
+
+} // namespace
+
+int main() {
+  std::printf("hotg bench_lexer: Section 7 keyword-hash lexer "
+              "(hashfunct inversion through IOF samples)\n");
+
+  const char *Strategies[] = {"random", "unsound", "sound", "higher-order"};
+
+  banner("E9a", "keywords recognized vs. keyword-set size (budget 160)");
+  {
+    Table T({"keywords in language", "strategy", "keywords matched",
+             "parser error found", "tests"});
+    for (unsigned NumKeywords : {4u, 8u, 16u, 24u}) {
+      LexerApp App = buildKeywordLexer({NumKeywords, 2});
+      lang::Program Prog = compileApp(App);
+      for (const char *Strategy : Strategies) {
+        Outcome Out = runStrategy(App, Prog, Strategy, 160);
+        T.addRow({formatString("%u", NumKeywords), Strategy,
+                  formatString("%u / %u", Out.Keywords, NumKeywords),
+                  yesNo(Out.ErrorFound), formatString("%u", Out.Tests)});
+      }
+    }
+    T.print();
+  }
+
+  banner("E9b", "keyword-coverage growth vs. test budget (8 keywords)");
+  {
+    LexerApp App = buildKeywordLexer({8, 2});
+    lang::Program Prog = compileApp(App);
+    Table T({"budget", "random", "unsound", "sound", "higher-order"});
+    for (unsigned Budget : {8u, 16u, 32u, 64u, 128u}) {
+      std::vector<std::string> Row = {formatString("%u", Budget)};
+      for (const char *Strategy : Strategies) {
+        Outcome Out = runStrategy(App, Prog, Strategy, Budget);
+        Row.push_back(formatString("%u/8", Out.Keywords));
+      }
+      T.addRow(std::move(Row));
+    }
+    T.print();
+  }
+
+  banner("E9c", "pre-computed (hard-coded) hashes and the seed corpus");
+  {
+    LexerAppSpec Spec;
+    Spec.NumKeywords = 6;
+    Spec.NumChunks = 2;
+    Spec.PrecomputedHashes = true;
+    LexerApp App = buildKeywordLexer(Spec);
+    lang::Program Prog = compileApp(App);
+    NativeRegistry Natives;
+    Natives.registerDefaultHashes();
+
+    Table T({"configuration", "keywords matched", "parser error found",
+             "tests"});
+    for (bool UseSeeds : {false, true}) {
+      SearchOptions Options;
+      Options.Policy = ConcretizationPolicy::HigherOrder;
+      Options.MaxTests = 96;
+      Options.InitialInput = App.identifierInput();
+      Options.SkipCoveredTargets = false;
+      if (UseSeeds)
+        for (unsigned K = 1; K <= Spec.NumKeywords; ++K)
+          Options.SeedInputs.push_back(App.inputForTokens({K, 0}));
+      DirectedSearch Search(Prog, Natives, App.Entry, Options);
+      SearchResult R = Search.run();
+      T.addRow({UseSeeds ? "seed corpus (one well-formed input per keyword)"
+                         : "no seeds",
+                formatString("%u / %u", countKeywordsMatched(App, R.Cov),
+                             Spec.NumKeywords),
+                yesNo(R.foundErrorSite(0)), formatString("%u", R.testsRun())});
+    }
+    T.print();
+    std::printf("Hard-coded hash constants (flex's real layout) cannot be "
+                "observed during initialization; the pairs are instead "
+                "\"learned over time by starting the testing session with "
+                "a representative set of well-formed inputs\" (Section 7). "
+                "The seeds never contain the error production — inversion "
+                "recombines the learned keywords into it.\n");
+  }
+
+  std::printf(
+      "\nExpected shape (Section 7): higher-order generation reaches "
+      "full keyword coverage within small budgets by inverting hash4 "
+      "through the addsym samples; unsound and sound dynamic test "
+      "generation cannot invert the hash and match nothing, exactly like "
+      "blackbox random testing (a 4-printable-character keyword is a "
+      "~1/95^4 random event).\n");
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Compositional target (Section 8): the error sits behind a helper whose
+// result must be reasoned about through its summary. Run with and without
+// --summarize to compare inlining against summary grounding:
+//   hotg-run examples/programs/compose.ml --summarize --dump-tests
+extern hash(int) -> int;
+
+fun clamp(v: int) -> int {
+  if (v < 0) { return 0; }
+  if (v > 100) { return 100; }
+  return v;
+}
+
+fun scale(v: int) -> int {
+  return clamp(v) * 3 + 1;
+}
+
+fun main(x: int, y: int) -> int {
+  if (scale(x) == 91) {          // needs clamp(x) = 30, i.e. x = 30
+    if (y == hash(x)) {          // and the observed hash of 30
+      error("composed: both layers solved");
+    }
+    return 1;
+  }
+  return 0;
+}

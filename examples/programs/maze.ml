@@ -1,0 +1,27 @@
+// A small "maze": reach the treasure by steering through an input guard,
+// linear arithmetic, a loop invariant, and a checksum gate (unknown
+// function). Exercises multi-step higher-order generation end to end:
+//   hotg-run examples/programs/maze.ml --policy higher-order --dump-tests
+extern hash(int) -> int;
+
+fun maze(door: int, turns: int, token: int) -> int {
+  if (turns < 0 || turns > 10) {
+    return 3; // input validation
+  }
+  if (door * 3 + 1 != 16) {
+    return 0; // wrong door (door must be 5)
+  }
+  var position: int = 0;
+  var i: int = 0;
+  while (i < turns) {
+    position = position + 2;
+    i = i + 1;
+  }
+  if (position != 8) {
+    return 1; // wrong number of turns (needs 4)
+  }
+  if (token == hash(position)) {
+    error("maze: treasure reached");
+  }
+  return 2;
+}

@@ -1,0 +1,10 @@
+// The paper's introductory example (Section 1): static test generation
+// cannot cover the then branch; dynamic test generation can.
+extern hash(int) -> int;
+
+fun obscure(x: int, y: int) -> int {
+  if (x == hash(y)) {
+    error("obscure: then branch reached");
+  }
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Classic sanitizer-style target: an out-of-bounds write guarded by
+// arithmetic the search must solve, plus a division hazard.
+fun store(buf: int[4], index: int, value: int) -> int {
+  if (index >= 0) {
+    if (index * 2 < 10) {
+      buf[index] = value;      // index in 0..4 — 4 is out of bounds!
+      return buf[index] / value; // value == 0 divides by zero
+    }
+  }
+  return -1;
+}

@@ -1,0 +1,80 @@
+//===- examples/quickstart.cpp - Five-minute tour of the hotg API -----------------===//
+//
+// Compiles the paper's introductory `obscure` program, runs every
+// test-generation strategy on it, and prints what each one found. This is
+// the smallest end-to-end use of the public API:
+//
+//   parse  →  pick a policy  →  DirectedSearch  →  inspect results.
+//
+// Build & run:  ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Search.h"
+#include "interp/NativeFunc.h"
+#include "lang/Parser.h"
+
+#include <cstdio>
+
+using namespace hotg;
+using namespace hotg::core;
+using namespace hotg::dse;
+using namespace hotg::interp;
+
+int main() {
+  // 1. A program under test, written in MiniLang. `hash` is an *unknown
+  //    function*: the solver cannot see through it, which is precisely the
+  //    imprecision the paper studies.
+  const char *Source = R"(
+extern hash(int) -> int;
+fun obscure(x: int, y: int) -> int {
+  if (x == hash(y)) {
+    error("then branch reached");
+  }
+  return 0;
+}
+)";
+
+  DiagnosticEngine Diags;
+  auto Prog = lang::parseAndCheck(Source, Diags);
+  if (!Prog) {
+    std::fprintf(stderr, "compile error:\n%s", Diags.render().c_str());
+    return 1;
+  }
+
+  // 2. Bind the extern to a concrete (but opaque) native implementation.
+  NativeRegistry Natives;
+  Natives.registerDefaultHashes();
+
+  // 3. Run the directed search under each concretization policy.
+  std::printf("obscure(x, y): if (x == hash(y)) error;\n");
+  std::printf("starting input: x=33, y=42\n\n");
+  for (ConcretizationPolicy Policy :
+       {ConcretizationPolicy::Unsound, ConcretizationPolicy::Sound,
+        ConcretizationPolicy::SoundDelayed,
+        ConcretizationPolicy::HigherOrder}) {
+    SearchOptions Options;
+    Options.Policy = Policy;
+    Options.MaxTests = 16;
+    TestInput Init;
+    Init.Cells = {33, 42};
+    Options.InitialInput = Init;
+
+    DirectedSearch Search(*Prog, Natives, "obscure", Options);
+    SearchResult Result = Search.run();
+
+    std::printf("policy %-13s: %u tests, %u divergences, ",
+                policyName(Policy), Result.testsRun(), Result.Divergences);
+    if (Result.Bugs.empty()) {
+      std::printf("error NOT reached\n");
+      continue;
+    }
+    std::printf("error reached with input %s\n",
+                Result.Bugs.front().Input.toString().c_str());
+  }
+
+  std::printf("\nEvery dynamic strategy solves this one — the interesting "
+              "differences appear on nested and mutually-recursive hash "
+              "constraints; see examples/multistep.cpp and the benches.\n");
+  return 0;
+}

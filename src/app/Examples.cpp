@@ -1,0 +1,200 @@
+//===- app/Examples.cpp - The paper's example programs ---------------------------===//
+
+#include "app/Examples.h"
+
+#include "lang/Parser.h"
+#include "support/Support.h"
+
+using namespace hotg;
+using namespace hotg::app;
+using namespace hotg::interp;
+
+int64_t hotg::app::fstepNative(int64_t X) {
+  // Example 6's premise: it was "dynamically observed that f(0) = 0 and
+  // f(1) = 1". This native makes those observations true while staying
+  // opaque (and far from linear) everywhere else.
+  if (X == 0)
+    return 0;
+  if (X == 1)
+    return 1;
+  return defaultHash2(X);
+}
+
+void hotg::app::registerExampleNatives(NativeRegistry &Registry) {
+  Registry.registerDefaultHashes();
+  Registry.registerFunc("fstep", 1, [](std::span<const int64_t> Args) {
+    return fstepNative(Args[0]);
+  });
+}
+
+static TestInput twoInputs(int64_t X, int64_t Y) {
+  TestInput Input;
+  Input.Cells = {X, Y};
+  return Input;
+}
+
+std::vector<ExampleProgram> hotg::app::allExamples() {
+  std::vector<ExampleProgram> Examples;
+
+  // Section 1: static test generation is helpless; dynamic test generation
+  // covers both branches.
+  Examples.push_back(
+      {"obscure", "Section 1",
+       R"(extern hash(int) -> int;
+fun obscure(x: int, y: int) -> int {
+  if (x == hash(y)) {
+    error("obscure: then branch reached");
+  }
+  return 0;
+})",
+       "obscure", twoInputs(33, 42)});
+
+  // Section 3.2 + Example 1 + Example 7: the nested error is reachable
+  // only through the hash equality; unsound concretization diverges,
+  // sound concretization gives up, two-step higher-order generation
+  // reaches it.
+  Examples.push_back(
+      {"foo", "Section 3.2, Examples 1 and 7",
+       R"(extern hash(int) -> int;
+fun foo(x: int, y: int) -> int {
+  if (x == hash(y)) {
+    if (y == 10) {
+      error("foo: nested error reached");
+    }
+    return 1;
+  }
+  return 0;
+})",
+       "foo", twoInputs(33, 42)});
+
+  // Example 2: the "good divergence" — unsound concretization finds the
+  // error by luck, sound concretization provably cannot.
+  Examples.push_back(
+      {"foo_bis", "Example 2",
+       R"(extern hash(int) -> int;
+fun foo_bis(x: int, y: int) -> int {
+  if (x != hash(y)) {
+    if (y == 10) {
+      error("foo_bis: nested error reached");
+    }
+    return 1;
+  }
+  return 0;
+})",
+       "foo_bis", twoInputs(33, 42)});
+
+  // Example 3: mutual hashing; neither unsound concretization (bad
+  // divergence) nor higher-order generation (invalid formula) reaches the
+  // error.
+  Examples.push_back(
+      {"bar", "Example 3",
+       R"(extern hash(int) -> int;
+fun bar(x: int, y: int) -> int {
+  if (x == hash(y) && y == hash(x)) {
+    error("bar: fixed point reached");
+  }
+  return 0;
+})",
+       "bar", twoInputs(33, 42)});
+
+  // Example 4: sampling is necessary — without the h(1)=5-style sample the
+  // post-processed formula is invalid.
+  Examples.push_back(
+      {"pub", "Example 4",
+       R"(extern hash(int) -> int;
+fun pub(x: int, y: int) -> int {
+  if (hash(x) > 0 && y == 10) {
+    error("pub: then branch reached");
+  }
+  return 0;
+})",
+       "pub", twoInputs(1, 2)});
+
+  // Example 5: f(x) == f(y) is valid by the EUF axioms (strategy: x = y);
+  // concretization-based generation cannot cover it.
+  Examples.push_back(
+      {"eq_pair", "Example 5",
+       R"(extern hash(int) -> int;
+fun eq_pair(x: int, y: int) -> int {
+  if (hash(x) == hash(y)) {
+    error("eq_pair: equal-hashes branch reached");
+  }
+  return 0;
+})",
+       "eq_pair", twoInputs(3, 7)});
+
+  // Example 6: the antecedent makes f(x) == f(y) + 1 provable from the
+  // observed samples f(0)=0 and f(1)=1.
+  Examples.push_back(
+      {"offset", "Example 6",
+       R"(extern fstep(int) -> int;
+fun offset(x: int, y: int) -> int {
+  if (fstep(x) == fstep(y) + 1) {
+    error("offset: then branch reached");
+  }
+  return 0;
+})",
+       "offset", twoInputs(0, 1)});
+
+  // Section 3.3's closing remark: eager sound concretization pins y when
+  // hash(y) is computed, even though the test below never looks at the
+  // hash; the delayed variant keeps y free.
+  Examples.push_back(
+      {"assign_then_test", "Section 3.3 (delayed concretization)",
+       R"(extern hash(int) -> int;
+fun assign_then_test(x: int, y: int) -> int {
+  var t: int = hash(y);
+  if (y == 10) {
+    error("assign_then_test: error reached");
+  }
+  return t;
+})",
+       "assign_then_test", twoInputs(5, 42)});
+
+  // Beyond the paper: two distinct unknown functions in one constraint —
+  // hash(x) == hash2(y) + 1 is solvable only through both sample tables.
+  Examples.push_back(
+      {"chained_hash", "extension (two unknown functions)",
+       R"(extern hash(int) -> int;
+extern hash2(int) -> int;
+fun chained_hash(x: int, y: int) -> int {
+  if (hash(x) == hash2(y) + 1) {
+    error("chained_hash: then branch reached");
+  }
+  return 0;
+})",
+       "chained_hash", twoInputs(12, 5)});
+
+  // Beyond the paper: nonlinear multiplication as the unknown instruction
+  // (Figure 1's default case for ordinary instructions).
+  Examples.push_back(
+      {"nonlinear", "extension (unknown instruction)",
+       R"(fun nonlinear(x: int, y: int) -> int {
+  if (x * y == 12) {
+    if (x > y) {
+      error("nonlinear: ordered factorization reached");
+    }
+    return 1;
+  }
+  return 0;
+})",
+       "nonlinear", twoInputs(3, 4)});
+
+  return Examples;
+}
+
+ExampleProgram hotg::app::exampleByName(std::string_view Name) {
+  for (ExampleProgram &Example : allExamples())
+    if (Example.Name == Name)
+      return std::move(Example);
+  reportFatalError("unknown example program '" + std::string(Name) + "'");
+}
+
+lang::Program hotg::app::compileExample(const ExampleProgram &Example) {
+  DiagnosticEngine Diags;
+  auto Prog = lang::parseAndCheck(Example.Source, Diags);
+  if (!Prog)
+    reportFatalError("example '" + Example.Name +
+                     "' failed to compile:\n" + Diags.render(Example.Name));
+  return std::move(*Prog);
+}

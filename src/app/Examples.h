@@ -1,0 +1,78 @@
+//===- app/Examples.h - The paper's example programs ----------------------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniLang transcriptions of every example program in the paper, with the
+/// native (unknown) functions they call, plus the paper-stated inputs for
+/// their walkthroughs. Each example fixes an initial input so the benches
+/// replay the paper's narrative deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_APP_EXAMPLES_H
+#define HOTG_APP_EXAMPLES_H
+
+#include "interp/NativeFunc.h"
+#include "interp/Value.h"
+#include "lang/AST.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hotg::app {
+
+/// One ready-to-run example program.
+struct ExampleProgram {
+  /// Stable identifier ("obscure", "foo", ...).
+  std::string Name;
+  /// Which paper section/example it reproduces.
+  std::string PaperRef;
+  /// MiniLang source text.
+  std::string Source;
+  /// Entry function name.
+  std::string Entry;
+  /// Initial input used in the paper's walkthrough (empty = random).
+  std::optional<interp::TestInput> InitialInput;
+};
+
+/// Returns all example programs:
+///  * obscure      — Section 1: if (x == hash(y)) error.
+///  * foo          — Section 3.2 / Example 1 / Example 7: nested y == 10
+///                   behind x == hash(y).
+///  * foo_bis      — Example 2: nested error behind x != hash(y) (the
+///                   "good divergence" example).
+///  * bar          — Example 3: x == hash(y) && y == hash(x).
+///  * pub          — Example 4: hash(x) > 0 && y == 10 (samples needed).
+///  * eq_pair      — Example 5: hash(x) == hash(y) (congruence strategy).
+///  * offset       — Example 6: fstep(x) == fstep(y) + 1 where the natives'
+///                   observed samples satisfy f(0)=0, f(1)=1.
+///  * assign_then_test — the Section 3.3 delayed-concretization variant:
+///                   x := hash(y); if (y == 10) error.
+///  * chained_hash — hash(x) == hash2(y) + 1: two distinct unknown
+///                   functions (stress beyond the paper's examples).
+///  * nonlinear    — x * y == 12 && x > y: unknown-instruction handling.
+std::vector<ExampleProgram> allExamples();
+
+/// Returns the example named \p Name (fatal error when unknown).
+ExampleProgram exampleByName(std::string_view Name);
+
+/// Registers every native function the examples require ("hash", "hash2",
+/// "hash4", "fstep") in \p Registry.
+void registerExampleNatives(interp::NativeRegistry &Registry);
+
+/// Parses and checks \p Example, reporting diagnostics fatally (example
+/// sources are compiled into the binary and must be well-formed).
+lang::Program compileExample(const ExampleProgram &Example);
+
+/// The native behind "fstep": f(0)=0, f(1)=1 (Example 6's observed
+/// samples), scrambled elsewhere.
+int64_t fstepNative(int64_t X);
+
+} // namespace hotg::app
+
+#endif // HOTG_APP_EXAMPLES_H

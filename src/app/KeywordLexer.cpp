@@ -1,0 +1,131 @@
+//===- app/KeywordLexer.cpp - The Section 7 keyword-hash lexer application -------===//
+
+#include "app/KeywordLexer.h"
+
+#include "interp/NativeFunc.h"
+#include "support/StringUtils.h"
+#include "support/Support.h"
+
+#include <cassert>
+
+using namespace hotg;
+using namespace hotg::app;
+
+static const char *const KeywordPool[] = {
+    "whil", "done", "else", "loop", "func", "call", "goto", "halt",
+    "incr", "decr", "push", "pops", "load", "stor", "jump", "retn",
+    "open", "read", "writ", "seek", "lock", "free", "wait", "exit",
+};
+static constexpr unsigned MaxKeywords =
+    sizeof(KeywordPool) / sizeof(KeywordPool[0]);
+
+interp::TestInput LexerApp::identifierInput() const {
+  interp::TestInput Input;
+  Input.Cells.assign(inputSize(), 'a');
+  return Input;
+}
+
+interp::TestInput
+LexerApp::inputForTokens(const std::vector<unsigned> &TokenIds) const {
+  interp::TestInput Input = identifierInput();
+  for (size_t Chunk = 0; Chunk != TokenIds.size() && Chunk != Spec.NumChunks;
+       ++Chunk) {
+    unsigned Id = TokenIds[Chunk];
+    if (Id == 0 || Id > Keywords.size())
+      continue;
+    const std::string &Word = Keywords[Id - 1];
+    for (unsigned I = 0; I != 4; ++I)
+      Input.Cells[Chunk * 4 + I] = Word[I];
+  }
+  return Input;
+}
+
+LexerApp hotg::app::buildKeywordLexer(LexerAppSpec Spec) {
+  if (Spec.NumKeywords == 0 || Spec.NumKeywords > MaxKeywords)
+    reportFatalError("LexerAppSpec.NumKeywords out of range");
+  if (Spec.NumChunks == 0 || Spec.NumChunks > 4)
+    reportFatalError("LexerAppSpec.NumChunks out of range");
+
+  LexerApp App;
+  App.Spec = Spec;
+  App.Entry = "lex_main";
+  for (unsigned K = 0; K != Spec.NumKeywords; ++K)
+    App.Keywords.emplace_back(KeywordPool[K]);
+
+  std::string Src;
+  Src += "extern hash4(int, int, int, int) -> int;\n\n";
+
+  // classify: the findsym stage. The keyword hashes are recomputed by
+  // concrete hash4 calls on every run — the addsym initialization whose
+  // (hashvalue, hash(keyword)) pairs the IOF table captures (Section 7).
+  Src += "fun classify(c0: int, c1: int, c2: int, c3: int) -> int {\n";
+  Src += "  var sym: int = hash4(c0, c1, c2, c3);\n";
+  for (unsigned K = 0; K != Spec.NumKeywords; ++K) {
+    const std::string &W = App.Keywords[K];
+    if (Spec.PrecomputedHashes)
+      Src += formatString(
+          "  if (sym == %lld) { return %u; } // precomputed hash of \"%s\"\n",
+          static_cast<long long>(
+              interp::defaultHash4(W[0], W[1], W[2], W[3])),
+          K + 1, W.c_str());
+    else
+      Src += formatString(
+          "  if (sym == hash4(%d, %d, %d, %d)) { return %u; } // \"%s\"\n",
+          W[0], W[1], W[2], W[3], K + 1, W.c_str());
+  }
+  Src += "  return 0; // identifier\n";
+  Src += "}\n\n";
+
+  // lex_main: tokenize the chunks, then run the parser stage.
+  unsigned BufSize = Spec.NumChunks * 4;
+  Src += formatString("fun lex_main(buf: int[%u]) -> int {\n", BufSize);
+  for (unsigned C = 0; C != Spec.NumChunks; ++C)
+    Src += formatString(
+        "  var t%u: int = classify(buf[%u], buf[%u], buf[%u], buf[%u]);\n",
+        C, C * 4, C * 4 + 1, C * 4 + 2, C * 4 + 3);
+
+  // Parser productions with error sites. Reaching them requires inverting
+  // the hash for specific keywords in specific positions.
+  Src += "  if (t0 == 1) {\n";
+  if (Spec.NumChunks >= 2) {
+    Src += "    if (t1 == 2) {\n";
+    Src += formatString(
+        "      error(\"parsed '%s %s' production\");\n",
+        App.Keywords[0].c_str(),
+        App.Keywords[Spec.NumKeywords > 1 ? 1 : 0].c_str());
+    Src += "    }\n";
+  } else {
+    Src += formatString("    error(\"parsed leading '%s'\");\n",
+                        App.Keywords[0].c_str());
+  }
+  Src += "    return 100;\n";
+  Src += "  }\n";
+  if (Spec.NumChunks >= 2 && Spec.NumKeywords >= 3) {
+    Src += "  if (t0 == 3 && t1 == 3) {\n";
+    Src += formatString("    error(\"parsed repeated '%s'\");\n",
+                        App.Keywords[2].c_str());
+    Src += "  }\n";
+  }
+
+  // Count recognized keywords (gives the parser stage more branches).
+  Src += "  var nkw: int = 0;\n";
+  for (unsigned C = 0; C != Spec.NumChunks; ++C)
+    Src += formatString("  if (t%u > 0) { nkw = nkw + 1; }\n", C);
+  Src += "  return nkw;\n";
+  Src += "}\n";
+
+  App.Source = std::move(Src);
+  // classify is declared first, so its per-keyword comparisons get the
+  // first branch ids (Sema numbers branch sites in declaration order).
+  App.KeywordBranchBegin = 0;
+  return App;
+}
+
+unsigned hotg::app::countKeywordsMatched(const LexerApp &App,
+                                         const core::Coverage &Cov) {
+  unsigned Count = 0;
+  for (unsigned K = 0; K != App.Spec.NumKeywords; ++K)
+    if (Cov.isCovered(App.KeywordBranchBegin + K, /*Taken=*/true))
+      ++Count;
+  return Count;
+}

@@ -1,0 +1,86 @@
+//===- app/KeywordLexer.h - The Section 7 keyword-hash lexer application --------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generator for the paper's flagship application (Section 7, Figure 4): a
+/// lexer that recognizes keywords by comparing hashes — flex's
+/// addsym/hashfunct pattern — followed by a token-level parser stage.
+///
+/// The generated MiniLang program:
+///  * hashes every input chunk with the native `hash4` (the unknown
+///    hashfunct);
+///  * compares the chunk hash against the keyword hashes, which are
+///    computed by concrete `hash4` calls at the start of every run (the
+///    addsym initialization whose input/output pairs higher-order test
+///    generation records);
+///  * feeds the token ids into a small parser whose deep productions
+///    contain error sites.
+///
+/// Plain dynamic test generation cannot invert hash4 and degenerates to
+/// blackbox random testing on this program; higher-order test generation
+/// inverts the hash through its samples (the paper's central claim).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_APP_KEYWORDLEXER_H
+#define HOTG_APP_KEYWORDLEXER_H
+
+#include "core/Coverage.h"
+#include "interp/Value.h"
+#include "lang/AST.h"
+
+#include <string>
+#include <vector>
+
+namespace hotg::app {
+
+/// Parameters of the generated lexer program.
+struct LexerAppSpec {
+  /// Number of language keywords (1 to 24).
+  unsigned NumKeywords = 8;
+  /// Number of 4-character input chunks (1 to 4).
+  unsigned NumChunks = 2;
+  /// Emit the keyword hashes as hard-coded integer constants instead of
+  /// runtime hash4 calls — the Section 7 scenario where "hash values are
+  /// pre-computed and hard-coded in the source code", so the IOF pairs can
+  /// only be learned from a seed corpus of well-formed inputs.
+  bool PrecomputedHashes = false;
+};
+
+/// A generated lexer application.
+struct LexerApp {
+  LexerAppSpec Spec;
+  /// MiniLang source of the whole program.
+  std::string Source;
+  /// Entry function ("lex_main"); takes int[4 * NumChunks].
+  std::string Entry;
+  /// The keyword spellings, token id = index + 1 (0 is "identifier").
+  std::vector<std::string> Keywords;
+  /// First branch id of the per-keyword comparisons inside `classify`;
+  /// branch KeywordBranchBegin + k taken "true" means keyword k was
+  /// recognized in some chunk.
+  lang::BranchId KeywordBranchBegin = 0;
+
+  unsigned inputSize() const { return Spec.NumChunks * 4; }
+
+  /// An all-'a' input (no keywords), the deterministic starting point.
+  interp::TestInput identifierInput() const;
+
+  /// The input whose chunks spell keywords \p TokenIds (1-based ids).
+  interp::TestInput inputForTokens(const std::vector<unsigned> &TokenIds)
+      const;
+};
+
+/// Builds the MiniLang lexer+parser program for \p Spec.
+LexerApp buildKeywordLexer(LexerAppSpec Spec = {});
+
+/// Number of distinct keywords recognized at least once according to
+/// \p Cov (the E9 metric).
+unsigned countKeywordsMatched(const LexerApp &App, const core::Coverage &Cov);
+
+} // namespace hotg::app
+
+#endif // HOTG_APP_KEYWORDLEXER_H

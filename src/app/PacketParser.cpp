@@ -1,0 +1,101 @@
+//===- app/PacketParser.cpp - CRC-gated binary packet parser ----------------------===//
+
+#include "app/PacketParser.h"
+
+#include "support/Support.h"
+
+using namespace hotg;
+using namespace hotg::app;
+using namespace hotg::interp;
+
+int64_t hotg::app::crc5Native(int64_t Len, int64_t P0, int64_t P1,
+                              int64_t P2, int64_t P3) {
+  // CRC-flavoured mixing: order- and length-sensitive, deterministic,
+  // and hopeless to invert symbolically.
+  uint64_t Crc = 0xFFFFFFFFu ^ static_cast<uint64_t>(Len) * 0x9E3779B1u;
+  for (uint64_t Byte : {static_cast<uint64_t>(P0), static_cast<uint64_t>(P1),
+                        static_cast<uint64_t>(P2),
+                        static_cast<uint64_t>(P3)}) {
+    Crc ^= Byte;
+    for (int Bit = 0; Bit != 8; ++Bit)
+      Crc = (Crc >> 1) ^ (0xEDB88320u & (0 - (Crc & 1)));
+  }
+  return static_cast<int64_t>(Crc % 1000000);
+}
+
+void hotg::app::registerPacketNatives(NativeRegistry &Registry) {
+  Registry.registerFunc("crc5", 5, [](std::span<const int64_t> Args) {
+    return crc5Native(Args[0], Args[1], Args[2], Args[3], Args[4]);
+  });
+}
+
+PacketApp hotg::app::buildPacketParser() {
+  PacketApp App;
+  App.Source = R"(extern crc5(int, int, int, int, int) -> int;
+
+fun parse_packet(pkt: int[8]) -> int {
+  if (pkt[0] != 49374) {
+    return -1; // bad magic
+  }
+  var version: int = pkt[1];
+  if (version < 1 || version > 2) {
+    return -2; // unsupported version
+  }
+  var len: int = pkt[2];
+  if (len < 0 || len > 4) {
+    return -3; // bad length
+  }
+  // Zero-padded payload copy (the paper's call-by-value signature rule:
+  // crc5 takes scalars, so the variable-length payload is flattened).
+  var p0: int = 0;
+  var p1: int = 0;
+  var p2: int = 0;
+  var p3: int = 0;
+  if (len > 0) { p0 = pkt[3]; }
+  if (len > 1) { p1 = pkt[4]; }
+  if (len > 2) { p2 = pkt[5]; }
+  if (len > 3) { p3 = pkt[6]; }
+  if (pkt[7] != crc5(len, p0, p1, p2, p3)) {
+    return -4; // checksum mismatch: the gate plain DSE cannot pass
+  }
+  // Command dispatch.
+  if (len >= 1 && p0 == 77) {
+    if (version == 2) {
+      error("privileged v2 command executed");
+    }
+    return 1; // v1 privileged commands are ignored
+  }
+  if (len >= 2 && p0 == 10 && p1 == p0 + 10) {
+    error("combo handler reached");
+  }
+  return 0; // plain packet
+}
+)";
+  return App;
+}
+
+TestInput
+PacketApp::validPacket(int64_t Version,
+                       const std::vector<int64_t> &Payload) const {
+  if (Payload.size() > MaxPayload)
+    reportFatalError("payload too long for the packet layout");
+  TestInput Input;
+  Input.Cells.assign(PacketSize, 0);
+  Input.Cells[0] = Magic;
+  Input.Cells[1] = Version;
+  Input.Cells[2] = static_cast<int64_t>(Payload.size());
+  int64_t Padded[MaxPayload] = {0, 0, 0, 0};
+  for (size_t I = 0; I != Payload.size(); ++I) {
+    Input.Cells[3 + I] = Payload[I];
+    Padded[I] = Payload[I];
+  }
+  Input.Cells[7] = crc5Native(static_cast<int64_t>(Payload.size()),
+                              Padded[0], Padded[1], Padded[2], Padded[3]);
+  return Input;
+}
+
+TestInput PacketApp::garbagePacket() const {
+  TestInput Input;
+  Input.Cells.assign(PacketSize, 0);
+  return Input;
+}

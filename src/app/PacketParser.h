@@ -1,0 +1,69 @@
+//===- app/PacketParser.h - CRC-gated binary packet parser ------------------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A second domain application beyond the Section 7 lexer: a binary packet
+/// parser whose header validation ends in a checksum gate —
+/// Section 6's "complex functions (for hashing, encrypting, compressing,
+/// encoding, CRC-ing data)". The packet layout is
+///
+///   cell 0: magic (constant)
+///   cell 1: version (1 or 2)
+///   cell 2: payload length (0..4)
+///   cells 3..6: payload (zero-padded)
+///   cell 7: checksum — must equal crc5(len, p0, p1, p2, p3)
+///
+/// followed by a command dispatch whose privileged handlers contain the
+/// error sites. Plain dynamic test generation gets stuck at the checksum
+/// (every payload mutation invalidates it); higher-order generation forges
+/// it from the recorded crc5 samples, re-learning after every payload
+/// change (multi-step generation in the wild).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_APP_PACKETPARSER_H
+#define HOTG_APP_PACKETPARSER_H
+
+#include "interp/NativeFunc.h"
+#include "interp/Value.h"
+
+#include <string>
+#include <vector>
+
+namespace hotg::app {
+
+/// The generated parser program and its helpers.
+struct PacketApp {
+  /// MiniLang source.
+  std::string Source;
+  /// Entry function; takes int[8].
+  std::string Entry = "parse_packet";
+
+  static constexpr int64_t Magic = 49374;
+  static constexpr unsigned MaxPayload = 4;
+  static constexpr unsigned PacketSize = 8;
+
+  /// A syntactically valid packet with a correct checksum.
+  interp::TestInput
+  validPacket(int64_t Version, const std::vector<int64_t> &Payload) const;
+
+  /// An all-zero (invalid) packet.
+  interp::TestInput garbagePacket() const;
+};
+
+/// Builds the parser program.
+PacketApp buildPacketParser();
+
+/// Registers the "crc5" native in \p Registry.
+void registerPacketNatives(interp::NativeRegistry &Registry);
+
+/// The deterministic checksum behind "crc5".
+int64_t crc5Native(int64_t Len, int64_t P0, int64_t P1, int64_t P2,
+                   int64_t P3);
+
+} // namespace hotg::app
+
+#endif // HOTG_APP_PACKETPARSER_H

@@ -1,0 +1,51 @@
+//===- core/Coverage.cpp - Branch and error-site coverage -----------------------===//
+
+#include "core/Coverage.h"
+
+using namespace hotg;
+using namespace hotg::core;
+
+void Coverage::noteBranch(lang::BranchId Branch, bool TookIt) {
+  if (Branch == lang::InvalidBranch)
+    return;
+  if (Branch >= Taken.size()) {
+    Taken.resize(Branch + 1, false);
+    NotTaken.resize(Branch + 1, false);
+  }
+  if (TookIt)
+    Taken[Branch] = true;
+  else
+    NotTaken[Branch] = true;
+}
+
+void Coverage::noteTrace(const std::vector<interp::BranchEvent> &Trace) {
+  for (const interp::BranchEvent &Event : Trace)
+    noteBranch(Event.Branch, Event.Taken);
+}
+
+bool Coverage::isCovered(lang::BranchId Branch, bool TookIt) const {
+  if (Branch >= Taken.size())
+    return false;
+  return TookIt ? Taken[Branch] : NotTaken[Branch];
+}
+
+unsigned Coverage::coveredDirections() const {
+  unsigned Count = 0;
+  for (bool B : Taken)
+    Count += B;
+  for (bool B : NotTaken)
+    Count += B;
+  return Count;
+}
+
+void Coverage::mergeFrom(const Coverage &Other) {
+  for (size_t I = 0; I != Other.Taken.size(); ++I) {
+    if (Other.Taken[I])
+      noteBranch(static_cast<lang::BranchId>(I), true);
+    if (Other.NotTaken[I])
+      noteBranch(static_cast<lang::BranchId>(I), false);
+  }
+  ErrorSites.insert(Other.ErrorSites.begin(), Other.ErrorSites.end());
+  if (Other.NumBranches > NumBranches)
+    NumBranches = Other.NumBranches;
+}

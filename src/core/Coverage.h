@@ -1,0 +1,69 @@
+//===- core/Coverage.h - Branch and error-site coverage -------------------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Branch-direction and error-site coverage accounting for the directed
+/// search and the benchmark harness. A branch site contributes two
+/// directions (then/else); the experiments report "who covers which branch"
+/// per strategy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_CORE_COVERAGE_H
+#define HOTG_CORE_COVERAGE_H
+
+#include "interp/Interp.h"
+#include "lang/AST.h"
+
+#include <set>
+#include <vector>
+
+namespace hotg::core {
+
+/// Tracks which branch directions and error sites have been observed.
+class Coverage {
+public:
+  Coverage() = default;
+  explicit Coverage(uint32_t NumBranches) : NumBranches(NumBranches) {}
+
+  /// Records one branch event.
+  void noteBranch(lang::BranchId Branch, bool Taken);
+
+  /// Records every branch event of \p Trace.
+  void noteTrace(const std::vector<interp::BranchEvent> &Trace);
+
+  /// Records a reached error site.
+  void noteErrorSite(lang::ErrorSiteId Site) { ErrorSites.insert(Site); }
+
+  bool isCovered(lang::BranchId Branch, bool Taken) const;
+  bool errorSiteReached(lang::ErrorSiteId Site) const {
+    return ErrorSites.count(Site) != 0;
+  }
+
+  /// Number of covered (branch, direction) pairs.
+  unsigned coveredDirections() const;
+
+  /// Total directions = 2 × branch count (when constructed with a count).
+  unsigned totalDirections() const { return 2 * NumBranches; }
+
+  unsigned errorSitesReached() const {
+    return static_cast<unsigned>(ErrorSites.size());
+  }
+
+  /// Merges \p Other into this coverage map.
+  void mergeFrom(const Coverage &Other);
+
+private:
+  uint32_t NumBranches = 0;
+  /// Two bits per branch: [taken, not-taken].
+  std::vector<bool> Taken;
+  std::vector<bool> NotTaken;
+  std::set<lang::ErrorSiteId> ErrorSites;
+};
+
+} // namespace hotg::core
+
+#endif // HOTG_CORE_COVERAGE_H

@@ -1,0 +1,57 @@
+//===- core/Post.cpp - POST(pc) construction ------------------------------------===//
+
+#include "core/Post.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace hotg;
+using namespace hotg::core;
+using namespace hotg::smt;
+
+TermId hotg::core::buildAntecedent(TermArena &Arena, TermId Formula,
+                                   const SampleTable &Samples) {
+  // Collect the function symbols that actually occur in the formula.
+  std::vector<TermId> Apps;
+  Arena.collectApps(Formula, Apps);
+  std::unordered_set<FuncId> Relevant;
+  for (TermId App : Apps)
+    Relevant.insert(Arena.funcIdOf(App));
+
+  std::vector<TermId> Conjuncts;
+  for (const Sample &S : Samples.allSamples()) {
+    if (!Relevant.count(S.Func))
+      continue;
+    std::vector<TermId> ArgTerms;
+    ArgTerms.reserve(S.Args.size());
+    for (int64_t Arg : S.Args)
+      ArgTerms.push_back(Arena.mkIntConst(Arg));
+    Conjuncts.push_back(Arena.mkEq(Arena.mkIntConst(S.Output),
+                                   Arena.mkUFApp(S.Func, ArgTerms)));
+  }
+  return Arena.mkAnd(Conjuncts);
+}
+
+TermId hotg::core::buildPost(TermArena &Arena, TermId PathCondition,
+                             const SampleTable &Samples) {
+  TermId Antecedent = buildAntecedent(Arena, PathCondition, Samples);
+  if (Arena.isBoolConst(Antecedent) && Arena.boolConstValue(Antecedent))
+    return PathCondition;
+  return Arena.mkImplies(Antecedent, PathCondition);
+}
+
+std::string hotg::core::postToString(TermArena &Arena, TermId PathCondition,
+                                     const SampleTable &Samples) {
+  std::vector<VarId> Vars;
+  Arena.collectVars(PathCondition, Vars);
+  std::sort(Vars.begin(), Vars.end());
+  std::vector<std::string> Names;
+  for (VarId V : Vars)
+    Names.emplace_back(Arena.varName(V));
+
+  TermId Post = buildPost(Arena, PathCondition, Samples);
+  return formatString("exists %s : %s", join(Names, ", ").c_str(),
+                      Arena.toString(Post).c_str());
+}

@@ -1,0 +1,46 @@
+//===- core/Post.h - POST(pc) construction -------------------------------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 4.3's post-processing of path constraints for higher-order test
+/// generation:
+///
+///   POST(pc) = ∃X : A ⟹ pc
+///
+/// where A is the conjunction of the recorded uninterpreted-function samples
+/// c = f(args) (the IOF table) and every uninterpreted function symbol is
+/// implicitly universally quantified by the validity check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_CORE_POST_H
+#define HOTG_CORE_POST_H
+
+#include "smt/SampleTable.h"
+#include "smt/Term.h"
+
+namespace hotg::core {
+
+/// Builds the antecedent A: the conjunction of `output = f(arg-constants)`
+/// for every sample of a function symbol that occurs in \p Formula
+/// (samples of unrelated symbols cannot affect validity and are omitted).
+smt::TermId buildAntecedent(smt::TermArena &Arena, smt::TermId Formula,
+                            const smt::SampleTable &Samples);
+
+/// Builds the matrix of POST(pc): `A ⟹ pc`. The existential quantifier
+/// over the input variables and the universal quantification of function
+/// symbols are implicit in how the validity solver treats the term.
+smt::TermId buildPost(smt::TermArena &Arena, smt::TermId PathCondition,
+                      const smt::SampleTable &Samples);
+
+/// Renders POST(pc) in the paper's notation, e.g.
+/// "∃x, y : (567 = (hash 42)) ⟹ (= x (hash y))".
+std::string postToString(smt::TermArena &Arena, smt::TermId PathCondition,
+                         const smt::SampleTable &Samples);
+
+} // namespace hotg::core
+
+#endif // HOTG_CORE_POST_H

@@ -1,0 +1,313 @@
+//===- core/Search.cpp - Directed search (DART / higher-order) -------------------===//
+
+#include "core/Search.h"
+
+#include "core/Post.h"
+#include "support/Random.h"
+#include "support/Support.h"
+
+#include <cassert>
+
+using namespace hotg;
+using namespace hotg::core;
+using namespace hotg::dse;
+using namespace hotg::interp;
+
+bool SearchResult::foundErrorSite(lang::ErrorSiteId Site) const {
+  for (const BugRecord &Bug : Bugs)
+    if (Bug.Status == RunStatus::ErrorHit && Bug.Site == Site)
+      return true;
+  return false;
+}
+
+bool SearchResult::foundStatus(RunStatus Status) const {
+  for (const BugRecord &Bug : Bugs)
+    if (Bug.Status == Status)
+      return true;
+  return false;
+}
+
+DirectedSearch::DirectedSearch(const lang::Program &Prog,
+                               const NativeRegistry &Natives,
+                               std::string EntryName, SearchOptions Options)
+    : Prog(Prog), Natives(Natives), EntryName(std::move(EntryName)),
+      Options(Options), Executor(Prog, Natives, Arena) {
+  const lang::FunctionDecl *Entry = Prog.findFunction(this->EntryName);
+  if (!Entry)
+    reportFatalError("entry function '" + this->EntryName + "' not found");
+  Layout = InputLayout(*Entry);
+
+  ExecOptions Exec;
+  Exec.Policy = Options.Policy;
+  Exec.Limits = Options.Limits;
+  Exec.RecordSamples = Options.RecordSamples;
+  Exec.SummarizeCalls = Options.SummarizeCalls;
+  Executor.setOptions(Exec);
+
+  Result.Cov = Coverage(Prog.NumBranches);
+}
+
+TestInput DirectedSearch::completeInput(const smt::Model &M,
+                                        const TestInput &Parent) const {
+  // The paper keeps previous concrete values for inputs the solver left
+  // unconstrained ("by picking randomly and then fixing the value of y...").
+  TestInput Input = Parent;
+  for (unsigned I = 0; I != Layout.size(); ++I) {
+    smt::VarId Var =
+        const_cast<smt::TermArena &>(Arena).getOrCreateVar(Layout.name(I));
+    if (auto V = M.varValue(Var))
+      Input.Cells[I] = *V;
+  }
+  return Input;
+}
+
+std::optional<PathResult>
+DirectedSearch::runTest(const TestInput &Input, bool Intermediate,
+                        const Candidate *From) {
+  if (Result.Tests.size() >= Options.MaxTests)
+    return std::nullopt;
+
+  PathResult PR = Executor.execute(
+      EntryName, Input, &Samples,
+      Options.SummarizeCalls ? &Summaries : nullptr);
+
+  TestRecord Record;
+  Record.Input = Input;
+  Record.Status = PR.Run.Status;
+  Record.Intermediate = Intermediate;
+
+  // Divergence detection (Section 3.2): the new trace must follow the
+  // parent trace up to the negated constraint's event and then flip it.
+  // Tests derived from injected check constraints have no branch event to
+  // flip: only the prefix must match (the run is expected to fault at the
+  // checked operation — "executed to confirm the bug before reporting").
+  if (From) {
+    const dse::PathEntry &Negated = (*From->PC).Entries[From->NegateIndex];
+    size_t FlipAt = Negated.TraceIndex;
+    const auto &Expected = *From->Trace;
+    bool Match;
+    if (Negated.IsCheck) {
+      Match = PR.Run.Trace.size() >= FlipAt;
+      for (size_t I = 0; Match && I < FlipAt; ++I)
+        Match = PR.Run.Trace[I] == Expected[I];
+    } else {
+      Match = PR.Run.Trace.size() > FlipAt;
+      for (size_t I = 0; Match && I < FlipAt; ++I)
+        Match = PR.Run.Trace[I] == Expected[I];
+      if (Match)
+        Match = PR.Run.Trace[FlipAt].Branch == Expected[FlipAt].Branch &&
+                PR.Run.Trace[FlipAt].Taken != Expected[FlipAt].Taken;
+    }
+    if (!Match) {
+      Record.Diverged = true;
+      ++Result.Divergences;
+    }
+  }
+
+  Result.Tests.push_back(Record);
+  Result.Cov.noteTrace(PR.Run.Trace);
+
+  if (PR.Run.isBug()) {
+    lang::ErrorSiteId Site =
+        PR.Run.Error && PR.Run.Status == RunStatus::ErrorHit
+            ? PR.Run.Error->Site
+            : ~0u;
+    if (PR.Run.Status == RunStatus::ErrorHit)
+      Result.Cov.noteErrorSite(Site);
+    bool Known = false;
+    for (const BugRecord &Bug : Result.Bugs)
+      if (Bug.Status == PR.Run.Status && Bug.Site == Site)
+        Known = true;
+    if (!Known) {
+      BugRecord Bug;
+      Bug.Input = Input;
+      Bug.Status = PR.Run.Status;
+      Bug.Site = Site;
+      if (PR.Run.Error)
+        Bug.Message = PR.Run.Error->Message;
+      Bug.FoundAtTest = static_cast<unsigned>(Result.Tests.size());
+      Result.Bugs.push_back(std::move(Bug));
+    }
+  }
+  return PR;
+}
+
+void DirectedSearch::expand(const PathResult &PR, const TestInput &Input,
+                            size_t Bound) {
+  auto PC = std::make_shared<const PathConstraint>(PR.PC);
+  auto Trace =
+      std::make_shared<const std::vector<BranchEvent>>(PR.Run.Trace);
+  for (size_t Pos : PR.PC.negatablePositions()) {
+    if (Pos < Bound)
+      continue;
+    Candidate Cand;
+    Cand.PC = PC;
+    Cand.Trace = Trace;
+    Cand.ParentInput = Input;
+    Cand.NegateIndex = Pos;
+    if (Options.Order == SearchOptions::OrderKind::DepthFirst)
+      Frontier.push_front(std::move(Cand));
+    else
+      Frontier.push_back(std::move(Cand));
+  }
+}
+
+void DirectedSearch::seedFrontier() {
+  TestInput Initial;
+  if (Options.InitialInput) {
+    Initial = *Options.InitialInput;
+    if (Initial.Cells.size() != Layout.size())
+      reportFatalError("initial input does not match the entry function's "
+                       "input layout");
+  } else {
+    RandomGen Rng(Options.Seed);
+    Initial = Layout.zeroInput();
+    for (int64_t &Cell : Initial.Cells)
+      Cell = Rng.nextInRange(Options.RandomLo, Options.RandomHi);
+  }
+  SeenInputs.insert(Initial.Cells);
+  if (auto PR = runTest(Initial, /*Intermediate=*/false, nullptr))
+    expand(*PR, Initial, /*Bound=*/0);
+
+  for (const TestInput &Seed : Options.SeedInputs) {
+    if (Seed.Cells.size() != Layout.size())
+      reportFatalError("seed input does not match the entry function's "
+                       "input layout");
+    if (!SeenInputs.insert(Seed.Cells).second)
+      continue;
+    auto PR = runTest(Seed, /*Intermediate=*/false, nullptr);
+    if (!PR)
+      return; // Budget exhausted.
+    expand(*PR, Seed, /*Bound=*/0);
+  }
+}
+
+bool DirectedSearch::processCandidate(const Candidate &Cand) {
+  const PathEntry &Entry = Cand.PC->Entries[Cand.NegateIndex];
+  if (Options.SkipCoveredTargets &&
+      Result.Cov.isCovered(Entry.Branch, !Entry.Taken))
+    return true;
+
+  smt::TermId Alt = Cand.PC->alternate(Arena, Cand.NegateIndex);
+
+  std::optional<TestInput> NewInput;
+
+  if (Options.Policy != ConcretizationPolicy::HigherOrder) {
+    smt::Solver Solver(Arena, Options.SolverOpts);
+    ++Result.SolverCalls;
+    smt::SatAnswer Answer = Solver.check(Alt);
+    if (Answer.isSat())
+      NewInput = completeInput(Answer.ModelValue, Cand.ParentInput);
+  } else {
+    // Higher-order test generation: POST(ALT(pc)) validity with bounded
+    // multi-step learning (Section 5.3).
+    TestInput Parent = Cand.ParentInput;
+    for (unsigned Step = 0; Step <= Options.MultiStepBound; ++Step) {
+      const smt::SampleTable &Antecedent =
+          Options.UseAntecedent ? Samples : EmptySamples;
+      ValidityOptions VOpts = Options.ValidityOpts;
+      VOpts.SolverOpts = Options.SolverOpts;
+      if (Options.SummarizeCalls)
+        VOpts.Summaries = &Summaries;
+      ValiditySolver Validity(Arena, Antecedent, VOpts);
+      ++Result.ValidityCalls;
+      ValidityAnswer Answer = Validity.checkPost(Alt);
+      if (Answer.Status == ValidityStatus::Valid) {
+        NewInput = completeInput(Answer.ModelValue, Parent);
+        break;
+      }
+      if (Answer.Status != ValidityStatus::NeedsSamples ||
+          Step == Options.MultiStepBound)
+        break;
+      // Run the candidate assignment as an intermediate test to learn the
+      // missing samples (the paper's two-step generation in Example 7).
+      TestInput Intermediate = completeInput(Answer.ModelValue, Parent);
+      size_t Before = Samples.size();
+      auto PR = runTest(Intermediate, /*Intermediate=*/true, nullptr);
+      if (!PR)
+        return false; // Budget exhausted.
+      ++Result.MultiStepRuns;
+      SeenInputs.insert(Intermediate.Cells);
+      expand(*PR, Intermediate, Cand.NegateIndex);
+      if (Samples.size() == Before)
+        break; // Nothing learned; retrying would loop.
+      Parent = Intermediate;
+    }
+  }
+
+  if (!NewInput)
+    return true;
+  if (!SeenInputs.insert(NewInput->Cells).second)
+    return true; // Already executed this exact input.
+
+  auto PR = runTest(*NewInput, /*Intermediate=*/false, &Cand);
+  if (!PR)
+    return false;
+  expand(*PR, *NewInput, Cand.NegateIndex + 1);
+  return true;
+}
+
+SearchResult DirectedSearch::run() {
+  seedFrontier();
+  while (!Frontier.empty() && Result.Tests.size() < Options.MaxTests) {
+    Candidate Cand = std::move(Frontier.front());
+    Frontier.pop_front();
+    if (!processCandidate(Cand))
+      break;
+  }
+  return std::move(Result);
+}
+
+SearchResult hotg::core::runRandomSearch(const lang::Program &Prog,
+                                         const NativeRegistry &Natives,
+                                         std::string_view EntryName,
+                                         unsigned NumTests, int64_t Lo,
+                                         int64_t Hi, uint64_t Seed,
+                                         RunLimits Limits) {
+  const lang::FunctionDecl *Entry = Prog.findFunction(EntryName);
+  if (!Entry)
+    reportFatalError("entry function '" + std::string(EntryName) +
+                     "' not found");
+  InputLayout Layout(*Entry);
+  Interpreter Interp(Prog, Natives);
+  Interp.setLimits(Limits);
+  RandomGen Rng(Seed);
+
+  SearchResult Result;
+  Result.Cov = Coverage(Prog.NumBranches);
+  for (unsigned T = 0; T != NumTests; ++T) {
+    TestInput Input = Layout.zeroInput();
+    for (int64_t &Cell : Input.Cells)
+      Cell = Rng.nextInRange(Lo, Hi);
+    RunResult Run = Interp.run(EntryName, Input);
+
+    TestRecord Record;
+    Record.Input = Input;
+    Record.Status = Run.Status;
+    Result.Tests.push_back(Record);
+    Result.Cov.noteTrace(Run.Trace);
+
+    if (Run.isBug()) {
+      lang::ErrorSiteId Site =
+          Run.Error && Run.Status == RunStatus::ErrorHit ? Run.Error->Site
+                                                         : ~0u;
+      if (Run.Status == RunStatus::ErrorHit)
+        Result.Cov.noteErrorSite(Site);
+      bool Known = false;
+      for (const BugRecord &Bug : Result.Bugs)
+        if (Bug.Status == Run.Status && Bug.Site == Site)
+          Known = true;
+      if (!Known) {
+        BugRecord Bug;
+        Bug.Input = Input;
+        Bug.Status = Run.Status;
+        Bug.Site = Site;
+        if (Run.Error)
+          Bug.Message = Run.Error->Message;
+        Bug.FoundAtTest = T + 1;
+        Result.Bugs.push_back(std::move(Bug));
+      }
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,188 @@
+//===- core/Search.h - Directed search (DART / higher-order) --------------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The systematic dynamic test generation loop of Section 2, parameterized
+/// by concretization policy:
+///
+///  * Unsound / Sound / SoundDelayed — classic DART: negate the last
+///    constraint of a path-constraint prefix, ask the satisfiability solver
+///    for a model, run the new input, detect divergences.
+///  * HigherOrder — the paper's contribution: build POST(ALT(pc)), derive
+///    tests from validity proofs via the strategy solver, and fall back to
+///    bounded multi-step test generation (intermediate runs that learn
+///    uninterpreted-function samples) when a one-shot strategy is missing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_CORE_SEARCH_H
+#define HOTG_CORE_SEARCH_H
+
+#include "core/Coverage.h"
+#include "core/ValiditySolver.h"
+#include "dse/SymbolicExecutor.h"
+#include "interp/Interp.h"
+#include "smt/SampleTable.h"
+#include "smt/Solver.h"
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <set>
+
+namespace hotg::core {
+
+/// Options of one directed search.
+struct SearchOptions {
+  dse::ConcretizationPolicy Policy = dse::ConcretizationPolicy::Unsound;
+  /// Total program executions (including multi-step intermediate runs).
+  unsigned MaxTests = 64;
+  /// Multi-step bound k: number of learning runs per candidate (Section
+  /// 5.3, Example 7 needs k >= 1 extra run).
+  unsigned MultiStepBound = 2;
+  /// Record IOF samples (HigherOrder only) — off reproduces Example 4.
+  bool RecordSamples = true;
+  /// Use the recorded samples as the antecedent A of POST(pc) — off
+  /// reproduces the "no antecedent" half of Example 6.
+  bool UseAntecedent = true;
+  /// Skip candidates whose target (branch, direction) is already covered.
+  bool SkipCoveredTargets = true;
+  /// Section 8: summarize calls to summarizable MiniLang functions
+  /// (HigherOrder policy only) and ground their applications by
+  /// instantiating summary disjuncts.
+  bool SummarizeCalls = false;
+  /// Candidate exploration order.
+  enum class OrderKind : uint8_t { BreadthFirst, DepthFirst } Order =
+      OrderKind::BreadthFirst;
+  interp::RunLimits Limits;
+  /// Initial input; random cells in [RandomLo, RandomHi] when absent.
+  std::optional<interp::TestInput> InitialInput;
+  /// Seed corpus executed (and expanded) before directed generation — the
+  /// Section 7 mechanism for learning hard-coded hash pairs "by starting
+  /// the testing session with a representative set of well-formed inputs".
+  std::vector<interp::TestInput> SeedInputs;
+  int64_t RandomLo = 0;
+  int64_t RandomHi = 99;
+  uint64_t Seed = 42;
+  smt::SolverOptions SolverOpts;
+  ValidityOptions ValidityOpts;
+};
+
+/// One executed test.
+struct TestRecord {
+  interp::TestInput Input;
+  interp::RunStatus Status = interp::RunStatus::Ok;
+  /// The run took a different path than the path constraint predicted
+  /// (only possible with unsound path constraints, Section 3.2).
+  bool Diverged = false;
+  /// Multi-step learning run (not derived from a satisfiable/valid query).
+  bool Intermediate = false;
+};
+
+/// One distinct bug found.
+struct BugRecord {
+  interp::TestInput Input;
+  interp::RunStatus Status = interp::RunStatus::Ok;
+  lang::ErrorSiteId Site = ~0u; ///< Valid for ErrorHit.
+  std::string Message;
+  unsigned FoundAtTest = 0; ///< 1-based index of the discovering test.
+};
+
+/// Aggregate outcome of a search (also produced by the random baseline).
+struct SearchResult {
+  std::vector<TestRecord> Tests;
+  std::vector<BugRecord> Bugs;
+  Coverage Cov;
+  unsigned Divergences = 0;
+  unsigned SolverCalls = 0;
+  unsigned ValidityCalls = 0;
+  unsigned MultiStepRuns = 0;
+
+  bool foundErrorSite(lang::ErrorSiteId Site) const;
+  bool foundStatus(interp::RunStatus Status) const;
+  unsigned testsRun() const { return static_cast<unsigned>(Tests.size()); }
+};
+
+/// The directed search driver.
+class DirectedSearch {
+public:
+  DirectedSearch(const lang::Program &Prog,
+                 const interp::NativeRegistry &Natives,
+                 std::string EntryName, SearchOptions Options = {});
+
+  /// Runs the search to budget exhaustion or frontier exhaustion.
+  SearchResult run();
+
+  /// The IOF table accumulated across all runs (HigherOrder policy).
+  const smt::SampleTable &samples() const { return Samples; }
+
+  /// The summary table accumulated across all runs (SummarizeCalls mode).
+  const dse::SummaryTable &summaries() const { return Summaries; }
+
+  /// Pre-loads IOF samples serialized by exportSamples() from an earlier
+  /// session (Section 7's cross-session learning). Call before run().
+  bool importSamples(std::string_view Text, std::string *Error = nullptr) {
+    return Samples.deserialize(Text, Arena, Error);
+  }
+
+  /// Serializes the accumulated IOF table for reuse in later sessions.
+  std::string exportSamples() const { return Samples.serialize(Arena); }
+
+  /// The term arena shared by all runs (exposed for tests).
+  smt::TermArena &arena() { return Arena; }
+
+private:
+  struct Candidate {
+    /// Path constraint of the parent run (shared among its candidates).
+    std::shared_ptr<const dse::PathConstraint> PC;
+    /// Trace of the parent run.
+    std::shared_ptr<const std::vector<interp::BranchEvent>> Trace;
+    /// Input of the parent run (for completion of partial models).
+    interp::TestInput ParentInput;
+    /// Index of the entry to negate.
+    size_t NegateIndex = 0;
+  };
+
+  void seedFrontier();
+  void expand(const dse::PathResult &Result, const interp::TestInput &Input,
+              size_t Bound);
+  /// Executes \p Input, records stats/coverage/bugs, and returns the path
+  /// result; null when the test budget is exhausted.
+  std::optional<dse::PathResult> runTest(const interp::TestInput &Input,
+                                         bool Intermediate,
+                                         const Candidate *From);
+  interp::TestInput completeInput(const smt::Model &M,
+                                  const interp::TestInput &Parent) const;
+  bool processCandidate(const Candidate &Cand);
+
+  const lang::Program &Prog;
+  const interp::NativeRegistry &Natives;
+  std::string EntryName;
+  SearchOptions Options;
+
+  smt::TermArena Arena;
+  smt::SampleTable Samples;
+  smt::SampleTable EmptySamples;
+  dse::SummaryTable Summaries;
+  dse::SymbolicExecutor Executor;
+  interp::InputLayout Layout;
+
+  std::deque<Candidate> Frontier;
+  std::set<std::vector<int64_t>> SeenInputs;
+  SearchResult Result;
+};
+
+/// Blackbox random testing baseline (Section 7's comparison point): \p
+/// NumTests runs with uniformly random cells in [Lo, Hi].
+SearchResult runRandomSearch(const lang::Program &Prog,
+                             const interp::NativeRegistry &Natives,
+                             std::string_view EntryName, unsigned NumTests,
+                             int64_t Lo, int64_t Hi, uint64_t Seed = 42,
+                             interp::RunLimits Limits = {});
+
+} // namespace hotg::core
+
+#endif // HOTG_CORE_SEARCH_H

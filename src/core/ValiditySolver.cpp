@@ -1,0 +1,528 @@
+//===- core/ValiditySolver.cpp - Test generation from validity proofs -----------===//
+
+#include "core/ValiditySolver.h"
+
+#include "smt/Linear.h"
+#include "smt/Subst.h"
+#include "smt/Simplify.h"
+#include "smt/Supports.h"
+#include "support/Support.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <unordered_set>
+
+using namespace hotg;
+using namespace hotg::core;
+using namespace hotg::smt;
+
+const char *hotg::core::validityStatusName(ValidityStatus Status) {
+  switch (Status) {
+  case ValidityStatus::Valid:
+    return "valid";
+  case ValidityStatus::NotValid:
+    return "not-valid";
+  case ValidityStatus::NeedsSamples:
+    return "needs-samples";
+  case ValidityStatus::Unknown:
+    return "unknown";
+  }
+  HOTG_UNREACHABLE("unknown validity status");
+}
+
+namespace {
+
+/// One way to justify a UF application in a strategy.
+struct GroundingChoice {
+  enum class Kind : uint8_t {
+    Sample,  ///< Arguments bound to a recorded sample tuple.
+    Disjunct,///< A summary disjunct instantiated at the arguments.
+    PairWith,///< Arguments bound to an earlier application (congruence).
+    Unbound, ///< Left universal; literals must not depend on it.
+  } ChoiceKind = Kind::Unbound;
+  size_t SampleIndex = 0; ///< Into the per-function sample list.
+  size_t DisjunctIndex = 0; ///< Into the summary's disjunct list.
+  size_t PeerApp = 0;     ///< Into the support's application list.
+};
+
+/// Result of verifying one model against the ∀-semantics.
+struct ForcednessResult {
+  bool Forced = false;
+  std::vector<LearnRequest> Learn; ///< Non-empty when only learning blocks.
+  bool HardFailure = false;        ///< A literal is outright not forceable.
+};
+
+class SupportValidity {
+public:
+  SupportValidity(TermArena &Arena, const SampleTable &Samples,
+                  const ValidityOptions &Options, ValidityStats &Stats)
+      : Arena(Arena), Samples(Samples), Options(Options), Stats(Stats) {}
+
+  /// Per-support outcome.
+  struct Outcome {
+    ValidityStatus Status = ValidityStatus::NotValid;
+    Model ModelValue;
+    std::vector<LearnRequest> Learn;
+  };
+
+  Outcome solve(const std::vector<TermId> &Literals) {
+    Outcome Result;
+
+    // Seed the worklist with the support's UF applications and the query
+    // with its literals. Grounding choices may introduce further
+    // applications (nested summaries, unknown functions inside disjunct
+    // bodies); those join the worklist as they appear.
+    Apps.clear();
+    AppSamples.clear();
+    AppDisjuncts.clear();
+    AppPeers.clear();
+    Choices.clear();
+    Query = Literals;
+    DeterminedApps.clear();
+
+    std::vector<TermId> Seen;
+    for (TermId Lit : Literals)
+      Arena.collectApps(Lit, Seen);
+    for (TermId App : Seen)
+      registerApp(App);
+
+    bool SawUnknown = false;
+    std::optional<Outcome> Learnable;
+    bool Found = enumerate(Literals, 0, Result, Learnable, SawUnknown);
+    if (Found)
+      return Result;
+    if (Learnable && Options.AllowLearning) {
+      Learnable->Status = ValidityStatus::NeedsSamples;
+      return *Learnable;
+    }
+    Result.Status =
+        SawUnknown ? ValidityStatus::Unknown : ValidityStatus::NotValid;
+    return Result;
+  }
+
+private:
+  /// Maximum applications considered in one support (bounds nested-summary
+  /// expansion).
+  static constexpr size_t MaxApps = 24;
+
+  /// Adds \p App to the worklist if new. Returns false when the cap is
+  /// hit.
+  bool registerApp(TermId App) {
+    for (TermId Existing : Apps)
+      if (Existing == App)
+        return true;
+    if (Apps.size() >= MaxApps)
+      return false;
+    smt::FuncId Func = Arena.funcIdOf(App);
+    std::vector<size_t> Peers;
+    for (size_t J = 0; J != Apps.size(); ++J)
+      if (Arena.funcIdOf(Apps[J]) == Func)
+        Peers.push_back(J);
+    Apps.push_back(App);
+    AppSamples.push_back(Samples.samplesFor(Func));
+    if (Options.Summaries && Options.Summaries->isSummary(Func))
+      AppDisjuncts.push_back(Options.Summaries->disjunctsFor(Func));
+    else
+      AppDisjuncts.emplace_back();
+    AppPeers.push_back(std::move(Peers));
+    Choices.emplace_back();
+    return true;
+  }
+
+  /// Appends the constraints of choosing \p C for Apps[Index] to the
+  /// query and registers any applications those constraints introduce.
+  /// Returns false when the application cap is exceeded.
+  bool pushChoice(size_t Index, const GroundingChoice &C) {
+    size_t QMark = Query.size();
+    auto Args = Arena.operands(Apps[Index]);
+    if (C.ChoiceKind == GroundingChoice::Kind::Sample) {
+      const Sample &S = AppSamples[Index][C.SampleIndex];
+      assert(S.Args.size() == Args.size() && "arity mismatch in samples");
+      for (size_t A = 0; A != Args.size(); ++A)
+        Query.push_back(Arena.mkEq(Args[A], Arena.mkIntConst(S.Args[A])));
+    } else if (C.ChoiceKind == GroundingChoice::Kind::Disjunct) {
+      // Section 8: instantiate the summary disjunct at the actual
+      // arguments — the app is then determined by the callee's code.
+      const dse::SummaryDisjunct &D = AppDisjuncts[Index][C.DisjunctIndex];
+      const auto &Formals =
+          Options.Summaries->formalsOf(Arena.funcIdOf(Apps[Index]));
+      VarSubstitution Subst;
+      for (size_t A = 0; A != Args.size(); ++A)
+        Subst[Formals[A]] = Args[A];
+      Query.push_back(substituteVars(Arena, D.Pre, Subst));
+      Query.push_back(
+          Arena.mkEq(Apps[Index], substituteVars(Arena, D.Out, Subst)));
+      DeterminedApps.insert(Apps[Index]);
+    } else if (C.ChoiceKind == GroundingChoice::Kind::PairWith) {
+      auto PeerArgs = Arena.operands(Apps[C.PeerApp]);
+      for (size_t A = 0; A != Args.size(); ++A)
+        Query.push_back(Arena.mkEq(Args[A], PeerArgs[A]));
+    }
+    // Nested applications introduced by the instantiation join the
+    // worklist so they get grounded too (the compositional recursion).
+    std::vector<TermId> Fresh;
+    for (size_t Q = QMark; Q != Query.size(); ++Q)
+      Arena.collectApps(Query[Q], Fresh);
+    for (TermId App : Fresh)
+      if (!registerApp(App))
+        return false;
+    return true;
+  }
+
+  /// Depth-first enumeration over grounding choices for Apps[Index...].
+  /// Returns true when a Valid outcome was found (stored in Result).
+  bool enumerate(const std::vector<TermId> &Literals, size_t Index,
+                 Outcome &Result, std::optional<Outcome> &Learnable,
+                 bool &SawUnknown) {
+    if (Stats.GroundingsTried >= Options.MaxGroundings) {
+      SawUnknown = true;
+      return false;
+    }
+    if (Index == Apps.size())
+      return tryGrounding(Literals, Result, Learnable, SawUnknown);
+
+    // Summary disjuncts first (they cover whole argument regions), then
+    // sample bindings, then congruence pairings, then unbound.
+    auto Attempt = [&](const GroundingChoice &C) {
+      size_t QMark = Query.size();
+      size_t AMark = Apps.size();
+      bool CapOk = pushChoice(Index, C);
+      Choices[Index] = C;
+      bool Found =
+          CapOk &&
+          enumerate(Literals, Index + 1, Result, Learnable, SawUnknown);
+      if (!CapOk)
+        SawUnknown = true;
+      if (!Found) {
+        // Backtrack: shrink the query and drop worklist growth.
+        Query.resize(QMark);
+        if (C.ChoiceKind == GroundingChoice::Kind::Disjunct)
+          DeterminedApps.erase(Apps[Index]);
+        Apps.resize(AMark);
+        AppSamples.resize(AMark);
+        AppDisjuncts.resize(AMark);
+        AppPeers.resize(AMark);
+        Choices.resize(AMark);
+      }
+      return Found;
+    };
+
+    for (size_t D = 0; D != AppDisjuncts[Index].size(); ++D)
+      if (Attempt({GroundingChoice::Kind::Disjunct, 0, D, 0}))
+        return true;
+    for (size_t S = 0; S != AppSamples[Index].size(); ++S)
+      if (Attempt({GroundingChoice::Kind::Sample, S, 0, 0}))
+        return true;
+    for (size_t Peer : AppPeers[Index])
+      if (Attempt({GroundingChoice::Kind::PairWith, 0, 0, Peer}))
+        return true;
+    return Attempt({GroundingChoice::Kind::Unbound, 0, 0, 0});
+  }
+
+  bool tryGrounding(const std::vector<TermId> &Literals, Outcome &Result,
+                    std::optional<Outcome> &Learnable, bool &SawUnknown) {
+    (void)Literals;
+    ++Stats.GroundingsTried;
+
+    SolverOptions InnerOpts = Options.SolverOpts;
+    InnerOpts.Samples = &Samples;
+    Solver Inner(Arena, InnerOpts);
+    ++Stats.InnerSolverCalls;
+    SatAnswer Answer = Inner.checkConjunction(Query);
+    if (Answer.Result == SatResult::Unknown)
+      SawUnknown = true;
+    if (Answer.Result != SatResult::Sat)
+      return false;
+
+    // Forcedness must cover the grounding constraints too: a disjunct's
+    // body may reference applications of its own (nested summaries,
+    // unknown functions), and those must be determined as well.
+    ForcednessResult Forced =
+        verifyForcedness(Query, Answer.ModelValue, DeterminedApps);
+    if (Forced.Forced) {
+      Result.Status = ValidityStatus::Valid;
+      Result.ModelValue = std::move(Answer.ModelValue);
+      return true;
+    }
+    if (!Forced.HardFailure && !Forced.Learn.empty() && !Learnable) {
+      Outcome Candidate;
+      Candidate.ModelValue = std::move(Answer.ModelValue);
+      Candidate.Learn = std::move(Forced.Learn);
+      Learnable = std::move(Candidate);
+    }
+    return false;
+  }
+
+  /// Checks that, under \p M, every query term holds for all values of
+  /// the unsampled application classes. Handles boolean structure: a
+  /// conjunction must be forced conjunct-wise; for a disjunction, the
+  /// disjunct the model satisfies must be forced.
+  /// Applications in \p DeterminedApps are pinned by summary disjuncts.
+  ForcednessResult
+  verifyForcedness(const std::vector<TermId> &Terms, const Model &M,
+                   const std::unordered_set<TermId> &Determined) {
+    ForcednessResult Result;
+    Result.Forced = true;
+    for (TermId Term : Terms) {
+      checkTermForced(simplify(Arena, Term), M, Determined, Result);
+      if (Result.HardFailure)
+        return Result;
+    }
+    return Result;
+  }
+
+  void checkTermForced(TermId Term, const Model &M,
+                       const std::unordered_set<TermId> &Determined,
+                       ForcednessResult &Result) {
+    switch (Arena.kind(Term)) {
+    case TermKind::BoolConst:
+      if (!Arena.boolConstValue(Term)) {
+        Result.Forced = false;
+        Result.HardFailure = true;
+      }
+      return;
+    case TermKind::And:
+      for (TermId Op : Arena.operands(Term)) {
+        checkTermForced(Op, M, Determined, Result);
+        if (Result.HardFailure)
+          return;
+      }
+      return;
+    case TermKind::Or: {
+      // The model picked some satisfied disjunct; that one must be forced.
+      for (TermId Op : Arena.operands(Term))
+        if (M.evalBool(Arena, Op)) {
+          checkTermForced(Op, M, Determined, Result);
+          return;
+        }
+      Result.Forced = false;
+      Result.HardFailure = true; // Model satisfies no disjunct.
+      return;
+    }
+    case TermKind::Not: // simplify() pushes Not onto comparisons already;
+    case TermKind::Implies:
+      Result.Forced = false;
+      Result.HardFailure = true;
+      return;
+    default:
+      break;
+    }
+
+    auto Atom = normalizeComparison(Arena, Term);
+    if (!Atom) {
+      Result.Forced = false;
+      Result.HardFailure = true;
+      return;
+    }
+    // Group application monomials into universal classes keyed by
+    // (function, evaluated arguments); sampled points and summary-pinned
+    // applications are determined.
+    std::map<std::pair<FuncId, std::vector<int64_t>>, int64_t> ClassCoeff;
+    for (const LinearMonomial &Mono : Atom->Expr.Monomials) {
+      if (Arena.kind(Mono.Atom) != TermKind::UFApp)
+        continue;
+      if (Determined.count(Mono.Atom))
+        continue; // Pinned by an instantiated summary disjunct.
+      FuncId Func = Arena.funcIdOf(Mono.Atom);
+      std::vector<int64_t> Args;
+      for (TermId Arg : Arena.operands(Mono.Atom))
+        Args.push_back(M.evalInt(Arena, Arg));
+      if (Samples.lookup(Func, Args))
+        continue; // Determined by the antecedent.
+      ClassCoeff[{Func, std::move(Args)}] += Mono.Coeff;
+    }
+    for (auto &[Key, Coeff] : ClassCoeff) {
+      if (Coeff == 0)
+        continue; // Cancels out: independent of the universal value.
+      Result.Forced = false;
+      // The offending application has concrete arguments under M —
+      // sampling it there is the multi-step opportunity.
+      Result.Learn.push_back({Key.first, Key.second});
+    }
+  }
+
+  TermArena &Arena;
+  const SampleTable &Samples;
+  const ValidityOptions &Options;
+  ValidityStats &Stats;
+
+  std::vector<TermId> Apps;
+  std::vector<std::vector<Sample>> AppSamples;
+  std::vector<std::vector<dse::SummaryDisjunct>> AppDisjuncts;
+  std::vector<std::vector<size_t>> AppPeers;
+  std::vector<GroundingChoice> Choices;
+  std::vector<TermId> Query;
+  std::unordered_set<TermId> DeterminedApps;
+};
+
+} // namespace
+
+namespace {
+
+/// The Section 7 "partial implementation": rewrites `f(args) = c` literals
+/// into the disjunction of sampled preimages `∧ args_i = c1_i` (handling
+/// hash collisions), leaving everything else untouched.
+class AdHocRewriter {
+public:
+  AdHocRewriter(TermArena &Arena, const SampleTable &Samples)
+      : Arena(Arena), Samples(Samples) {}
+
+  TermId rewrite(TermId Term) {
+    switch (Arena.kind(Term)) {
+    case TermKind::And:
+    case TermKind::Or: {
+      std::vector<TermId> Ops;
+      for (TermId Op : Arena.operands(Term))
+        Ops.push_back(rewrite(Op));
+      return Arena.kind(Term) == TermKind::And ? Arena.mkAnd(Ops)
+                                               : Arena.mkOr(Ops);
+    }
+    case TermKind::Eq:
+      if (TermId Inverted = tryInvert(Term); Inverted != InvalidTerm)
+        return Inverted;
+      return Term;
+    default:
+      return Term;
+    }
+  }
+
+private:
+  /// Matches an equality between exactly one UF application (coefficient
+  /// ±1) and a UF-free remainder — `f(args) = c` and its natural
+  /// generalization `f(args) = e(X)` — and returns the disjunction over
+  /// the recorded samples: `∧ args_i = c1_i ∧ e(X) = output`. Returns
+  /// InvalidTerm when the literal has a different shape.
+  TermId tryInvert(TermId Eq) {
+    auto Atom = normalizeComparison(Arena, Eq);
+    if (!Atom || Atom->Rel != LinearRelKind::Eq)
+      return InvalidTerm;
+    const LinearMonomial *AppMono = nullptr;
+    for (const LinearMonomial &M : Atom->Expr.Monomials) {
+      if (Arena.kind(M.Atom) != TermKind::UFApp)
+        continue;
+      if (AppMono)
+        return InvalidTerm; // Two applications: beyond the procedure.
+      AppMono = &M;
+    }
+    if (!AppMono || (AppMono->Coeff != 1 && AppMono->Coeff != -1))
+      return InvalidTerm;
+
+    // Rest = Expr - AppMono: coeff*app + Rest = 0 → app = -Rest/coeff.
+    LinearExpr Rest = Atom->Expr;
+    Rest.add(-AppMono->Coeff, AppMono->Atom);
+    TermId AppValue = linearExprToTerm(Arena, [&] {
+      LinearExpr Negated;
+      Negated.addScaled(Rest, AppMono->Coeff == 1 ? -1 : 1);
+      return Negated;
+    }());
+
+    FuncId Func = Arena.funcIdOf(AppMono->Atom);
+    auto Args = Arena.operands(AppMono->Atom);
+    std::vector<TermId> Disjuncts;
+    for (const Sample &S : Samples.samplesFor(Func)) {
+      std::vector<TermId> Conjuncts;
+      for (size_t I = 0; I != Args.size(); ++I)
+        Conjuncts.push_back(
+            Arena.mkEq(Args[I], Arena.mkIntConst(S.Args[I])));
+      Conjuncts.push_back(
+          Arena.mkEq(AppValue, Arena.mkIntConst(S.Output)));
+      Disjuncts.push_back(Arena.mkAnd(Conjuncts));
+    }
+    // No samples: the procedure cannot satisfy this literal.
+    return Arena.mkOr(Disjuncts);
+  }
+
+  TermArena &Arena;
+  const SampleTable &Samples;
+};
+
+} // namespace
+
+ValidityAnswer ValiditySolver::checkAdHoc(TermId PathCondition) {
+  ValidityAnswer Answer;
+  TermId NNF = toNNF(Arena, PathCondition);
+  AdHocRewriter Rewriter(Arena, Samples);
+  TermId Rewritten = simplify(Arena, Rewriter.rewrite(NNF));
+
+  SolverOptions InnerOpts = Options.SolverOpts;
+  InnerOpts.Samples = &Samples;
+  Solver Inner(Arena, InnerOpts);
+  ++Stats.InnerSolverCalls;
+  SatAnswer Sat = Inner.check(Rewritten);
+  switch (Sat.Result) {
+  case SatResult::Sat:
+    // Note: unlike ground-then-verify, nothing checks that remaining UF
+    // applications are forced — the ad-hoc method "is far from simulating
+    // the full reasoning power of T ∪ T_EUF" (Section 7) and may yield
+    // tests that diverge.
+    Answer.Status = ValidityStatus::Valid;
+    Answer.ModelValue = std::move(Sat.ModelValue);
+    return Answer;
+  case SatResult::Unsat:
+    Answer.Status = ValidityStatus::NotValid;
+    return Answer;
+  case SatResult::Unknown:
+    Answer.Status = ValidityStatus::Unknown;
+    Answer.Reason = Sat.Reason;
+    return Answer;
+  }
+  HOTG_UNREACHABLE("unknown sat result");
+}
+
+ValidityAnswer ValiditySolver::checkPost(TermId PathCondition) {
+  Stats = ValidityStats{};
+  if (Options.Mode == ValidityOptions::StrategyMode::AdHocInversion)
+    return checkAdHoc(PathCondition);
+
+  ValidityAnswer Answer;
+  TermId NNF = toNNF(Arena, PathCondition);
+  if (Arena.isBoolConst(NNF)) {
+    Answer.Status = Arena.boolConstValue(NNF) ? ValidityStatus::Valid
+                                              : ValidityStatus::NotValid;
+    return Answer;
+  }
+
+  SupportValidity Support(Arena, Samples, Options, Stats);
+  bool SawUnknown = false;
+  std::optional<ValidityAnswer> Learnable;
+
+  SupportEnumStats EnumStats = forEachSupport(
+      Arena, NNF, Options.MaxSupports,
+      [&](const std::vector<TermId> &Literals) {
+        auto Outcome = Support.solve(Literals);
+        switch (Outcome.Status) {
+        case ValidityStatus::Valid:
+          Answer.Status = ValidityStatus::Valid;
+          Answer.ModelValue = std::move(Outcome.ModelValue);
+          return true;
+        case ValidityStatus::NeedsSamples:
+          if (!Learnable) {
+            ValidityAnswer Candidate;
+            Candidate.Status = ValidityStatus::NeedsSamples;
+            Candidate.ModelValue = std::move(Outcome.ModelValue);
+            Candidate.Learn = std::move(Outcome.Learn);
+            Learnable = std::move(Candidate);
+          }
+          return false;
+        case ValidityStatus::Unknown:
+          SawUnknown = true;
+          return false;
+        case ValidityStatus::NotValid:
+          return false;
+        }
+        return false;
+      });
+  Stats.SupportsExplored = EnumStats.SupportsTried;
+
+  if (Answer.Status == ValidityStatus::Valid)
+    return Answer;
+  if (Learnable)
+    return *Learnable;
+  Answer.Status = SawUnknown || EnumStats.BudgetExhausted
+                      ? ValidityStatus::Unknown
+                      : ValidityStatus::NotValid;
+  if (Answer.Status == ValidityStatus::Unknown)
+    Answer.Reason = "budget exhausted";
+  return Answer;
+}

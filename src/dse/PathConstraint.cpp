@@ -1,0 +1,53 @@
+//===- dse/PathConstraint.cpp - Path constraints --------------------------------===//
+
+#include "dse/PathConstraint.h"
+
+#include "smt/Simplify.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace hotg;
+using namespace hotg::dse;
+
+smt::TermId PathConstraint::prefixConjunction(smt::TermArena &Arena,
+                                              size_t Count) const {
+  if (Count > Entries.size())
+    Count = Entries.size();
+  std::vector<smt::TermId> Terms;
+  Terms.reserve(Count);
+  for (size_t I = 0; I != Count; ++I)
+    Terms.push_back(Entries[I].Constraint);
+  return Arena.mkAnd(Terms);
+}
+
+smt::TermId PathConstraint::alternate(smt::TermArena &Arena,
+                                      size_t Index) const {
+  assert(Index < Entries.size() && "alternate index out of range");
+  assert(!Entries[Index].IsConcretization &&
+         "concretization constraints are never negated (Section 3.3)");
+  smt::TermId Prefix = prefixConjunction(Arena, Index);
+  smt::TermId Negated = smt::negate(Arena, Entries[Index].Constraint);
+  return smt::simplify(Arena, Arena.mkAnd(Prefix, Negated));
+}
+
+std::vector<size_t> PathConstraint::negatablePositions() const {
+  std::vector<size_t> Positions;
+  for (size_t I = 0; I != Entries.size(); ++I)
+    if (!Entries[I].IsConcretization)
+      Positions.push_back(I);
+  return Positions;
+}
+
+std::string PathConstraint::toString(const smt::TermArena &Arena) const {
+  std::string Out;
+  for (size_t I = 0; I != Entries.size(); ++I) {
+    const PathEntry &E = Entries[I];
+    Out += formatString("[%zu]%s %s\n", I,
+                        E.IsConcretization ? " (concretization)" : "",
+                        Arena.toString(E.Constraint).c_str());
+  }
+  if (Truncated)
+    Out += "(truncated)\n";
+  return Out;
+}

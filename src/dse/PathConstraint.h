@@ -1,0 +1,82 @@
+//===- dse/PathConstraint.h - Path constraints ---------------------------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Path constraints pc_w: the ordered conjunction of constraints gathered
+/// along one execution path, including concretization constraints (which
+/// are never negated, Section 3.3) and, under the HigherOrder policy,
+/// constraints containing uninterpreted functions. Provides the ALT(pc)
+/// construction of Section 5.2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_DSE_PATHCONSTRAINT_H
+#define HOTG_DSE_PATHCONSTRAINT_H
+
+#include "lang/AST.h"
+#include "smt/Term.h"
+
+#include <string>
+#include <vector>
+
+namespace hotg::dse {
+
+/// One entry of a path constraint.
+struct PathEntry {
+  /// The (simplified) boolean constraint term.
+  smt::TermId Constraint = smt::InvalidTerm;
+  /// Originating branch site; InvalidBranch for concretization constraints.
+  lang::BranchId Branch = lang::InvalidBranch;
+  /// Direction the concrete execution took at that site.
+  bool Taken = false;
+  /// Concretization constraints (x_i = I_i) guarantee soundness and are
+  /// never negated during the directed search.
+  bool IsConcretization = false;
+  /// Injected safety-check constraints (Section 3.2: "constraints
+  /// automatically injected in path constraints for checking additional
+  /// program properties such as the absence of buffer overflows"). Always
+  /// recorded as satisfied (the run survived the check); negating one
+  /// targets the fault, and the generated test must be executed to
+  /// confirm the bug before reporting.
+  bool IsCheck = false;
+  /// Index into the run's branch-event trace of the event that produced
+  /// this constraint (the next event for concretization constraints).
+  /// Divergence detection compares replayed traces up to this index.
+  uint32_t TraceIndex = 0;
+};
+
+/// An ordered path constraint.
+struct PathConstraint {
+  std::vector<PathEntry> Entries;
+  /// Set when MaxPathLength stopped constraint collection; prefixes remain
+  /// valid but the path is not fully characterized.
+  bool Truncated = false;
+
+  size_t size() const { return Entries.size(); }
+  bool empty() const { return Entries.empty(); }
+
+  /// Conjunction of the first \p Count entries (all when Count >= size).
+  smt::TermId prefixConjunction(smt::TermArena &Arena, size_t Count) const;
+
+  /// Conjunction of all entries.
+  smt::TermId conjunction(smt::TermArena &Arena) const {
+    return prefixConjunction(Arena, Entries.size());
+  }
+
+  /// The paper's ALT at position \p Index: entries[0..Index-1] ∧
+  /// ¬entries[Index]. \p Index must address a non-concretization entry.
+  smt::TermId alternate(smt::TermArena &Arena, size_t Index) const;
+
+  /// Positions eligible for negation (non-concretization entries).
+  std::vector<size_t> negatablePositions() const;
+
+  /// Multi-line rendering for tests/logging.
+  std::string toString(const smt::TermArena &Arena) const;
+};
+
+} // namespace hotg::dse
+
+#endif // HOTG_DSE_PATHCONSTRAINT_H

@@ -1,0 +1,67 @@
+//===- dse/Policy.h - Concretization policies ---------------------------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four ways the paper handles imprecision in symbolic execution:
+///
+///  * Unsound     — DART's default (Figure 1 without line 14): replace the
+///                  unknown expression by its concrete runtime value; path
+///                  constraints may be unsound and divergences possible.
+///  * Sound       — Section 3.3: additionally inject concretization
+///                  constraints x_i = I_i for every input variable occurring
+///                  in the concretized expression (Theorem 2).
+///  * SoundDelayed— the Section 3.3 variant: delay the injection until the
+///                  concretized value is actually used in a constraint.
+///  * HigherOrder — Figure 3: represent unknown functions/instructions by
+///                  uninterpreted functions and record IOF samples
+///                  (Theorem 3); test generation then needs validity proofs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_DSE_POLICY_H
+#define HOTG_DSE_POLICY_H
+
+#include "interp/Interp.h"
+
+#include <cstdint>
+
+namespace hotg::dse {
+
+/// How symbolic execution deals with unknown functions and instructions.
+enum class ConcretizationPolicy : uint8_t {
+  Unsound,
+  Sound,
+  SoundDelayed,
+  HigherOrder,
+};
+
+/// Returns a stable display name ("unsound", "sound", ...).
+const char *policyName(ConcretizationPolicy Policy);
+
+/// Options of one symbolic execution.
+struct ExecOptions {
+  ConcretizationPolicy Policy = ConcretizationPolicy::Unsound;
+  interp::RunLimits Limits;
+  /// Record IOF samples during HigherOrder execution (Figure 3 line 13).
+  /// Disabling reproduces the Example 4 ablation.
+  bool RecordSamples = true;
+  /// Maximum number of path-constraint entries gathered; beyond this the
+  /// run continues concretely but the constraint is marked truncated.
+  size_t MaxPathLength = 4096;
+  /// Inject safety-check constraints (array bounds, nonzero divisors) at
+  /// operations with symbolic operands, so the search can target
+  /// value-dependent faults on already-covered paths (Section 3.2).
+  bool InjectChecks = true;
+  /// Section 8's compositional extension (HigherOrder policy only): calls
+  /// to summarizable MiniLang functions with symbolic arguments produce
+  /// `sum:<name>` uninterpreted applications and record per-path summary
+  /// disjuncts instead of being inlined.
+  bool SummarizeCalls = false;
+};
+
+} // namespace hotg::dse
+
+#endif // HOTG_DSE_POLICY_H

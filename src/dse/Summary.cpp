@@ -1,0 +1,50 @@
+//===- core/Summary.cpp - Function summaries (Section 8 extension) --------------===//
+
+#include "dse/Summary.h"
+
+#include "support/Support.h"
+
+using namespace hotg;
+using namespace hotg::dse;
+
+void SummaryTable::registerFunction(smt::FuncId Func,
+                                    std::vector<smt::VarId> NewFormals) {
+  auto It = Formals.find(Func);
+  if (It != Formals.end()) {
+    if (It->second != NewFormals)
+      reportFatalError("summary symbol re-registered with different "
+                       "formal parameters");
+    return;
+  }
+  Formals.emplace(Func, std::move(NewFormals));
+}
+
+const std::vector<smt::VarId> &
+SummaryTable::formalsOf(smt::FuncId Func) const {
+  auto It = Formals.find(Func);
+  if (It == Formals.end())
+    reportFatalError("formalsOf on an unregistered summary symbol");
+  return It->second;
+}
+
+bool SummaryTable::record(smt::FuncId Func, SummaryDisjunct Disjunct) {
+  auto &List = Disjuncts[Func];
+  for (const SummaryDisjunct &Existing : List)
+    if (Existing.Pre == Disjunct.Pre && Existing.Out == Disjunct.Out)
+      return false; // Hash-consed terms make this an exact structural test.
+  List.push_back(Disjunct);
+  return true;
+}
+
+const std::vector<SummaryDisjunct> &
+SummaryTable::disjunctsFor(smt::FuncId Func) const {
+  auto It = Disjuncts.find(Func);
+  return It == Disjuncts.end() ? Empty : It->second;
+}
+
+size_t SummaryTable::size() const {
+  size_t Total = 0;
+  for (const auto &[Func, List] : Disjuncts)
+    Total += List.size();
+  return Total;
+}

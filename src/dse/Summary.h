@@ -1,0 +1,82 @@
+//===- dse/Summary.h - Function summaries (Section 8 extension) ---------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compositional higher-order test generation, the combination Section 8
+/// points at: "Both types of uninterpreted functions could actually be
+/// used simultaneously, as they are orthogonal, for higher-order
+/// compositional test generation".
+///
+/// A summary of a MiniLang function f is a growing disjunction of
+/// intraprocedural path constraints, each disjunct
+///
+///     pre_w(params)  ∧  f(params) = out_w(params)
+///
+/// expressed over f's formal parameters (registered as dedicated symbolic
+/// variables). During symbolic execution with ExecOptions::SummarizeCalls,
+/// a call to a summarizable function yields an uninterpreted application
+/// `sum:f(args)` instead of an inlined expression, and the executed
+/// intraprocedural path is recorded as a new disjunct. The validity solver
+/// grounds such applications by *instantiating a disjunct* (substituting
+/// actual argument terms for the formals) — a symbolic generalization of
+/// sample binding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_DSE_SUMMARY_H
+#define HOTG_DSE_SUMMARY_H
+
+#include "smt/Term.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hotg::dse {
+
+/// One intraprocedural path of a summarized function.
+struct SummaryDisjunct {
+  /// Conjunction of the path's constraints over the formal variables.
+  smt::TermId Pre = smt::InvalidTerm;
+  /// The return value term over the formal variables.
+  smt::TermId Out = smt::InvalidTerm;
+};
+
+/// Per-session store of function summaries, keyed by the summary's
+/// uninterpreted function symbol (the `sum:<name>` FuncId).
+class SummaryTable {
+public:
+  /// Registers \p Func with its formal parameter variables (idempotent;
+  /// re-registration with different formals is a fatal error).
+  void registerFunction(smt::FuncId Func, std::vector<smt::VarId> Formals);
+
+  /// True when \p Func has been registered as a summary symbol.
+  bool isSummary(smt::FuncId Func) const {
+    return Formals.count(Func) != 0;
+  }
+
+  /// The formal variables of \p Func (must be registered).
+  const std::vector<smt::VarId> &formalsOf(smt::FuncId Func) const;
+
+  /// Appends a disjunct unless an identical one is already recorded.
+  /// Returns true when the table grew.
+  bool record(smt::FuncId Func, SummaryDisjunct Disjunct);
+
+  /// All recorded disjuncts of \p Func.
+  const std::vector<SummaryDisjunct> &disjunctsFor(smt::FuncId Func) const;
+
+  /// Total disjunct count across all functions.
+  size_t size() const;
+
+private:
+  std::unordered_map<smt::FuncId, std::vector<smt::VarId>> Formals;
+  std::unordered_map<smt::FuncId, std::vector<SummaryDisjunct>> Disjuncts;
+  std::vector<SummaryDisjunct> Empty;
+};
+
+} // namespace hotg::dse
+
+#endif // HOTG_DSE_SUMMARY_H

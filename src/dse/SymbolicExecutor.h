@@ -1,0 +1,82 @@
+//===- dse/SymbolicExecutor.h - Concrete+symbolic co-execution ----------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's executeSymbolic procedure (Figures 1, 2 and 3): run the
+/// program concretely and symbolically side by side, maintaining a concrete
+/// store M and a symbolic store S, and collect the path constraint at every
+/// conditional. Imprecision (unknown extern functions, nonlinear arithmetic,
+/// symbolic array indices) is handled according to the configured
+/// ConcretizationPolicy; under HigherOrder, extern calls and unknown
+/// instructions become uninterpreted functions and IOF samples are recorded
+/// (Figure 3 lines 10-13).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_DSE_SYMBOLICEXECUTOR_H
+#define HOTG_DSE_SYMBOLICEXECUTOR_H
+
+#include "dse/PathConstraint.h"
+#include "dse/Policy.h"
+#include "dse/Summary.h"
+#include "interp/Interp.h"
+#include "smt/SampleTable.h"
+#include "smt/Term.h"
+
+#include <string_view>
+
+namespace hotg::dse {
+
+/// Everything produced by one co-execution.
+struct PathResult {
+  /// Concrete outcome, identical to what interp::Interpreter would observe.
+  interp::RunResult Run;
+  /// The collected path constraint pc_w.
+  PathConstraint PC;
+  /// Imprecision events resolved by concretization.
+  unsigned NumConcretizations = 0;
+  /// Imprecision events represented as uninterpreted functions.
+  unsigned NumUFApps = 0;
+  /// IOF samples recorded during this run.
+  unsigned NumSamplesRecorded = 0;
+};
+
+/// Concrete+symbolic co-executor, parameterized by concretization policy.
+///
+/// Input variables are registered in the shared TermArena under the entry
+/// function's InputLayout names, so constraints from different runs of the
+/// same program compose (the directed search relies on this).
+class SymbolicExecutor {
+public:
+  SymbolicExecutor(const lang::Program &Prog,
+                   const interp::NativeRegistry &Natives,
+                   smt::TermArena &Arena, ExecOptions Options = {})
+      : Prog(Prog), Natives(Natives), Arena(Arena), Options(Options) {}
+
+  /// Executes \p EntryName on \p Input. Under the HigherOrder policy with
+  /// RecordSamples, observed input/output pairs are appended to \p Samples
+  /// (which may be null to drop them). With SummarizeCalls, intraprocedural
+  /// summaries are appended to \p Summaries (required in that mode).
+  PathResult execute(std::string_view EntryName,
+                     const interp::TestInput &Input,
+                     smt::SampleTable *Samples = nullptr,
+                     SummaryTable *Summaries = nullptr);
+
+  const ExecOptions &options() const { return Options; }
+  void setOptions(const ExecOptions &NewOptions) { Options = NewOptions; }
+
+  smt::TermArena &arena() { return Arena; }
+
+private:
+  const lang::Program &Prog;
+  const interp::NativeRegistry &Natives;
+  smt::TermArena &Arena;
+  ExecOptions Options;
+};
+
+} // namespace hotg::dse
+
+#endif // HOTG_DSE_SYMBOLICEXECUTOR_H

@@ -1,0 +1,463 @@
+//===- interp/Interp.cpp - Concrete MiniLang interpreter -----------------------===//
+
+#include "interp/Interp.h"
+
+#include "support/Support.h"
+
+#include <cassert>
+
+using namespace hotg;
+using namespace hotg::interp;
+using namespace hotg::lang;
+
+bool hotg::interp::isBugStatus(RunStatus Status) {
+  switch (Status) {
+  case RunStatus::ErrorHit:
+  case RunStatus::AssertFailed:
+  case RunStatus::DivByZero:
+  case RunStatus::OutOfBounds:
+    return true;
+  case RunStatus::Ok:
+  case RunStatus::StepLimit:
+  case RunStatus::CallDepth:
+    return false;
+  }
+  HOTG_UNREACHABLE("unknown run status");
+}
+
+const char *hotg::interp::runStatusName(RunStatus Status) {
+  switch (Status) {
+  case RunStatus::Ok:
+    return "ok";
+  case RunStatus::ErrorHit:
+    return "error";
+  case RunStatus::AssertFailed:
+    return "assert-failed";
+  case RunStatus::DivByZero:
+    return "div-by-zero";
+  case RunStatus::OutOfBounds:
+    return "out-of-bounds";
+  case RunStatus::StepLimit:
+    return "step-limit";
+  case RunStatus::CallDepth:
+    return "call-depth";
+  }
+  HOTG_UNREACHABLE("unknown run status");
+}
+
+int64_t hotg::interp::ops::wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+int64_t hotg::interp::ops::wrapSub(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+int64_t hotg::interp::ops::wrapMul(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                              static_cast<uint64_t>(B));
+}
+int64_t hotg::interp::ops::wrapNeg(int64_t A) {
+  return static_cast<int64_t>(-static_cast<uint64_t>(A));
+}
+int64_t hotg::interp::ops::wrapDiv(int64_t A, int64_t B) {
+  assert(B != 0 && "caller must reject zero divisors");
+  if (A == INT64_MIN && B == -1)
+    return INT64_MIN; // Wraps.
+  return A / B;
+}
+int64_t hotg::interp::ops::wrapMod(int64_t A, int64_t B) {
+  assert(B != 0 && "caller must reject zero divisors");
+  if (A == INT64_MIN && B == -1)
+    return 0;
+  return A % B;
+}
+
+namespace {
+
+/// Per-run execution state.
+class Execution {
+public:
+  Execution(const Program &Prog, const NativeRegistry &Natives,
+            const RunLimits &Limits, const NativeCallObserver &Observer)
+      : Prog(Prog), Natives(Natives), Limits(Limits), Observer(Observer) {}
+
+  RunResult run(const FunctionDecl &Entry, const TestInput &Input) {
+    // Materialize the input vector into the entry frame.
+    InputLayout Layout(Entry);
+    if (Layout.size() != Input.Cells.size())
+      reportFatalError("test input size does not match the entry "
+                       "function's input layout");
+
+    std::vector<Value> Frame(Entry.NumSlots);
+    unsigned Cell = 0;
+    for (size_t P = 0; P != Entry.Params.size(); ++P) {
+      const ParamDecl &Param = Entry.Params[P];
+      if (Param.ParamType.isArray()) {
+        uint32_t HeapId = allocArray(Param.ParamType.ArraySize);
+        for (uint32_t I = 0; I != Param.ParamType.ArraySize; ++I)
+          Heap[HeapId][I] = Input.Cells[Cell++];
+        Frame[Param.Slot] = Value::arrayValue(HeapId);
+      } else {
+        Frame[Param.Slot] = Param.ParamType.isBool()
+                                ? Value::boolValue(Input.Cells[Cell++] != 0)
+                                : Value::intValue(Input.Cells[Cell++]);
+      }
+    }
+
+    callFunction(Entry, std::move(Frame));
+    Result.Steps = Steps;
+    return std::move(Result);
+  }
+
+private:
+  enum class Flow : uint8_t { Normal, Returned, Halted };
+
+  uint32_t allocArray(uint32_t Size) {
+    Heap.emplace_back(Size, 0);
+    return static_cast<uint32_t>(Heap.size() - 1);
+  }
+
+  bool budget() {
+    if (++Steps > Limits.MaxSteps) {
+      halt(RunStatus::StepLimit);
+      return false;
+    }
+    return true;
+  }
+
+  void halt(RunStatus Status) {
+    if (Result.Status == RunStatus::Ok)
+      Result.Status = Status;
+    Halted = true;
+  }
+
+  void fault(RunStatus Status, SourceLoc Loc, std::string Message) {
+    if (Result.Status == RunStatus::Ok) {
+      Result.Status = Status;
+      ErrorInfo Info;
+      Info.Message = std::move(Message);
+      Info.Loc = Loc;
+      Result.Error = std::move(Info);
+    }
+    Halted = true;
+  }
+
+  /// Calls \p Fn with \p Frame as its frame; records the return value of
+  /// the outermost call in the result.
+  std::optional<Value> callFunction(const FunctionDecl &Fn,
+                                    std::vector<Value> Frame) {
+    if (Depth >= Limits.MaxCallDepth) {
+      halt(RunStatus::CallDepth);
+      return std::nullopt;
+    }
+    ++Depth;
+    Frames.push_back(std::move(Frame));
+    ReturnValues.push_back(std::nullopt);
+
+    Flow F = execStmt(*Fn.Body);
+    std::optional<Value> Ret = ReturnValues.back();
+    Frames.pop_back();
+    ReturnValues.pop_back();
+    --Depth;
+
+    if (F == Flow::Halted)
+      return std::nullopt;
+    if (!Ret && !Fn.ReturnType.isVoid())
+      Ret = Value::intValue(0); // Missing return defaults to 0.
+    if (Depth == 0 && Ret && !Ret->isArray())
+      Result.ReturnValue = Ret->Scalar;
+    return Ret ? Ret : std::optional<Value>(Value::intValue(0));
+  }
+
+  std::vector<Value> &frame() { return Frames.back(); }
+
+  Flow execStmt(const Stmt &S) {
+    if (Halted || !budget())
+      return Flow::Halted;
+    switch (S.Kind) {
+    case StmtKind::Block: {
+      for (const auto &Sub : static_cast<const BlockStmt &>(S).Body) {
+        Flow F = execStmt(*Sub);
+        if (F != Flow::Normal)
+          return F;
+      }
+      return Flow::Normal;
+    }
+    case StmtKind::VarDecl: {
+      const auto &V = static_cast<const VarDeclStmt &>(S);
+      if (V.DeclType.isArray()) {
+        frame()[V.Slot] = Value::arrayValue(allocArray(V.DeclType.ArraySize));
+        return Flow::Normal;
+      }
+      Value Init = Value::intValue(0);
+      if (V.DeclType.isBool())
+        Init = Value::boolValue(false);
+      if (V.Init) {
+        auto E = evalExpr(*V.Init);
+        if (!E)
+          return Flow::Halted;
+        Init = *E;
+      }
+      frame()[V.Slot] = Init;
+      return Flow::Normal;
+    }
+    case StmtKind::Assign: {
+      const auto &A = static_cast<const AssignStmt &>(S);
+      auto Val = evalExpr(*A.Value);
+      if (!Val)
+        return Flow::Halted;
+      if (const auto *VR = dynamic_cast<const VarRefExpr *>(A.Target.get())) {
+        frame()[VR->Slot] = *Val;
+        return Flow::Normal;
+      }
+      const auto &AI = static_cast<const ArrayIndexExpr &>(*A.Target);
+      auto Cell = resolveArrayCell(AI);
+      if (!Cell)
+        return Flow::Halted;
+      Heap[Cell->first][Cell->second] = Val->Scalar;
+      return Flow::Normal;
+    }
+    case StmtKind::If: {
+      const auto &I = static_cast<const IfStmt &>(S);
+      auto Cond = evalExpr(*I.Cond);
+      if (!Cond)
+        return Flow::Halted;
+      bool Taken = Cond->asBool();
+      Result.Trace.push_back({I.Branch, Taken});
+      if (Taken)
+        return execStmt(*I.Then);
+      if (I.Else)
+        return execStmt(*I.Else);
+      return Flow::Normal;
+    }
+    case StmtKind::While: {
+      const auto &W = static_cast<const WhileStmt &>(S);
+      while (true) {
+        if (Halted || !budget())
+          return Flow::Halted;
+        auto Cond = evalExpr(*W.Cond);
+        if (!Cond)
+          return Flow::Halted;
+        bool Taken = Cond->asBool();
+        Result.Trace.push_back({W.Branch, Taken});
+        if (!Taken)
+          return Flow::Normal;
+        Flow F = execStmt(*W.Body);
+        if (F != Flow::Normal)
+          return F;
+      }
+    }
+    case StmtKind::Return: {
+      const auto &R = static_cast<const ReturnStmt &>(S);
+      if (R.Value) {
+        auto Val = evalExpr(*R.Value);
+        if (!Val)
+          return Flow::Halted;
+        ReturnValues.back() = *Val;
+      } else {
+        ReturnValues.back() = Value::intValue(0);
+      }
+      return Flow::Returned;
+    }
+    case StmtKind::Assert: {
+      const auto &A = static_cast<const AssertStmt &>(S);
+      auto Cond = evalExpr(*A.Cond);
+      if (!Cond)
+        return Flow::Halted;
+      bool Ok = Cond->asBool();
+      Result.Trace.push_back({A.Branch, Ok});
+      if (!Ok) {
+        fault(RunStatus::AssertFailed, S.Loc, "assertion failed");
+        return Flow::Halted;
+      }
+      return Flow::Normal;
+    }
+    case StmtKind::Error: {
+      const auto &E = static_cast<const ErrorStmt &>(S);
+      if (Result.Status == RunStatus::Ok) {
+        Result.Status = RunStatus::ErrorHit;
+        ErrorInfo Info;
+        Info.Site = E.Site;
+        Info.Message = E.Message;
+        Info.Loc = E.Loc;
+        Result.Error = std::move(Info);
+      }
+      Halted = true;
+      return Flow::Halted;
+    }
+    case StmtKind::ExprStmt: {
+      auto E = evalExpr(*static_cast<const ExprStmt &>(S).Value);
+      return E ? Flow::Normal : Flow::Halted;
+    }
+    }
+    HOTG_UNREACHABLE("unknown statement kind");
+  }
+
+  /// Resolves base/index of an array access; reports faults.
+  std::optional<std::pair<uint32_t, uint32_t>>
+  resolveArrayCell(const ArrayIndexExpr &AI) {
+    auto Base = evalExpr(*AI.Base);
+    if (!Base)
+      return std::nullopt;
+    auto Index = evalExpr(*AI.Index);
+    if (!Index)
+      return std::nullopt;
+    assert(Base->isArray() && "sema guarantees an array base");
+    const auto &Storage = Heap[Base->HeapId];
+    if (Index->Scalar < 0 ||
+        Index->Scalar >= static_cast<int64_t>(Storage.size())) {
+      fault(RunStatus::OutOfBounds, AI.Loc, "array index out of bounds");
+      return std::nullopt;
+    }
+    return std::make_pair(Base->HeapId,
+                          static_cast<uint32_t>(Index->Scalar));
+  }
+
+  std::optional<Value> evalExpr(const Expr &E) {
+    if (Halted || !budget())
+      return std::nullopt;
+    switch (E.Kind) {
+    case ExprKind::IntLit:
+      return Value::intValue(static_cast<const IntLitExpr &>(E).Value);
+    case ExprKind::BoolLit:
+      return Value::boolValue(static_cast<const BoolLitExpr &>(E).Value);
+    case ExprKind::VarRef:
+      return frame()[static_cast<const VarRefExpr &>(E).Slot];
+    case ExprKind::ArrayIndex: {
+      auto Cell = resolveArrayCell(static_cast<const ArrayIndexExpr &>(E));
+      if (!Cell)
+        return std::nullopt;
+      return Value::intValue(Heap[Cell->first][Cell->second]);
+    }
+    case ExprKind::Unary: {
+      const auto &U = static_cast<const UnaryExpr &>(E);
+      auto Operand = evalExpr(*U.Operand);
+      if (!Operand)
+        return std::nullopt;
+      if (U.Op == UnaryOp::Neg)
+        return Value::intValue(ops::wrapNeg(Operand->Scalar));
+      return Value::boolValue(!Operand->asBool());
+    }
+    case ExprKind::Binary: {
+      const auto &B = static_cast<const BinaryExpr &>(E);
+      // MiniLang's && and || are strict (both operands always evaluate):
+      // the paper's formal model treats a whole condition as one atomic
+      // expression e, so `if (e1 && e2)` contributes the single constraint
+      // e1 ∧ e2 rather than two short-circuit branch events (essential for
+      // Example 3's narrative).
+      if (B.Op == BinaryOp::And || B.Op == BinaryOp::Or) {
+        auto Lhs = evalExpr(*B.Lhs);
+        if (!Lhs)
+          return std::nullopt;
+        auto Rhs = evalExpr(*B.Rhs);
+        if (!Rhs)
+          return std::nullopt;
+        bool L = Lhs->asBool(), R = Rhs->asBool();
+        return Value::boolValue(B.Op == BinaryOp::And ? (L && R) : (L || R));
+      }
+      auto Lhs = evalExpr(*B.Lhs);
+      if (!Lhs)
+        return std::nullopt;
+      auto Rhs = evalExpr(*B.Rhs);
+      if (!Rhs)
+        return std::nullopt;
+      int64_t L = Lhs->Scalar, R = Rhs->Scalar;
+      switch (B.Op) {
+      case BinaryOp::Add:
+        return Value::intValue(ops::wrapAdd(L, R));
+      case BinaryOp::Sub:
+        return Value::intValue(ops::wrapSub(L, R));
+      case BinaryOp::Mul:
+        return Value::intValue(ops::wrapMul(L, R));
+      case BinaryOp::Div:
+        if (R == 0) {
+          fault(RunStatus::DivByZero, E.Loc, "division by zero");
+          return std::nullopt;
+        }
+        return Value::intValue(ops::wrapDiv(L, R));
+      case BinaryOp::Mod:
+        if (R == 0) {
+          fault(RunStatus::DivByZero, E.Loc, "modulo by zero");
+          return std::nullopt;
+        }
+        return Value::intValue(ops::wrapMod(L, R));
+      case BinaryOp::Eq:
+        return Value::boolValue(L == R);
+      case BinaryOp::Ne:
+        return Value::boolValue(L != R);
+      case BinaryOp::Lt:
+        return Value::boolValue(L < R);
+      case BinaryOp::Le:
+        return Value::boolValue(L <= R);
+      case BinaryOp::Gt:
+        return Value::boolValue(L > R);
+      case BinaryOp::Ge:
+        return Value::boolValue(L >= R);
+      case BinaryOp::And:
+      case BinaryOp::Or:
+        break;
+      }
+      HOTG_UNREACHABLE("unhandled binary op");
+    }
+    case ExprKind::Call:
+      return evalCall(static_cast<const CallExpr &>(E));
+    }
+    HOTG_UNREACHABLE("unknown expression kind");
+  }
+
+  std::optional<Value> evalCall(const CallExpr &C) {
+    std::vector<Value> Args;
+    for (const auto &Arg : C.Args) {
+      auto V = evalExpr(*Arg);
+      if (!V)
+        return std::nullopt;
+      Args.push_back(*V);
+    }
+    if (C.callsExtern()) {
+      const ExternDecl &Ext = Prog.Externs[C.ResolvedExtern];
+      std::vector<int64_t> Scalars;
+      for (const Value &V : Args)
+        Scalars.push_back(V.Scalar);
+      const NativeFunc *Native = Natives.find(Ext.Name);
+      if (!Native)
+        reportFatalError("extern '" + Ext.Name +
+                         "' has no native binding");
+      int64_t Out = Native->Impl(Scalars);
+      if (Observer)
+        Observer(*Native, Scalars, Out);
+      return Value::intValue(Out);
+    }
+    const FunctionDecl *Callee = C.ResolvedFunction;
+    assert(Callee && "sema guarantees resolution");
+    std::vector<Value> Frame(Callee->NumSlots);
+    for (size_t I = 0; I != Args.size(); ++I)
+      Frame[Callee->Params[I].Slot] = Args[I];
+    return callFunction(*Callee, std::move(Frame));
+  }
+
+  const Program &Prog;
+  const NativeRegistry &Natives;
+  const RunLimits &Limits;
+  const NativeCallObserver &Observer;
+
+  std::vector<std::vector<int64_t>> Heap;
+  std::vector<std::vector<Value>> Frames;
+  std::vector<std::optional<Value>> ReturnValues;
+  RunResult Result;
+  uint64_t Steps = 0;
+  unsigned Depth = 0;
+  bool Halted = false;
+};
+
+} // namespace
+
+RunResult Interpreter::run(std::string_view EntryName,
+                           const TestInput &Input) {
+  const FunctionDecl *Entry = Prog.findFunction(EntryName);
+  if (!Entry)
+    reportFatalError("entry function '" + std::string(EntryName) +
+                     "' not found");
+  Execution Exec(Prog, Natives, Limits, Observer_);
+  return Exec.run(*Entry, Input);
+}

@@ -1,0 +1,125 @@
+//===- interp/Interp.h - Concrete MiniLang interpreter -------------------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete-only interpreter for MiniLang. Used by the search driver to
+/// replay generated inputs (divergence detection), by the blackbox random
+/// baseline, and by the multi-step planner to learn uninterpreted-function
+/// samples from intermediate runs. The concrete+symbolic co-executor of
+/// Figure 2/3 lives in dse/SymbolicExecutor.h and shares these semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_INTERP_INTERP_H
+#define HOTG_INTERP_INTERP_H
+
+#include "interp/NativeFunc.h"
+#include "interp/Value.h"
+#include "lang/AST.h"
+
+#include <optional>
+
+namespace hotg::interp {
+
+/// One conditional evaluation observed during a run: which branch site and
+/// which direction. The sequence of BranchEvents is the paper's control
+/// path w.
+struct BranchEvent {
+  lang::BranchId Branch = lang::InvalidBranch;
+  bool Taken = false;
+
+  bool operator==(const BranchEvent &Other) const = default;
+};
+
+/// How a run terminated.
+enum class RunStatus : uint8_t {
+  Ok,           ///< Normal termination.
+  ErrorHit,     ///< Reached an error() statement — the paper's bug.
+  AssertFailed, ///< assert() condition was false.
+  DivByZero,    ///< Division or modulo by zero.
+  OutOfBounds,  ///< Array index out of range.
+  StepLimit,    ///< Execution budget exhausted (possible non-termination).
+  CallDepth,    ///< Recursion limit exceeded.
+};
+
+/// True for statuses that count as bugs found by the search.
+bool isBugStatus(RunStatus Status);
+
+/// Returns a stable name ("ok", "error", ...).
+const char *runStatusName(RunStatus Status);
+
+/// Details of an error()/fault site.
+struct ErrorInfo {
+  lang::ErrorSiteId Site = ~0u; ///< Valid for ErrorHit only.
+  std::string Message;
+  SourceLoc Loc;
+};
+
+/// Execution budget. The paper assumes terminating executions; in practice
+/// "a timeout prevents non-terminating program executions and issues a
+/// runtime error" (Section 2), which StepLimit models.
+struct RunLimits {
+  uint64_t MaxSteps = 1000000;
+  unsigned MaxCallDepth = 64;
+};
+
+/// Everything observed during one concrete run.
+struct RunResult {
+  RunStatus Status = RunStatus::Ok;
+  std::optional<int64_t> ReturnValue;
+  std::vector<BranchEvent> Trace;
+  std::optional<ErrorInfo> Error;
+  uint64_t Steps = 0;
+
+  bool isBug() const { return isBugStatus(Status); }
+};
+
+/// Observes every native-function call (used to harvest IOF samples).
+using NativeCallObserver = std::function<void(
+    const NativeFunc &, std::span<const int64_t>, int64_t)>;
+
+/// Wrapped 64-bit arithmetic shared with the symbolic co-executor so both
+/// agree on concrete semantics.
+namespace ops {
+int64_t wrapAdd(int64_t A, int64_t B);
+int64_t wrapSub(int64_t A, int64_t B);
+int64_t wrapMul(int64_t A, int64_t B);
+int64_t wrapNeg(int64_t A);
+/// C-style truncated division; caller must reject B == 0 first.
+int64_t wrapDiv(int64_t A, int64_t B);
+int64_t wrapMod(int64_t A, int64_t B);
+} // namespace ops
+
+/// Tree-walking concrete interpreter.
+class Interpreter {
+public:
+  Interpreter(const lang::Program &Prog, const NativeRegistry &Natives)
+      : Prog(Prog), Natives(Natives) {}
+
+  void setLimits(const RunLimits &NewLimits) { Limits = NewLimits; }
+  const RunLimits &limits() const { return Limits; }
+
+  /// Installs \p Observer to be called after every native call.
+  void setNativeObserver(NativeCallObserver Observer) {
+    Observer_ = std::move(Observer);
+  }
+
+  /// Runs \p EntryName on \p Input. The entry function must exist and the
+  /// input must match its InputLayout size (fatal error otherwise — these
+  /// are harness bugs, not test outcomes).
+  RunResult run(std::string_view EntryName, const TestInput &Input);
+
+private:
+  friend class Execution;
+  const lang::Program &Prog;
+  const NativeRegistry &Natives;
+  RunLimits Limits;
+  NativeCallObserver Observer_;
+};
+
+} // namespace hotg::interp
+
+#endif // HOTG_INTERP_INTERP_H

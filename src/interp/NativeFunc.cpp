@@ -1,0 +1,78 @@
+//===- interp/NativeFunc.cpp - Native (unknown) function registry --------------===//
+
+#include "interp/NativeFunc.h"
+
+#include "support/Support.h"
+
+using namespace hotg;
+using namespace hotg::interp;
+
+void NativeRegistry::registerFunc(std::string Name, unsigned Arity,
+                                  NativeImpl Impl) {
+  NativeFunc Func;
+  Func.Name = Name;
+  Func.Arity = Arity;
+  Func.Impl = std::move(Impl);
+  Funcs[std::move(Name)] = std::move(Func);
+}
+
+const NativeFunc *NativeRegistry::find(std::string_view Name) const {
+  auto It = Funcs.find(std::string(Name));
+  return It == Funcs.end() ? nullptr : &It->second;
+}
+
+int64_t NativeRegistry::call(std::string_view Name,
+                             std::span<const int64_t> Args) const {
+  const NativeFunc *Func = find(Name);
+  if (!Func)
+    reportFatalError("call to unbound native function '" + std::string(Name) +
+                     "'");
+  if (Func->Arity != Args.size())
+    reportFatalError("native function arity mismatch for '" +
+                     std::string(Name) + "'");
+  return Func->Impl(Args);
+}
+
+namespace {
+/// splitmix64-style finalizer; statistically strong mixing makes the
+/// function practically non-invertible for the interval solver, mirroring
+/// the role of hash functions in the paper.
+uint64_t mix64(uint64_t Z) {
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+} // namespace
+
+int64_t hotg::interp::defaultHash1(int64_t X) {
+  // Keep outputs in a small positive range so paper-style examples print
+  // readable values; the mixing stays non-invertible to the solver.
+  return static_cast<int64_t>(
+      mix64(static_cast<uint64_t>(X) + 0x9e3779b97f4a7c15ULL) % 100000);
+}
+
+int64_t hotg::interp::defaultHash2(int64_t X) {
+  return static_cast<int64_t>(
+      mix64(static_cast<uint64_t>(X) * 0x2545f4914f6cdd1dULL + 17) % 100000);
+}
+
+int64_t hotg::interp::defaultHash4(int64_t A, int64_t B, int64_t C,
+                                   int64_t D) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (uint64_t V : {static_cast<uint64_t>(A), static_cast<uint64_t>(B),
+                     static_cast<uint64_t>(C), static_cast<uint64_t>(D)})
+    H = mix64(H ^ V);
+  return static_cast<int64_t>(H % 1000000);
+}
+
+void NativeRegistry::registerDefaultHashes() {
+  registerFunc("hash", 1, [](std::span<const int64_t> Args) {
+    return defaultHash1(Args[0]);
+  });
+  registerFunc("hash2", 1, [](std::span<const int64_t> Args) {
+    return defaultHash2(Args[0]);
+  });
+  registerFunc("hash4", 4, [](std::span<const int64_t> Args) {
+    return defaultHash4(Args[0], Args[1], Args[2], Args[3]);
+  });
+}

@@ -1,0 +1,75 @@
+//===- interp/NativeFunc.h - Native (unknown) function registry ---------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registry binding MiniLang `extern` declarations to C++ implementations.
+/// Native functions are the paper's "unknown functions": the concrete
+/// interpreter can always call them, but symbolic execution cannot see
+/// through them — each concretization policy handles them differently
+/// (concrete fallback, concretization constraints, or uninterpreted
+/// functions with sample recording).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_INTERP_NATIVEFUNC_H
+#define HOTG_INTERP_NATIVEFUNC_H
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+namespace hotg::interp {
+
+/// Implementation of one native function. Must be deterministic (Theorem 3's
+/// hypothesis: unknown functions are deterministic with known signatures).
+using NativeImpl = std::function<int64_t(std::span<const int64_t>)>;
+
+/// One registered native function.
+struct NativeFunc {
+  std::string Name;
+  unsigned Arity = 0;
+  NativeImpl Impl;
+};
+
+/// Name-indexed collection of native functions available to a program.
+class NativeRegistry {
+public:
+  /// Registers \p Name with \p Arity and implementation \p Impl.
+  /// Re-registering a name replaces the previous binding.
+  void registerFunc(std::string Name, unsigned Arity, NativeImpl Impl);
+
+  /// Returns the function registered under \p Name, or null.
+  const NativeFunc *find(std::string_view Name) const;
+
+  /// Calls \p Name with \p Args (fatal error when unbound or wrong arity —
+  /// Sema guarantees neither happens for checked programs).
+  int64_t call(std::string_view Name, std::span<const int64_t> Args) const;
+
+  /// Installs the built-in hash/crypto-style functions used by the paper's
+  /// examples: "hash" (1-ary), "hash2" (1-ary, independent mixing), and
+  /// "hash4" (4-ary, for the Section 7 keyword lexer). All are
+  /// deterministic integer mixers that are practically non-invertible for
+  /// the solver, like the paper's hash functions.
+  void registerDefaultHashes();
+
+private:
+  std::unordered_map<std::string, NativeFunc> Funcs;
+};
+
+/// The deterministic 64-bit mixer behind the default "hash" native.
+int64_t defaultHash1(int64_t X);
+
+/// The mixer behind "hash2" (different constants than defaultHash1).
+int64_t defaultHash2(int64_t X);
+
+/// The 4-ary mixer behind "hash4" (used as the keyword-lexer hashfunct).
+int64_t defaultHash4(int64_t A, int64_t B, int64_t C, int64_t D);
+
+} // namespace hotg::interp
+
+#endif // HOTG_INTERP_NATIVEFUNC_H

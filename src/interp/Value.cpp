@@ -1,0 +1,35 @@
+//===- interp/Value.cpp - Runtime values and input layout ---------------------===//
+
+#include "interp/Value.h"
+
+#include "support/StringUtils.h"
+
+using namespace hotg;
+using namespace hotg::interp;
+
+std::string TestInput::toString() const {
+  std::vector<std::string> Parts;
+  for (int64_t V : Cells)
+    Parts.push_back(formatString("%lld", static_cast<long long>(V)));
+  return "(" + join(Parts, ", ") + ")";
+}
+
+InputLayout::InputLayout(const lang::FunctionDecl &Entry) {
+  for (const lang::ParamDecl &Param : Entry.Params) {
+    ParamBegins.push_back(static_cast<unsigned>(Names.size()));
+    if (Param.ParamType.isArray()) {
+      for (uint32_t I = 0; I != Param.ParamType.ArraySize; ++I)
+        Names.push_back(formatString("%s[%u]", Param.Name.c_str(), I));
+      ParamWidths.push_back(Param.ParamType.ArraySize);
+    } else {
+      Names.push_back(Param.Name);
+      ParamWidths.push_back(1);
+    }
+  }
+}
+
+TestInput InputLayout::zeroInput() const {
+  TestInput Input;
+  Input.Cells.assign(size(), 0);
+  return Input;
+}

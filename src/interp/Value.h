@@ -1,0 +1,86 @@
+//===- interp/Value.h - Runtime values and input layout -----------------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete runtime values for MiniLang and the flattened input layout that
+/// maps an entry function's parameters onto the paper's input vector
+/// I = (I_1, ..., I_n). Scalars occupy one input cell; array parameters
+/// occupy one cell per element ("a[0]", "a[1]", ...).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_INTERP_VALUE_H
+#define HOTG_INTERP_VALUE_H
+
+#include "lang/AST.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hotg::interp {
+
+/// A concrete MiniLang value. Arrays are heap references (index into the
+/// interpreter's array heap), which gives array parameters reference
+/// semantics like the paper's C examples.
+struct Value {
+  enum class Kind : uint8_t { Int, Bool, Array } ValueKind = Kind::Int;
+  int64_t Scalar = 0;  ///< Int payload, or Bool 0/1.
+  uint32_t HeapId = 0; ///< Array payload.
+
+  static Value intValue(int64_t V) { return {Kind::Int, V, 0}; }
+  static Value boolValue(bool V) { return {Kind::Bool, V ? 1 : 0, 0}; }
+  static Value arrayValue(uint32_t HeapId) { return {Kind::Array, 0, HeapId}; }
+
+  bool isInt() const { return ValueKind == Kind::Int; }
+  bool isBool() const { return ValueKind == Kind::Bool; }
+  bool isArray() const { return ValueKind == Kind::Array; }
+  bool asBool() const { return Scalar != 0; }
+};
+
+/// A concrete test input: one int64 per input cell, in layout order.
+struct TestInput {
+  std::vector<int64_t> Cells;
+
+  bool operator==(const TestInput &Other) const = default;
+  std::string toString() const;
+};
+
+/// Maps an entry function's parameters to flat input cells and stable
+/// input-variable names (the paper's symbolic variables x_i).
+class InputLayout {
+public:
+  InputLayout() = default;
+  explicit InputLayout(const lang::FunctionDecl &Entry);
+
+  /// Total number of input cells.
+  unsigned size() const { return static_cast<unsigned>(Names.size()); }
+
+  /// Name of input cell \p Index ("x" or "buf[3]").
+  const std::string &name(unsigned Index) const { return Names[Index]; }
+
+  /// First flat cell of parameter \p ParamIndex.
+  unsigned paramBegin(unsigned ParamIndex) const {
+    return ParamBegins[ParamIndex];
+  }
+
+  /// Number of cells of parameter \p ParamIndex (1 for scalars).
+  unsigned paramWidth(unsigned ParamIndex) const {
+    return ParamWidths[ParamIndex];
+  }
+
+  /// Returns a zero-filled input of the right size.
+  TestInput zeroInput() const;
+
+private:
+  std::vector<std::string> Names;
+  std::vector<unsigned> ParamBegins;
+  std::vector<unsigned> ParamWidths;
+};
+
+} // namespace hotg::interp
+
+#endif // HOTG_INTERP_VALUE_H

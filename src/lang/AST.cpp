@@ -1,0 +1,259 @@
+//===- lang/AST.cpp - MiniLang abstract syntax trees --------------------------===//
+
+#include "lang/AST.h"
+
+#include "support/StringUtils.h"
+#include "support/Support.h"
+
+using namespace hotg;
+using namespace hotg::lang;
+
+std::string Type::toString() const {
+  switch (TypeKind) {
+  case Kind::Int:
+    return "int";
+  case Kind::Bool:
+    return "bool";
+  case Kind::IntArray:
+    return formatString("int[%u]", ArraySize);
+  case Kind::Void:
+    return "void";
+  }
+  HOTG_UNREACHABLE("unknown type kind");
+}
+
+const char *hotg::lang::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Mod:
+    return "%";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::And:
+    return "&&";
+  case BinaryOp::Or:
+    return "||";
+  }
+  HOTG_UNREACHABLE("unknown binary op");
+}
+
+const FunctionDecl *Program::findFunction(std::string_view Name) const {
+  for (const auto &F : Functions)
+    if (F->Name == Name)
+      return F.get();
+  return nullptr;
+}
+
+uint32_t Program::findExtern(std::string_view Name) const {
+  for (uint32_t I = 0, E = static_cast<uint32_t>(Externs.size()); I != E; ++I)
+    if (Externs[I].Name == Name)
+      return I;
+  return ~0u;
+}
+
+namespace {
+
+class Dumper {
+public:
+  std::string Out;
+
+  void indent() { Out.append(static_cast<size_t>(Depth) * 2, ' '); }
+
+  void dumpExpr(const Expr &E) {
+    switch (E.Kind) {
+    case ExprKind::IntLit:
+      Out += formatString(
+          "%lld", static_cast<long long>(static_cast<const IntLitExpr &>(E)
+                                             .Value));
+      return;
+    case ExprKind::BoolLit:
+      Out += static_cast<const BoolLitExpr &>(E).Value ? "true" : "false";
+      return;
+    case ExprKind::VarRef:
+      Out += static_cast<const VarRefExpr &>(E).Name;
+      return;
+    case ExprKind::ArrayIndex: {
+      const auto &A = static_cast<const ArrayIndexExpr &>(E);
+      dumpExpr(*A.Base);
+      Out.push_back('[');
+      dumpExpr(*A.Index);
+      Out.push_back(']');
+      return;
+    }
+    case ExprKind::Unary: {
+      const auto &U = static_cast<const UnaryExpr &>(E);
+      Out += U.Op == UnaryOp::Neg ? "-" : "!";
+      Out.push_back('(');
+      dumpExpr(*U.Operand);
+      Out.push_back(')');
+      return;
+    }
+    case ExprKind::Binary: {
+      const auto &B = static_cast<const BinaryExpr &>(E);
+      Out.push_back('(');
+      dumpExpr(*B.Lhs);
+      Out.push_back(' ');
+      Out += binaryOpSpelling(B.Op);
+      Out.push_back(' ');
+      dumpExpr(*B.Rhs);
+      Out.push_back(')');
+      return;
+    }
+    case ExprKind::Call: {
+      const auto &C = static_cast<const CallExpr &>(E);
+      Out += C.Callee;
+      Out.push_back('(');
+      for (size_t I = 0; I != C.Args.size(); ++I) {
+        if (I != 0)
+          Out += ", ";
+        dumpExpr(*C.Args[I]);
+      }
+      Out.push_back(')');
+      return;
+    }
+    }
+    HOTG_UNREACHABLE("unknown expression kind");
+  }
+
+  void dumpStmt(const Stmt &S) {
+    switch (S.Kind) {
+    case StmtKind::Block: {
+      indent();
+      Out += "{\n";
+      ++Depth;
+      for (const auto &Sub : static_cast<const BlockStmt &>(S).Body)
+        dumpStmt(*Sub);
+      --Depth;
+      indent();
+      Out += "}\n";
+      return;
+    }
+    case StmtKind::VarDecl: {
+      const auto &V = static_cast<const VarDeclStmt &>(S);
+      indent();
+      Out += "var " + V.Name + ": " + V.DeclType.toString();
+      if (V.Init) {
+        Out += " = ";
+        dumpExpr(*V.Init);
+      }
+      Out += ";\n";
+      return;
+    }
+    case StmtKind::Assign: {
+      const auto &A = static_cast<const AssignStmt &>(S);
+      indent();
+      dumpExpr(*A.Target);
+      Out += " = ";
+      dumpExpr(*A.Value);
+      Out += ";\n";
+      return;
+    }
+    case StmtKind::If: {
+      const auto &I = static_cast<const IfStmt &>(S);
+      indent();
+      Out += "if (";
+      dumpExpr(*I.Cond);
+      Out += ")\n";
+      ++Depth;
+      dumpStmt(*I.Then);
+      --Depth;
+      if (I.Else) {
+        indent();
+        Out += "else\n";
+        ++Depth;
+        dumpStmt(*I.Else);
+        --Depth;
+      }
+      return;
+    }
+    case StmtKind::While: {
+      const auto &W = static_cast<const WhileStmt &>(S);
+      indent();
+      Out += "while (";
+      dumpExpr(*W.Cond);
+      Out += ")\n";
+      ++Depth;
+      dumpStmt(*W.Body);
+      --Depth;
+      return;
+    }
+    case StmtKind::Return: {
+      const auto &R = static_cast<const ReturnStmt &>(S);
+      indent();
+      Out += "return";
+      if (R.Value) {
+        Out.push_back(' ');
+        dumpExpr(*R.Value);
+      }
+      Out += ";\n";
+      return;
+    }
+    case StmtKind::Assert: {
+      indent();
+      Out += "assert(";
+      dumpExpr(*static_cast<const AssertStmt &>(S).Cond);
+      Out += ");\n";
+      return;
+    }
+    case StmtKind::Error: {
+      indent();
+      Out += "error(\"" +
+             escapeString(static_cast<const ErrorStmt &>(S).Message) +
+             "\");\n";
+      return;
+    }
+    case StmtKind::ExprStmt: {
+      indent();
+      dumpExpr(*static_cast<const ExprStmt &>(S).Value);
+      Out += ";\n";
+      return;
+    }
+    }
+    HOTG_UNREACHABLE("unknown statement kind");
+  }
+
+  unsigned Depth = 0;
+};
+
+} // namespace
+
+std::string hotg::lang::dumpProgram(const Program &Prog) {
+  Dumper D;
+  for (const ExternDecl &E : Prog.Externs) {
+    D.Out += "extern " + E.Name + "(";
+    for (unsigned I = 0; I != E.Arity; ++I) {
+      if (I != 0)
+        D.Out += ", ";
+      D.Out += "int";
+    }
+    D.Out += ") -> int;\n";
+  }
+  for (const auto &F : Prog.Functions) {
+    D.Out += "fun " + F->Name + "(";
+    for (size_t I = 0; I != F->Params.size(); ++I) {
+      if (I != 0)
+        D.Out += ", ";
+      D.Out += F->Params[I].Name + ": " + F->Params[I].ParamType.toString();
+    }
+    D.Out += ") -> " + F->ReturnType.toString() + "\n";
+    D.dumpStmt(*F->Body);
+  }
+  return D.Out;
+}

@@ -1,0 +1,393 @@
+//===- lang/AST.h - MiniLang abstract syntax trees ----------------------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST node definitions for MiniLang. Nodes are owned by the Program they
+/// belong to (arena-style: bump storage of unique_ptrs). Semantic analysis
+/// (lang/Sema.h) decorates nodes in place: expression types, resolved
+/// variable slots, resolved callees and branch-site identifiers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_LANG_AST_H
+#define HOTG_LANG_AST_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hotg::lang {
+
+class Expr;
+class Stmt;
+struct FunctionDecl;
+
+/// MiniLang types. Arrays are fixed-size integer arrays; they appear as
+/// variables and parameters but are not first-class values.
+struct Type {
+  enum class Kind : uint8_t { Int, Bool, IntArray, Void } TypeKind;
+  /// Element count for IntArray.
+  uint32_t ArraySize = 0;
+
+  static Type intType() { return {Kind::Int, 0}; }
+  static Type boolType() { return {Kind::Bool, 0}; }
+  static Type arrayType(uint32_t Size) { return {Kind::IntArray, Size}; }
+  static Type voidType() { return {Kind::Void, 0}; }
+
+  bool isInt() const { return TypeKind == Kind::Int; }
+  bool isBool() const { return TypeKind == Kind::Bool; }
+  bool isArray() const { return TypeKind == Kind::IntArray; }
+  bool isVoid() const { return TypeKind == Kind::Void; }
+  bool operator==(const Type &Other) const = default;
+
+  std::string toString() const;
+};
+
+/// Identifier of a conditional site (if/while/assert), assigned by Sema.
+/// Branch coverage and path constraints are keyed on these.
+using BranchId = uint32_t;
+inline constexpr BranchId InvalidBranch = ~BranchId(0);
+
+/// Identifier of an error statement, assigned by Sema.
+using ErrorSiteId = uint32_t;
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind : uint8_t {
+  IntLit,
+  BoolLit,
+  VarRef,
+  ArrayIndex,
+  Unary,
+  Binary,
+  Call,
+};
+
+enum class UnaryOp : uint8_t { Neg, Not };
+
+enum class BinaryOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  And,
+  Or,
+};
+
+/// Returns the source spelling of \p Op ("+", "==", ...).
+const char *binaryOpSpelling(BinaryOp Op);
+
+/// Base class for expressions.
+class Expr {
+public:
+  const ExprKind Kind;
+  SourceLoc Loc;
+  /// Filled in by Sema.
+  Type ExprType = Type::voidType();
+
+  virtual ~Expr() = default;
+
+protected:
+  Expr(ExprKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+};
+
+/// Integer literal (also produced by character literals).
+class IntLitExpr : public Expr {
+public:
+  int64_t Value;
+
+  IntLitExpr(SourceLoc Loc, int64_t Value)
+      : Expr(ExprKind::IntLit, Loc), Value(Value) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::IntLit; }
+};
+
+/// true/false literal.
+class BoolLitExpr : public Expr {
+public:
+  bool Value;
+
+  BoolLitExpr(SourceLoc Loc, bool Value)
+      : Expr(ExprKind::BoolLit, Loc), Value(Value) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::BoolLit; }
+};
+
+/// Reference to a local variable or parameter.
+class VarRefExpr : public Expr {
+public:
+  std::string Name;
+  /// Frame slot assigned by Sema.
+  uint32_t Slot = ~0u;
+
+  VarRefExpr(SourceLoc Loc, std::string Name)
+      : Expr(ExprKind::VarRef, Loc), Name(std::move(Name)) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::VarRef; }
+};
+
+/// base[index] where base is an array-typed variable.
+class ArrayIndexExpr : public Expr {
+public:
+  std::unique_ptr<Expr> Base;
+  std::unique_ptr<Expr> Index;
+
+  ArrayIndexExpr(SourceLoc Loc, std::unique_ptr<Expr> Base,
+                 std::unique_ptr<Expr> Index)
+      : Expr(ExprKind::ArrayIndex, Loc), Base(std::move(Base)),
+        Index(std::move(Index)) {}
+  static bool classof(const Expr *E) {
+    return E->Kind == ExprKind::ArrayIndex;
+  }
+};
+
+/// Unary operation.
+class UnaryExpr : public Expr {
+public:
+  UnaryOp Op;
+  std::unique_ptr<Expr> Operand;
+
+  UnaryExpr(SourceLoc Loc, UnaryOp Op, std::unique_ptr<Expr> Operand)
+      : Expr(ExprKind::Unary, Loc), Op(Op), Operand(std::move(Operand)) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::Unary; }
+};
+
+/// Binary operation. && and || evaluate both sides without short-circuit
+/// side-effect concerns (MiniLang expressions are effect-free except calls).
+class BinaryExpr : public Expr {
+public:
+  BinaryOp Op;
+  std::unique_ptr<Expr> Lhs;
+  std::unique_ptr<Expr> Rhs;
+
+  BinaryExpr(SourceLoc Loc, BinaryOp Op, std::unique_ptr<Expr> Lhs,
+             std::unique_ptr<Expr> Rhs)
+      : Expr(ExprKind::Binary, Loc), Op(Op), Lhs(std::move(Lhs)),
+        Rhs(std::move(Rhs)) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::Binary; }
+};
+
+/// Call to a MiniLang function or a declared extern (native) function.
+class CallExpr : public Expr {
+public:
+  std::string Callee;
+  std::vector<std::unique_ptr<Expr>> Args;
+  /// Resolved by Sema: exactly one of the two is set.
+  const FunctionDecl *ResolvedFunction = nullptr;
+  /// Index into the program's extern declarations, or ~0u.
+  uint32_t ResolvedExtern = ~0u;
+
+  CallExpr(SourceLoc Loc, std::string Callee,
+           std::vector<std::unique_ptr<Expr>> Args)
+      : Expr(ExprKind::Call, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  static bool classof(const Expr *E) { return E->Kind == ExprKind::Call; }
+
+  bool callsExtern() const { return ResolvedExtern != ~0u; }
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind : uint8_t {
+  Block,
+  VarDecl,
+  Assign,
+  If,
+  While,
+  Return,
+  Assert,
+  Error,
+  ExprStmt,
+};
+
+/// Base class for statements.
+class Stmt {
+public:
+  const StmtKind Kind;
+  SourceLoc Loc;
+
+  virtual ~Stmt() = default;
+
+protected:
+  Stmt(StmtKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+};
+
+/// { stmt* }
+class BlockStmt : public Stmt {
+public:
+  std::vector<std::unique_ptr<Stmt>> Body;
+
+  BlockStmt(SourceLoc Loc, std::vector<std::unique_ptr<Stmt>> Body)
+      : Stmt(StmtKind::Block, Loc), Body(std::move(Body)) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::Block; }
+};
+
+/// var name: type (= init)?;
+class VarDeclStmt : public Stmt {
+public:
+  std::string Name;
+  Type DeclType;
+  std::unique_ptr<Expr> Init; // May be null.
+  uint32_t Slot = ~0u;        // Assigned by Sema.
+
+  VarDeclStmt(SourceLoc Loc, std::string Name, Type DeclType,
+              std::unique_ptr<Expr> Init)
+      : Stmt(StmtKind::VarDecl, Loc), Name(std::move(Name)),
+        DeclType(DeclType), Init(std::move(Init)) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::VarDecl; }
+};
+
+/// lvalue = expr; where lvalue is a variable or array element.
+class AssignStmt : public Stmt {
+public:
+  std::unique_ptr<Expr> Target; // VarRefExpr or ArrayIndexExpr.
+  std::unique_ptr<Expr> Value;
+
+  AssignStmt(SourceLoc Loc, std::unique_ptr<Expr> Target,
+             std::unique_ptr<Expr> Value)
+      : Stmt(StmtKind::Assign, Loc), Target(std::move(Target)),
+        Value(std::move(Value)) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::Assign; }
+};
+
+/// if (cond) then (else else)?
+class IfStmt : public Stmt {
+public:
+  std::unique_ptr<Expr> Cond;
+  std::unique_ptr<Stmt> Then;
+  std::unique_ptr<Stmt> Else; // May be null.
+  BranchId Branch = InvalidBranch;
+
+  IfStmt(SourceLoc Loc, std::unique_ptr<Expr> Cond, std::unique_ptr<Stmt> Then,
+         std::unique_ptr<Stmt> Else)
+      : Stmt(StmtKind::If, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::If; }
+};
+
+/// while (cond) body — the condition is a branch site evaluated on every
+/// iteration (each evaluation appends one constraint to the path).
+class WhileStmt : public Stmt {
+public:
+  std::unique_ptr<Expr> Cond;
+  std::unique_ptr<Stmt> Body;
+  BranchId Branch = InvalidBranch;
+
+  WhileStmt(SourceLoc Loc, std::unique_ptr<Expr> Cond,
+            std::unique_ptr<Stmt> Body)
+      : Stmt(StmtKind::While, Loc), Cond(std::move(Cond)),
+        Body(std::move(Body)) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::While; }
+};
+
+/// return expr?;
+class ReturnStmt : public Stmt {
+public:
+  std::unique_ptr<Expr> Value; // May be null for void returns.
+
+  ReturnStmt(SourceLoc Loc, std::unique_ptr<Expr> Value)
+      : Stmt(StmtKind::Return, Loc), Value(std::move(Value)) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::Return; }
+};
+
+/// assert(cond); — a branch site whose false side is a bug.
+class AssertStmt : public Stmt {
+public:
+  std::unique_ptr<Expr> Cond;
+  BranchId Branch = InvalidBranch;
+
+  AssertStmt(SourceLoc Loc, std::unique_ptr<Expr> Cond)
+      : Stmt(StmtKind::Assert, Loc), Cond(std::move(Cond)) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::Assert; }
+};
+
+/// error("message"); — the paper's `return -1; // error` pattern: reaching
+/// this statement is the bug the search tries to trigger.
+class ErrorStmt : public Stmt {
+public:
+  std::string Message;
+  ErrorSiteId Site = ~0u; // Assigned by Sema.
+
+  ErrorStmt(SourceLoc Loc, std::string Message)
+      : Stmt(StmtKind::Error, Loc), Message(std::move(Message)) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::Error; }
+};
+
+/// Bare expression statement (typically a call).
+class ExprStmt : public Stmt {
+public:
+  std::unique_ptr<Expr> Value;
+
+  ExprStmt(SourceLoc Loc, std::unique_ptr<Expr> Value)
+      : Stmt(StmtKind::ExprStmt, Loc), Value(std::move(Value)) {}
+  static bool classof(const Stmt *S) { return S->Kind == StmtKind::ExprStmt; }
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// Function parameter.
+struct ParamDecl {
+  std::string Name;
+  Type ParamType;
+  SourceLoc Loc;
+  uint32_t Slot = ~0u; // Assigned by Sema.
+};
+
+/// A MiniLang function.
+struct FunctionDecl {
+  std::string Name;
+  std::vector<ParamDecl> Params;
+  Type ReturnType = Type::voidType();
+  std::unique_ptr<BlockStmt> Body;
+  SourceLoc Loc;
+  /// Total frame slots (params + locals), assigned by Sema.
+  uint32_t NumSlots = 0;
+};
+
+/// A declared native (extern) function: `extern hash(int, int) -> int;`.
+/// Extern functions take and return integers; they are the candidates for
+/// "unknown function" treatment during symbolic execution.
+struct ExternDecl {
+  std::string Name;
+  unsigned Arity = 0;
+  SourceLoc Loc;
+};
+
+/// A parsed MiniLang compilation unit.
+struct Program {
+  std::vector<std::unique_ptr<FunctionDecl>> Functions;
+  std::vector<ExternDecl> Externs;
+  /// Branch-site count after Sema (ids are dense in [0, NumBranches)).
+  uint32_t NumBranches = 0;
+  /// Error-site count after Sema.
+  uint32_t NumErrorSites = 0;
+
+  /// Finds a function by name; null when absent.
+  const FunctionDecl *findFunction(std::string_view Name) const;
+
+  /// Finds an extern index by name; ~0u when absent.
+  uint32_t findExtern(std::string_view Name) const;
+};
+
+/// Renders the AST as indented pseudo-source for tests and debugging.
+std::string dumpProgram(const Program &Prog);
+
+} // namespace hotg::lang
+
+#endif // HOTG_LANG_AST_H

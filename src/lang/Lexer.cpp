@@ -1,0 +1,347 @@
+//===- lang/Lexer.cpp - MiniLang lexer ---------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include "support/StringUtils.h"
+#include "support/Support.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace hotg;
+using namespace hotg::lang;
+
+const char *hotg::lang::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::StringLiteral:
+    return "string literal";
+  case TokenKind::KwFun:
+    return "'fun'";
+  case TokenKind::KwExtern:
+    return "'extern'";
+  case TokenKind::KwVar:
+    return "'var'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwAssert:
+    return "'assert'";
+  case TokenKind::KwError:
+    return "'error'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwBool:
+    return "'bool'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Arrow:
+    return "'->'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::EndOfFile:
+    return "end of file";
+  case TokenKind::Invalid:
+    return "invalid token";
+  }
+  HOTG_UNREACHABLE("unknown token kind");
+}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipTrivia() {
+  while (Pos < Source.size()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Source.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, SourceLoc Loc) const {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = Loc;
+  return T;
+}
+
+Token Lexer::lexNumber(SourceLoc Loc) {
+  uint64_t Value = 0;
+  bool Overflow = false;
+  while (std::isdigit(static_cast<unsigned char>(peek()))) {
+    uint64_t Digit = static_cast<uint64_t>(advance() - '0');
+    if (Value > (static_cast<uint64_t>(INT64_MAX) - Digit) / 10)
+      Overflow = true;
+    Value = Value * 10 + Digit;
+  }
+  if (Overflow)
+    Diags.error(Loc, "integer literal does not fit in 64 bits");
+  Token T = makeToken(TokenKind::IntLiteral, Loc);
+  T.IntValue = static_cast<int64_t>(Value);
+  return T;
+}
+
+Token Lexer::lexIdentifier(SourceLoc Loc) {
+  size_t Start = Pos;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    advance();
+  std::string Text(Source.substr(Start, Pos - Start));
+
+  static const std::unordered_map<std::string_view, TokenKind> Keywords = {
+      {"fun", TokenKind::KwFun},       {"extern", TokenKind::KwExtern},
+      {"var", TokenKind::KwVar},       {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},     {"while", TokenKind::KwWhile},
+      {"return", TokenKind::KwReturn}, {"assert", TokenKind::KwAssert},
+      {"error", TokenKind::KwError},   {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},   {"int", TokenKind::KwInt},
+      {"bool", TokenKind::KwBool},
+  };
+  auto It = Keywords.find(Text);
+  Token T = makeToken(It != Keywords.end() ? It->second
+                                           : TokenKind::Identifier,
+                      Loc);
+  T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::lexString(SourceLoc Loc) {
+  std::string Text;
+  while (Pos < Source.size() && peek() != '"') {
+    char C = advance();
+    if (C == '\\' && Pos < Source.size()) {
+      char Esc = advance();
+      switch (Esc) {
+      case 'n':
+        Text.push_back('\n');
+        break;
+      case 't':
+        Text.push_back('\t');
+        break;
+      case '\\':
+        Text.push_back('\\');
+        break;
+      case '"':
+        Text.push_back('"');
+        break;
+      default:
+        Diags.error(Loc, formatString("unknown escape '\\%c'", Esc));
+      }
+      continue;
+    }
+    Text.push_back(C);
+  }
+  if (Pos == Source.size()) {
+    Diags.error(Loc, "unterminated string literal");
+    return makeToken(TokenKind::Invalid, Loc);
+  }
+  advance(); // Closing quote.
+  Token T = makeToken(TokenKind::StringLiteral, Loc);
+  T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::lexCharLiteral(SourceLoc Loc) {
+  // 'c' lexes as an integer literal with the character's code, so MiniLang
+  // programs (notably the Section 7 keyword lexer) can compare input bytes
+  // against characters.
+  if (Pos >= Source.size()) {
+    Diags.error(Loc, "unterminated character literal");
+    return makeToken(TokenKind::Invalid, Loc);
+  }
+  char C = advance();
+  if (C == '\\' && Pos < Source.size()) {
+    char Esc = advance();
+    switch (Esc) {
+    case 'n':
+      C = '\n';
+      break;
+    case 't':
+      C = '\t';
+      break;
+    case '0':
+      C = '\0';
+      break;
+    case '\'':
+      C = '\'';
+      break;
+    case '\\':
+      C = '\\';
+      break;
+    default:
+      Diags.error(Loc, formatString("unknown escape '\\%c'", Esc));
+    }
+  }
+  if (Pos >= Source.size() || advance() != '\'') {
+    Diags.error(Loc, "unterminated character literal");
+    return makeToken(TokenKind::Invalid, Loc);
+  }
+  Token T = makeToken(TokenKind::IntLiteral, Loc);
+  T.IntValue = static_cast<unsigned char>(C);
+  return T;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  SourceLoc Loc{Line, Column};
+  if (Pos >= Source.size())
+    return makeToken(TokenKind::EndOfFile, Loc);
+
+  char C = peek();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber(Loc);
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifier(Loc);
+
+  advance();
+  switch (C) {
+  case '"':
+    return lexString(Loc);
+  case '\'':
+    return lexCharLiteral(Loc);
+  case '(':
+    return makeToken(TokenKind::LParen, Loc);
+  case ')':
+    return makeToken(TokenKind::RParen, Loc);
+  case '{':
+    return makeToken(TokenKind::LBrace, Loc);
+  case '}':
+    return makeToken(TokenKind::RBrace, Loc);
+  case '[':
+    return makeToken(TokenKind::LBracket, Loc);
+  case ']':
+    return makeToken(TokenKind::RBracket, Loc);
+  case ',':
+    return makeToken(TokenKind::Comma, Loc);
+  case ';':
+    return makeToken(TokenKind::Semicolon, Loc);
+  case ':':
+    return makeToken(TokenKind::Colon, Loc);
+  case '+':
+    return makeToken(TokenKind::Plus, Loc);
+  case '-':
+    return makeToken(match('>') ? TokenKind::Arrow : TokenKind::Minus, Loc);
+  case '*':
+    return makeToken(TokenKind::Star, Loc);
+  case '/':
+    return makeToken(TokenKind::Slash, Loc);
+  case '%':
+    return makeToken(TokenKind::Percent, Loc);
+  case '=':
+    return makeToken(match('=') ? TokenKind::EqEq : TokenKind::Assign, Loc);
+  case '!':
+    return makeToken(match('=') ? TokenKind::NotEq : TokenKind::Bang, Loc);
+  case '<':
+    return makeToken(match('=') ? TokenKind::LessEq : TokenKind::Less, Loc);
+  case '>':
+    return makeToken(match('=') ? TokenKind::GreaterEq : TokenKind::Greater,
+                     Loc);
+  case '&':
+    if (match('&'))
+      return makeToken(TokenKind::AmpAmp, Loc);
+    break;
+  case '|':
+    if (match('|'))
+      return makeToken(TokenKind::PipePipe, Loc);
+    break;
+  default:
+    break;
+  }
+  Diags.error(Loc, formatString("unexpected character '%c'", C));
+  return makeToken(TokenKind::Invalid, Loc);
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Token T = next();
+    bool Done = T.is(TokenKind::EndOfFile);
+    if (!T.is(TokenKind::Invalid))
+      Tokens.push_back(std::move(T));
+    if (Done)
+      break;
+  }
+  return Tokens;
+}

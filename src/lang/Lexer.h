@@ -1,0 +1,56 @@
+//===- lang/Lexer.h - MiniLang lexer ----------------------------------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for MiniLang. Supports '//' line comments, decimal
+/// and character literals, and reports malformed input through the
+/// DiagnosticEngine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_LANG_LEXER_H
+#define HOTG_LANG_LEXER_H
+
+#include "lang/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string_view>
+#include <vector>
+
+namespace hotg::lang {
+
+/// Lexes a MiniLang source buffer into a token stream.
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticEngine &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  /// Lexes the entire buffer. The returned vector always ends with an
+  /// EndOfFile token, even after errors.
+  std::vector<Token> lexAll();
+
+private:
+  Token next();
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  void skipTrivia();
+  Token makeToken(TokenKind Kind, SourceLoc Loc) const;
+  Token lexNumber(SourceLoc Loc);
+  Token lexIdentifier(SourceLoc Loc);
+  Token lexString(SourceLoc Loc);
+  Token lexCharLiteral(SourceLoc Loc);
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+};
+
+} // namespace hotg::lang
+
+#endif // HOTG_LANG_LEXER_H

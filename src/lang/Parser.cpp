@@ -1,0 +1,531 @@
+//===- lang/Parser.cpp - MiniLang recursive-descent parser --------------------===//
+
+#include "lang/Parser.h"
+
+#include "lang/Lexer.h"
+#include "lang/Sema.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace hotg;
+using namespace hotg::lang;
+
+const Token &Parser::peek(unsigned Ahead) const {
+  size_t Index = Pos + Ahead;
+  if (Index >= Tokens.size())
+    Index = Tokens.size() - 1; // EndOfFile sentinel.
+  return Tokens[Index];
+}
+
+const Token &Parser::previous() const {
+  assert(Pos > 0 && "no previous token");
+  return Tokens[Pos - 1];
+}
+
+bool Parser::match(TokenKind Kind) {
+  if (!check(Kind))
+    return false;
+  ++Pos;
+  return true;
+}
+
+const Token &Parser::expect(TokenKind Kind, const char *Context) {
+  if (check(Kind)) {
+    ++Pos;
+    return previous();
+  }
+  Diags.error(peek().Loc,
+              formatString("expected %s %s, found %s", tokenKindName(Kind),
+                           Context, tokenKindName(peek().Kind)));
+  // Do not consume: the caller decides how to recover.
+  return peek();
+}
+
+void Parser::synchronize() {
+  while (!atEnd()) {
+    if (Pos > 0 && Tokens[Pos - 1].is(TokenKind::Semicolon))
+      return;
+    switch (peek().Kind) {
+    case TokenKind::KwFun:
+    case TokenKind::KwExtern:
+    case TokenKind::KwVar:
+    case TokenKind::KwIf:
+    case TokenKind::KwWhile:
+    case TokenKind::KwReturn:
+    case TokenKind::RBrace:
+      return;
+    default:
+      ++Pos;
+    }
+  }
+}
+
+Program Parser::parseProgram() {
+  Program Prog;
+  while (!atEnd()) {
+    size_t Before = Pos;
+    if (check(TokenKind::KwExtern)) {
+      if (auto Ext = parseExtern())
+        Prog.Externs.push_back(std::move(*Ext));
+      else {
+        synchronize();
+        if (Pos == Before)
+          ++Pos; // Recovery must make progress.
+      }
+      continue;
+    }
+    if (check(TokenKind::KwFun)) {
+      if (auto Fn = parseFunction())
+        Prog.Functions.push_back(std::move(Fn));
+      else {
+        synchronize();
+        if (Pos == Before)
+          ++Pos;
+      }
+      continue;
+    }
+    Diags.error(peek().Loc,
+                formatString("expected 'fun' or 'extern' at top level, "
+                             "found %s",
+                             tokenKindName(peek().Kind)));
+    ++Pos;
+  }
+  return Prog;
+}
+
+std::optional<ExternDecl> Parser::parseExtern() {
+  SourceLoc Loc = peek().Loc;
+  expect(TokenKind::KwExtern, "to begin extern declaration");
+  const Token &Name = expect(TokenKind::Identifier, "as extern name");
+  if (!Name.is(TokenKind::Identifier))
+    return std::nullopt;
+  ExternDecl Decl;
+  Decl.Name = Name.Text;
+  Decl.Loc = Loc;
+  expect(TokenKind::LParen, "after extern name");
+  if (!check(TokenKind::RParen)) {
+    do {
+      expect(TokenKind::KwInt, "as extern parameter type");
+      ++Decl.Arity;
+    } while (match(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "to close extern parameter list");
+  if (match(TokenKind::Arrow))
+    expect(TokenKind::KwInt, "as extern return type");
+  expect(TokenKind::Semicolon, "after extern declaration");
+  return Decl;
+}
+
+std::unique_ptr<FunctionDecl> Parser::parseFunction() {
+  auto Fn = std::make_unique<FunctionDecl>();
+  Fn->Loc = peek().Loc;
+  expect(TokenKind::KwFun, "to begin function");
+  const Token &Name = expect(TokenKind::Identifier, "as function name");
+  if (!Name.is(TokenKind::Identifier))
+    return nullptr;
+  Fn->Name = Name.Text;
+  expect(TokenKind::LParen, "after function name");
+  if (!check(TokenKind::RParen)) {
+    do {
+      ParamDecl Param;
+      Param.Loc = peek().Loc;
+      const Token &PName = expect(TokenKind::Identifier, "as parameter name");
+      if (!PName.is(TokenKind::Identifier))
+        return nullptr;
+      Param.Name = PName.Text;
+      expect(TokenKind::Colon, "after parameter name");
+      auto PType = parseType();
+      if (!PType)
+        return nullptr;
+      Param.ParamType = *PType;
+      Fn->Params.push_back(std::move(Param));
+    } while (match(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "to close parameter list");
+  if (match(TokenKind::Arrow)) {
+    auto RType = parseType();
+    if (!RType)
+      return nullptr;
+    Fn->ReturnType = *RType;
+  }
+  Fn->Body = parseBlock();
+  if (!Fn->Body)
+    return nullptr;
+  return Fn;
+}
+
+std::optional<Type> Parser::parseType() {
+  if (match(TokenKind::KwBool))
+    return Type::boolType();
+  if (match(TokenKind::KwInt)) {
+    if (match(TokenKind::LBracket)) {
+      const Token &Size = expect(TokenKind::IntLiteral, "as array size");
+      if (!Size.is(TokenKind::IntLiteral))
+        return std::nullopt;
+      expect(TokenKind::RBracket, "to close array size");
+      if (Size.IntValue <= 0 || Size.IntValue > (1 << 20)) {
+        Diags.error(Size.Loc, "array size out of range");
+        return std::nullopt;
+      }
+      return Type::arrayType(static_cast<uint32_t>(Size.IntValue));
+    }
+    return Type::intType();
+  }
+  Diags.error(peek().Loc, formatString("expected a type, found %s",
+                                       tokenKindName(peek().Kind)));
+  return std::nullopt;
+}
+
+std::unique_ptr<BlockStmt> Parser::parseBlock() {
+  SourceLoc Loc = peek().Loc;
+  if (!match(TokenKind::LBrace)) {
+    Diags.error(Loc, "expected '{' to begin block");
+    return nullptr;
+  }
+  std::vector<std::unique_ptr<Stmt>> Body;
+  while (!check(TokenKind::RBrace) && !atEnd()) {
+    size_t Before = Pos;
+    if (auto S = parseStmt()) {
+      Body.push_back(std::move(S));
+      continue;
+    }
+    synchronize();
+    // Recovery must make progress or error cascades loop forever.
+    if (Pos == Before)
+      ++Pos;
+  }
+  expect(TokenKind::RBrace, "to close block");
+  return std::make_unique<BlockStmt>(Loc, std::move(Body));
+}
+
+std::unique_ptr<Stmt> Parser::parseStmt() {
+  switch (peek().Kind) {
+  case TokenKind::LBrace:
+    return parseBlock();
+  case TokenKind::KwVar:
+    return parseVarDecl();
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwWhile:
+    return parseWhile();
+  case TokenKind::KwReturn:
+    return parseReturn();
+  case TokenKind::KwAssert:
+    return parseAssert();
+  case TokenKind::KwError:
+    return parseError();
+  default:
+    return parseAssignOrExprStmt();
+  }
+}
+
+std::unique_ptr<Stmt> Parser::parseVarDecl() {
+  SourceLoc Loc = peek().Loc;
+  expect(TokenKind::KwVar, "to begin variable declaration");
+  const Token &Name = expect(TokenKind::Identifier, "as variable name");
+  if (!Name.is(TokenKind::Identifier))
+    return nullptr;
+  expect(TokenKind::Colon, "after variable name");
+  auto DeclType = parseType();
+  if (!DeclType)
+    return nullptr;
+  std::unique_ptr<Expr> Init;
+  if (match(TokenKind::Assign)) {
+    Init = parseExpr();
+    if (!Init)
+      return nullptr;
+  }
+  expect(TokenKind::Semicolon, "after variable declaration");
+  return std::make_unique<VarDeclStmt>(Loc, Name.Text, *DeclType,
+                                       std::move(Init));
+}
+
+std::unique_ptr<Stmt> Parser::parseIf() {
+  SourceLoc Loc = peek().Loc;
+  expect(TokenKind::KwIf, "to begin if");
+  expect(TokenKind::LParen, "after 'if'");
+  auto Cond = parseExpr();
+  if (!Cond)
+    return nullptr;
+  expect(TokenKind::RParen, "to close if condition");
+  auto Then = parseStmt();
+  if (!Then)
+    return nullptr;
+  std::unique_ptr<Stmt> Else;
+  if (match(TokenKind::KwElse)) {
+    Else = parseStmt();
+    if (!Else)
+      return nullptr;
+  }
+  return std::make_unique<IfStmt>(Loc, std::move(Cond), std::move(Then),
+                                  std::move(Else));
+}
+
+std::unique_ptr<Stmt> Parser::parseWhile() {
+  SourceLoc Loc = peek().Loc;
+  expect(TokenKind::KwWhile, "to begin while");
+  expect(TokenKind::LParen, "after 'while'");
+  auto Cond = parseExpr();
+  if (!Cond)
+    return nullptr;
+  expect(TokenKind::RParen, "to close while condition");
+  auto Body = parseStmt();
+  if (!Body)
+    return nullptr;
+  return std::make_unique<WhileStmt>(Loc, std::move(Cond), std::move(Body));
+}
+
+std::unique_ptr<Stmt> Parser::parseReturn() {
+  SourceLoc Loc = peek().Loc;
+  expect(TokenKind::KwReturn, "to begin return");
+  std::unique_ptr<Expr> Value;
+  if (!check(TokenKind::Semicolon)) {
+    Value = parseExpr();
+    if (!Value)
+      return nullptr;
+  }
+  expect(TokenKind::Semicolon, "after return");
+  return std::make_unique<ReturnStmt>(Loc, std::move(Value));
+}
+
+std::unique_ptr<Stmt> Parser::parseAssert() {
+  SourceLoc Loc = peek().Loc;
+  expect(TokenKind::KwAssert, "to begin assert");
+  expect(TokenKind::LParen, "after 'assert'");
+  auto Cond = parseExpr();
+  if (!Cond)
+    return nullptr;
+  expect(TokenKind::RParen, "to close assert condition");
+  expect(TokenKind::Semicolon, "after assert");
+  return std::make_unique<AssertStmt>(Loc, std::move(Cond));
+}
+
+std::unique_ptr<Stmt> Parser::parseError() {
+  SourceLoc Loc = peek().Loc;
+  expect(TokenKind::KwError, "to begin error statement");
+  expect(TokenKind::LParen, "after 'error'");
+  std::string Message = "error";
+  if (check(TokenKind::StringLiteral)) {
+    Message = peek().Text;
+    ++Pos;
+  }
+  expect(TokenKind::RParen, "to close error statement");
+  expect(TokenKind::Semicolon, "after error statement");
+  return std::make_unique<ErrorStmt>(Loc, std::move(Message));
+}
+
+std::unique_ptr<Stmt> Parser::parseAssignOrExprStmt() {
+  SourceLoc Loc = peek().Loc;
+  auto Lhs = parseExpr();
+  if (!Lhs)
+    return nullptr;
+  if (match(TokenKind::Assign)) {
+    if (Lhs->Kind != ExprKind::VarRef && Lhs->Kind != ExprKind::ArrayIndex) {
+      Diags.error(Loc, "assignment target must be a variable or array "
+                       "element");
+      return nullptr;
+    }
+    auto Rhs = parseExpr();
+    if (!Rhs)
+      return nullptr;
+    expect(TokenKind::Semicolon, "after assignment");
+    return std::make_unique<AssignStmt>(Loc, std::move(Lhs), std::move(Rhs));
+  }
+  expect(TokenKind::Semicolon, "after expression statement");
+  return std::make_unique<ExprStmt>(Loc, std::move(Lhs));
+}
+
+std::unique_ptr<Expr> Parser::parseExpr() { return parseOr(); }
+
+std::unique_ptr<Expr> Parser::parseOr() {
+  auto Lhs = parseAnd();
+  if (!Lhs)
+    return nullptr;
+  while (check(TokenKind::PipePipe)) {
+    SourceLoc Loc = peek().Loc;
+    ++Pos;
+    auto Rhs = parseAnd();
+    if (!Rhs)
+      return nullptr;
+    Lhs = std::make_unique<BinaryExpr>(Loc, BinaryOp::Or, std::move(Lhs),
+                                       std::move(Rhs));
+  }
+  return Lhs;
+}
+
+std::unique_ptr<Expr> Parser::parseAnd() {
+  auto Lhs = parseComparison();
+  if (!Lhs)
+    return nullptr;
+  while (check(TokenKind::AmpAmp)) {
+    SourceLoc Loc = peek().Loc;
+    ++Pos;
+    auto Rhs = parseComparison();
+    if (!Rhs)
+      return nullptr;
+    Lhs = std::make_unique<BinaryExpr>(Loc, BinaryOp::And, std::move(Lhs),
+                                       std::move(Rhs));
+  }
+  return Lhs;
+}
+
+std::unique_ptr<Expr> Parser::parseComparison() {
+  auto Lhs = parseAdditive();
+  if (!Lhs)
+    return nullptr;
+  BinaryOp Op;
+  switch (peek().Kind) {
+  case TokenKind::EqEq:
+    Op = BinaryOp::Eq;
+    break;
+  case TokenKind::NotEq:
+    Op = BinaryOp::Ne;
+    break;
+  case TokenKind::Less:
+    Op = BinaryOp::Lt;
+    break;
+  case TokenKind::LessEq:
+    Op = BinaryOp::Le;
+    break;
+  case TokenKind::Greater:
+    Op = BinaryOp::Gt;
+    break;
+  case TokenKind::GreaterEq:
+    Op = BinaryOp::Ge;
+    break;
+  default:
+    return Lhs;
+  }
+  SourceLoc Loc = peek().Loc;
+  ++Pos;
+  auto Rhs = parseAdditive();
+  if (!Rhs)
+    return nullptr;
+  return std::make_unique<BinaryExpr>(Loc, Op, std::move(Lhs),
+                                      std::move(Rhs));
+}
+
+std::unique_ptr<Expr> Parser::parseAdditive() {
+  auto Lhs = parseMultiplicative();
+  if (!Lhs)
+    return nullptr;
+  while (check(TokenKind::Plus) || check(TokenKind::Minus)) {
+    BinaryOp Op = check(TokenKind::Plus) ? BinaryOp::Add : BinaryOp::Sub;
+    SourceLoc Loc = peek().Loc;
+    ++Pos;
+    auto Rhs = parseMultiplicative();
+    if (!Rhs)
+      return nullptr;
+    Lhs = std::make_unique<BinaryExpr>(Loc, Op, std::move(Lhs),
+                                       std::move(Rhs));
+  }
+  return Lhs;
+}
+
+std::unique_ptr<Expr> Parser::parseMultiplicative() {
+  auto Lhs = parseUnary();
+  if (!Lhs)
+    return nullptr;
+  while (check(TokenKind::Star) || check(TokenKind::Slash) ||
+         check(TokenKind::Percent)) {
+    BinaryOp Op = check(TokenKind::Star)    ? BinaryOp::Mul
+                  : check(TokenKind::Slash) ? BinaryOp::Div
+                                            : BinaryOp::Mod;
+    SourceLoc Loc = peek().Loc;
+    ++Pos;
+    auto Rhs = parseUnary();
+    if (!Rhs)
+      return nullptr;
+    Lhs = std::make_unique<BinaryExpr>(Loc, Op, std::move(Lhs),
+                                       std::move(Rhs));
+  }
+  return Lhs;
+}
+
+std::unique_ptr<Expr> Parser::parseUnary() {
+  if (check(TokenKind::Minus) || check(TokenKind::Bang)) {
+    UnaryOp Op = check(TokenKind::Minus) ? UnaryOp::Neg : UnaryOp::Not;
+    SourceLoc Loc = peek().Loc;
+    ++Pos;
+    auto Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(Loc, Op, std::move(Operand));
+  }
+  return parsePostfix();
+}
+
+std::unique_ptr<Expr> Parser::parsePostfix() {
+  auto Base = parsePrimary();
+  if (!Base)
+    return nullptr;
+  while (check(TokenKind::LBracket)) {
+    SourceLoc Loc = peek().Loc;
+    ++Pos;
+    auto Index = parseExpr();
+    if (!Index)
+      return nullptr;
+    expect(TokenKind::RBracket, "to close index expression");
+    Base = std::make_unique<ArrayIndexExpr>(Loc, std::move(Base),
+                                            std::move(Index));
+  }
+  return Base;
+}
+
+std::unique_ptr<Expr> Parser::parsePrimary() {
+  SourceLoc Loc = peek().Loc;
+  if (check(TokenKind::IntLiteral)) {
+    int64_t Value = peek().IntValue;
+    ++Pos;
+    return std::make_unique<IntLitExpr>(Loc, Value);
+  }
+  if (match(TokenKind::KwTrue))
+    return std::make_unique<BoolLitExpr>(Loc, true);
+  if (match(TokenKind::KwFalse))
+    return std::make_unique<BoolLitExpr>(Loc, false);
+  if (match(TokenKind::LParen)) {
+    auto Inner = parseExpr();
+    if (!Inner)
+      return nullptr;
+    expect(TokenKind::RParen, "to close parenthesized expression");
+    return Inner;
+  }
+  if (check(TokenKind::Identifier)) {
+    std::string Name = peek().Text;
+    ++Pos;
+    if (match(TokenKind::LParen)) {
+      std::vector<std::unique_ptr<Expr>> Args;
+      if (!check(TokenKind::RParen)) {
+        do {
+          auto Arg = parseExpr();
+          if (!Arg)
+            return nullptr;
+          Args.push_back(std::move(Arg));
+        } while (match(TokenKind::Comma));
+      }
+      expect(TokenKind::RParen, "to close call arguments");
+      return std::make_unique<CallExpr>(Loc, std::move(Name),
+                                        std::move(Args));
+    }
+    return std::make_unique<VarRefExpr>(Loc, std::move(Name));
+  }
+  Diags.error(Loc, formatString("expected an expression, found %s",
+                                tokenKindName(peek().Kind)));
+  return nullptr;
+}
+
+std::optional<Program> hotg::lang::parseAndCheck(std::string_view Source,
+                                                 DiagnosticEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  std::vector<Token> Tokens = Lex.lexAll();
+  if (Diags.hasErrors())
+    return std::nullopt;
+  Parser P(std::move(Tokens), Diags);
+  Program Prog = P.parseProgram();
+  if (Diags.hasErrors())
+    return std::nullopt;
+  if (!runSema(Prog, Diags))
+    return std::nullopt;
+  return Prog;
+}

@@ -1,0 +1,81 @@
+//===- lang/Parser.h - MiniLang recursive-descent parser ---------------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for MiniLang with panic-mode recovery at
+/// statement boundaries. See lang/AST.h for the grammar's shape; the
+/// authoritative grammar is documented in README.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_LANG_PARSER_H
+#define HOTG_LANG_PARSER_H
+
+#include "lang/AST.h"
+#include "lang/Token.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace hotg::lang {
+
+/// Parses token streams into a Program.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  /// Parses a whole compilation unit. Returns a program even after errors
+  /// (check Diags.hasErrors() before using it).
+  Program parseProgram();
+
+private:
+  const Token &peek(unsigned Ahead = 0) const;
+  const Token &previous() const;
+  bool check(TokenKind Kind) const { return peek().is(Kind); }
+  bool match(TokenKind Kind);
+  const Token &expect(TokenKind Kind, const char *Context);
+  bool atEnd() const { return peek().is(TokenKind::EndOfFile); }
+  void synchronize();
+
+  std::unique_ptr<FunctionDecl> parseFunction();
+  std::optional<ExternDecl> parseExtern();
+  std::optional<Type> parseType();
+  std::unique_ptr<BlockStmt> parseBlock();
+  std::unique_ptr<Stmt> parseStmt();
+  std::unique_ptr<Stmt> parseVarDecl();
+  std::unique_ptr<Stmt> parseIf();
+  std::unique_ptr<Stmt> parseWhile();
+  std::unique_ptr<Stmt> parseReturn();
+  std::unique_ptr<Stmt> parseAssert();
+  std::unique_ptr<Stmt> parseError();
+  std::unique_ptr<Stmt> parseAssignOrExprStmt();
+
+  std::unique_ptr<Expr> parseExpr();
+  std::unique_ptr<Expr> parseOr();
+  std::unique_ptr<Expr> parseAnd();
+  std::unique_ptr<Expr> parseComparison();
+  std::unique_ptr<Expr> parseAdditive();
+  std::unique_ptr<Expr> parseMultiplicative();
+  std::unique_ptr<Expr> parseUnary();
+  std::unique_ptr<Expr> parsePostfix();
+  std::unique_ptr<Expr> parsePrimary();
+
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+};
+
+/// Convenience pipeline: lex + parse + semantic analysis of \p Source.
+/// Returns std::nullopt and fills \p Diags on any error.
+std::optional<Program> parseAndCheck(std::string_view Source,
+                                     DiagnosticEngine &Diags);
+
+} // namespace hotg::lang
+
+#endif // HOTG_LANG_PARSER_H

@@ -1,0 +1,314 @@
+//===- lang/Sema.cpp - MiniLang semantic analysis -------------------------------===//
+
+#include "lang/Sema.h"
+
+#include "support/StringUtils.h"
+#include "support/Support.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace hotg;
+using namespace hotg::lang;
+
+namespace {
+
+/// One lexical scope: name → (slot, type).
+struct ScopeEntry {
+  uint32_t Slot;
+  Type VarType;
+};
+
+class SemaVisitor {
+public:
+  SemaVisitor(Program &Prog, DiagnosticEngine &Diags)
+      : Prog(Prog), Diags(Diags) {}
+
+  bool run() {
+    // Register global names and detect duplicates.
+    std::unordered_set<std::string> Names;
+    for (const ExternDecl &E : Prog.Externs)
+      if (!Names.insert(E.Name).second)
+        Diags.error(E.Loc, "duplicate declaration of '" + E.Name + "'");
+    for (const auto &F : Prog.Functions)
+      if (!Names.insert(F->Name).second)
+        Diags.error(F->Loc, "duplicate declaration of '" + F->Name + "'");
+
+    for (auto &F : Prog.Functions)
+      checkFunction(*F);
+
+    Prog.NumBranches = NextBranch;
+    Prog.NumErrorSites = NextErrorSite;
+    return !Diags.hasErrors();
+  }
+
+private:
+  void checkFunction(FunctionDecl &Fn) {
+    CurrentFn = &Fn;
+    NextSlot = 0;
+    Scopes.clear();
+    Scopes.emplace_back();
+
+    std::unordered_set<std::string> ParamNames;
+    for (ParamDecl &Param : Fn.Params) {
+      if (!ParamNames.insert(Param.Name).second)
+        Diags.error(Param.Loc, "duplicate parameter '" + Param.Name + "'");
+      if (Param.ParamType.isVoid())
+        Diags.error(Param.Loc, "parameter cannot have void type");
+      Param.Slot = NextSlot++;
+      Scopes.back()[Param.Name] = {Param.Slot, Param.ParamType};
+    }
+
+    checkStmt(*Fn.Body);
+    Fn.NumSlots = NextSlot;
+    Scopes.pop_back();
+    CurrentFn = nullptr;
+  }
+
+  ScopeEntry *lookup(const std::string &Name) {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return &Found->second;
+    }
+    return nullptr;
+  }
+
+  void checkStmt(Stmt &S) {
+    switch (S.Kind) {
+    case StmtKind::Block: {
+      Scopes.emplace_back();
+      for (auto &Sub : static_cast<BlockStmt &>(S).Body)
+        checkStmt(*Sub);
+      Scopes.pop_back();
+      return;
+    }
+    case StmtKind::VarDecl: {
+      auto &V = static_cast<VarDeclStmt &>(S);
+      if (Scopes.back().count(V.Name))
+        Diags.error(S.Loc, "redeclaration of '" + V.Name + "' in the same "
+                                                           "scope");
+      if (V.DeclType.isVoid())
+        Diags.error(S.Loc, "variable cannot have void type");
+      if (V.Init) {
+        Type InitType = checkExpr(*V.Init);
+        if (V.DeclType.isArray())
+          Diags.error(S.Loc, "array variables cannot have initializers");
+        else if (!InitType.isVoid() && !(InitType == V.DeclType))
+          Diags.error(S.Loc,
+                      formatString("cannot initialize %s with %s",
+                                   V.DeclType.toString().c_str(),
+                                   InitType.toString().c_str()));
+      }
+      V.Slot = NextSlot++;
+      Scopes.back()[V.Name] = {V.Slot, V.DeclType};
+      return;
+    }
+    case StmtKind::Assign: {
+      auto &A = static_cast<AssignStmt &>(S);
+      Type TargetType = checkExpr(*A.Target);
+      Type ValueType = checkExpr(*A.Value);
+      if (A.Target->Kind == ExprKind::VarRef && TargetType.isArray())
+        Diags.error(S.Loc, "whole-array assignment is not supported");
+      else if (!TargetType.isVoid() && !ValueType.isVoid() &&
+               !(TargetType == ValueType))
+        Diags.error(S.Loc, formatString("cannot assign %s to %s",
+                                        ValueType.toString().c_str(),
+                                        TargetType.toString().c_str()));
+      return;
+    }
+    case StmtKind::If: {
+      auto &I = static_cast<IfStmt &>(S);
+      requireBool(checkExpr(*I.Cond), I.Cond->Loc, "if condition");
+      I.Branch = NextBranch++;
+      checkStmt(*I.Then);
+      if (I.Else)
+        checkStmt(*I.Else);
+      return;
+    }
+    case StmtKind::While: {
+      auto &W = static_cast<WhileStmt &>(S);
+      requireBool(checkExpr(*W.Cond), W.Cond->Loc, "while condition");
+      W.Branch = NextBranch++;
+      checkStmt(*W.Body);
+      return;
+    }
+    case StmtKind::Return: {
+      auto &R = static_cast<ReturnStmt &>(S);
+      Type ValueType = R.Value ? checkExpr(*R.Value) : Type::voidType();
+      if (!ValueType.isVoid() && ValueType.isArray())
+        Diags.error(S.Loc, "cannot return an array");
+      else if (!(ValueType == CurrentFn->ReturnType))
+        Diags.error(S.Loc,
+                    formatString("return type mismatch: function returns "
+                                 "%s, statement returns %s",
+                                 CurrentFn->ReturnType.toString().c_str(),
+                                 ValueType.toString().c_str()));
+      return;
+    }
+    case StmtKind::Assert: {
+      auto &A = static_cast<AssertStmt &>(S);
+      requireBool(checkExpr(*A.Cond), A.Cond->Loc, "assert condition");
+      A.Branch = NextBranch++;
+      return;
+    }
+    case StmtKind::Error:
+      static_cast<ErrorStmt &>(S).Site = NextErrorSite++;
+      return;
+    case StmtKind::ExprStmt:
+      checkExpr(*static_cast<ExprStmt &>(S).Value);
+      return;
+    }
+    HOTG_UNREACHABLE("unknown statement kind");
+  }
+
+  void requireBool(Type T, SourceLoc Loc, const char *What) {
+    if (!T.isVoid() && !T.isBool())
+      Diags.error(Loc, formatString("%s must be bool, found %s", What,
+                                    T.toString().c_str()));
+  }
+
+  void requireInt(Type T, SourceLoc Loc, const char *What) {
+    if (!T.isVoid() && !T.isInt())
+      Diags.error(Loc, formatString("%s must be int, found %s", What,
+                                    T.toString().c_str()));
+  }
+
+  /// Type-checks \p E and records its type; void signals "already
+  /// diagnosed".
+  Type checkExpr(Expr &E) {
+    Type Result = checkExprImpl(E);
+    E.ExprType = Result;
+    return Result;
+  }
+
+  Type checkExprImpl(Expr &E) {
+    switch (E.Kind) {
+    case ExprKind::IntLit:
+      return Type::intType();
+    case ExprKind::BoolLit:
+      return Type::boolType();
+    case ExprKind::VarRef: {
+      auto &V = static_cast<VarRefExpr &>(E);
+      ScopeEntry *Entry = lookup(V.Name);
+      if (!Entry) {
+        Diags.error(E.Loc, "use of undeclared variable '" + V.Name + "'");
+        return Type::voidType();
+      }
+      V.Slot = Entry->Slot;
+      return Entry->VarType;
+    }
+    case ExprKind::ArrayIndex: {
+      auto &A = static_cast<ArrayIndexExpr &>(E);
+      Type BaseType = checkExpr(*A.Base);
+      Type IndexType = checkExpr(*A.Index);
+      if (!BaseType.isVoid() && !BaseType.isArray())
+        Diags.error(E.Loc, "indexed expression is not an array");
+      requireInt(IndexType, A.Index->Loc, "array index");
+      return Type::intType();
+    }
+    case ExprKind::Unary: {
+      auto &U = static_cast<UnaryExpr &>(E);
+      Type OperandType = checkExpr(*U.Operand);
+      if (U.Op == UnaryOp::Neg) {
+        requireInt(OperandType, E.Loc, "negation operand");
+        return Type::intType();
+      }
+      requireBool(OperandType, E.Loc, "logical-not operand");
+      return Type::boolType();
+    }
+    case ExprKind::Binary: {
+      auto &B = static_cast<BinaryExpr &>(E);
+      Type LhsType = checkExpr(*B.Lhs);
+      Type RhsType = checkExpr(*B.Rhs);
+      switch (B.Op) {
+      case BinaryOp::Add:
+      case BinaryOp::Sub:
+      case BinaryOp::Mul:
+      case BinaryOp::Div:
+      case BinaryOp::Mod:
+        requireInt(LhsType, B.Lhs->Loc, "arithmetic operand");
+        requireInt(RhsType, B.Rhs->Loc, "arithmetic operand");
+        return Type::intType();
+      case BinaryOp::Eq:
+      case BinaryOp::Ne:
+      case BinaryOp::Lt:
+      case BinaryOp::Le:
+      case BinaryOp::Gt:
+      case BinaryOp::Ge:
+        requireInt(LhsType, B.Lhs->Loc, "comparison operand");
+        requireInt(RhsType, B.Rhs->Loc, "comparison operand");
+        return Type::boolType();
+      case BinaryOp::And:
+      case BinaryOp::Or:
+        requireBool(LhsType, B.Lhs->Loc, "logical operand");
+        requireBool(RhsType, B.Rhs->Loc, "logical operand");
+        return Type::boolType();
+      }
+      HOTG_UNREACHABLE("unknown binary op");
+    }
+    case ExprKind::Call: {
+      auto &C = static_cast<CallExpr &>(E);
+      std::vector<Type> ArgTypes;
+      for (auto &Arg : C.Args)
+        ArgTypes.push_back(checkExpr(*Arg));
+
+      if (const FunctionDecl *Callee = Prog.findFunction(C.Callee)) {
+        C.ResolvedFunction = Callee;
+        if (Callee->Params.size() != C.Args.size()) {
+          Diags.error(E.Loc,
+                      formatString("'%s' expects %zu arguments, got %zu",
+                                   C.Callee.c_str(), Callee->Params.size(),
+                                   C.Args.size()));
+          return Callee->ReturnType;
+        }
+        for (size_t I = 0; I != ArgTypes.size(); ++I)
+          if (!ArgTypes[I].isVoid() &&
+              !(ArgTypes[I] == Callee->Params[I].ParamType))
+            Diags.error(C.Args[I]->Loc,
+                        formatString("argument %zu of '%s' must be %s, "
+                                     "found %s",
+                                     I + 1, C.Callee.c_str(),
+                                     Callee->Params[I]
+                                         .ParamType.toString()
+                                         .c_str(),
+                                     ArgTypes[I].toString().c_str()));
+        return Callee->ReturnType;
+      }
+
+      uint32_t ExternIdx = Prog.findExtern(C.Callee);
+      if (ExternIdx != ~0u) {
+        C.ResolvedExtern = ExternIdx;
+        const ExternDecl &Ext = Prog.Externs[ExternIdx];
+        if (Ext.Arity != C.Args.size())
+          Diags.error(E.Loc,
+                      formatString("extern '%s' expects %u arguments, got "
+                                   "%zu",
+                                   C.Callee.c_str(), Ext.Arity,
+                                   C.Args.size()));
+        for (size_t I = 0; I != ArgTypes.size(); ++I)
+          requireInt(ArgTypes[I], C.Args[I]->Loc, "extern argument");
+        return Type::intType();
+      }
+
+      Diags.error(E.Loc, "call to undeclared function '" + C.Callee + "'");
+      return Type::voidType();
+    }
+    }
+    HOTG_UNREACHABLE("unknown expression kind");
+  }
+
+  Program &Prog;
+  DiagnosticEngine &Diags;
+  FunctionDecl *CurrentFn = nullptr;
+  uint32_t NextSlot = 0;
+  BranchId NextBranch = 0;
+  ErrorSiteId NextErrorSite = 0;
+  std::vector<std::unordered_map<std::string, ScopeEntry>> Scopes;
+};
+
+} // namespace
+
+bool hotg::lang::runSema(Program &Prog, DiagnosticEngine &Diags) {
+  return SemaVisitor(Prog, Diags).run();
+}

@@ -1,0 +1,40 @@
+//===- lang/Sema.h - MiniLang semantic analysis --------------------------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis for MiniLang: name resolution with lexical scopes,
+/// type checking, frame-slot assignment for locals and parameters, and
+/// dense numbering of branch sites (if/while/assert) and error sites —
+/// the identifiers that path constraints, coverage maps and bug reports
+/// are keyed on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_LANG_SEMA_H
+#define HOTG_LANG_SEMA_H
+
+#include "lang/AST.h"
+#include "support/Diagnostics.h"
+
+namespace hotg::lang {
+
+/// Runs semantic analysis over \p Prog in place. Returns false (with
+/// diagnostics in \p Diags) when the program is ill-formed.
+///
+/// Checks performed:
+///  * duplicate function/extern/parameter/variable names;
+///  * every referenced name resolves (variables, callees);
+///  * expression and statement typing (conditions are bool, arithmetic is
+///    int, array indexing only on arrays, assignment type agreement);
+///  * call arity and argument types (externs take and return int);
+///  * return statements agree with the declared return type;
+///  * MiniLang function arguments may be arrays (passed by reference),
+///    extern arguments must be scalars.
+bool runSema(Program &Prog, DiagnosticEngine &Diags);
+
+} // namespace hotg::lang
+
+#endif // HOTG_LANG_SEMA_H

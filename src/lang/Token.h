@@ -1,0 +1,92 @@
+//===- lang/Token.h - MiniLang tokens ---------------------------------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token definitions for MiniLang, the small imperative language that hosts
+/// the programs under test (the paper's example programs and the Section 7
+/// lexer application are written in it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_LANG_TOKEN_H
+#define HOTG_LANG_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace hotg::lang {
+
+/// MiniLang token kinds.
+enum class TokenKind : uint8_t {
+  // Literals and identifiers.
+  Identifier,
+  IntLiteral,
+  StringLiteral,
+  // Keywords.
+  KwFun,
+  KwExtern,
+  KwVar,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwReturn,
+  KwAssert,
+  KwError,
+  KwTrue,
+  KwFalse,
+  KwInt,
+  KwBool,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  Colon,
+  Arrow, // ->
+  Assign,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  EqEq,
+  NotEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  AmpAmp,
+  PipePipe,
+  Bang,
+  // Sentinels.
+  EndOfFile,
+  Invalid,
+};
+
+/// Returns a printable spelling for diagnostics ("'=='", "identifier", ...).
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token.
+struct Token {
+  TokenKind Kind = TokenKind::Invalid;
+  SourceLoc Loc;
+  /// Identifier or string-literal text.
+  std::string Text;
+  /// IntLiteral value.
+  int64_t IntValue = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace hotg::lang
+
+#endif // HOTG_LANG_TOKEN_H

@@ -1,0 +1,170 @@
+//===- smt/CongruenceClosure.cpp - EUF congruence closure -------------------===//
+
+#include "smt/CongruenceClosure.h"
+
+#include "support/Hashing.h"
+
+#include <cassert>
+
+using namespace hotg;
+using namespace hotg::smt;
+
+void CongruenceClosure::addTerm(TermId Term) {
+  if (Parent.count(Term))
+    return;
+  Parent[Term] = Term;
+  if (Arena.isIntConst(Term))
+    ClassConstant[Term] = Arena.intConstValue(Term);
+  else
+    ClassConstant[Term] = std::nullopt;
+
+  for (TermId Op : Arena.operands(Term)) {
+    addTerm(Op);
+    UseList[findRepr(Op)].push_back(Term);
+  }
+  if (Arena.kind(Term) == TermKind::UFApp)
+    Apps.push_back(Term);
+
+  // Congruence: if an existing registered term has the same signature,
+  // the two must be equal.
+  if (Arena.node(Term).NumOperands != 0) {
+    auto Sig = signatureOf(Term);
+    size_t Hash = hashRange(Sig);
+    auto &Bucket = SigTable[Hash];
+    for (TermId Other : Bucket)
+      if (Other != Term && signatureOf(Other) == Sig)
+        Pending.push_back({Term, Other});
+    Bucket.push_back(Term);
+  }
+  propagate();
+}
+
+std::vector<uint64_t> CongruenceClosure::signatureOf(TermId Term) {
+  const TermNode &N = Arena.node(Term);
+  std::vector<uint64_t> Sig;
+  Sig.reserve(N.NumOperands + 2);
+  Sig.push_back(static_cast<uint64_t>(N.Kind));
+  Sig.push_back(static_cast<uint64_t>(N.Payload));
+  for (TermId Op : Arena.operands(Term))
+    Sig.push_back(findRepr(Op));
+  return Sig;
+}
+
+TermId CongruenceClosure::findRepr(TermId Term) {
+  auto It = Parent.find(Term);
+  assert(It != Parent.end() && "term not registered");
+  if (It->second == Term)
+    return Term;
+  TermId Root = findRepr(It->second);
+  It->second = Root; // Path compression.
+  return Root;
+}
+
+bool CongruenceClosure::merge(TermId A, TermId B) {
+  TermId RA = findRepr(A);
+  TermId RB = findRepr(B);
+  if (RA == RB)
+    return true;
+
+  // Conflict checks: distinct constants or asserted disequality.
+  auto &CA = ClassConstant[RA];
+  auto &CB = ClassConstant[RB];
+  if (CA && CB && *CA != *CB) {
+    Conflict = true;
+    return false;
+  }
+  if (Distincts[RA].count(RB)) {
+    Conflict = true;
+    return false;
+  }
+
+  // Merge the smaller use list into the larger (heuristic by list size).
+  if (UseList[RA].size() > UseList[RB].size())
+    std::swap(RA, RB);
+  Parent[RA] = RB;
+  if (ClassConstant[RA])
+    ClassConstant[RB] = ClassConstant[RA];
+
+  // Move disequalities.
+  for (TermId D : Distincts[RA]) {
+    Distincts[RB].insert(D);
+    Distincts[D].erase(RA);
+    Distincts[D].insert(RB);
+  }
+  Distincts.erase(RA);
+
+  // Re-hash users of the merged class; enqueue congruent pairs.
+  auto Users = std::move(UseList[RA]);
+  UseList.erase(RA);
+  for (TermId User : Users) {
+    auto Sig = signatureOf(User);
+    size_t Hash = hashRange(Sig);
+    auto &Bucket = SigTable[Hash];
+    for (TermId Other : Bucket)
+      if (Other != User && signatureOf(Other) == Sig)
+        Pending.push_back({User, Other});
+    Bucket.push_back(User);
+    UseList[RB].push_back(User);
+  }
+  return true;
+}
+
+void CongruenceClosure::propagate() {
+  while (!Pending.empty() && !Conflict) {
+    auto [A, B] = Pending.back();
+    Pending.pop_back();
+    merge(A, B);
+  }
+}
+
+bool CongruenceClosure::assertEqual(TermId A, TermId B) {
+  if (Conflict)
+    return false;
+  addTerm(A);
+  addTerm(B);
+  if (!merge(A, B))
+    return false;
+  propagate();
+  return !Conflict;
+}
+
+bool CongruenceClosure::assertDistinct(TermId A, TermId B) {
+  if (Conflict)
+    return false;
+  addTerm(A);
+  addTerm(B);
+  TermId RA = findRepr(A);
+  TermId RB = findRepr(B);
+  if (RA == RB) {
+    Conflict = true;
+    return false;
+  }
+  Distincts[RA].insert(RB);
+  Distincts[RB].insert(RA);
+  return true;
+}
+
+bool CongruenceClosure::areEqual(TermId A, TermId B) {
+  addTerm(A);
+  addTerm(B);
+  return findRepr(A) == findRepr(B);
+}
+
+bool CongruenceClosure::areDistinct(TermId A, TermId B) {
+  addTerm(A);
+  addTerm(B);
+  TermId RA = findRepr(A);
+  TermId RB = findRepr(B);
+  if (RA == RB)
+    return false;
+  auto CA = ClassConstant[RA];
+  auto CB = ClassConstant[RB];
+  if (CA && CB && *CA != *CB)
+    return true;
+  return Distincts[RA].count(RB) != 0;
+}
+
+std::optional<int64_t> CongruenceClosure::constantOf(TermId Term) {
+  addTerm(Term);
+  return ClassConstant[findRepr(Term)];
+}

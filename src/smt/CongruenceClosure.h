@@ -1,0 +1,93 @@
+//===- smt/CongruenceClosure.h - EUF congruence closure ---------------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Congruence closure over hash-consed terms: union-find with congruence
+/// propagation (f(a) = f(b) whenever a = b) and disequality tracking. All
+/// operators — including arithmetic ones — are treated as uninterpreted
+/// here; arithmetic reasoning is layered on top by the theory solver. This
+/// is the T_EUF half of the paper's T ∪ T_EUF, and what makes Example 5
+/// (∀x,y with x=y: f(x)=f(y)) provable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_SMT_CONGRUENCECLOSURE_H
+#define HOTG_SMT_CONGRUENCECLOSURE_H
+
+#include "smt/Term.h"
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace hotg::smt {
+
+/// Incremental congruence closure with constants and disequalities.
+///
+/// Conflicts arise when (a) two distinct integer constants are merged, or
+/// (b) a merge joins two classes asserted distinct. Once in conflict the
+/// structure stays in conflict (no backtracking; the solver rebuilds).
+class CongruenceClosure {
+public:
+  explicit CongruenceClosure(const TermArena &Arena) : Arena(Arena) {}
+
+  /// Registers \p Term and all of its subterms.
+  void addTerm(TermId Term);
+
+  /// Asserts \p A = \p B (registering both). Returns false on conflict.
+  bool assertEqual(TermId A, TermId B);
+
+  /// Asserts \p A ≠ \p B (registering both). Returns false on conflict.
+  bool assertDistinct(TermId A, TermId B);
+
+  /// True when the asserted facts are contradictory.
+  bool inConflict() const { return Conflict; }
+
+  /// True when \p A and \p B are known equal (both are registered on
+  /// demand, which may trigger congruence merges).
+  bool areEqual(TermId A, TermId B);
+
+  /// True when \p A and \p B are known distinct (asserted, via congruence,
+  /// or by distinct constants). Registers both on demand.
+  bool areDistinct(TermId A, TermId B);
+
+  /// The integer constant of \p Term's class, if any member is a constant.
+  /// Registers \p Term on demand.
+  std::optional<int64_t> constantOf(TermId Term);
+
+  /// Representative term of \p Term's class (for canonical grouping).
+  TermId findRepr(TermId Term);
+
+  /// Every registered UFApp term, in registration order.
+  const std::vector<TermId> &apps() const { return Apps; }
+
+private:
+  bool merge(TermId A, TermId B);
+  void propagate();
+  /// Congruence key: kind/payload plus representative operand classes.
+  std::vector<uint64_t> signatureOf(TermId Term);
+
+  const TermArena &Arena;
+  bool Conflict = false;
+
+  std::unordered_map<TermId, TermId> Parent;
+  std::unordered_map<TermId, std::optional<int64_t>> ClassConstant;
+  /// For each class representative, the set of class reps it is distinct
+  /// from.
+  std::unordered_map<TermId, std::unordered_set<TermId>> Distincts;
+  /// Terms whose signature may change when a class is merged.
+  std::unordered_map<TermId, std::vector<TermId>> UseList;
+  /// Signature table mapping congruence keys to a witness term.
+  std::unordered_map<size_t, std::vector<TermId>> SigTable;
+
+  std::vector<TermId> Apps;
+  std::vector<std::pair<TermId, TermId>> Pending;
+};
+
+} // namespace hotg::smt
+
+#endif // HOTG_SMT_CONGRUENCECLOSURE_H

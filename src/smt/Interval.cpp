@@ -1,0 +1,121 @@
+//===- smt/Interval.cpp - Saturating integer intervals ----------------------===//
+
+#include "smt/Interval.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace hotg;
+using namespace hotg::smt;
+
+int64_t Bound::addSat(int64_t A, int64_t B) {
+  if (A == NegInf || B == NegInf) {
+    assert(A != PosInf && B != PosInf && "inf + -inf is undefined");
+    return NegInf;
+  }
+  if (A == PosInf || B == PosInf)
+    return PosInf;
+  int64_t Result;
+  if (__builtin_add_overflow(A, B, &Result))
+    return A > 0 ? PosInf : NegInf;
+  // Keep the sentinels reserved for true infinities.
+  if (Result == NegInf)
+    return NegInf + 1;
+  if (Result == PosInf)
+    return PosInf - 1;
+  return Result;
+}
+
+int64_t Bound::mulSat(int64_t A, int64_t B) {
+  if (A == 0 || B == 0)
+    return 0;
+  bool Negative = (A < 0) != (B < 0);
+  if (A == NegInf || A == PosInf || B == NegInf || B == PosInf)
+    return Negative ? NegInf : PosInf;
+  int64_t Result;
+  if (__builtin_mul_overflow(A, B, &Result))
+    return Negative ? NegInf : PosInf;
+  if (Result == NegInf)
+    return NegInf + 1;
+  if (Result == PosInf)
+    return PosInf - 1;
+  return Result;
+}
+
+int64_t Bound::divFloor(int64_t A, int64_t B) {
+  assert(B != 0 && "division by zero");
+  if (A == NegInf)
+    return B > 0 ? NegInf : PosInf;
+  if (A == PosInf)
+    return B > 0 ? PosInf : NegInf;
+  int64_t Quot = A / B;
+  int64_t Rem = A % B;
+  if (Rem != 0 && ((Rem < 0) != (B < 0)))
+    --Quot;
+  return Quot;
+}
+
+int64_t Bound::divCeil(int64_t A, int64_t B) {
+  assert(B != 0 && "division by zero");
+  if (A == NegInf)
+    return B > 0 ? NegInf : PosInf;
+  if (A == PosInf)
+    return B > 0 ? PosInf : NegInf;
+  int64_t Quot = A / B;
+  int64_t Rem = A % B;
+  if (Rem != 0 && ((Rem < 0) == (B < 0)))
+    ++Quot;
+  return Quot;
+}
+
+int64_t Interval::width() const {
+  if (isEmpty())
+    return 0;
+  if (!isFinite())
+    return Bound::PosInf;
+  uint64_t Span = static_cast<uint64_t>(Hi) - static_cast<uint64_t>(Lo);
+  if (Span >= static_cast<uint64_t>(Bound::PosInf))
+    return Bound::PosInf;
+  return static_cast<int64_t>(Span) + 1;
+}
+
+Interval Interval::add(const Interval &Other) const {
+  if (isEmpty() || Other.isEmpty())
+    return empty();
+  return {Bound::addSat(Lo, Other.Lo), Bound::addSat(Hi, Other.Hi)};
+}
+
+Interval Interval::scale(int64_t Factor) const {
+  if (isEmpty())
+    return empty();
+  if (Factor == 0)
+    return point(0);
+  int64_t A = Bound::mulSat(Lo, Factor);
+  int64_t B = Bound::mulSat(Hi, Factor);
+  return Factor > 0 ? Interval{A, B} : Interval{B, A};
+}
+
+Interval Interval::without(int64_t V) const {
+  if (isEmpty() || !contains(V))
+    return *this;
+  if (isPoint())
+    return empty();
+  if (Lo == V)
+    return {V + 1, Hi};
+  if (Hi == V)
+    return {Lo, V - 1};
+  return *this; // Interior holes are not representable; keep as is.
+}
+
+std::string Interval::toString() const {
+  if (isEmpty())
+    return "[empty]";
+  std::string LoStr = Lo == Bound::NegInf
+                          ? "-inf"
+                          : formatString("%lld", static_cast<long long>(Lo));
+  std::string HiStr = Hi == Bound::PosInf
+                          ? "+inf"
+                          : formatString("%lld", static_cast<long long>(Hi));
+  return "[" + LoStr + ", " + HiStr + "]";
+}

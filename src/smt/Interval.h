@@ -1,0 +1,83 @@
+//===- smt/Interval.h - Saturating integer intervals ------------------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Closed integer intervals with +/-infinity sentinels and saturating
+/// arithmetic. The theory solver uses them for bound propagation over
+/// linear atoms before it branches on variable values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_SMT_INTERVAL_H
+#define HOTG_SMT_INTERVAL_H
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace hotg::smt {
+
+/// Saturating bound value; Min/Max of int64 act as -inf/+inf.
+struct Bound {
+  static constexpr int64_t NegInf = std::numeric_limits<int64_t>::min();
+  static constexpr int64_t PosInf = std::numeric_limits<int64_t>::max();
+
+  /// Saturating addition of two bounds.
+  static int64_t addSat(int64_t A, int64_t B);
+
+  /// Saturating multiplication of two bounds.
+  static int64_t mulSat(int64_t A, int64_t B);
+
+  /// Floor division A / B for B != 0, with infinity handling; rounds toward
+  /// negative infinity (used for upper/lower bound tightening).
+  static int64_t divFloor(int64_t A, int64_t B);
+
+  /// Ceiling division A / B for B != 0, with infinity handling.
+  static int64_t divCeil(int64_t A, int64_t B);
+};
+
+/// A closed interval [Lo, Hi]; empty when Lo > Hi.
+struct Interval {
+  int64_t Lo = Bound::NegInf;
+  int64_t Hi = Bound::PosInf;
+
+  static Interval full() { return {}; }
+  static Interval empty() { return {1, 0}; }
+  static Interval point(int64_t V) { return {V, V}; }
+
+  /// Empty when the bounds cross, or when a bound degenerates to "beyond
+  /// infinity" ([+inf, +inf] means "x > every integer" — no solutions).
+  bool isEmpty() const {
+    return Lo > Hi || Lo == Bound::PosInf || Hi == Bound::NegInf;
+  }
+  bool isPoint() const { return Lo == Hi; }
+  bool contains(int64_t V) const { return Lo <= V && V <= Hi; }
+  bool isFinite() const { return Lo != Bound::NegInf && Hi != Bound::PosInf; }
+
+  /// Number of values when finite and small; PosInf otherwise.
+  int64_t width() const;
+
+  Interval intersect(const Interval &Other) const {
+    return {Lo > Other.Lo ? Lo : Other.Lo, Hi < Other.Hi ? Hi : Other.Hi};
+  }
+
+  /// Interval sum with saturation.
+  Interval add(const Interval &Other) const;
+
+  /// Interval scaled by a constant (handles negative scales).
+  Interval scale(int64_t Factor) const;
+
+  /// Removes \p V when it is an endpoint (best effort for disequalities).
+  Interval without(int64_t V) const;
+
+  bool operator==(const Interval &Other) const = default;
+
+  std::string toString() const;
+};
+
+} // namespace hotg::smt
+
+#endif // HOTG_SMT_INTERVAL_H

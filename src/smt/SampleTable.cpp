@@ -1,0 +1,116 @@
+//===- smt/SampleTable.cpp - Uninterpreted function samples (IOF) ----------===//
+
+#include "smt/SampleTable.h"
+
+#include "support/StringUtils.h"
+#include "support/Support.h"
+
+#include <cstdlib>
+
+using namespace hotg;
+using namespace hotg::smt;
+
+void SampleTable::record(FuncId Func, std::vector<int64_t> Args,
+                         int64_t Output) {
+  auto Key = std::make_pair(Func, Args);
+  auto It = Index.find(Key);
+  if (It != Index.end()) {
+    if (It->second != Output)
+      reportFatalError("SampleTable: conflicting outputs recorded for the "
+                       "same argument tuple; unknown functions must be "
+                       "deterministic (Theorem 3)");
+    return;
+  }
+  Index.emplace(std::move(Key), Output);
+  Samples.push_back({Func, std::move(Args), Output});
+}
+
+std::optional<int64_t>
+SampleTable::lookup(FuncId Func, const std::vector<int64_t> &Args) const {
+  auto It = Index.find(std::make_pair(Func, Args));
+  if (It == Index.end())
+    return std::nullopt;
+  return It->second;
+}
+
+std::vector<Sample> SampleTable::samplesFor(FuncId Func) const {
+  std::vector<Sample> Result;
+  for (const Sample &S : Samples)
+    if (S.Func == Func)
+      Result.push_back(S);
+  return Result;
+}
+
+std::vector<std::vector<int64_t>>
+SampleTable::preimagesOf(FuncId Func, int64_t Output) const {
+  std::vector<std::vector<int64_t>> Result;
+  for (const Sample &S : Samples)
+    if (S.Func == Func && S.Output == Output)
+      Result.push_back(S.Args);
+  return Result;
+}
+
+void SampleTable::mergeFrom(const SampleTable &Other) {
+  for (const Sample &S : Other.Samples)
+    record(S.Func, S.Args, S.Output);
+}
+
+std::string SampleTable::serialize(const TermArena &Arena) const {
+  std::string Out;
+  for (const Sample &S : Samples) {
+    Out += Arena.func(S.Func).Name;
+    Out += formatString(" %zu", S.Args.size());
+    for (int64_t Arg : S.Args)
+      Out += formatString(" %lld", static_cast<long long>(Arg));
+    Out += formatString(" -> %lld\n", static_cast<long long>(S.Output));
+  }
+  return Out;
+}
+
+bool SampleTable::deserialize(std::string_view Text, TermArena &Arena,
+                              std::string *Error) {
+  unsigned LineNo = 0;
+  for (const std::string &Line : split(Text, '\n')) {
+    ++LineNo;
+    std::string_view Trimmed = trim(Line);
+    if (Trimmed.empty() || Trimmed.front() == '#')
+      continue;
+    auto Fail = [&](const char *Why) {
+      if (Error)
+        *Error = formatString("line %u: %s", LineNo, Why);
+      return false;
+    };
+    std::vector<std::string> Fields;
+    for (const std::string &F : split(Trimmed, ' '))
+      if (!F.empty())
+        Fields.push_back(F);
+    if (Fields.size() < 4)
+      return Fail("expected 'name arity args... -> output'");
+    char *End = nullptr;
+    long long Arity = std::strtoll(Fields[1].c_str(), &End, 10);
+    if (*End || Arity < 0 ||
+        Fields.size() != static_cast<size_t>(Arity) + 4)
+      return Fail("field count does not match the declared arity");
+    if (Fields[Fields.size() - 2] != "->")
+      return Fail("missing '->' separator");
+    std::vector<int64_t> Args;
+    for (long long I = 0; I != Arity; ++I) {
+      int64_t V = std::strtoll(Fields[2 + I].c_str(), &End, 10);
+      if (*End)
+        return Fail("malformed argument");
+      Args.push_back(V);
+    }
+    int64_t Output = std::strtoll(Fields.back().c_str(), &End, 10);
+    if (*End)
+      return Fail("malformed output");
+    FuncId Func = Arena.getOrCreateFunc(Fields[0],
+                                        static_cast<unsigned>(Arity));
+    record(Func, std::move(Args), Output);
+  }
+  return true;
+}
+
+void SampleTable::clear() {
+  Samples.clear();
+  Index.clear();
+}

@@ -1,0 +1,96 @@
+//===- smt/SampleTable.h - Uninterpreted function samples (IOF) ------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's IOF table (Figure 3, line 13): for every unknown function the
+/// concrete input tuples and output values observed at execution time. The
+/// samples become the antecedent A of POST(pc) = ∃X : A ⟹ pc and drive the
+/// validity solver's function inversion (Section 7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_SMT_SAMPLETABLE_H
+#define HOTG_SMT_SAMPLETABLE_H
+
+#include "smt/Term.h"
+#include "support/Hashing.h"
+
+#include <optional>
+#include <unordered_map>
+
+namespace hotg::smt {
+
+/// One recorded sample: output = f(args).
+struct Sample {
+  FuncId Func = 0;
+  std::vector<int64_t> Args;
+  int64_t Output = 0;
+};
+
+/// Per-session store of input/output samples for uninterpreted functions.
+///
+/// The paper suggests accumulating pairs "observed during all previous runs"
+/// (end of Section 4.3); a SampleTable is therefore shared across the whole
+/// directed search and only ever grows.
+class SampleTable {
+public:
+  /// Records output = f(args). Recording a conflicting output for the same
+  /// argument tuple is a fatal error (unknown functions are assumed
+  /// deterministic, Theorem 3's hypothesis).
+  void record(FuncId Func, std::vector<int64_t> Args, int64_t Output);
+
+  /// Returns the recorded output of \p Func at \p Args, if sampled.
+  std::optional<int64_t> lookup(FuncId Func,
+                                const std::vector<int64_t> &Args) const;
+
+  /// Returns every sample recorded for \p Func in insertion order.
+  std::vector<Sample> samplesFor(FuncId Func) const;
+
+  /// Returns all samples in insertion order.
+  const std::vector<Sample> &allSamples() const { return Samples; }
+
+  /// Returns the sampled argument tuples of \p Func whose output is
+  /// \p Output — the hash-inversion query of Section 7.
+  std::vector<std::vector<int64_t>> preimagesOf(FuncId Func,
+                                                int64_t Output) const;
+
+  /// Copies every sample of \p Other into this table.
+  void mergeFrom(const SampleTable &Other);
+
+  /// Serializes every sample as one line "name arity arg... -> output",
+  /// resolving symbols through \p Arena. The format survives across
+  /// sessions (Section 7: pairs "could still be learned over time" and
+  /// reused "in subsequent symbolic executions").
+  std::string serialize(const TermArena &Arena) const;
+
+  /// Parses serialize() output, interning function symbols in \p Arena
+  /// and recording the samples. Returns false (with a message in
+  /// \p Error when non-null) on malformed input; successfully parsed
+  /// lines before the failure are kept.
+  bool deserialize(std::string_view Text, TermArena &Arena,
+                   std::string *Error = nullptr);
+
+  size_t size() const { return Samples.size(); }
+  bool empty() const { return Samples.empty(); }
+  void clear();
+
+private:
+  struct KeyHash {
+    size_t operator()(const std::pair<FuncId, std::vector<int64_t>> &K) const {
+      size_t Seed = std::hash<FuncId>{}(K.first);
+      hashCombine(Seed, VectorI64Hash{}(K.second));
+      return Seed;
+    }
+  };
+
+  std::vector<Sample> Samples;
+  std::unordered_map<std::pair<FuncId, std::vector<int64_t>>, int64_t, KeyHash>
+      Index;
+};
+
+} // namespace hotg::smt
+
+#endif // HOTG_SMT_SAMPLETABLE_H

@@ -1,0 +1,36 @@
+//===- smt/Simplify.h - Term simplification --------------------------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic simplification of terms: constant folding, identity elimination,
+/// negation-normal-form conversion. The symbolic executor simplifies every
+/// constraint before adding it to a path constraint (Figure 1's
+/// "if f1 and f2 are constants return evalConcrete(e)" generalized).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_SMT_SIMPLIFY_H
+#define HOTG_SMT_SIMPLIFY_H
+
+#include "smt/Term.h"
+
+namespace hotg::smt {
+
+/// Returns a simplified term equivalent to \p Term: folds constants,
+/// removes arithmetic/boolean identities, and canonicalizes double negation.
+TermId simplify(TermArena &Arena, TermId Term);
+
+/// Returns the negation-normal form of boolean \p Term: Not is pushed to the
+/// atoms, Implies is eliminated, and negated comparisons are flipped
+/// (¬(a < b) becomes a >= b), so NNF formulas contain no Not nodes at all.
+TermId toNNF(TermArena &Arena, TermId Term);
+
+/// Returns ¬\p Term simplified (constants folded, comparisons flipped).
+TermId negate(TermArena &Arena, TermId Term);
+
+} // namespace hotg::smt
+
+#endif // HOTG_SMT_SIMPLIFY_H

@@ -1,0 +1,91 @@
+//===- smt/Subst.cpp - Variable substitution ----------------------------------===//
+
+#include "smt/Subst.h"
+
+#include "support/Support.h"
+
+using namespace hotg;
+using namespace hotg::smt;
+
+namespace {
+
+class Substituter {
+public:
+  Substituter(TermArena &Arena, const VarSubstitution &Subst)
+      : Arena(Arena), Subst(Subst) {}
+
+  TermId run(TermId Term) {
+    auto It = Cache.find(Term);
+    if (It != Cache.end())
+      return It->second;
+    TermId Result = rebuild(Term);
+    Cache.emplace(Term, Result);
+    return Result;
+  }
+
+private:
+  TermId rebuild(TermId Term) {
+    const TermNode &N = Arena.node(Term);
+    switch (N.Kind) {
+    case TermKind::IntConst:
+    case TermKind::BoolConst:
+      return Term;
+    case TermKind::IntVar: {
+      auto It = Subst.find(static_cast<VarId>(N.Payload));
+      return It == Subst.end() ? Term : It->second;
+    }
+    default:
+      break;
+    }
+    std::vector<TermId> Ops;
+    bool Changed = false;
+    for (TermId Op : Arena.operands(Term)) {
+      Ops.push_back(run(Op));
+      Changed |= Ops.back() != Op;
+    }
+    if (!Changed)
+      return Term;
+    switch (N.Kind) {
+    case TermKind::Add:
+      return Arena.mkAdd(Ops);
+    case TermKind::Sub:
+      return Arena.mkSub(Ops[0], Ops[1]);
+    case TermKind::Neg:
+      return Arena.mkNeg(Ops[0]);
+    case TermKind::Mul:
+      return Arena.mkMul(Ops[0], Ops[1]);
+    case TermKind::Eq:
+    case TermKind::Ne:
+    case TermKind::Lt:
+    case TermKind::Le:
+    case TermKind::Gt:
+    case TermKind::Ge:
+      return Arena.mkCmp(N.Kind, Ops[0], Ops[1]);
+    case TermKind::Not:
+      return Arena.mkNot(Ops[0]);
+    case TermKind::And:
+      return Arena.mkAnd(Ops);
+    case TermKind::Or:
+      return Arena.mkOr(Ops);
+    case TermKind::Implies:
+      return Arena.mkImplies(Ops[0], Ops[1]);
+    case TermKind::UFApp:
+      return Arena.mkUFApp(static_cast<FuncId>(N.Payload), Ops);
+    default:
+      HOTG_UNREACHABLE("unexpected term kind in substitution");
+    }
+  }
+
+  TermArena &Arena;
+  const VarSubstitution &Subst;
+  std::unordered_map<TermId, TermId> Cache;
+};
+
+} // namespace
+
+TermId hotg::smt::substituteVars(TermArena &Arena, TermId Term,
+                                 const VarSubstitution &Subst) {
+  if (Subst.empty())
+    return Term;
+  return Substituter(Arena, Subst).run(Term);
+}

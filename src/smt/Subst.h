@@ -1,0 +1,34 @@
+//===- smt/Subst.h - Variable substitution -----------------------------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Capture-free substitution of integer variables by terms. Used to
+/// instantiate function summaries (Section 8's compositional extension):
+/// a summary is expressed over the callee's formal parameters and is
+/// instantiated by substituting the caller's actual argument terms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_SMT_SUBST_H
+#define HOTG_SMT_SUBST_H
+
+#include "smt/Term.h"
+
+#include <unordered_map>
+
+namespace hotg::smt {
+
+/// Mapping from variables to replacement terms.
+using VarSubstitution = std::unordered_map<VarId, TermId>;
+
+/// Returns \p Term with every occurrence of a mapped variable replaced by
+/// its image (simultaneous substitution; images are not re-substituted).
+TermId substituteVars(TermArena &Arena, TermId Term,
+                      const VarSubstitution &Subst);
+
+} // namespace hotg::smt
+
+#endif // HOTG_SMT_SUBST_H

@@ -1,0 +1,80 @@
+//===- smt/Supports.cpp - Conjunctive support enumeration --------------------===//
+
+#include "smt/Supports.h"
+
+#include "support/Support.h"
+
+using namespace hotg;
+using namespace hotg::smt;
+
+namespace {
+
+class Enumerator {
+public:
+  Enumerator(const TermArena &Arena, unsigned MaxSupports,
+             const std::function<bool(const std::vector<TermId> &)> &Callback)
+      : Arena(Arena), Budget(MaxSupports), Callback(Callback) {}
+
+  bool walk(std::vector<TermId> Obligations, std::vector<TermId> &Literals) {
+    while (!Obligations.empty()) {
+      TermId Term = Obligations.back();
+      Obligations.pop_back();
+      switch (Arena.kind(Term)) {
+      case TermKind::BoolConst:
+        if (!Arena.boolConstValue(Term))
+          return false; // This support is trivially false.
+        continue;
+      case TermKind::And: {
+        auto Ops = Arena.operands(Term);
+        Obligations.insert(Obligations.end(), Ops.begin(), Ops.end());
+        continue;
+      }
+      case TermKind::Or: {
+        size_t Mark = Literals.size();
+        for (TermId Disjunct : Arena.operands(Term)) {
+          std::vector<TermId> Branch = Obligations;
+          Branch.push_back(Disjunct);
+          if (walk(std::move(Branch), Literals))
+            return true;
+          Literals.resize(Mark);
+          if (Budget == 0)
+            return false;
+        }
+        return false;
+      }
+      case TermKind::Eq:
+      case TermKind::Ne:
+      case TermKind::Lt:
+      case TermKind::Le:
+      case TermKind::Gt:
+      case TermKind::Ge:
+        Literals.push_back(Term);
+        continue;
+      default:
+        HOTG_UNREACHABLE("support enumeration: formula not in NNF");
+      }
+    }
+    if (Budget == 0)
+      return false;
+    --Budget;
+    ++Stats.SupportsTried;
+    return Callback(Literals);
+  }
+
+  const TermArena &Arena;
+  unsigned Budget;
+  const std::function<bool(const std::vector<TermId> &)> &Callback;
+  SupportEnumStats Stats;
+};
+
+} // namespace
+
+SupportEnumStats hotg::smt::forEachSupport(
+    const TermArena &Arena, TermId Formula, unsigned MaxSupports,
+    const std::function<bool(const std::vector<TermId> &)> &Callback) {
+  Enumerator E(Arena, MaxSupports, Callback);
+  std::vector<TermId> Literals;
+  E.walk({Formula}, Literals);
+  E.Stats.BudgetExhausted = E.Budget == 0;
+  return E.Stats;
+}

@@ -1,0 +1,43 @@
+//===- smt/Supports.h - Conjunctive support enumeration ----------------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Enumeration of the conjunctive supports of an NNF formula: each support
+/// is one way to choose a disjunct in every Or node such that satisfying
+/// the chosen literal conjunction satisfies the formula. Shared by the
+/// satisfiability solver and the higher-order validity solver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_SMT_SUPPORTS_H
+#define HOTG_SMT_SUPPORTS_H
+
+#include "smt/Term.h"
+
+#include <functional>
+#include <vector>
+
+namespace hotg::smt {
+
+/// Result of enumerating supports.
+struct SupportEnumStats {
+  unsigned SupportsTried = 0;
+  bool BudgetExhausted = false;
+};
+
+/// Calls \p Callback for each conjunctive support of NNF formula \p Formula
+/// (comparison literals only; boolean constants are resolved). Enumeration
+/// stops early when the callback returns true or after \p MaxSupports
+/// supports. Returns the enumeration statistics.
+///
+/// \p Formula must be in negation normal form (see smt/Simplify.h).
+SupportEnumStats forEachSupport(
+    const TermArena &Arena, TermId Formula, unsigned MaxSupports,
+    const std::function<bool(const std::vector<TermId> &)> &Callback);
+
+} // namespace hotg::smt
+
+#endif // HOTG_SMT_SUPPORTS_H

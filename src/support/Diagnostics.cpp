@@ -1,0 +1,50 @@
+//===- support/Diagnostics.cpp - Diagnostic engine ------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include "support/StringUtils.h"
+
+using namespace hotg;
+
+void DiagnosticEngine::error(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Error, Loc, std::move(Message)});
+  ++NumErrors;
+}
+
+void DiagnosticEngine::warning(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Warning, Loc, std::move(Message)});
+}
+
+void DiagnosticEngine::note(SourceLoc Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Note, Loc, std::move(Message)});
+}
+
+static const char *severityName(DiagSeverity Severity) {
+  switch (Severity) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string DiagnosticEngine::render(std::string_view BufferName) const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    if (!BufferName.empty()) {
+      Out.append(BufferName);
+      Out.push_back(':');
+    }
+    Out += formatString("%u:%u: %s: %s\n", D.Loc.Line, D.Loc.Column,
+                        severityName(D.Severity), D.Message.c_str());
+  }
+  return Out;
+}
+
+void DiagnosticEngine::clear() {
+  Diags.clear();
+  NumErrors = 0;
+}

@@ -1,0 +1,64 @@
+//===- support/Diagnostics.h - Diagnostic engine ---------------------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostics engine: the MiniLang lexer, parser and semantic
+/// analysis report errors here instead of printing or throwing; callers
+/// inspect or render the collected diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_SUPPORT_DIAGNOSTICS_H
+#define HOTG_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace hotg {
+
+/// Severity of a diagnostic. Errors make the owning pipeline stage fail.
+enum class DiagSeverity { Note, Warning, Error };
+
+/// One collected diagnostic message.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics produced while processing one source buffer.
+class DiagnosticEngine {
+public:
+  /// Records an error at \p Loc.
+  void error(SourceLoc Loc, std::string Message);
+
+  /// Records a warning at \p Loc.
+  void warning(SourceLoc Loc, std::string Message);
+
+  /// Records a note at \p Loc.
+  void note(SourceLoc Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics as "line:col: severity: message" lines,
+  /// prefixed by \p BufferName when non-empty.
+  std::string render(std::string_view BufferName = "") const;
+
+  /// Drops all collected diagnostics.
+  void clear();
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace hotg
+
+#endif // HOTG_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,67 @@
+//===- support/Random.h - Deterministic PRNG ------------------------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic SplitMix64/xoshiro-style PRNG. Used by the blackbox
+/// random-testing baseline (Section 7 comparison), by DART's random initial
+/// inputs, and by the property-test generators. Determinism matters: every
+/// experiment in EXPERIMENTS.md is reproducible from its seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_SUPPORT_RANDOM_H
+#define HOTG_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace hotg {
+
+/// Deterministic 64-bit PRNG (splitmix64 core).
+class RandomGen {
+public:
+  explicit RandomGen(uint64_t Seed = 0x9e3779b97f4a7c15ULL) : State(Seed) {}
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a uniformly distributed value in [0, Bound).
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow needs a positive bound");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t Threshold = -Bound % Bound;
+    while (true) {
+      uint64_t Value = next();
+      if (Value >= Threshold)
+        return Value % Bound;
+    }
+  }
+
+  /// Returns an int64 uniformly in the closed interval [Lo, Hi].
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    uint64_t Span = static_cast<uint64_t>(Hi) - static_cast<uint64_t>(Lo) + 1;
+    if (Span == 0) // Full 64-bit range.
+      return static_cast<int64_t>(next());
+    return Lo + static_cast<int64_t>(nextBelow(Span));
+  }
+
+  /// Returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return nextBelow(Den) < Num; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace hotg
+
+#endif // HOTG_SUPPORT_RANDOM_H

@@ -1,0 +1,39 @@
+//===- support/SourceLoc.h - Source locations -----------------------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Line/column source locations for MiniLang diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_SUPPORT_SOURCELOC_H
+#define HOTG_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+
+namespace hotg {
+
+/// A 1-based line/column position inside a MiniLang source buffer. Line 0
+/// denotes an invalid/unknown location.
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  bool isValid() const { return Line != 0; }
+  bool operator==(const SourceLoc &Other) const = default;
+};
+
+/// Half-open character range [Begin, End) attached to AST nodes.
+struct SourceRange {
+  SourceLoc Begin;
+  SourceLoc End;
+
+  bool isValid() const { return Begin.isValid(); }
+};
+
+} // namespace hotg
+
+#endif // HOTG_SUPPORT_SOURCELOC_H

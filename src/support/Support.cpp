@@ -1,0 +1,17 @@
+//===- support/Support.cpp - Fatal errors --------------------------------===//
+
+#include "support/Support.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void hotg::reportFatalError(std::string_view Message, const char *File,
+                            int Line) {
+  if (File)
+    std::fprintf(stderr, "hotg fatal error: %.*s (at %s:%d)\n",
+                 static_cast<int>(Message.size()), Message.data(), File, Line);
+  else
+    std::fprintf(stderr, "hotg fatal error: %.*s\n",
+                 static_cast<int>(Message.size()), Message.data());
+  std::abort();
+}

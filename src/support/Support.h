@@ -1,0 +1,33 @@
+//===- support/Support.h - Fatal errors and unreachable markers ----------===//
+//
+// Part of the hotg project: a reproduction of "Higher-Order Test Generation"
+// (Godefroid, PLDI 2011). Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal-error reporting and the HOTG_UNREACHABLE marker used throughout the
+/// project for programmatic (invariant-violation) errors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_SUPPORT_SUPPORT_H
+#define HOTG_SUPPORT_SUPPORT_H
+
+#include <string_view>
+
+namespace hotg {
+
+/// Prints \p Message to stderr together with \p File and \p Line and aborts.
+/// Used for invariant violations that must terminate even in release builds.
+[[noreturn]] void reportFatalError(std::string_view Message,
+                                   const char *File = nullptr, int Line = 0);
+
+} // namespace hotg
+
+/// Marks a point in control flow that must never be reached; aborts with a
+/// diagnostic when it is.
+#define HOTG_UNREACHABLE(MSG)                                                  \
+  ::hotg::reportFatalError((MSG), __FILE__, __LINE__)
+
+#endif // HOTG_SUPPORT_SUPPORT_H

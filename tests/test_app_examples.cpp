@@ -1,0 +1,98 @@
+//===- tests/test_app_examples.cpp - Example-program module unit tests ------------===//
+
+#include "app/Examples.h"
+
+#include "interp/Interp.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace hotg;
+using namespace hotg::app;
+using namespace hotg::interp;
+
+namespace {
+
+TEST(AppExamples, CatalogIsCompleteAndDistinct) {
+  auto Examples = allExamples();
+  ASSERT_EQ(Examples.size(), 10u);
+  std::set<std::string> Names;
+  for (const ExampleProgram &E : Examples) {
+    EXPECT_TRUE(Names.insert(E.Name).second) << "duplicate " << E.Name;
+    EXPECT_FALSE(E.PaperRef.empty());
+    EXPECT_FALSE(E.Source.empty());
+    EXPECT_FALSE(E.Entry.empty());
+  }
+  for (const char *Required :
+       {"obscure", "foo", "foo_bis", "bar", "pub", "eq_pair", "offset",
+        "assign_then_test"})
+    EXPECT_TRUE(Names.count(Required)) << Required;
+}
+
+TEST(AppExamples, ByNameMatchesCatalog) {
+  ExampleProgram Foo = exampleByName("foo");
+  EXPECT_EQ(Foo.Name, "foo");
+  EXPECT_EQ(Foo.Entry, "foo");
+  ASSERT_TRUE(Foo.InitialInput.has_value());
+  EXPECT_EQ(Foo.InitialInput->Cells, (std::vector<int64_t>{33, 42}));
+}
+
+TEST(AppExamples, InitialInputsMatchEntryLayouts) {
+  for (const ExampleProgram &E : allExamples()) {
+    lang::Program Prog = compileExample(E);
+    const lang::FunctionDecl *Entry = Prog.findFunction(E.Entry);
+    ASSERT_NE(Entry, nullptr) << E.Name;
+    if (E.InitialInput) {
+      InputLayout Layout(*Entry);
+      EXPECT_EQ(E.InitialInput->Cells.size(), Layout.size()) << E.Name;
+    }
+  }
+}
+
+TEST(AppExamples, PaperWalkthroughsRunAsStated) {
+  // Each example's initial input must land on the paper's starting path
+  // (no error on the first run — the searches are what find the bugs).
+  NativeRegistry Natives;
+  registerExampleNatives(Natives);
+  for (const ExampleProgram &E : allExamples()) {
+    if (!E.InitialInput)
+      continue;
+    lang::Program Prog = compileExample(E);
+    Interpreter Interp(Prog, Natives);
+    RunResult R = Interp.run(E.Entry, *E.InitialInput);
+    EXPECT_EQ(R.Status, RunStatus::Ok)
+        << E.Name << " must not trip its bug on the walkthrough input";
+  }
+}
+
+TEST(AppExamples, FstepNativeMatchesExampleSixPremise) {
+  EXPECT_EQ(fstepNative(0), 0);
+  EXPECT_EQ(fstepNative(1), 1);
+  // Elsewhere it is scrambled — in particular not the identity.
+  int Different = 0;
+  for (int64_t V = 2; V != 20; ++V)
+    Different += fstepNative(V) != V;
+  EXPECT_GT(Different, 10);
+}
+
+TEST(AppExamples, DefaultHashesAreDeterministicAndSpread) {
+  EXPECT_EQ(defaultHash1(42), defaultHash1(42));
+  EXPECT_NE(defaultHash1(42), defaultHash2(42))
+      << "the two hash natives must be independent";
+  std::set<int64_t> Outputs;
+  for (int64_t V = 0; V != 64; ++V) {
+    int64_t H = defaultHash1(V);
+    EXPECT_GE(H, 0);
+    EXPECT_LT(H, 100000);
+    Outputs.insert(H);
+  }
+  EXPECT_GE(Outputs.size(), 60u) << "collisions should be rare";
+
+  EXPECT_EQ(defaultHash4(1, 2, 3, 4), defaultHash4(1, 2, 3, 4));
+  EXPECT_NE(defaultHash4(1, 2, 3, 4), defaultHash4(4, 3, 2, 1))
+      << "argument order matters";
+}
+
+} // namespace

@@ -1,0 +1,131 @@
+//===- tests/test_app_lexer.cpp - Section 7 keyword-lexer application -----------===//
+//
+// Experiment E9: on the keyword-hash lexer, higher-order test generation
+// inverts the hash through its samples while plain dynamic test generation
+// is "no better than blackbox random testing".
+//
+//===----------------------------------------------------------------------===//
+
+#include "app/KeywordLexer.h"
+#include "core/Search.h"
+#include "interp/Interp.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace hotg;
+using namespace hotg::app;
+using namespace hotg::core;
+using namespace hotg::dse;
+using namespace hotg::interp;
+
+namespace {
+
+class LexerAppTest : public ::testing::Test {
+protected:
+  void build(unsigned NumKeywords = 6, unsigned NumChunks = 2) {
+    App = buildKeywordLexer({NumKeywords, NumChunks});
+    DiagnosticEngine Diags;
+    auto Parsed = lang::parseAndCheck(App.Source, Diags);
+    ASSERT_TRUE(Parsed) << Diags.render("lexer");
+    Prog = std::move(*Parsed);
+    Natives.registerDefaultHashes();
+  }
+
+  SearchOptions searchOptions(ConcretizationPolicy Policy,
+                              unsigned MaxTests) {
+    SearchOptions Options;
+    Options.Policy = Policy;
+    Options.MaxTests = MaxTests;
+    Options.InitialInput = App.identifierInput();
+    // Input bytes are printable characters.
+    Options.RandomLo = 32;
+    Options.RandomHi = 126;
+    // classify() is called once per chunk, so its branch sites repeat in
+    // the trace; full path exploration (not coverage-directed skipping) is
+    // needed to place keywords in later chunks.
+    Options.SkipCoveredTargets = false;
+    return Options;
+  }
+
+  LexerApp App;
+  lang::Program Prog;
+  NativeRegistry Natives;
+};
+
+TEST_F(LexerAppTest, GeneratedProgramCompilesAndRuns) {
+  build();
+  Interpreter Interp(Prog, Natives);
+  RunResult R = Interp.run(App.Entry, App.identifierInput());
+  EXPECT_EQ(R.Status, RunStatus::Ok);
+  EXPECT_EQ(R.ReturnValue, 0) << "all-identifier input recognizes nothing";
+}
+
+TEST_F(LexerAppTest, KeywordInputsAreRecognizedConcretely) {
+  build();
+  Interpreter Interp(Prog, Natives);
+  // Chunks "whil" + "done" must reach the parser error production.
+  RunResult R = Interp.run(App.Entry, App.inputForTokens({1, 2}));
+  EXPECT_EQ(R.Status, RunStatus::ErrorHit);
+
+  // A single keyword in chunk 0 returns the production marker 100.
+  RunResult R2 = Interp.run(App.Entry, App.inputForTokens({3, 0}));
+  EXPECT_EQ(R2.Status, RunStatus::Ok);
+  EXPECT_EQ(R2.ReturnValue, 1) << "one keyword recognized";
+}
+
+TEST_F(LexerAppTest, HigherOrderInvertsTheHash) {
+  build(/*NumKeywords=*/6, /*NumChunks=*/2);
+  DirectedSearch Search(Prog, Natives, App.Entry,
+                        searchOptions(ConcretizationPolicy::HigherOrder,
+                                      /*MaxTests=*/64));
+  SearchResult R = Search.run();
+  unsigned Matched = countKeywordsMatched(App, R.Cov);
+  EXPECT_GE(Matched, App.Spec.NumKeywords - 1)
+      << "higher-order generation should synthesize nearly every keyword";
+  EXPECT_TRUE(R.foundErrorSite(0)) << "the two-keyword production is "
+                                      "reachable by chaining inversions";
+  EXPECT_EQ(R.Divergences, 0u);
+}
+
+TEST_F(LexerAppTest, PlainDseIsDefeatedByTheHash) {
+  build(/*NumKeywords=*/6, /*NumChunks=*/2);
+  for (ConcretizationPolicy Policy :
+       {ConcretizationPolicy::Unsound, ConcretizationPolicy::Sound}) {
+    DirectedSearch Search(Prog, Natives, App.Entry,
+                          searchOptions(Policy, /*MaxTests=*/64));
+    SearchResult R = Search.run();
+    EXPECT_EQ(countKeywordsMatched(App, R.Cov), 0u)
+        << "policy " << policyName(Policy)
+        << " cannot invert hash4 and should match no keyword";
+    EXPECT_FALSE(R.foundErrorSite(0));
+  }
+}
+
+TEST_F(LexerAppTest, RandomTestingMatchesNoKeyword) {
+  build(/*NumKeywords=*/6, /*NumChunks=*/2);
+  SearchResult R = runRandomSearch(Prog, Natives, App.Entry,
+                                   /*NumTests=*/256, 32, 126, /*Seed=*/7);
+  EXPECT_EQ(countKeywordsMatched(App, R.Cov), 0u)
+      << "a 4-character keyword is a ~1/95^4 random event";
+}
+
+TEST_F(LexerAppTest, ScalesToTwentyFourKeywords) {
+  build(/*NumKeywords=*/24, /*NumChunks=*/2);
+  DirectedSearch Search(Prog, Natives, App.Entry,
+                        searchOptions(ConcretizationPolicy::HigherOrder,
+                                      /*MaxTests=*/160));
+  SearchResult R = Search.run();
+  EXPECT_GE(countKeywordsMatched(App, R.Cov), 20u);
+}
+
+TEST_F(LexerAppTest, SingleChunkLexer) {
+  build(/*NumKeywords=*/4, /*NumChunks=*/1);
+  DirectedSearch Search(Prog, Natives, App.Entry,
+                        searchOptions(ConcretizationPolicy::HigherOrder,
+                                      /*MaxTests=*/32));
+  SearchResult R = Search.run();
+  EXPECT_TRUE(R.foundErrorSite(0)) << "leading-keyword error production";
+}
+
+} // namespace

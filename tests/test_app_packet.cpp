@@ -1,0 +1,118 @@
+//===- tests/test_app_packet.cpp - CRC-gated packet parser application ------------===//
+
+#include "app/PacketParser.h"
+
+#include "core/Search.h"
+#include "interp/Interp.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace hotg;
+using namespace hotg::app;
+using namespace hotg::core;
+using namespace hotg::dse;
+using namespace hotg::interp;
+
+namespace {
+
+class PacketAppTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    App = buildPacketParser();
+    DiagnosticEngine Diags;
+    auto Parsed = lang::parseAndCheck(App.Source, Diags);
+    ASSERT_TRUE(Parsed) << Diags.render();
+    Prog = std::move(*Parsed);
+    registerPacketNatives(Natives);
+  }
+
+  SearchResult search(ConcretizationPolicy Policy, unsigned MaxTests,
+                      TestInput Init) {
+    SearchOptions Options;
+    Options.Policy = Policy;
+    Options.MaxTests = MaxTests;
+    Options.InitialInput = std::move(Init);
+    Options.SkipCoveredTargets = false;
+    DirectedSearch Search(Prog, Natives, App.Entry, Options);
+    return Search.run();
+  }
+
+  PacketApp App;
+  lang::Program Prog;
+  NativeRegistry Natives;
+};
+
+TEST_F(PacketAppTest, ConcreteSemantics) {
+  Interpreter Interp(Prog, Natives);
+  EXPECT_EQ(Interp.run(App.Entry, App.garbagePacket()).ReturnValue, -1)
+      << "bad magic";
+
+  TestInput BadVersion = App.validPacket(9, {});
+  BadVersion.Cells[7] = 0; // Checksum irrelevant: version fails first.
+  EXPECT_EQ(Interp.run(App.Entry, BadVersion).ReturnValue, -2);
+
+  TestInput Valid = App.validPacket(1, {1, 2});
+  EXPECT_EQ(Interp.run(App.Entry, Valid).ReturnValue, 0);
+
+  TestInput BadCrc = App.validPacket(1, {1, 2});
+  BadCrc.Cells[7] += 1;
+  EXPECT_EQ(Interp.run(App.Entry, BadCrc).ReturnValue, -4);
+
+  TestInput V1Priv = App.validPacket(1, {77});
+  EXPECT_EQ(Interp.run(App.Entry, V1Priv).ReturnValue, 1);
+
+  TestInput V2Priv = App.validPacket(2, {77});
+  RunResult R = Interp.run(App.Entry, V2Priv);
+  EXPECT_EQ(R.Status, RunStatus::ErrorHit);
+  ASSERT_TRUE(R.Error.has_value());
+  EXPECT_EQ(R.Error->Site, 0u);
+
+  TestInput Combo = App.validPacket(1, {10, 20});
+  EXPECT_EQ(Interp.run(App.Entry, Combo).Status, RunStatus::ErrorHit);
+}
+
+TEST_F(PacketAppTest, HigherOrderForgesTheChecksumFromGarbage) {
+  SearchResult R = search(ConcretizationPolicy::HigherOrder, 96,
+                          App.garbagePacket());
+  EXPECT_TRUE(R.foundErrorSite(0)) << "privileged v2 command";
+  EXPECT_EQ(R.Divergences, 0u);
+  EXPECT_GE(R.MultiStepRuns, 1u)
+      << "each payload change invalidates the checksum; re-learning crc5 "
+         "is the multi-step mechanism at work";
+}
+
+TEST_F(PacketAppTest, HigherOrderFindsBothHandlers) {
+  SearchResult R = search(ConcretizationPolicy::HigherOrder, 128,
+                          App.garbagePacket());
+  EXPECT_TRUE(R.foundErrorSite(0));
+  EXPECT_TRUE(R.foundErrorSite(1)) << "the p0=10,p1=20 combo handler";
+}
+
+TEST_F(PacketAppTest, PlainDseStallsAtTheChecksumGate) {
+  for (ConcretizationPolicy Policy :
+       {ConcretizationPolicy::Unsound, ConcretizationPolicy::Sound}) {
+    SearchResult R = search(Policy, 96, App.garbagePacket());
+    EXPECT_FALSE(R.foundErrorSite(0)) << policyName(Policy);
+    EXPECT_FALSE(R.foundErrorSite(1)) << policyName(Policy);
+  }
+}
+
+TEST_F(PacketAppTest, PlainDseCannotEvenMutateValidPackets) {
+  // Even starting from a well-formed packet, any payload change breaks
+  // the checksum, so plain DSE cannot reach the handlers it has not seen.
+  for (ConcretizationPolicy Policy :
+       {ConcretizationPolicy::Unsound, ConcretizationPolicy::Sound}) {
+    SearchResult R = search(Policy, 64, App.validPacket(1, {1}));
+    EXPECT_FALSE(R.foundErrorSite(0)) << policyName(Policy);
+  }
+}
+
+TEST_F(PacketAppTest, RandomTestingIsHopeless) {
+  SearchResult R = runRandomSearch(Prog, Natives, App.Entry, 512, 0,
+                                   1000000, 11);
+  EXPECT_FALSE(R.foundErrorSite(0));
+  EXPECT_FALSE(R.foundErrorSite(1));
+}
+
+} // namespace

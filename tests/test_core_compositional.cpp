@@ -1,0 +1,287 @@
+//===- tests/test_core_compositional.cpp - Section 8: summaries + UFs -------------===//
+//
+// Higher-order *compositional* test generation: calls to summarizable
+// MiniLang functions become `sum:<name>` uninterpreted applications, their
+// intraprocedural paths are recorded as summary disjuncts, and the
+// validity solver grounds the applications by instantiating disjuncts —
+// the combination Section 8 describes as orthogonal and simultaneous.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Search.h"
+#include "dse/SymbolicExecutor.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace hotg;
+using namespace hotg::core;
+using namespace hotg::dse;
+using namespace hotg::interp;
+
+namespace {
+
+class CompositionalTest : public ::testing::Test {
+protected:
+  void compile(std::string_view Source) {
+    DiagnosticEngine Diags;
+    auto Parsed = lang::parseAndCheck(Source, Diags);
+    ASSERT_TRUE(Parsed) << Diags.render();
+    Prog = std::move(*Parsed);
+    Natives.registerDefaultHashes();
+  }
+
+  PathResult exec(std::string_view Entry, std::vector<int64_t> Cells) {
+    ExecOptions Options;
+    Options.Policy = ConcretizationPolicy::HigherOrder;
+    Options.SummarizeCalls = true;
+    SymbolicExecutor Exec(Prog, Natives, Arena, Options);
+    TestInput Input;
+    Input.Cells = std::move(Cells);
+    return Exec.execute(Entry, Input, &Samples, &Summaries);
+  }
+
+  lang::Program Prog;
+  NativeRegistry Natives;
+  smt::TermArena Arena;
+  smt::SampleTable Samples;
+  SummaryTable Summaries;
+};
+
+const char *StepProgram = R"(
+fun step(v: int) -> int {
+  if (v > 0) {
+    return 2 * v;
+  }
+  return 0;
+}
+fun main(x: int) -> int {
+  if (step(x) == 14) {
+    error("step inverted");
+  }
+  return 0;
+}
+)";
+
+TEST_F(CompositionalTest, CallBecomesSummaryApplication) {
+  compile(StepProgram);
+  PathResult PR = exec("main", {5});
+  // The caller's constraint mentions sum:step, not the inlined 2*x.
+  ASSERT_GE(PR.PC.size(), 2u);
+  // Entry 0: the instantiated precondition (check-style, negatable).
+  EXPECT_TRUE(PR.PC.Entries[0].IsCheck);
+  EXPECT_EQ(Arena.toString(PR.PC.Entries[0].Constraint), "(> x 0)");
+  // Entry 1: the branch constraint over the opaque application.
+  EXPECT_EQ(Arena.toString(PR.PC.Entries[1].Constraint),
+            "(distinct (sum:step x) 14)");
+}
+
+TEST_F(CompositionalTest, DisjunctIsRecordedOverFormals) {
+  compile(StepProgram);
+  exec("main", {5});
+  smt::FuncId SymId = Arena.getOrCreateFunc("sum:step", 1);
+  ASSERT_TRUE(Summaries.isSummary(SymId));
+  const auto &Disjuncts = Summaries.disjunctsFor(SymId);
+  ASSERT_EQ(Disjuncts.size(), 1u);
+  EXPECT_EQ(Arena.toString(Disjuncts[0].Pre), "(> sum:step#v 0)");
+  EXPECT_EQ(Arena.toString(Disjuncts[0].Out), "(* 2 sum:step#v)");
+}
+
+TEST_F(CompositionalTest, BothPathsAccumulateDisjuncts) {
+  compile(StepProgram);
+  exec("main", {5});
+  exec("main", {-3});
+  exec("main", {7}); // Duplicate path: disjunct deduplicates.
+  smt::FuncId SymId = Arena.getOrCreateFunc("sum:step", 1);
+  EXPECT_EQ(Summaries.disjunctsFor(SymId).size(), 2u);
+  EXPECT_EQ(Summaries.size(), 2u);
+}
+
+TEST_F(CompositionalTest, ConcreteCallsAreNotSummarized) {
+  compile(StepProgram);
+  // A call with concrete arguments evaluates concretely — no disjunct.
+  compile("fun step(v: int) -> int { return v + 1; }\n"
+          "fun main(x: int) -> int { return step(3) + x; }");
+  exec("main", {5});
+  EXPECT_EQ(Summaries.size(), 0u);
+}
+
+TEST_F(CompositionalTest, SearchSolvesThroughTheSummary) {
+  compile(StepProgram);
+  SearchOptions Options;
+  Options.Policy = ConcretizationPolicy::HigherOrder;
+  Options.SummarizeCalls = true;
+  Options.MaxTests = 16;
+  TestInput Init;
+  Init.Cells = {5};
+  Options.InitialInput = Init;
+  DirectedSearch Search(Prog, Natives, "main", Options);
+  SearchResult R = Search.run();
+  ASSERT_TRUE(R.foundErrorSite(0))
+      << "sum:step(x) = 14 must be solved by instantiating the disjunct "
+         "x > 0 ∧ sum:step(x) = 2x, giving x = 7";
+  bool SawSeven = false;
+  for (const BugRecord &Bug : R.Bugs)
+    SawSeven |= Bug.Input.Cells[0] == 7;
+  EXPECT_TRUE(SawSeven);
+  EXPECT_EQ(R.Divergences, 0u);
+  EXPECT_GE(Search.summaries().size(), 1u);
+}
+
+TEST_F(CompositionalTest, NegatingThePreExploresCalleePaths) {
+  // The error is behind the callee's *other* path: the search must negate
+  // the instantiated precondition to grow the summary first.
+  compile(R"(
+fun classify(v: int) -> int {
+  if (v > 100) {
+    return v - 100;
+  }
+  return v + 1;
+}
+fun main(x: int) -> int {
+  if (classify(x) == 5) {
+    if (x > 100) {
+      error("large-side preimage");
+    }
+    return 1;
+  }
+  return 0;
+}
+)");
+  SearchOptions Options;
+  Options.Policy = ConcretizationPolicy::HigherOrder;
+  Options.SummarizeCalls = true;
+  Options.MaxTests = 24;
+  Options.SkipCoveredTargets = false;
+  TestInput Init;
+  Init.Cells = {3};
+  Options.InitialInput = Init;
+  DirectedSearch Search(Prog, Natives, "main", Options);
+  SearchResult R = Search.run();
+  EXPECT_TRUE(R.foundErrorSite(0)) << "needs x = 105 via the v > 100 "
+                                      "disjunct";
+}
+
+TEST_F(CompositionalTest, SummariesComposeWithUnknownFunctions) {
+  // Section 8's actual claim: summary UFs and imprecision UFs coexist.
+  // wrap() calls the unknown hash inside a summarizable function.
+  compile(R"(
+extern hash(int) -> int;
+fun wrap(v: int) -> int {
+  return hash(v) + 1;
+}
+fun main(x: int, y: int) -> int {
+  if (x == wrap(y)) {
+    error("through both layers");
+  }
+  return 0;
+}
+)");
+  SearchOptions Options;
+  Options.Policy = ConcretizationPolicy::HigherOrder;
+  Options.SummarizeCalls = true;
+  Options.MaxTests = 16;
+  TestInput Init;
+  Init.Cells = {3, 42};
+  Options.InitialInput = Init;
+  DirectedSearch Search(Prog, Natives, "main", Options);
+  SearchResult R = Search.run();
+  EXPECT_TRUE(R.foundErrorSite(0))
+      << "x = sum:wrap(y) grounds through the disjunct out = hash(v)+1, "
+         "whose hash(y) application grounds through the sample";
+  EXPECT_EQ(R.Divergences, 0u);
+}
+
+TEST_F(CompositionalTest, NestedSummariesGroundRecursively) {
+  // scale() calls clamp(); grounding sum:scale's disjunct introduces
+  // sum:clamp, which must itself be grounded by its own disjunct (the
+  // worklist recursion) — otherwise the solver would invent its value.
+  compile(R"(
+fun clamp(v: int) -> int {
+  if (v < 0) { return 0; }
+  if (v > 100) { return 100; }
+  return v;
+}
+fun scale(v: int) -> int {
+  return clamp(v) * 3 + 1;
+}
+fun main(x: int) -> int {
+  if (scale(x) == 91) {
+    error("x must be 30");
+  }
+  return 0;
+}
+)");
+  SearchOptions Options;
+  Options.Policy = ConcretizationPolicy::HigherOrder;
+  Options.SummarizeCalls = true;
+  Options.MaxTests = 24;
+  TestInput Init;
+  Init.Cells = {13};
+  Options.InitialInput = Init;
+  DirectedSearch Search(Prog, Natives, "main", Options);
+  SearchResult R = Search.run();
+  ASSERT_TRUE(R.foundErrorSite(0));
+  bool SawThirty = false;
+  for (const BugRecord &Bug : R.Bugs)
+    SawThirty |= Bug.Input.Cells[0] == 30;
+  EXPECT_TRUE(SawThirty) << "clamp(x)*3+1 = 91 forces x = 30";
+  EXPECT_EQ(R.Divergences, 0u);
+}
+
+TEST_F(CompositionalTest, ErrorSitesDisableSummarization) {
+  compile(R"(
+fun risky(v: int) -> int {
+  if (v == 99) {
+    error("inside callee");
+  }
+  return v;
+}
+fun main(x: int) -> int {
+  return risky(x);
+}
+)");
+  SearchOptions Options;
+  Options.Policy = ConcretizationPolicy::HigherOrder;
+  Options.SummarizeCalls = true;
+  Options.MaxTests = 8;
+  TestInput Init;
+  Init.Cells = {1};
+  Options.InitialInput = Init;
+  DirectedSearch Search(Prog, Natives, "main", Options);
+  SearchResult R = Search.run();
+  EXPECT_TRUE(R.foundErrorSite(0))
+      << "risky() is inlined (not summarizable), so the bug stays visible";
+  EXPECT_EQ(Search.summaries().size(), 0u);
+}
+
+TEST_F(CompositionalTest, RecursionIsNotSummarized) {
+  compile(R"(
+fun rec(v: int) -> int {
+  if (v <= 0) {
+    return 0;
+  }
+  return rec(v - 1) + 1;
+}
+fun main(x: int) -> int {
+  if (rec(x) == 3) {
+    error("depth three");
+  }
+  return 0;
+}
+)");
+  SearchOptions Options;
+  Options.Policy = ConcretizationPolicy::HigherOrder;
+  Options.SummarizeCalls = true;
+  Options.MaxTests = 24;
+  Options.SkipCoveredTargets = false;
+  TestInput Init;
+  Init.Cells = {0};
+  Options.InitialInput = Init;
+  DirectedSearch Search(Prog, Natives, "main", Options);
+  SearchResult R = Search.run();
+  EXPECT_EQ(Search.summaries().size(), 0u);
+  EXPECT_TRUE(R.foundErrorSite(0)) << "inlined recursion still solvable";
+}
+
+} // namespace

@@ -1,0 +1,71 @@
+//===- tests/test_core_post.cpp - POST(pc) construction unit tests ----------------===//
+
+#include "core/Post.h"
+
+#include <gtest/gtest.h>
+
+using namespace hotg;
+using namespace hotg::core;
+using namespace hotg::smt;
+
+namespace {
+
+class PostTest : public ::testing::Test {
+protected:
+  TermArena Arena;
+  SampleTable Samples;
+  TermId X = Arena.mkVar("x");
+  TermId Y = Arena.mkVar("y");
+  FuncId H = Arena.getOrCreateFunc("hash", 1);
+
+  TermId h(TermId T) { return Arena.mkUFApp(H, {{T}}); }
+};
+
+TEST_F(PostTest, EmptyTableGivesBarePathCondition) {
+  TermId Pc = Arena.mkEq(X, h(Y));
+  EXPECT_EQ(buildPost(Arena, Pc, Samples), Pc);
+}
+
+TEST_F(PostTest, AntecedentListsRelevantSamples) {
+  Samples.record(H, {42}, 567);
+  TermId Pc = Arena.mkEq(X, h(Y));
+  TermId A = buildAntecedent(Arena, Pc, Samples);
+  EXPECT_EQ(Arena.toString(A), "(= 567 (hash 42))");
+}
+
+TEST_F(PostTest, IrrelevantSamplesAreOmitted) {
+  FuncId Other = Arena.getOrCreateFunc("other", 1);
+  Samples.record(Other, {1}, 2);
+  TermId Pc = Arena.mkEq(X, h(Y));
+  TermId A = buildAntecedent(Arena, Pc, Samples);
+  EXPECT_EQ(Arena.toString(A), "true")
+      << "samples of symbols absent from pc cannot matter";
+  EXPECT_EQ(buildPost(Arena, Pc, Samples), Pc);
+}
+
+TEST_F(PostTest, PostIsImplication) {
+  Samples.record(H, {42}, 567);
+  TermId Pc = Arena.mkEq(X, h(Y));
+  TermId Post = buildPost(Arena, Pc, Samples);
+  EXPECT_EQ(Arena.toString(Post),
+            "(=> (= 567 (hash 42)) (= x (hash y)))");
+}
+
+TEST_F(PostTest, MultipleSamplesConjoin) {
+  Samples.record(H, {0}, 0);
+  Samples.record(H, {1}, 1);
+  TermId Pc = Arena.mkEq(h(X), Arena.mkAdd(h(Y), Arena.mkIntConst(1)));
+  TermId A = buildAntecedent(Arena, Pc, Samples);
+  EXPECT_EQ(Arena.toString(A),
+            "(and (= 0 (hash 0)) (= 1 (hash 1)))");
+}
+
+TEST_F(PostTest, PaperNotationRendering) {
+  Samples.record(H, {42}, 567);
+  TermId Pc = Arena.mkEq(X, h(Y));
+  std::string Rendered = postToString(Arena, Pc, Samples);
+  EXPECT_EQ(Rendered,
+            "exists x, y : (=> (= 567 (hash 42)) (= x (hash y)))");
+}
+
+} // namespace

@@ -1,0 +1,212 @@
+//===- tests/test_core_validity.cpp - Validity solver on the paper's formulas -----===//
+
+#include "core/ValiditySolver.h"
+
+#include "core/Post.h"
+
+#include <gtest/gtest.h>
+
+using namespace hotg;
+using namespace hotg::core;
+using namespace hotg::smt;
+
+namespace {
+
+class ValidityTest : public ::testing::Test {
+protected:
+  TermArena Arena;
+  SampleTable Samples;
+  TermId X = Arena.mkVar("x");
+  TermId Y = Arena.mkVar("y");
+  FuncId H = Arena.getOrCreateFunc("h", 1);
+  FuncId F = Arena.getOrCreateFunc("f", 1);
+
+  TermId h(TermId T) { return Arena.mkUFApp(H, {{T}}); }
+  TermId f(TermId T) { return Arena.mkUFApp(F, {{T}}); }
+
+  ValidityAnswer check(TermId Pc, bool AllowLearning = true) {
+    ValidityOptions Options;
+    Options.AllowLearning = AllowLearning;
+    ValiditySolver Solver(Arena, Samples, Options);
+    return Solver.checkPost(Pc);
+  }
+};
+
+TEST_F(ValidityTest, Section42ObscureAlternate) {
+  // ∃x, y : x = h(y) with sample h(42) = 567: valid; the strategy is
+  // "fix y = 42, set x to 567".
+  Samples.record(H, {42}, 567);
+  ValidityAnswer A = check(Arena.mkEq(X, h(Y)));
+  ASSERT_EQ(A.Status, ValidityStatus::Valid);
+  EXPECT_EQ(A.ModelValue.varValueOr(Arena.getOrCreateVar("y"), -1), 42);
+  EXPECT_EQ(A.ModelValue.varValueOr(Arena.getOrCreateVar("x"), -1), 567);
+}
+
+TEST_F(ValidityTest, UnsampledEqualityIsOnlyLearnable) {
+  // ∃x, y : x = h(y) with NO samples: no one-shot strategy (the paper's
+  // point that satisfiability checking would wrongly invent h), but a
+  // learning plan exists.
+  ValidityAnswer A = check(Arena.mkEq(X, h(Y)));
+  EXPECT_EQ(A.Status, ValidityStatus::NeedsSamples);
+  ASSERT_EQ(A.Learn.size(), 1u);
+  EXPECT_EQ(A.Learn[0].Func, H);
+
+  ValidityAnswer OneShot = check(Arena.mkEq(X, h(Y)),
+                                 /*AllowLearning=*/false);
+  EXPECT_EQ(OneShot.Status, ValidityStatus::NotValid);
+}
+
+TEST_F(ValidityTest, Example4WithoutSamplesInvalid) {
+  // ∃x, y : h(x) > 0 ∧ y = 10 — invalid without samples (h could be
+  // constantly 0), learnable with multi-step.
+  TermId Pc = Arena.mkAnd(Arena.mkGt(h(X), Arena.mkIntConst(0)),
+                          Arena.mkEq(Y, Arena.mkIntConst(10)));
+  EXPECT_EQ(check(Pc, /*AllowLearning=*/false).Status,
+            ValidityStatus::NotValid);
+}
+
+TEST_F(ValidityTest, Example4WithSampleValid) {
+  // With h(1) = 5 recorded the formula becomes valid: x = 1, y = 10.
+  Samples.record(H, {1}, 5);
+  TermId Pc = Arena.mkAnd(Arena.mkGt(h(X), Arena.mkIntConst(0)),
+                          Arena.mkEq(Y, Arena.mkIntConst(10)));
+  ValidityAnswer A = check(Pc);
+  ASSERT_EQ(A.Status, ValidityStatus::Valid);
+  EXPECT_EQ(A.ModelValue.varValueOr(Arena.getOrCreateVar("x"), -1), 1);
+  EXPECT_EQ(A.ModelValue.varValueOr(Arena.getOrCreateVar("y"), -1), 10);
+}
+
+TEST_F(ValidityTest, Example4NegativeSampleStaysInvalid) {
+  // A sample with h(3) = -7 does not help h(x) > 0.
+  Samples.record(H, {3}, -7);
+  TermId Pc = Arena.mkGt(h(X), Arena.mkIntConst(0));
+  EXPECT_EQ(check(Pc, /*AllowLearning=*/false).Status,
+            ValidityStatus::NotValid);
+}
+
+TEST_F(ValidityTest, Example5CongruenceStrategy) {
+  // ∃x, y : f(x) = f(y) is valid via x = y — no samples needed.
+  ValidityAnswer A = check(Arena.mkEq(f(X), f(Y)));
+  ASSERT_EQ(A.Status, ValidityStatus::Valid);
+  auto VX = A.ModelValue.varValue(Arena.getOrCreateVar("x"));
+  auto VY = A.ModelValue.varValue(Arena.getOrCreateVar("y"));
+  ASSERT_TRUE(VX && VY);
+  EXPECT_EQ(*VX, *VY) << "the strategy must set x = y";
+}
+
+TEST_F(ValidityTest, Example6AntecedentProvesOffset) {
+  // ∃x, y : (f(0)=0 ∧ f(1)=1) ⟹ f(x) = f(y) + 1: valid via x=1, y=0.
+  Samples.record(F, {0}, 0);
+  Samples.record(F, {1}, 1);
+  TermId Pc = Arena.mkEq(f(X), Arena.mkAdd(f(Y), Arena.mkIntConst(1)));
+  ValidityAnswer A = check(Pc);
+  ASSERT_EQ(A.Status, ValidityStatus::Valid);
+  EXPECT_EQ(A.ModelValue.varValueOr(Arena.getOrCreateVar("x"), -1), 1);
+  EXPECT_EQ(A.ModelValue.varValueOr(Arena.getOrCreateVar("y"), -1), 0);
+}
+
+TEST_F(ValidityTest, Example6WithoutAntecedentGeneratesNoTest) {
+  // Without the antecedent the formula is invalid; the solver may prove
+  // NotValid or give up with Unknown — either way no test is generated,
+  // which is Example 6's claim.
+  TermId Pc = Arena.mkEq(f(X), Arena.mkAdd(f(Y), Arena.mkIntConst(1)));
+  ValidityAnswer A = check(Pc, /*AllowLearning=*/false);
+  EXPECT_NE(A.Status, ValidityStatus::Valid);
+  EXPECT_NE(A.Status, ValidityStatus::NeedsSamples);
+}
+
+TEST_F(ValidityTest, Example7TwoStepPlan) {
+  // ∃x, y : (h(42)=567) ⟹ (x = h(y) ∧ y = 10): the one-shot check fails
+  // (h(10) unknown) but the plan asks to learn h at 10.
+  Samples.record(H, {42}, 567);
+  TermId Pc = Arena.mkAnd(Arena.mkEq(X, h(Y)),
+                          Arena.mkEq(Y, Arena.mkIntConst(10)));
+  ValidityAnswer A = check(Pc);
+  ASSERT_EQ(A.Status, ValidityStatus::NeedsSamples);
+  ASSERT_EQ(A.Learn.size(), 1u);
+  EXPECT_EQ(A.Learn[0].Func, H);
+  EXPECT_EQ(A.Learn[0].Args, std::vector<int64_t>{10});
+  // The candidate intermediate assignment fixes y = 10.
+  EXPECT_EQ(A.ModelValue.varValueOr(Arena.getOrCreateVar("y"), -1), 10);
+
+  // After learning h(10) = 66 the strategy completes.
+  Samples.record(H, {10}, 66);
+  ValidityAnswer Second = check(Pc);
+  ASSERT_EQ(Second.Status, ValidityStatus::Valid);
+  EXPECT_EQ(Second.ModelValue.varValueOr(Arena.getOrCreateVar("x"), -1), 66);
+  EXPECT_EQ(Second.ModelValue.varValueOr(Arena.getOrCreateVar("y"), -1), 10);
+}
+
+TEST_F(ValidityTest, Example3MutualHashHasNoStrategy) {
+  // ∃x, y : x = h(y) ∧ y = h(x) — not valid (Example 3). With learning
+  // it is at best a plan; one-shot must reject.
+  Samples.record(H, {42}, 567);
+  Samples.record(H, {33}, 123);
+  TermId Pc = Arena.mkAnd(Arena.mkEq(X, h(Y)), Arena.mkEq(Y, h(X)));
+  ValidityAnswer A = check(Pc, /*AllowLearning=*/false);
+  EXPECT_NE(A.Status, ValidityStatus::Valid);
+}
+
+TEST_F(ValidityTest, UFFreeFormulaDegeneratestoSatisfiability) {
+  TermId Pc = Arena.mkAnd(Arena.mkEq(X, Arena.mkIntConst(5)),
+                          Arena.mkLt(Y, X));
+  ValidityAnswer A = check(Pc);
+  ASSERT_EQ(A.Status, ValidityStatus::Valid);
+  EXPECT_EQ(A.ModelValue.varValueOr(Arena.getOrCreateVar("x"), -1), 5);
+
+  EXPECT_EQ(check(Arena.mkAnd(Arena.mkEq(X, Arena.mkIntConst(1)),
+                              Arena.mkEq(X, Arena.mkIntConst(2))))
+                .Status,
+            ValidityStatus::NotValid);
+}
+
+TEST_F(ValidityTest, BooleanConstants) {
+  EXPECT_EQ(check(Arena.mkTrue()).Status, ValidityStatus::Valid);
+  EXPECT_EQ(check(Arena.mkFalse()).Status, ValidityStatus::NotValid);
+}
+
+TEST_F(ValidityTest, DisjunctionUsesAnySupport) {
+  // (x = h(y) ∧ false-ish branch) ∨ x = 3: the UF-free disjunct gives a
+  // strategy regardless of samples.
+  TermId Pc = Arena.mkOr(Arena.mkEq(X, h(Y)),
+                         Arena.mkEq(X, Arena.mkIntConst(3)));
+  ValidityAnswer A = check(Pc, /*AllowLearning=*/false);
+  ASSERT_EQ(A.Status, ValidityStatus::Valid);
+}
+
+TEST_F(ValidityTest, HashCollisionDisjunction) {
+  // Section 7's inversion with collisions: two sampled arguments map to
+  // the same output; either preimage is an acceptable strategy.
+  Samples.record(H, {5}, 100);
+  Samples.record(H, {9}, 100);
+  ValidityAnswer A = check(Arena.mkEq(h(X), Arena.mkIntConst(100)));
+  ASSERT_EQ(A.Status, ValidityStatus::Valid);
+  int64_t V = A.ModelValue.varValueOr(Arena.getOrCreateVar("x"), -1);
+  EXPECT_TRUE(V == 5 || V == 9) << "got " << V;
+}
+
+TEST_F(ValidityTest, MultiArgumentSampleBinding) {
+  // 4-ary hash inversion (the keyword-lexer shape).
+  FuncId H4 = Arena.getOrCreateFunc("h4", 4);
+  Samples.record(H4, {119, 104, 105, 108}, 52);
+  TermId A0 = Arena.mkVar("a0"), A1 = Arena.mkVar("a1");
+  TermId A2 = Arena.mkVar("a2"), A3 = Arena.mkVar("a3");
+  TermId Args[4] = {A0, A1, A2, A3};
+  TermId Pc = Arena.mkEq(Arena.mkUFApp(H4, Args), Arena.mkIntConst(52));
+  ValidityAnswer A = check(Pc);
+  ASSERT_EQ(A.Status, ValidityStatus::Valid);
+  EXPECT_EQ(A.ModelValue.varValueOr(Arena.getOrCreateVar("a0"), -1), 119);
+  EXPECT_EQ(A.ModelValue.varValueOr(Arena.getOrCreateVar("a3"), -1), 108);
+}
+
+TEST_F(ValidityTest, StatsArePopulated) {
+  Samples.record(H, {1}, 2);
+  ValidityOptions Options;
+  ValiditySolver Solver(Arena, Samples, Options);
+  Solver.checkPost(Arena.mkEq(X, h(Y)));
+  EXPECT_GE(Solver.stats().SupportsExplored, 1u);
+  EXPECT_GE(Solver.stats().GroundingsTried, 1u);
+  EXPECT_GE(Solver.stats().InnerSolverCalls, 1u);
+}
+
+} // namespace

@@ -1,0 +1,140 @@
+//===- tests/test_dse_checks.cpp - Injected safety-check constraints --------------===//
+//
+// Section 3.2's injected check constraints: bounds checks at symbolic
+// array indices and nonzero-divisor checks, which let the directed search
+// target value-dependent faults on already-covered paths.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Search.h"
+#include "dse/SymbolicExecutor.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace hotg;
+using namespace hotg::core;
+using namespace hotg::dse;
+using namespace hotg::interp;
+
+namespace {
+
+class CheckInjectionTest : public ::testing::Test {
+protected:
+  void compile(std::string_view Source) {
+    DiagnosticEngine Diags;
+    auto Parsed = lang::parseAndCheck(Source, Diags);
+    ASSERT_TRUE(Parsed) << Diags.render();
+    Prog = std::move(*Parsed);
+  }
+
+  PathResult exec(std::vector<int64_t> Cells, bool InjectChecks = true) {
+    ExecOptions Options;
+    Options.Policy = ConcretizationPolicy::Unsound;
+    Options.InjectChecks = InjectChecks;
+    SymbolicExecutor Exec(Prog, Natives, Arena, Options);
+    TestInput Input;
+    Input.Cells = std::move(Cells);
+    return Exec.execute(Prog.Functions.front()->Name, Input);
+  }
+
+  lang::Program Prog;
+  NativeRegistry Natives;
+  smt::TermArena Arena;
+};
+
+TEST_F(CheckInjectionTest, BoundsCheckEntryIsEmitted) {
+  compile("fun f(a: int[4], i: int) -> int { return a[i]; }");
+  PathResult PR = exec({1, 2, 3, 4, 2});
+  ASSERT_GE(PR.PC.size(), 1u);
+  EXPECT_TRUE(PR.PC.Entries[0].IsCheck);
+  EXPECT_FALSE(PR.PC.Entries[0].IsConcretization);
+  EXPECT_EQ(Arena.toString(PR.PC.Entries[0].Constraint),
+            "(and (>= i 0) (< i 4))");
+}
+
+TEST_F(CheckInjectionTest, ConcreteIndexNeedsNoCheck) {
+  compile("fun f(a: int[4]) -> int { return a[2]; }");
+  PathResult PR = exec({1, 2, 3, 4});
+  EXPECT_TRUE(PR.PC.empty());
+}
+
+TEST_F(CheckInjectionTest, DivisorCheckEntryIsEmitted) {
+  compile("fun f(x: int) -> int { return 100 / x; }");
+  PathResult PR = exec({5});
+  ASSERT_EQ(PR.PC.size(), 1u);
+  EXPECT_TRUE(PR.PC.Entries[0].IsCheck);
+  EXPECT_EQ(Arena.toString(PR.PC.Entries[0].Constraint),
+            "(distinct x 0)");
+}
+
+TEST_F(CheckInjectionTest, InjectionCanBeDisabled) {
+  compile("fun f(a: int[4], i: int) -> int { return a[i] / i; }");
+  PathResult PR = exec({1, 2, 3, 4, 2}, /*InjectChecks=*/false);
+  EXPECT_TRUE(PR.PC.empty());
+}
+
+TEST_F(CheckInjectionTest, ChecksAreNegatable) {
+  compile("fun f(a: int[4], i: int) -> int { return a[i]; }");
+  PathResult PR = exec({1, 2, 3, 4, 2});
+  auto Positions = PR.PC.negatablePositions();
+  ASSERT_EQ(Positions.size(), 1u);
+  // ¬(0 <= i < 4) = i < 0 ∨ i >= 4.
+  EXPECT_EQ(Arena.toString(PR.PC.alternate(Arena, Positions[0])),
+            "(or (< i 0) (>= i 4))");
+}
+
+TEST_F(CheckInjectionTest, ConcretelyFaultingRunStillFaults) {
+  compile("fun f(a: int[4], i: int) -> int { return a[i]; }");
+  PathResult PR = exec({1, 2, 3, 4, 9});
+  EXPECT_EQ(PR.Run.Status, RunStatus::OutOfBounds);
+  EXPECT_TRUE(PR.PC.empty()) << "no check entry on the faulting run";
+}
+
+TEST_F(CheckInjectionTest, SearchFindsValueDependentFaults) {
+  compile("fun f(a: int[4], i: int, v: int) -> int {\n"
+          "  if (i >= 0) {\n"
+          "    if (i * 2 < 10) {\n"
+          "      a[i] = v;\n"
+          "      return a[i] / v;\n"
+          "    }\n"
+          "  }\n"
+          "  return -1;\n"
+          "}");
+  SearchOptions Options;
+  Options.Policy = ConcretizationPolicy::Unsound;
+  Options.MaxTests = 24;
+  Options.SkipCoveredTargets = false;
+  TestInput Init;
+  Init.Cells = {0, 0, 0, 0, 2, 7};
+  Options.InitialInput = Init;
+  DirectedSearch Search(Prog, Natives, "f", Options);
+  SearchResult R = Search.run();
+  EXPECT_TRUE(R.foundStatus(RunStatus::OutOfBounds))
+      << "i = 4 passes both guards but overflows the buffer";
+  EXPECT_TRUE(R.foundStatus(RunStatus::DivByZero)) << "v = 0 divides";
+  EXPECT_EQ(R.Divergences, 0u)
+      << "check-derived tests replay their prefix and fault as predicted";
+}
+
+TEST_F(CheckInjectionTest, HigherOrderPolicyAlsoInjectsChecks) {
+  compile("extern hash(int) -> int;\n"
+          "fun f(a: int[4], i: int) -> int {\n"
+          "  var t: int = hash(i);\n"
+          "  return a[i] + t;\n"
+          "}");
+  SearchOptions Options;
+  Options.Policy = ConcretizationPolicy::HigherOrder;
+  Options.MaxTests = 16;
+  Options.SkipCoveredTargets = false;
+  TestInput Init;
+  Init.Cells = {1, 2, 3, 4, 1};
+  Options.InitialInput = Init;
+  NativeRegistry HashNatives;
+  HashNatives.registerDefaultHashes();
+  DirectedSearch Search(Prog, HashNatives, "f", Options);
+  SearchResult R = Search.run();
+  EXPECT_TRUE(R.foundStatus(RunStatus::OutOfBounds));
+}
+
+} // namespace

@@ -1,0 +1,309 @@
+//===- tests/test_dse_executor.cpp - Symbolic co-executor unit tests --------------===//
+
+#include "dse/SymbolicExecutor.h"
+
+#include "interp/Interp.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace hotg;
+using namespace hotg::dse;
+using namespace hotg::interp;
+
+namespace {
+
+class DseTest : public ::testing::Test {
+protected:
+  void compile(std::string_view Source) {
+    DiagnosticEngine Diags;
+    auto Parsed = lang::parseAndCheck(Source, Diags);
+    ASSERT_TRUE(Parsed) << Diags.render();
+    Prog = std::move(*Parsed);
+    Natives.registerDefaultHashes();
+  }
+
+  PathResult exec(std::string_view Entry, std::vector<int64_t> Cells,
+                  ConcretizationPolicy Policy,
+                  smt::SampleTable *Samples = nullptr) {
+    ExecOptions Options;
+    Options.Policy = Policy;
+    SymbolicExecutor Exec(Prog, Natives, Arena, Options);
+    TestInput Input;
+    Input.Cells = std::move(Cells);
+    return Exec.execute(Entry, Input, Samples);
+  }
+
+  lang::Program Prog;
+  NativeRegistry Natives;
+  smt::TermArena Arena;
+};
+
+TEST_F(DseTest, CollectsInputConstraintsAtBranches) {
+  compile("fun f(x: int) -> int {\n"
+          "  if (x < 10) { return 1; }\n"
+          "  return 0;\n"
+          "}");
+  PathResult PR = exec("f", {5}, ConcretizationPolicy::Unsound);
+  ASSERT_EQ(PR.PC.size(), 1u);
+  EXPECT_EQ(Arena.toString(PR.PC.Entries[0].Constraint), "(< x 10)");
+  EXPECT_TRUE(PR.PC.Entries[0].Taken);
+
+  PathResult PR2 = exec("f", {50}, ConcretizationPolicy::Unsound);
+  ASSERT_EQ(PR2.PC.size(), 1u);
+  EXPECT_EQ(Arena.toString(PR2.PC.Entries[0].Constraint), "(>= x 10)");
+}
+
+TEST_F(DseTest, ConcreteBranchesAddNoConstraints) {
+  compile("fun f(x: int) -> int {\n"
+          "  if (1 < 2) { return x; }\n"
+          "  return 0;\n"
+          "}");
+  PathResult PR = exec("f", {5}, ConcretizationPolicy::Unsound);
+  EXPECT_TRUE(PR.PC.empty());
+  EXPECT_EQ(PR.Run.Trace.size(), 1u) << "the event is still traced";
+}
+
+TEST_F(DseTest, SymbolicValuesFlowThroughAssignments) {
+  compile("fun f(x: int) -> int {\n"
+          "  var t: int = x + 1;\n"
+          "  var u: int = t * 3;\n"
+          "  if (u == 9) { return 1; }\n"
+          "  return 0;\n"
+          "}");
+  PathResult PR = exec("f", {0}, ConcretizationPolicy::Unsound);
+  ASSERT_EQ(PR.PC.size(), 1u);
+  // (x+1)*3 == 9, negated since 3 != 9.
+  EXPECT_EQ(Arena.toString(PR.PC.Entries[0].Constraint),
+            "(distinct (* 3 (+ x 1)) 9)");
+}
+
+TEST_F(DseTest, TraceMatchesConcreteInterpreter) {
+  compile("fun f(x: int, y: int) -> int {\n"
+          "  var i: int = 0;\n"
+          "  while (i < y) { i = i + 1; }\n"
+          "  if (x == i) { error(\"eq\"); }\n"
+          "  return i;\n"
+          "}");
+  Interpreter Interp(Prog, Natives);
+  for (auto Cells : std::vector<std::vector<int64_t>>{
+           {3, 3}, {0, 0}, {5, 2}, {-1, 4}}) {
+    TestInput Input;
+    Input.Cells = Cells;
+    RunResult Concrete = Interp.run("f", Input);
+    PathResult PR = exec("f", Cells, ConcretizationPolicy::HigherOrder);
+    EXPECT_EQ(PR.Run.Trace, Concrete.Trace);
+    EXPECT_EQ(PR.Run.Status, Concrete.Status);
+    EXPECT_EQ(PR.Run.ReturnValue, Concrete.ReturnValue);
+  }
+}
+
+TEST_F(DseTest, UnsoundPolicyDropsUnknownCalls) {
+  compile("extern hash(int) -> int;\n"
+          "fun f(x: int, y: int) -> int {\n"
+          "  if (x == hash(y)) { return 1; }\n"
+          "  return 0;\n"
+          "}");
+  PathResult PR = exec("f", {33, 42}, ConcretizationPolicy::Unsound);
+  ASSERT_EQ(PR.PC.size(), 1u);
+  EXPECT_EQ(PR.NumConcretizations, 1u);
+  // hash(y) was replaced by its concrete value.
+  EXPECT_EQ(Arena.toString(PR.PC.Entries[0].Constraint),
+            "(distinct x " + std::to_string(defaultHash1(42)) + ")");
+}
+
+TEST_F(DseTest, SoundPolicyInjectsConcretizationConstraints) {
+  compile("extern hash(int) -> int;\n"
+          "fun f(x: int, y: int) -> int {\n"
+          "  if (x == hash(y)) { return 1; }\n"
+          "  return 0;\n"
+          "}");
+  PathResult PR = exec("f", {33, 42}, ConcretizationPolicy::Sound);
+  ASSERT_EQ(PR.PC.size(), 2u);
+  EXPECT_TRUE(PR.PC.Entries[0].IsConcretization);
+  EXPECT_EQ(Arena.toString(PR.PC.Entries[0].Constraint), "(= y 42)");
+  EXPECT_FALSE(PR.PC.Entries[1].IsConcretization);
+  ASSERT_EQ(PR.PC.negatablePositions(), std::vector<size_t>{1});
+}
+
+TEST_F(DseTest, SoundPolicyDoesNotDuplicateConcretizations) {
+  compile("extern hash(int) -> int;\n"
+          "fun f(y: int) -> int {\n"
+          "  if (hash(y) > 0) {\n"
+          "    if (hash(y) > 10) { return 2; }\n"
+          "    return 1;\n"
+          "  }\n"
+          "  return 0;\n"
+          "}");
+  PathResult PR = exec("f", {42}, ConcretizationPolicy::Sound);
+  unsigned NumConcretizationEntries = 0;
+  for (const PathEntry &E : PR.PC.Entries)
+    NumConcretizationEntries += E.IsConcretization;
+  EXPECT_EQ(NumConcretizationEntries, 1u) << "y is fixed once";
+}
+
+TEST_F(DseTest, HigherOrderBuildsUFApplications) {
+  compile("extern hash(int) -> int;\n"
+          "fun f(x: int, y: int) -> int {\n"
+          "  if (x == hash(y)) { return 1; }\n"
+          "  return 0;\n"
+          "}");
+  smt::SampleTable Samples;
+  PathResult PR = exec("f", {33, 42}, ConcretizationPolicy::HigherOrder,
+                       &Samples);
+  ASSERT_EQ(PR.PC.size(), 1u);
+  EXPECT_EQ(Arena.toString(PR.PC.Entries[0].Constraint),
+            "(distinct x (hash y))");
+  EXPECT_EQ(PR.NumUFApps, 1u);
+  // The IOF table captured hash(42).
+  ASSERT_EQ(Samples.size(), 1u);
+  auto V = Samples.lookup(Arena.getOrCreateFunc("hash", 1), {42});
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(*V, defaultHash1(42));
+}
+
+TEST_F(DseTest, HigherOrderRecordsConcreteCallsToo) {
+  // Section 7: initialization-style concrete calls must be sampled.
+  compile("extern hash(int) -> int;\n"
+          "fun f(x: int) -> int {\n"
+          "  var kw: int = hash(7);\n"
+          "  if (hash(x) == kw) { return 1; }\n"
+          "  return 0;\n"
+          "}");
+  smt::SampleTable Samples;
+  PathResult PR = exec("f", {3}, ConcretizationPolicy::HigherOrder,
+                       &Samples);
+  EXPECT_EQ(Samples.size(), 2u) << "hash(7) and hash(3)";
+  EXPECT_EQ(PR.NumUFApps, 1u) << "only hash(x) is symbolic";
+}
+
+TEST_F(DseTest, SampleRecordingCanBeDisabled) {
+  compile("extern hash(int) -> int;\n"
+          "fun f(x: int) -> int { return hash(x); }");
+  smt::SampleTable Samples;
+  ExecOptions Options;
+  Options.Policy = ConcretizationPolicy::HigherOrder;
+  Options.RecordSamples = false;
+  SymbolicExecutor Exec(Prog, Natives, Arena, Options);
+  TestInput Input;
+  Input.Cells = {5};
+  Exec.execute("f", Input, &Samples);
+  EXPECT_TRUE(Samples.empty());
+}
+
+TEST_F(DseTest, NonlinearMulBecomesUnknownInstruction) {
+  compile("fun f(x: int, y: int) -> int {\n"
+          "  if (x * y == 12) { return 1; }\n"
+          "  return 0;\n"
+          "}");
+  smt::SampleTable Samples;
+  PathResult PR = exec("f", {3, 4}, ConcretizationPolicy::HigherOrder,
+                       &Samples);
+  ASSERT_EQ(PR.PC.size(), 1u);
+  EXPECT_EQ(Arena.toString(PR.PC.Entries[0].Constraint),
+            "(= (__mul x y) 12)");
+  EXPECT_EQ(PR.NumUFApps, 1u);
+  auto V = Samples.lookup(Arena.getOrCreateFunc("__mul", 2), {3, 4});
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(*V, 12);
+}
+
+TEST_F(DseTest, MulByConstantStaysLinear) {
+  compile("fun f(x: int) -> int {\n"
+          "  if (x * 3 == 12) { return 1; }\n"
+          "  return 0;\n"
+          "}");
+  PathResult PR = exec("f", {4}, ConcretizationPolicy::HigherOrder);
+  ASSERT_EQ(PR.PC.size(), 1u);
+  EXPECT_EQ(PR.NumUFApps, 0u);
+  EXPECT_EQ(Arena.toString(PR.PC.Entries[0].Constraint), "(= (* 3 x) 12)");
+}
+
+TEST_F(DseTest, DivisionBecomesUnknownInstruction) {
+  compile("fun f(x: int) -> int {\n"
+          "  if (x / 3 == 4) { return 1; }\n"
+          "  return 0;\n"
+          "}");
+  PathResult PR = exec("f", {12}, ConcretizationPolicy::HigherOrder);
+  ASSERT_EQ(PR.PC.size(), 1u);
+  EXPECT_EQ(Arena.toString(PR.PC.Entries[0].Constraint),
+            "(= (__div x 3) 4)");
+}
+
+TEST_F(DseTest, SymbolicArrayIndexConcretizesSoundly) {
+  compile("fun f(a: int[4], i: int) -> int {\n"
+          "  if (a[i] == 7) { return 1; }\n"
+          "  return 0;\n"
+          "}");
+  PathResult PR = exec("f", {7, 0, 0, 0, 0}, ConcretizationPolicy::Sound);
+  // The injected bounds check comes first, then i is fixed by a
+  // concretization constraint; a[0] stays symbolic.
+  ASSERT_EQ(PR.PC.size(), 3u);
+  EXPECT_TRUE(PR.PC.Entries[0].IsCheck);
+  EXPECT_EQ(Arena.toString(PR.PC.Entries[0].Constraint),
+            "(and (>= i 0) (< i 4))");
+  EXPECT_TRUE(PR.PC.Entries[1].IsConcretization);
+  EXPECT_EQ(Arena.toString(PR.PC.Entries[1].Constraint), "(= i 0)");
+  EXPECT_EQ(Arena.toString(PR.PC.Entries[2].Constraint), "(= a[0] 7)");
+}
+
+TEST_F(DseTest, DelayedConcretizationInjectsOnlyWhenTested) {
+  compile("extern hash(int) -> int;\n"
+          "fun f(x: int, y: int) -> int {\n"
+          "  var t: int = hash(y);\n"
+          "  if (y == 10) { return 1; }\n"
+          "  if (t == x) { return 2; }\n"
+          "  return 0;\n"
+          "}");
+  PathResult PR = exec("f", {5, 42}, ConcretizationPolicy::SoundDelayed);
+  // First branch (y == 10): no concretization needed — y itself is exact.
+  // Second branch tests t (concretized hash): y must then be fixed.
+  ASSERT_EQ(PR.PC.size(), 3u);
+  EXPECT_FALSE(PR.PC.Entries[0].IsConcretization);
+  EXPECT_EQ(Arena.toString(PR.PC.Entries[0].Constraint),
+            "(distinct y 10)");
+  EXPECT_TRUE(PR.PC.Entries[1].IsConcretization);
+  EXPECT_EQ(Arena.toString(PR.PC.Entries[1].Constraint), "(= y 42)");
+}
+
+TEST_F(DseTest, AlternateConstruction) {
+  compile("fun f(x: int) -> int {\n"
+          "  if (x > 0) { if (x > 10) { return 2; } return 1; }\n"
+          "  return 0;\n"
+          "}");
+  PathResult PR = exec("f", {5}, ConcretizationPolicy::Unsound);
+  ASSERT_EQ(PR.PC.size(), 2u);
+  EXPECT_EQ(Arena.toString(PR.PC.alternate(Arena, 1)),
+            "(and (> x 0) (> x 10))");
+  EXPECT_EQ(Arena.toString(PR.PC.alternate(Arena, 0)), "(<= x 0)");
+}
+
+TEST_F(DseTest, BoolInputsBecomeIntegerConstraints) {
+  compile("fun f(b: bool) -> int {\n"
+          "  if (b) { return 1; }\n"
+          "  return 0;\n"
+          "}");
+  PathResult PR = exec("f", {0}, ConcretizationPolicy::Unsound);
+  ASSERT_EQ(PR.PC.size(), 1u);
+  EXPECT_EQ(Arena.toString(PR.PC.Entries[0].Constraint), "(= b 0)");
+}
+
+TEST_F(DseTest, PathLengthCapTruncates) {
+  compile("fun f(n: int) -> int {\n"
+          "  var i: int = 0;\n"
+          "  while (i < n) { i = i + 1; }\n"
+          "  return i;\n"
+          "}");
+  ExecOptions Options;
+  Options.Policy = ConcretizationPolicy::Unsound;
+  Options.MaxPathLength = 3;
+  SymbolicExecutor Exec(Prog, Natives, Arena, Options);
+  TestInput Input;
+  Input.Cells = {10};
+  PathResult PR = Exec.execute("f", Input);
+  EXPECT_EQ(PR.PC.size(), 3u);
+  EXPECT_TRUE(PR.PC.Truncated);
+  EXPECT_EQ(PR.Run.Status, RunStatus::Ok) << "execution itself completes";
+}
+
+} // namespace

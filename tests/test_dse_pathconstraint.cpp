@@ -1,0 +1,123 @@
+//===- tests/test_dse_pathconstraint.cpp - PathConstraint + registry units --------===//
+
+#include "dse/PathConstraint.h"
+#include "dse/Policy.h"
+
+#include "interp/NativeFunc.h"
+
+#include <gtest/gtest.h>
+
+using namespace hotg;
+using namespace hotg::dse;
+using namespace hotg::smt;
+
+namespace {
+
+class PathConstraintTest : public ::testing::Test {
+protected:
+  TermArena Arena;
+  TermId X = Arena.mkVar("x");
+  TermId Y = Arena.mkVar("y");
+
+  PathEntry entry(TermId Constraint, bool IsConcretization = false,
+                  bool IsCheck = false) {
+    PathEntry E;
+    E.Constraint = Constraint;
+    E.IsConcretization = IsConcretization;
+    E.IsCheck = IsCheck;
+    return E;
+  }
+};
+
+TEST_F(PathConstraintTest, PrefixConjunction) {
+  PathConstraint PC;
+  PC.Entries.push_back(entry(Arena.mkEq(X, Arena.mkIntConst(1))));
+  PC.Entries.push_back(entry(Arena.mkLt(Y, X)));
+  PC.Entries.push_back(entry(Arena.mkNe(Y, Arena.mkIntConst(0))));
+
+  EXPECT_EQ(Arena.toString(PC.prefixConjunction(Arena, 0)), "true");
+  EXPECT_EQ(Arena.toString(PC.prefixConjunction(Arena, 1)), "(= x 1)");
+  EXPECT_EQ(Arena.toString(PC.prefixConjunction(Arena, 2)),
+            "(and (= x 1) (< y x))");
+  EXPECT_EQ(PC.prefixConjunction(Arena, 99), PC.conjunction(Arena))
+      << "oversized counts clamp to the full constraint";
+}
+
+TEST_F(PathConstraintTest, AlternateNegatesLastOfPrefix) {
+  PathConstraint PC;
+  PC.Entries.push_back(entry(Arena.mkEq(X, Arena.mkIntConst(1))));
+  PC.Entries.push_back(entry(Arena.mkLt(Y, X)));
+  EXPECT_EQ(Arena.toString(PC.alternate(Arena, 0)), "(distinct x 1)");
+  EXPECT_EQ(Arena.toString(PC.alternate(Arena, 1)),
+            "(and (= x 1) (>= y x))");
+}
+
+TEST_F(PathConstraintTest, ConcretizationEntriesAreNotNegatable) {
+  PathConstraint PC;
+  PC.Entries.push_back(
+      entry(Arena.mkEq(Y, Arena.mkIntConst(42)), /*IsConcretization=*/true));
+  PC.Entries.push_back(entry(Arena.mkEq(X, Arena.mkIntConst(5))));
+  PC.Entries.push_back(entry(Arena.mkGt(X, Y), false, /*IsCheck=*/true));
+  auto Positions = PC.negatablePositions();
+  EXPECT_EQ(Positions, (std::vector<size_t>{1, 2}))
+      << "checks negate, concretizations never do";
+  // Concretization constraints still participate in prefixes.
+  EXPECT_EQ(Arena.toString(PC.alternate(Arena, 1)),
+            "(and (= y 42) (distinct x 5))");
+}
+
+TEST_F(PathConstraintTest, ToStringMarksSpecialEntries) {
+  PathConstraint PC;
+  PC.Entries.push_back(
+      entry(Arena.mkEq(Y, Arena.mkIntConst(42)), /*IsConcretization=*/true));
+  PC.Entries.push_back(entry(Arena.mkLt(X, Y)));
+  PC.Truncated = true;
+  std::string S = PC.toString(Arena);
+  EXPECT_NE(S.find("(concretization)"), std::string::npos);
+  EXPECT_NE(S.find("(truncated)"), std::string::npos);
+}
+
+TEST(NativeRegistry, RegisterFindCall) {
+  interp::NativeRegistry Registry;
+  EXPECT_EQ(Registry.find("inc"), nullptr);
+  Registry.registerFunc("inc", 1, [](std::span<const int64_t> Args) {
+    return Args[0] + 1;
+  });
+  const interp::NativeFunc *F = Registry.find("inc");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->Arity, 1u);
+  int64_t Args[1] = {41};
+  EXPECT_EQ(Registry.call("inc", Args), 42);
+}
+
+TEST(NativeRegistry, ReRegistrationReplaces) {
+  interp::NativeRegistry Registry;
+  Registry.registerFunc("f", 0,
+                        [](std::span<const int64_t>) { return 1; });
+  Registry.registerFunc("f", 0,
+                        [](std::span<const int64_t>) { return 2; });
+  EXPECT_EQ(Registry.call("f", {}), 2);
+}
+
+TEST(NativeRegistry, DefaultHashBundle) {
+  interp::NativeRegistry Registry;
+  Registry.registerDefaultHashes();
+  for (const char *Name : {"hash", "hash2", "hash4"})
+    EXPECT_NE(Registry.find(Name), nullptr) << Name;
+  int64_t One[1] = {7};
+  EXPECT_EQ(Registry.call("hash", One), interp::defaultHash1(7));
+  int64_t Four[4] = {1, 2, 3, 4};
+  EXPECT_EQ(Registry.call("hash4", Four),
+            interp::defaultHash4(1, 2, 3, 4));
+}
+
+TEST(PolicyNames, AreStable) {
+  EXPECT_STREQ(policyName(ConcretizationPolicy::Unsound), "unsound");
+  EXPECT_STREQ(policyName(ConcretizationPolicy::Sound), "sound");
+  EXPECT_STREQ(policyName(ConcretizationPolicy::SoundDelayed),
+               "sound-delayed");
+  EXPECT_STREQ(policyName(ConcretizationPolicy::HigherOrder),
+               "higher-order");
+}
+
+} // namespace

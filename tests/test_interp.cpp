@@ -1,0 +1,201 @@
+//===- tests/test_interp.cpp - Concrete interpreter unit tests --------------------===//
+
+#include "interp/Interp.h"
+
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace hotg;
+using namespace hotg::interp;
+
+namespace {
+
+class InterpTest : public ::testing::Test {
+protected:
+  void compile(std::string_view Source) {
+    DiagnosticEngine Diags;
+    auto Parsed = lang::parseAndCheck(Source, Diags);
+    ASSERT_TRUE(Parsed) << Diags.render();
+    Prog = std::move(*Parsed);
+  }
+
+  RunResult run(std::string_view Entry, std::vector<int64_t> Cells) {
+    Interpreter I(Prog, Natives);
+    I.setLimits(Limits);
+    if (Observer)
+      I.setNativeObserver(Observer);
+    TestInput Input;
+    Input.Cells = std::move(Cells);
+    return I.run(Entry, Input);
+  }
+
+  lang::Program Prog;
+  NativeRegistry Natives;
+  RunLimits Limits;
+  NativeCallObserver Observer;
+};
+
+TEST_F(InterpTest, ArithmeticAndReturn) {
+  compile("fun f(x: int, y: int) -> int { return (x + y) * 2 - x % y; }");
+  RunResult R = run("f", {7, 3});
+  EXPECT_EQ(R.Status, RunStatus::Ok);
+  EXPECT_EQ(R.ReturnValue, (7 + 3) * 2 - 7 % 3);
+}
+
+TEST_F(InterpTest, TruncatedDivisionSemantics) {
+  compile("fun f(x: int, y: int) -> int { return x / y; }");
+  EXPECT_EQ(run("f", {7, 2}).ReturnValue, 3);
+  EXPECT_EQ(run("f", {-7, 2}).ReturnValue, -3) << "C-style truncation";
+  EXPECT_EQ(run("f", {7, -2}).ReturnValue, -3);
+}
+
+TEST_F(InterpTest, WrappedOverflow) {
+  compile("fun f(x: int) -> int { return x + 1; }");
+  EXPECT_EQ(run("f", {INT64_MAX}).ReturnValue, INT64_MIN);
+}
+
+TEST_F(InterpTest, DivisionByZeroFaults) {
+  compile("fun f(x: int) -> int { return 10 / x; }");
+  RunResult R = run("f", {0});
+  EXPECT_EQ(R.Status, RunStatus::DivByZero);
+  EXPECT_TRUE(R.isBug());
+}
+
+TEST_F(InterpTest, BranchTraceRecordsDirections) {
+  compile("fun f(x: int) -> int {\n"
+          "  if (x > 0) { return 1; }\n"
+          "  if (x < 0) { return -1; }\n"
+          "  return 0;\n"
+          "}");
+  RunResult R = run("f", {5});
+  ASSERT_EQ(R.Trace.size(), 1u);
+  EXPECT_EQ(R.Trace[0], (BranchEvent{0, true}));
+
+  R = run("f", {-5});
+  ASSERT_EQ(R.Trace.size(), 2u);
+  EXPECT_EQ(R.Trace[0], (BranchEvent{0, false}));
+  EXPECT_EQ(R.Trace[1], (BranchEvent{1, true}));
+}
+
+TEST_F(InterpTest, WhileLoopTracesEveryIteration) {
+  compile("fun f(n: int) -> int {\n"
+          "  var s: int = 0;\n"
+          "  var i: int = 0;\n"
+          "  while (i < n) { s = s + i; i = i + 1; }\n"
+          "  return s;\n"
+          "}");
+  RunResult R = run("f", {4});
+  EXPECT_EQ(R.ReturnValue, 0 + 1 + 2 + 3);
+  EXPECT_EQ(R.Trace.size(), 5u) << "4 true iterations + 1 false exit";
+}
+
+TEST_F(InterpTest, ErrorStatementHaltsWithSite) {
+  compile("fun f(x: int) -> int {\n"
+          "  if (x == 1) { error(\"one\"); }\n"
+          "  if (x == 2) { error(\"two\"); }\n"
+          "  return 0;\n"
+          "}");
+  RunResult R = run("f", {2});
+  EXPECT_EQ(R.Status, RunStatus::ErrorHit);
+  ASSERT_TRUE(R.Error.has_value());
+  EXPECT_EQ(R.Error->Site, 1u);
+  EXPECT_EQ(R.Error->Message, "two");
+}
+
+TEST_F(InterpTest, AssertFailureHalts) {
+  compile("fun f(x: int) { assert(x > 0); }");
+  EXPECT_EQ(run("f", {1}).Status, RunStatus::Ok);
+  EXPECT_EQ(run("f", {0}).Status, RunStatus::AssertFailed);
+}
+
+TEST_F(InterpTest, ArraysHaveReferenceSemanticsAcrossCalls) {
+  compile("fun fill(a: int[3]) { a[0] = 7; a[1] = 8; a[2] = 9; }\n"
+          "fun f(a: int[3]) -> int {\n"
+          "  fill(a);\n"
+          "  return a[0] + a[1] + a[2];\n"
+          "}");
+  EXPECT_EQ(run("f", {0, 0, 0}).ReturnValue, 24);
+}
+
+TEST_F(InterpTest, ArrayInputsArriveInCells) {
+  compile("fun f(a: int[4]) -> int { return a[0] + a[3]; }");
+  EXPECT_EQ(run("f", {10, 20, 30, 40}).ReturnValue, 50);
+}
+
+TEST_F(InterpTest, OutOfBoundsFaults) {
+  compile("fun f(a: int[2], i: int) -> int { return a[i]; }");
+  EXPECT_EQ(run("f", {1, 2, 1}).Status, RunStatus::Ok);
+  EXPECT_EQ(run("f", {1, 2, 2}).Status, RunStatus::OutOfBounds);
+  EXPECT_EQ(run("f", {1, 2, -1}).Status, RunStatus::OutOfBounds);
+}
+
+TEST_F(InterpTest, StepLimitStopsInfiniteLoops) {
+  compile("fun f(x: int) -> int { while (x == x) { } return 0; }");
+  Limits.MaxSteps = 1000;
+  RunResult R = run("f", {1});
+  EXPECT_EQ(R.Status, RunStatus::StepLimit);
+  EXPECT_FALSE(R.isBug()) << "timeouts are not bugs";
+}
+
+TEST_F(InterpTest, CallDepthLimitStopsRecursion) {
+  compile("fun f(x: int) -> int { return f(x + 1); }");
+  Limits.MaxCallDepth = 16;
+  EXPECT_EQ(run("f", {0}).Status, RunStatus::CallDepth);
+}
+
+TEST_F(InterpTest, NativeCallsAreObserved) {
+  compile("extern hash(int) -> int;\n"
+          "fun f(x: int) -> int { return hash(x) + hash(7); }");
+  Natives.registerDefaultHashes();
+  std::vector<std::pair<std::vector<int64_t>, int64_t>> Calls;
+  Observer = [&](const NativeFunc &Func, std::span<const int64_t> Args,
+                 int64_t Out) {
+    EXPECT_EQ(Func.Name, "hash");
+    Calls.emplace_back(std::vector<int64_t>(Args.begin(), Args.end()), Out);
+  };
+  RunResult R = run("f", {3});
+  EXPECT_EQ(R.Status, RunStatus::Ok);
+  ASSERT_EQ(Calls.size(), 2u);
+  EXPECT_EQ(Calls[0].first, std::vector<int64_t>{3});
+  EXPECT_EQ(Calls[0].second, defaultHash1(3));
+  EXPECT_EQ(Calls[1].first, std::vector<int64_t>{7});
+}
+
+TEST_F(InterpTest, StrictLogicalOperatorsEvaluateBothSides) {
+  // MiniLang's && is strict: the division on the right faults even though
+  // the left side is false.
+  compile("fun f(x: int) -> bool { return x > 0 && 10 / x > 0; }");
+  EXPECT_EQ(run("f", {0}).Status, RunStatus::DivByZero);
+}
+
+TEST_F(InterpTest, BoolLocalsAndParams) {
+  compile("fun f(x: int) -> int {\n"
+          "  var b: bool = x > 3;\n"
+          "  if (b || x == 0) { return 1; }\n"
+          "  return 0;\n"
+          "}");
+  EXPECT_EQ(run("f", {4}).ReturnValue, 1);
+  EXPECT_EQ(run("f", {0}).ReturnValue, 1);
+  EXPECT_EQ(run("f", {2}).ReturnValue, 0);
+}
+
+TEST_F(InterpTest, MissingReturnDefaultsToZero) {
+  compile("fun f(x: int) -> int { if (x > 0) { return 5; } }");
+  EXPECT_EQ(run("f", {-1}).ReturnValue, 0);
+}
+
+TEST_F(InterpTest, InputLayoutNamesCells) {
+  compile("fun f(x: int, buf: int[2], y: int) -> int { return x; }");
+  InputLayout Layout(*Prog.findFunction("f"));
+  ASSERT_EQ(Layout.size(), 4u);
+  EXPECT_EQ(Layout.name(0), "x");
+  EXPECT_EQ(Layout.name(1), "buf[0]");
+  EXPECT_EQ(Layout.name(2), "buf[1]");
+  EXPECT_EQ(Layout.name(3), "y");
+  EXPECT_EQ(Layout.paramBegin(1), 1u);
+  EXPECT_EQ(Layout.paramWidth(1), 2u);
+  EXPECT_EQ(Layout.zeroInput().Cells.size(), 4u);
+}
+
+} // namespace

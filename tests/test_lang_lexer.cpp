@@ -1,0 +1,130 @@
+//===- tests/test_lang_lexer.cpp - MiniLang lexer unit tests ----------------------===//
+
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace hotg;
+using namespace hotg::lang;
+
+namespace {
+
+std::vector<Token> lex(std::string_view Source, DiagnosticEngine &Diags) {
+  Lexer L(Source, Diags);
+  return L.lexAll();
+}
+
+std::vector<Token> lexOk(std::string_view Source) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.render();
+  return Tokens;
+}
+
+TEST(LangLexer, EmptyInputYieldsEOF) {
+  auto Tokens = lexOk("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::EndOfFile));
+}
+
+TEST(LangLexer, Keywords) {
+  auto Tokens = lexOk("fun extern var if else while return assert error "
+                      "true false int bool");
+  std::vector<TokenKind> Expected = {
+      TokenKind::KwFun,    TokenKind::KwExtern, TokenKind::KwVar,
+      TokenKind::KwIf,     TokenKind::KwElse,   TokenKind::KwWhile,
+      TokenKind::KwReturn, TokenKind::KwAssert, TokenKind::KwError,
+      TokenKind::KwTrue,   TokenKind::KwFalse,  TokenKind::KwInt,
+      TokenKind::KwBool,   TokenKind::EndOfFile};
+  ASSERT_EQ(Tokens.size(), Expected.size());
+  for (size_t I = 0; I != Expected.size(); ++I)
+    EXPECT_EQ(Tokens[I].Kind, Expected[I]) << "token " << I;
+}
+
+TEST(LangLexer, IdentifiersAndIntegers) {
+  auto Tokens = lexOk("foo _bar x1 42 007");
+  ASSERT_EQ(Tokens.size(), 6u);
+  EXPECT_EQ(Tokens[0].Text, "foo");
+  EXPECT_EQ(Tokens[1].Text, "_bar");
+  EXPECT_EQ(Tokens[2].Text, "x1");
+  EXPECT_EQ(Tokens[3].IntValue, 42);
+  EXPECT_EQ(Tokens[4].IntValue, 7);
+}
+
+TEST(LangLexer, OperatorsIncludingTwoCharForms) {
+  auto Tokens = lexOk("== != <= >= < > = ! && || -> - + * / %");
+  std::vector<TokenKind> Expected = {
+      TokenKind::EqEq,      TokenKind::NotEq,   TokenKind::LessEq,
+      TokenKind::GreaterEq, TokenKind::Less,    TokenKind::Greater,
+      TokenKind::Assign,    TokenKind::Bang,    TokenKind::AmpAmp,
+      TokenKind::PipePipe,  TokenKind::Arrow,   TokenKind::Minus,
+      TokenKind::Plus,      TokenKind::Star,    TokenKind::Slash,
+      TokenKind::Percent,   TokenKind::EndOfFile};
+  ASSERT_EQ(Tokens.size(), Expected.size());
+  for (size_t I = 0; I != Expected.size(); ++I)
+    EXPECT_EQ(Tokens[I].Kind, Expected[I]) << "token " << I;
+}
+
+TEST(LangLexer, LineCommentsAreSkipped) {
+  auto Tokens = lexOk("x // comment with if while 42\ny");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Text, "x");
+  EXPECT_EQ(Tokens[1].Text, "y");
+}
+
+TEST(LangLexer, LocationsTrackLinesAndColumns) {
+  auto Tokens = lexOk("a\n  b");
+  ASSERT_GE(Tokens.size(), 2u);
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[0].Loc.Column, 1u);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[1].Loc.Column, 3u);
+}
+
+TEST(LangLexer, StringLiteralsWithEscapes) {
+  auto Tokens = lexOk(R"("hello" "a\nb\"c")");
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Text, "hello");
+  EXPECT_EQ(Tokens[1].Text, "a\nb\"c");
+}
+
+TEST(LangLexer, CharLiteralsAreIntegers) {
+  auto Tokens = lexOk("'a' '\\n' '\\0'");
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_TRUE(Tokens[0].is(TokenKind::IntLiteral));
+  EXPECT_EQ(Tokens[0].IntValue, 'a');
+  EXPECT_EQ(Tokens[1].IntValue, '\n');
+  EXPECT_EQ(Tokens[2].IntValue, 0);
+}
+
+TEST(LangLexer, UnexpectedCharacterReportsError) {
+  DiagnosticEngine Diags;
+  lex("x @ y", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LangLexer, UnterminatedStringReportsError) {
+  DiagnosticEngine Diags;
+  lex("\"abc", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LangLexer, SingleAmpersandReportsError) {
+  DiagnosticEngine Diags;
+  lex("a & b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LangLexer, OverflowingIntegerReportsError) {
+  DiagnosticEngine Diags;
+  lex("99999999999999999999999999", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LangLexer, MaxInt64Lexes) {
+  auto Tokens = lexOk("9223372036854775807");
+  ASSERT_EQ(Tokens.size(), 2u);
+  EXPECT_EQ(Tokens[0].IntValue, INT64_MAX);
+}
+
+} // namespace

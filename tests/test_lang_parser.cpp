@@ -1,0 +1,176 @@
+//===- tests/test_lang_parser.cpp - MiniLang parser unit tests --------------------===//
+
+#include "lang/Parser.h"
+
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace hotg;
+using namespace hotg::lang;
+
+namespace {
+
+Program parseOk(std::string_view Source) {
+  DiagnosticEngine Diags;
+  Lexer L(Source, Diags);
+  Parser P(L.lexAll(), Diags);
+  Program Prog = P.parseProgram();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.render();
+  return Prog;
+}
+
+bool parseFails(std::string_view Source) {
+  DiagnosticEngine Diags;
+  Lexer L(Source, Diags);
+  Parser P(L.lexAll(), Diags);
+  P.parseProgram();
+  return Diags.hasErrors();
+}
+
+TEST(LangParser, EmptyProgram) {
+  Program Prog = parseOk("");
+  EXPECT_TRUE(Prog.Functions.empty());
+  EXPECT_TRUE(Prog.Externs.empty());
+}
+
+TEST(LangParser, SimpleFunction) {
+  Program Prog = parseOk("fun main(x: int) -> int { return x; }");
+  ASSERT_EQ(Prog.Functions.size(), 1u);
+  const FunctionDecl &F = *Prog.Functions[0];
+  EXPECT_EQ(F.Name, "main");
+  ASSERT_EQ(F.Params.size(), 1u);
+  EXPECT_EQ(F.Params[0].Name, "x");
+  EXPECT_TRUE(F.Params[0].ParamType.isInt());
+  EXPECT_TRUE(F.ReturnType.isInt());
+  ASSERT_EQ(F.Body->Body.size(), 1u);
+  EXPECT_EQ(F.Body->Body[0]->Kind, StmtKind::Return);
+}
+
+TEST(LangParser, ExternDeclarations) {
+  Program Prog = parseOk("extern hash(int) -> int;\n"
+                         "extern hash4(int, int, int, int) -> int;\n"
+                         "extern tick();");
+  ASSERT_EQ(Prog.Externs.size(), 3u);
+  EXPECT_EQ(Prog.Externs[0].Name, "hash");
+  EXPECT_EQ(Prog.Externs[0].Arity, 1u);
+  EXPECT_EQ(Prog.Externs[1].Arity, 4u);
+  EXPECT_EQ(Prog.Externs[2].Arity, 0u);
+  EXPECT_EQ(Prog.findExtern("hash4"), 1u);
+  EXPECT_EQ(Prog.findExtern("nope"), ~0u);
+}
+
+TEST(LangParser, ArrayTypesAndIndexing) {
+  Program Prog = parseOk("fun f(a: int[8]) -> int {\n"
+                         "  a[0] = a[1] + 2;\n"
+                         "  return a[7];\n"
+                         "}");
+  const FunctionDecl &F = *Prog.Functions[0];
+  EXPECT_TRUE(F.Params[0].ParamType.isArray());
+  EXPECT_EQ(F.Params[0].ParamType.ArraySize, 8u);
+  EXPECT_EQ(F.Body->Body[0]->Kind, StmtKind::Assign);
+}
+
+TEST(LangParser, OperatorPrecedence) {
+  Program Prog = parseOk("fun f(x: int, y: int) -> bool {\n"
+                         "  return x + 2 * y < x - 1 || x == y && x != 0;\n"
+                         "}");
+  // || binds loosest: (cmp) || ((x==y) && (x!=0)).
+  const auto &Ret =
+      static_cast<const ReturnStmt &>(*Prog.Functions[0]->Body->Body[0]);
+  const auto &Or = static_cast<const BinaryExpr &>(*Ret.Value);
+  ASSERT_EQ(Or.Op, BinaryOp::Or);
+  const auto &Lt = static_cast<const BinaryExpr &>(*Or.Lhs);
+  EXPECT_EQ(Lt.Op, BinaryOp::Lt);
+  const auto &And = static_cast<const BinaryExpr &>(*Or.Rhs);
+  EXPECT_EQ(And.Op, BinaryOp::And);
+  // 2 * y binds tighter than +.
+  const auto &Plus = static_cast<const BinaryExpr &>(*Lt.Lhs);
+  EXPECT_EQ(Plus.Op, BinaryOp::Add);
+  EXPECT_EQ(static_cast<const BinaryExpr &>(*Plus.Rhs).Op, BinaryOp::Mul);
+}
+
+TEST(LangParser, IfElseChains) {
+  Program Prog = parseOk("fun f(x: int) -> int {\n"
+                         "  if (x > 0) { return 1; }\n"
+                         "  else if (x < 0) { return -1; }\n"
+                         "  else { return 0; }\n"
+                         "}");
+  const auto &If =
+      static_cast<const IfStmt &>(*Prog.Functions[0]->Body->Body[0]);
+  ASSERT_NE(If.Else, nullptr);
+  EXPECT_EQ(If.Else->Kind, StmtKind::If) << "else-if nests as IfStmt";
+}
+
+TEST(LangParser, WhileAssertErrorStatements) {
+  Program Prog = parseOk("fun f(x: int) {\n"
+                         "  while (x > 0) { x = x - 1; }\n"
+                         "  assert(x == 0);\n"
+                         "  error(\"boom\");\n"
+                         "}");
+  const auto &Body = Prog.Functions[0]->Body->Body;
+  ASSERT_EQ(Body.size(), 3u);
+  EXPECT_EQ(Body[0]->Kind, StmtKind::While);
+  EXPECT_EQ(Body[1]->Kind, StmtKind::Assert);
+  EXPECT_EQ(Body[2]->Kind, StmtKind::Error);
+  EXPECT_EQ(static_cast<const ErrorStmt &>(*Body[2]).Message, "boom");
+}
+
+TEST(LangParser, CallsAndUnaryOperators) {
+  Program Prog = parseOk("fun f(x: int) -> int {\n"
+                         "  return -g(x, 1) + h();\n"
+                         "}");
+  const auto &Ret =
+      static_cast<const ReturnStmt &>(*Prog.Functions[0]->Body->Body[0]);
+  const auto &Add = static_cast<const BinaryExpr &>(*Ret.Value);
+  const auto &Neg = static_cast<const UnaryExpr &>(*Add.Lhs);
+  EXPECT_EQ(Neg.Op, UnaryOp::Neg);
+  const auto &Call = static_cast<const CallExpr &>(*Neg.Operand);
+  EXPECT_EQ(Call.Callee, "g");
+  EXPECT_EQ(Call.Args.size(), 2u);
+}
+
+TEST(LangParser, VoidFunctionOmitsArrow) {
+  Program Prog = parseOk("fun f() { return; }");
+  EXPECT_TRUE(Prog.Functions[0]->ReturnType.isVoid());
+}
+
+TEST(LangParser, DumpRoundTripsStructure) {
+  Program Prog = parseOk("extern hash(int) -> int;\n"
+                         "fun f(x: int) -> int {\n"
+                         "  var t: int = hash(x);\n"
+                         "  if (t == 5) { error(\"e\"); }\n"
+                         "  return t;\n"
+                         "}");
+  std::string Dump = dumpProgram(Prog);
+  EXPECT_NE(Dump.find("extern hash(int) -> int;"), std::string::npos);
+  EXPECT_NE(Dump.find("var t: int = hash(x);"), std::string::npos);
+  EXPECT_NE(Dump.find("if ((t == 5))"), std::string::npos);
+}
+
+TEST(LangParser, ErrorRecoveryProducesMultipleDiagnostics) {
+  DiagnosticEngine Diags;
+  Lexer L("fun f( { } fun g() { return 1 }", Diags);
+  Parser P(L.lexAll(), Diags);
+  P.parseProgram();
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LangParser, RejectsAssignmentToCall) {
+  EXPECT_TRUE(parseFails("fun f() { g() = 1; }"));
+}
+
+TEST(LangParser, RejectsMissingSemicolon) {
+  EXPECT_TRUE(parseFails("fun f() { var x: int = 1 }"));
+}
+
+TEST(LangParser, RejectsTopLevelStatements) {
+  EXPECT_TRUE(parseFails("var x: int = 1;"));
+}
+
+TEST(LangParser, RejectsBadArraySize) {
+  EXPECT_TRUE(parseFails("fun f(a: int[0]) {}"));
+  EXPECT_TRUE(parseFails("fun f(a: int[-1]) {}"));
+}
+
+} // namespace

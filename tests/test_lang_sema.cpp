@@ -1,0 +1,168 @@
+//===- tests/test_lang_sema.cpp - MiniLang semantic analysis unit tests -----------===//
+
+#include "lang/Sema.h"
+
+#include "lang/Lexer.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace hotg;
+using namespace hotg::lang;
+
+namespace {
+
+std::optional<Program> analyze(std::string_view Source,
+                               DiagnosticEngine &Diags) {
+  Lexer L(Source, Diags);
+  Parser P(L.lexAll(), Diags);
+  Program Prog = P.parseProgram();
+  if (Diags.hasErrors())
+    return std::nullopt;
+  if (!runSema(Prog, Diags))
+    return std::nullopt;
+  return Prog;
+}
+
+Program analyzeOk(std::string_view Source) {
+  DiagnosticEngine Diags;
+  auto Prog = analyze(Source, Diags);
+  EXPECT_TRUE(Prog.has_value()) << Diags.render();
+  return Prog ? std::move(*Prog) : Program{};
+}
+
+bool semaFails(std::string_view Source) {
+  DiagnosticEngine Diags;
+  return !analyze(Source, Diags).has_value();
+}
+
+TEST(LangSema, AssignsSlotsToParamsAndLocals) {
+  Program Prog = analyzeOk("fun f(x: int, y: bool) -> int {\n"
+                           "  var a: int = x;\n"
+                           "  { var b: int = a; b = b + 1; }\n"
+                           "  return a;\n"
+                           "}");
+  const FunctionDecl &F = *Prog.Functions[0];
+  EXPECT_EQ(F.Params[0].Slot, 0u);
+  EXPECT_EQ(F.Params[1].Slot, 1u);
+  EXPECT_EQ(F.NumSlots, 4u) << "2 params + 2 locals";
+}
+
+TEST(LangSema, NumbersBranchAndErrorSites) {
+  Program Prog = analyzeOk("fun f(x: int) -> int {\n"
+                           "  if (x > 0) { error(\"a\"); }\n"
+                           "  while (x < 10) { x = x + 1; }\n"
+                           "  assert(x == 10);\n"
+                           "  if (x == 10) { error(\"b\"); }\n"
+                           "  return x;\n"
+                           "}");
+  EXPECT_EQ(Prog.NumBranches, 4u) << "if + while + assert + if";
+  EXPECT_EQ(Prog.NumErrorSites, 2u);
+}
+
+TEST(LangSema, ScopesShadowAcrossBlocks) {
+  Program Prog = analyzeOk("fun f(x: int) -> int {\n"
+                           "  { var y: int = 1; x = y; }\n"
+                           "  { var y: int = 2; x = y; }\n"
+                           "  return x;\n"
+                           "}");
+  EXPECT_EQ(Prog.Functions[0]->NumSlots, 3u);
+}
+
+TEST(LangSema, ResolvesFunctionAndExternCalls) {
+  Program Prog = analyzeOk("extern hash(int) -> int;\n"
+                           "fun helper(v: int) -> int { return v + 1; }\n"
+                           "fun main(x: int) -> int {\n"
+                           "  return helper(hash(x));\n"
+                           "}");
+  const auto &Ret = static_cast<const ReturnStmt &>(
+      *Prog.Functions[1]->Body->Body[0]);
+  const auto &Outer = static_cast<const CallExpr &>(*Ret.Value);
+  EXPECT_EQ(Outer.ResolvedFunction, Prog.Functions[0].get());
+  const auto &Inner = static_cast<const CallExpr &>(*Outer.Args[0]);
+  EXPECT_TRUE(Inner.callsExtern());
+  EXPECT_EQ(Inner.ResolvedExtern, 0u);
+}
+
+TEST(LangSema, ExpressionTypesAreRecorded) {
+  Program Prog = analyzeOk("fun f(x: int) -> bool { return x == 1; }");
+  const auto &Ret = static_cast<const ReturnStmt &>(
+      *Prog.Functions[0]->Body->Body[0]);
+  EXPECT_TRUE(Ret.Value->ExprType.isBool());
+}
+
+TEST(LangSema, RejectsUndeclaredVariable) {
+  EXPECT_TRUE(semaFails("fun f() -> int { return nope; }"));
+}
+
+TEST(LangSema, RejectsUndeclaredCallee) {
+  EXPECT_TRUE(semaFails("fun f() -> int { return g(1); }"));
+}
+
+TEST(LangSema, RejectsDuplicateFunctions) {
+  EXPECT_TRUE(semaFails("fun f() {} fun f() {}"));
+}
+
+TEST(LangSema, RejectsDuplicateParams) {
+  EXPECT_TRUE(semaFails("fun f(x: int, x: int) {}"));
+}
+
+TEST(LangSema, RejectsRedeclarationInSameScope) {
+  EXPECT_TRUE(semaFails("fun f() { var x: int; var x: int; }"));
+}
+
+TEST(LangSema, RejectsTypeMismatchInCondition) {
+  EXPECT_TRUE(semaFails("fun f(x: int) { if (x) {} }"));
+  EXPECT_TRUE(semaFails("fun f(x: int) { while (x + 1) {} }"));
+}
+
+TEST(LangSema, RejectsArithmeticOnBool) {
+  EXPECT_TRUE(semaFails("fun f(b: bool) -> int { return b + 1; }"));
+}
+
+TEST(LangSema, RejectsLogicalOnInt) {
+  EXPECT_TRUE(semaFails("fun f(x: int) -> bool { return x && true; }"));
+}
+
+TEST(LangSema, RejectsIndexingNonArray) {
+  EXPECT_TRUE(semaFails("fun f(x: int) -> int { return x[0]; }"));
+}
+
+TEST(LangSema, RejectsWholeArrayAssignment) {
+  EXPECT_TRUE(
+      semaFails("fun f(a: int[2], b: int[2]) { a = b; }"));
+}
+
+TEST(LangSema, RejectsArityMismatch) {
+  EXPECT_TRUE(semaFails("extern hash(int) -> int;\n"
+                        "fun f(x: int) -> int { return hash(x, x); }"));
+  EXPECT_TRUE(semaFails("fun g(a: int, b: int) -> int { return a; }\n"
+                        "fun f(x: int) -> int { return g(x); }"));
+}
+
+TEST(LangSema, RejectsArrayArgumentToExtern) {
+  EXPECT_TRUE(semaFails("extern hash(int) -> int;\n"
+                        "fun f(a: int[2]) -> int { return hash(a); }"));
+}
+
+TEST(LangSema, RejectsReturnTypeMismatch) {
+  EXPECT_TRUE(semaFails("fun f() -> int { return true; }"));
+  EXPECT_TRUE(semaFails("fun f() -> bool { return; }"));
+  EXPECT_TRUE(semaFails("fun f() { return 1; }"));
+}
+
+TEST(LangSema, RejectsArrayInitializer) {
+  EXPECT_TRUE(semaFails("fun f() { var a: int[3] = 1; }"));
+}
+
+TEST(LangSema, AllowsArrayPassingToFunctions) {
+  analyzeOk("fun sum(a: int[4]) -> int { return a[0] + a[3]; }\n"
+            "fun f(a: int[4]) -> int { return sum(a); }");
+}
+
+TEST(LangSema, RejectsArraySizeMismatchInCall) {
+  EXPECT_TRUE(semaFails("fun g(a: int[4]) -> int { return a[0]; }\n"
+                        "fun f(a: int[8]) -> int { return g(a); }"));
+}
+
+} // namespace

@@ -1,0 +1,139 @@
+//===- tests/test_property_validity.cpp - Validity solver properties --------------===//
+//
+// Randomized properties of the strategy solver:
+//  * planted-strategy formulas (solvable through recorded samples) are
+//    always found Valid, and the returned strategy model satisfies the
+//    formula under the sample semantics;
+//  * formulas whose only support depends non-trivially on an unsampled
+//    application are never declared Valid (∀-soundness);
+//  * Valid answers are stable under sample-table growth (monotonicity).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ValiditySolver.h"
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace hotg;
+using namespace hotg::core;
+using namespace hotg::smt;
+
+namespace {
+
+class ValidityPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ValidityPropertyTest, PlantedSampleStrategiesAreFound) {
+  RandomGen Rng(GetParam() * 101 + 13);
+  for (int Round = 0; Round != 25; ++Round) {
+    TermArena Arena;
+    SampleTable Samples;
+    FuncId H = Arena.getOrCreateFunc("h", 1);
+
+    // Plant N samples with distinct arguments.
+    unsigned N = 2 + static_cast<unsigned>(Rng.nextBelow(5));
+    std::vector<int64_t> Args, Outs;
+    for (unsigned I = 0; I != N; ++I) {
+      Args.push_back(static_cast<int64_t>(I) * 7 +
+                     Rng.nextInRange(0, 6)); // Distinct strides.
+      Outs.push_back(Rng.nextInRange(-1000, 1000));
+      Samples.record(H, {Args.back()}, Outs.back());
+    }
+
+    // Formula: x = h(y) ∧ z = h(y) + k, solvable by binding h(y) to any
+    // sample (pick one to compute the planted witness).
+    size_t Pick = Rng.nextBelow(N);
+    int64_t K = Rng.nextInRange(-50, 50);
+    TermId X = Arena.mkVar("x");
+    TermId Y = Arena.mkVar("y");
+    TermId Z = Arena.mkVar("z");
+    TermId App = Arena.mkUFApp(H, {{Y}});
+    TermId F = Arena.mkAnd(
+        Arena.mkEq(X, App),
+        Arena.mkEq(Z, Arena.mkAdd(App, Arena.mkIntConst(K))));
+
+    ValiditySolver Solver(Arena, Samples);
+    ValidityAnswer A = Solver.checkPost(F);
+    ASSERT_EQ(A.Status, ValidityStatus::Valid)
+        << "round " << Round << ": " << Arena.toString(F);
+
+    // The strategy must bind y to a sampled argument and satisfy the
+    // formula under the sample interpretation.
+    A.ModelValue.attachSamples(&Samples);
+    auto Holds = A.ModelValue.evalBoolChecked(Arena, F);
+    ASSERT_TRUE(Holds.has_value())
+        << "strategy uses an unsampled point";
+    EXPECT_TRUE(*Holds);
+    (void)Pick;
+    (void)Outs;
+  }
+}
+
+TEST_P(ValidityPropertyTest, UnsampledDependenceIsNeverValid) {
+  RandomGen Rng(GetParam() * 977 + 29);
+  for (int Round = 0; Round != 25; ++Round) {
+    TermArena Arena;
+    SampleTable Samples;
+    FuncId H = Arena.getOrCreateFunc("h", 1);
+    FuncId G = Arena.getOrCreateFunc("g", 1);
+    // Samples only for g; the formula constrains h.
+    for (int I = 0; I != 3; ++I)
+      Samples.record(G, {I}, Rng.nextInRange(-9, 9));
+
+    TermId X = Arena.mkVar("x");
+    TermId Y = Arena.mkVar("y");
+    TermId App = Arena.mkUFApp(H, {{Y}});
+    // h(y) ⋈ e — cannot be forced for any relation that depends on the
+    // universal value.
+    TermId F;
+    switch (Rng.nextBelow(3)) {
+    case 0:
+      F = Arena.mkEq(App, Arena.mkIntConst(Rng.nextInRange(-99, 99)));
+      break;
+    case 1:
+      F = Arena.mkGt(App, X);
+      break;
+    default:
+      F = Arena.mkAnd(Arena.mkEq(X, App),
+                      Arena.mkLe(X, Arena.mkIntConst(5)));
+      break;
+    }
+    ValidityOptions Options;
+    Options.AllowLearning = false; // One-shot semantics.
+    ValiditySolver Solver(Arena, Samples, Options);
+    EXPECT_NE(Solver.checkPost(F).Status, ValidityStatus::Valid)
+        << Arena.toString(F);
+  }
+}
+
+TEST_P(ValidityPropertyTest, ValidityIsMonotoneInSamples) {
+  // Adding samples can only turn NotValid/NeedsSamples into Valid, never
+  // the reverse (the antecedent A only gains conjuncts the real function
+  // satisfies).
+  RandomGen Rng(GetParam() * 31 + 1);
+  TermArena Arena;
+  FuncId H = Arena.getOrCreateFunc("h", 1);
+  TermId X = Arena.mkVar("x");
+  TermId Y = Arena.mkVar("y");
+  TermId F = Arena.mkAnd(Arena.mkEq(X, Arena.mkUFApp(H, {{Y}})),
+                         Arena.mkGe(X, Arena.mkIntConst(0)));
+
+  SampleTable Samples;
+  bool WasValid = false;
+  for (int Step = 0; Step != 8; ++Step) {
+    ValiditySolver Solver(Arena, Samples);
+    bool IsValid = Solver.checkPost(F).Status == ValidityStatus::Valid;
+    EXPECT_TRUE(!WasValid || IsValid)
+        << "validity regressed after adding samples at step " << Step;
+    WasValid = IsValid;
+    // Half the samples are useless (negative outputs) to keep it honest.
+    Samples.record(H, {Step}, Rng.chance(1, 2) ? Step * 3 : -Step - 1);
+  }
+  EXPECT_TRUE(WasValid) << "some recorded sample has a non-negative output";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValidityPropertyTest,
+                         ::testing::Values(3, 5, 7, 11, 13));
+
+} // namespace

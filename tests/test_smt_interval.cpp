@@ -1,0 +1,117 @@
+//===- tests/test_smt_interval.cpp - Interval domain unit + property tests --------===//
+
+#include "smt/Interval.h"
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace hotg;
+using namespace hotg::smt;
+
+namespace {
+
+TEST(Interval, BasicPredicates) {
+  EXPECT_TRUE(Interval::empty().isEmpty());
+  EXPECT_FALSE(Interval::full().isEmpty());
+  EXPECT_TRUE(Interval::point(5).isPoint());
+  EXPECT_TRUE(Interval::point(5).contains(5));
+  EXPECT_FALSE(Interval::point(5).contains(6));
+  EXPECT_FALSE(Interval::full().isFinite());
+  EXPECT_TRUE((Interval{1, 9}.isFinite()));
+}
+
+TEST(Interval, Width) {
+  EXPECT_EQ(Interval::point(3).width(), 1);
+  EXPECT_EQ((Interval{1, 10}).width(), 10);
+  EXPECT_EQ(Interval::empty().width(), 0);
+  EXPECT_EQ(Interval::full().width(), Bound::PosInf);
+}
+
+TEST(Interval, Intersect) {
+  Interval A{0, 10}, B{5, 20};
+  EXPECT_EQ(A.intersect(B), (Interval{5, 10}));
+  EXPECT_TRUE((Interval{0, 3}.intersect(Interval{5, 7}).isEmpty()));
+  EXPECT_EQ(Interval::full().intersect(A), A);
+}
+
+TEST(Interval, AddSaturates) {
+  Interval A{1, 2}, B{10, 20};
+  EXPECT_EQ(A.add(B), (Interval{11, 22}));
+  Interval Big{Bound::PosInf / 2, Bound::PosInf - 1};
+  Interval Sum = Big.add(Big);
+  EXPECT_EQ(Sum.Hi, Bound::PosInf);
+  EXPECT_TRUE(Interval::empty().add(A).isEmpty());
+}
+
+TEST(Interval, ScaleHandlesNegatives) {
+  Interval A{2, 5};
+  EXPECT_EQ(A.scale(3), (Interval{6, 15}));
+  EXPECT_EQ(A.scale(-1), (Interval{-5, -2}));
+  EXPECT_EQ(A.scale(0), Interval::point(0));
+  EXPECT_EQ(Interval::full().scale(-2), Interval::full());
+}
+
+TEST(Interval, WithoutPrunesEndpoints) {
+  Interval A{3, 7};
+  EXPECT_EQ(A.without(3), (Interval{4, 7}));
+  EXPECT_EQ(A.without(7), (Interval{3, 6}));
+  EXPECT_EQ(A.without(5), A) << "interior holes are not representable";
+  EXPECT_TRUE(Interval::point(4).without(4).isEmpty());
+  EXPECT_EQ(A.without(99), A);
+}
+
+TEST(Interval, ToString) {
+  EXPECT_EQ((Interval{1, 2}).toString(), "[1, 2]");
+  EXPECT_EQ(Interval::full().toString(), "[-inf, +inf]");
+  EXPECT_EQ(Interval::empty().toString(), "[empty]");
+}
+
+TEST(Bound, SaturatingArithmetic) {
+  EXPECT_EQ(Bound::addSat(Bound::PosInf, 5), Bound::PosInf);
+  EXPECT_EQ(Bound::addSat(Bound::NegInf, 5), Bound::NegInf);
+  EXPECT_EQ(Bound::addSat(3, 4), 7);
+  EXPECT_EQ(Bound::mulSat(Bound::PosInf, -2), Bound::NegInf);
+  EXPECT_EQ(Bound::mulSat(0, Bound::PosInf), 0);
+  EXPECT_EQ(Bound::mulSat(-3, 4), -12);
+}
+
+TEST(Bound, FloorAndCeilDivision) {
+  EXPECT_EQ(Bound::divFloor(7, 2), 3);
+  EXPECT_EQ(Bound::divFloor(-7, 2), -4);
+  EXPECT_EQ(Bound::divCeil(7, 2), 4);
+  EXPECT_EQ(Bound::divCeil(-7, 2), -3);
+  EXPECT_EQ(Bound::divFloor(7, -2), -4);
+  EXPECT_EQ(Bound::divCeil(7, -2), -3);
+  EXPECT_EQ(Bound::divFloor(Bound::PosInf, 3), Bound::PosInf);
+  EXPECT_EQ(Bound::divFloor(Bound::PosInf, -3), Bound::NegInf);
+}
+
+/// Property sweep: interval arithmetic soundly over-approximates the
+/// concrete operations for random finite intervals and member points.
+class IntervalPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalPropertyTest, AddScaleSoundness) {
+  RandomGen Rng(GetParam());
+  for (int Iter = 0; Iter != 200; ++Iter) {
+    int64_t ALo = Rng.nextInRange(-1000, 1000);
+    int64_t AHi = ALo + static_cast<int64_t>(Rng.nextBelow(100));
+    int64_t BLo = Rng.nextInRange(-1000, 1000);
+    int64_t BHi = BLo + static_cast<int64_t>(Rng.nextBelow(100));
+    Interval A{ALo, AHi}, B{BLo, BHi};
+
+    int64_t X = Rng.nextInRange(ALo, AHi);
+    int64_t Y = Rng.nextInRange(BLo, BHi);
+    ASSERT_TRUE(A.add(B).contains(X + Y));
+
+    int64_t K = Rng.nextInRange(-5, 5);
+    ASSERT_TRUE(A.scale(K).contains(X * K));
+
+    ASSERT_TRUE(A.intersect(Interval{X, AHi}).contains(X));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalPropertyTest,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+} // namespace

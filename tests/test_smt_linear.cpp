@@ -1,0 +1,111 @@
+//===- tests/test_smt_linear.cpp - Linear extraction unit tests ------------------===//
+
+#include "smt/Linear.h"
+
+#include <gtest/gtest.h>
+
+using namespace hotg::smt;
+
+namespace {
+
+class LinearTest : public ::testing::Test {
+protected:
+  TermArena Arena;
+  TermId X = Arena.mkVar("x");
+  TermId Y = Arena.mkVar("y");
+};
+
+TEST_F(LinearTest, ExtractsConstants) {
+  auto L = extractLinear(Arena, Arena.mkIntConst(7));
+  ASSERT_TRUE(L);
+  EXPECT_TRUE(L->isConstant());
+  EXPECT_EQ(L->Constant, 7);
+}
+
+TEST_F(LinearTest, ExtractsVariables) {
+  auto L = extractLinear(Arena, X);
+  ASSERT_TRUE(L);
+  ASSERT_EQ(L->Monomials.size(), 1u);
+  EXPECT_EQ(L->Monomials[0].Coeff, 1);
+  EXPECT_EQ(L->Monomials[0].Atom, X);
+}
+
+TEST_F(LinearTest, CombinesLikeTerms) {
+  // 2*x + x - 3*x == 0 monomials.
+  TermId T = Arena.mkSub(
+      Arena.mkAdd(Arena.mkMul(Arena.mkIntConst(2), X), X),
+      Arena.mkMul(Arena.mkIntConst(3), X));
+  auto L = extractLinear(Arena, T);
+  ASSERT_TRUE(L);
+  EXPECT_TRUE(L->Monomials.empty());
+  EXPECT_EQ(L->Constant, 0);
+}
+
+TEST_F(LinearTest, HandlesNegationAndSubtraction) {
+  // -(x - y) = -x + y.
+  TermId T = Arena.mkNeg(Arena.mkSub(X, Y));
+  auto L = extractLinear(Arena, T);
+  ASSERT_TRUE(L);
+  EXPECT_EQ(L->coeffOf(X), -1);
+  EXPECT_EQ(L->coeffOf(Y), 1);
+}
+
+TEST_F(LinearTest, UFAppsAreAtoms) {
+  FuncId H = Arena.getOrCreateFunc("h", 1);
+  TermId App = Arena.mkUFApp(H, {{X}});
+  TermId T = Arena.mkAdd(App, Arena.mkMul(Arena.mkIntConst(2), App));
+  auto L = extractLinear(Arena, T);
+  ASSERT_TRUE(L);
+  EXPECT_EQ(L->coeffOf(App), 3);
+  EXPECT_EQ(L->coeffOf(X), 0) << "x is inside the application, not free";
+}
+
+TEST_F(LinearTest, NormalizeEquality) {
+  // x + 2 == y  →  x - y + 2 = 0.
+  TermId Cmp = Arena.mkEq(Arena.mkAdd(X, Arena.mkIntConst(2)), Y);
+  auto A = normalizeComparison(Arena, Cmp);
+  ASSERT_TRUE(A);
+  EXPECT_EQ(A->Rel, LinearRelKind::Eq);
+  EXPECT_EQ(A->Expr.coeffOf(X), 1);
+  EXPECT_EQ(A->Expr.coeffOf(Y), -1);
+  EXPECT_EQ(A->Expr.Constant, 2);
+}
+
+TEST_F(LinearTest, NormalizeStrictInequalities) {
+  // x < y  →  x - y + 1 <= 0.
+  auto Lt = normalizeComparison(Arena, Arena.mkLt(X, Y));
+  ASSERT_TRUE(Lt);
+  EXPECT_EQ(Lt->Rel, LinearRelKind::Le);
+  EXPECT_EQ(Lt->Expr.coeffOf(X), 1);
+  EXPECT_EQ(Lt->Expr.Constant, 1);
+
+  // x > y  →  y - x + 1 <= 0.
+  auto Gt = normalizeComparison(Arena, Arena.mkGt(X, Y));
+  ASSERT_TRUE(Gt);
+  EXPECT_EQ(Gt->Rel, LinearRelKind::Le);
+  EXPECT_EQ(Gt->Expr.coeffOf(X), -1);
+  EXPECT_EQ(Gt->Expr.coeffOf(Y), 1);
+  EXPECT_EQ(Gt->Expr.Constant, 1);
+
+  // x >= y  →  y - x <= 0.
+  auto Ge = normalizeComparison(Arena, Arena.mkGe(X, Y));
+  ASSERT_TRUE(Ge);
+  EXPECT_EQ(Ge->Expr.Constant, 0);
+  EXPECT_EQ(Ge->Expr.coeffOf(X), -1);
+}
+
+TEST_F(LinearTest, AddScaled) {
+  LinearExpr A;
+  A.add(2, X);
+  A.Constant = 1;
+  LinearExpr B;
+  B.add(1, X);
+  B.add(4, Y);
+  B.Constant = 10;
+  A.addScaled(B, -2);
+  EXPECT_EQ(A.coeffOf(X), 0);
+  EXPECT_EQ(A.coeffOf(Y), -8);
+  EXPECT_EQ(A.Constant, -19);
+}
+
+} // namespace

@@ -1,0 +1,151 @@
+//===- tests/test_smt_misc.cpp - Supports, substitution, summary-table units ------===//
+
+#include "dse/Summary.h"
+#include "smt/Simplify.h"
+#include "smt/Subst.h"
+#include "smt/Supports.h"
+
+#include <gtest/gtest.h>
+
+using namespace hotg;
+using namespace hotg::smt;
+
+namespace {
+
+class SupportsTest : public ::testing::Test {
+protected:
+  TermArena Arena;
+  TermId X = Arena.mkVar("x");
+  TermId Y = Arena.mkVar("y");
+
+  std::vector<std::vector<std::string>> enumerate(TermId F,
+                                                  unsigned Max = 64) {
+    std::vector<std::vector<std::string>> Out;
+    forEachSupport(Arena, toNNF(Arena, F), Max,
+                   [&](const std::vector<TermId> &Literals) {
+                     std::vector<std::string> Support;
+                     for (TermId L : Literals)
+                       Support.push_back(Arena.toString(L));
+                     Out.push_back(std::move(Support));
+                     return false;
+                   });
+    return Out;
+  }
+};
+
+TEST_F(SupportsTest, ConjunctionIsOneSupport) {
+  TermId F = Arena.mkAnd(Arena.mkEq(X, Arena.mkIntConst(1)),
+                         Arena.mkLt(Y, X));
+  auto Supports = enumerate(F);
+  ASSERT_EQ(Supports.size(), 1u);
+  EXPECT_EQ(Supports[0].size(), 2u);
+}
+
+TEST_F(SupportsTest, DisjunctionSplits) {
+  TermId F = Arena.mkOr(Arena.mkEq(X, Arena.mkIntConst(1)),
+                        Arena.mkEq(X, Arena.mkIntConst(2)));
+  auto Supports = enumerate(F);
+  ASSERT_EQ(Supports.size(), 2u);
+  EXPECT_EQ(Supports[0].size(), 1u);
+}
+
+TEST_F(SupportsTest, NestedOrsMultiply) {
+  // (a ∨ b) ∧ (c ∨ d) → 4 supports of 2 literals each.
+  TermId A = Arena.mkEq(X, Arena.mkIntConst(1));
+  TermId B = Arena.mkEq(X, Arena.mkIntConst(2));
+  TermId C = Arena.mkEq(Y, Arena.mkIntConst(3));
+  TermId D = Arena.mkEq(Y, Arena.mkIntConst(4));
+  TermId F = Arena.mkAnd(Arena.mkOr(A, B), Arena.mkOr(C, D));
+  auto Supports = enumerate(F);
+  ASSERT_EQ(Supports.size(), 4u);
+  for (const auto &S : Supports)
+    EXPECT_EQ(S.size(), 2u);
+}
+
+TEST_F(SupportsTest, BudgetStopsEnumeration) {
+  TermId A = Arena.mkEq(X, Arena.mkIntConst(1));
+  TermId B = Arena.mkEq(X, Arena.mkIntConst(2));
+  TermId F = Arena.mkAnd(Arena.mkOr(A, B),
+                         Arena.mkOr(Arena.mkEq(Y, Arena.mkIntConst(3)),
+                                    Arena.mkEq(Y, Arena.mkIntConst(4))));
+  SupportEnumStats Stats = forEachSupport(
+      Arena, toNNF(Arena, F), 2,
+      [](const std::vector<TermId> &) { return false; });
+  EXPECT_EQ(Stats.SupportsTried, 2u);
+  EXPECT_TRUE(Stats.BudgetExhausted);
+}
+
+TEST_F(SupportsTest, CallbackStopsEarly) {
+  TermId F = Arena.mkOr(Arena.mkEq(X, Arena.mkIntConst(1)),
+                        Arena.mkEq(X, Arena.mkIntConst(2)));
+  unsigned Calls = 0;
+  forEachSupport(Arena, toNNF(Arena, F), 64,
+                 [&](const std::vector<TermId> &) {
+                   ++Calls;
+                   return true;
+                 });
+  EXPECT_EQ(Calls, 1u);
+}
+
+class SubstTest : public ::testing::Test {
+protected:
+  TermArena Arena;
+  VarId VX = Arena.getOrCreateVar("x");
+  VarId VY = Arena.getOrCreateVar("y");
+  TermId X = Arena.mkVar(VX);
+  TermId Y = Arena.mkVar(VY);
+};
+
+TEST_F(SubstTest, ReplacesVariables) {
+  VarSubstitution Subst{{VX, Arena.mkIntConst(7)}};
+  TermId T = Arena.mkAdd(X, Y);
+  EXPECT_EQ(Arena.toString(substituteVars(Arena, T, Subst)), "(+ 7 y)");
+}
+
+TEST_F(SubstTest, SimultaneousAndNonRecursive) {
+  // x → y and y → x swap without cascading.
+  VarSubstitution Subst{{VX, Y}, {VY, X}};
+  TermId T = Arena.mkSub(X, Y);
+  EXPECT_EQ(Arena.toString(substituteVars(Arena, T, Subst)), "(- y x)");
+}
+
+TEST_F(SubstTest, ReachesInsideApplicationsAndFormulas) {
+  FuncId H = Arena.getOrCreateFunc("h", 1);
+  TermId F = Arena.mkAnd(
+      Arena.mkGt(Arena.mkUFApp(H, {{X}}), Arena.mkIntConst(0)),
+      Arena.mkEq(Y, Arena.mkIntConst(10)));
+  VarSubstitution Subst{{VX, Arena.mkAdd(Y, Arena.mkIntConst(1))}};
+  EXPECT_EQ(Arena.toString(substituteVars(Arena, F, Subst)),
+            "(and (> (h (+ y 1)) 0) (= y 10))");
+}
+
+TEST_F(SubstTest, UnmappedTermsAreShared) {
+  VarSubstitution Subst{{VY, Arena.mkIntConst(3)}};
+  TermId T = Arena.mkAdd(X, Arena.mkIntConst(5));
+  EXPECT_EQ(substituteVars(Arena, T, Subst), T)
+      << "terms without mapped variables are returned unchanged";
+  EXPECT_EQ(substituteVars(Arena, T, {}), T);
+}
+
+TEST(SummaryTableTest, RegisterRecordAndDedup) {
+  TermArena Arena;
+  dse::SummaryTable Table;
+  FuncId F = Arena.getOrCreateFunc("sum:f", 1);
+  VarId Formal = Arena.getOrCreateVar("sum:f#v");
+  Table.registerFunction(F, {Formal});
+  Table.registerFunction(F, {Formal}); // Idempotent.
+  EXPECT_TRUE(Table.isSummary(F));
+  EXPECT_FALSE(Table.isSummary(F + 1));
+  ASSERT_EQ(Table.formalsOf(F).size(), 1u);
+
+  dse::SummaryDisjunct D;
+  D.Pre = Arena.mkGt(Arena.mkVar(Formal), Arena.mkIntConst(0));
+  D.Out = Arena.mkMul(Arena.mkIntConst(2), Arena.mkVar(Formal));
+  EXPECT_TRUE(Table.record(F, D));
+  EXPECT_FALSE(Table.record(F, D)) << "identical disjunct deduplicates";
+  EXPECT_EQ(Table.size(), 1u);
+  EXPECT_EQ(Table.disjunctsFor(F).size(), 1u);
+  EXPECT_TRUE(Table.disjunctsFor(F + 1).empty());
+}
+
+} // namespace

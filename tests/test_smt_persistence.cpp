@@ -1,0 +1,87 @@
+//===- tests/test_smt_persistence.cpp - IOF table serialization -------------------===//
+
+#include "smt/SampleTable.h"
+
+#include <gtest/gtest.h>
+
+using namespace hotg::smt;
+
+namespace {
+
+TEST(SamplePersistence, RoundTrip) {
+  TermArena Arena;
+  FuncId H = Arena.getOrCreateFunc("hash", 1);
+  FuncId H4 = Arena.getOrCreateFunc("hash4", 4);
+  SampleTable Original;
+  Original.record(H, {42}, 567);
+  Original.record(H, {-7}, 0);
+  Original.record(H4, {119, 104, 105, 108}, 52);
+
+  std::string Text = Original.serialize(Arena);
+  EXPECT_NE(Text.find("hash 1 42 -> 567"), std::string::npos);
+  EXPECT_NE(Text.find("hash4 4 119 104 105 108 -> 52"), std::string::npos);
+
+  // Deserializing into a fresh arena re-interns the symbols.
+  TermArena Fresh;
+  SampleTable Loaded;
+  std::string Error;
+  ASSERT_TRUE(Loaded.deserialize(Text, Fresh, &Error)) << Error;
+  EXPECT_EQ(Loaded.size(), 3u);
+  FuncId FreshH = Fresh.getOrCreateFunc("hash", 1);
+  auto V = Loaded.lookup(FreshH, {42});
+  ASSERT_TRUE(V);
+  EXPECT_EQ(*V, 567);
+  FuncId FreshH4 = Fresh.getOrCreateFunc("hash4", 4);
+  EXPECT_EQ(Loaded.lookup(FreshH4, {119, 104, 105, 108}).value_or(-1), 52);
+}
+
+TEST(SamplePersistence, CommentsAndBlankLinesAreSkipped) {
+  TermArena Arena;
+  SampleTable T;
+  ASSERT_TRUE(T.deserialize("# saved by hotg-run\n\nhash 1 5 -> 9\n\n",
+                            Arena, nullptr));
+  EXPECT_EQ(T.size(), 1u);
+}
+
+TEST(SamplePersistence, ZeroArityFunctions) {
+  TermArena Arena;
+  FuncId F = Arena.getOrCreateFunc("getenv_len", 0);
+  SampleTable T;
+  T.record(F, {}, 12);
+  std::string Text = T.serialize(Arena);
+  EXPECT_NE(Text.find("getenv_len 0 -> 12"), std::string::npos);
+
+  SampleTable Loaded;
+  ASSERT_TRUE(Loaded.deserialize(Text, Arena, nullptr));
+  EXPECT_EQ(Loaded.lookup(F, {}).value_or(-1), 12);
+}
+
+TEST(SamplePersistence, MalformedInputReportsLine) {
+  TermArena Arena;
+  SampleTable T;
+  std::string Error;
+  EXPECT_FALSE(T.deserialize("hash 1 42 -> 5\nbogus line here\n", Arena,
+                             &Error));
+  EXPECT_NE(Error.find("line 2"), std::string::npos);
+  EXPECT_EQ(T.size(), 1u) << "lines before the failure are kept";
+
+  EXPECT_FALSE(T.deserialize("hash 2 1 -> 5\n", Arena, &Error))
+      << "arity/field mismatch";
+  EXPECT_FALSE(T.deserialize("hash 1 abc -> 5\n", Arena, &Error))
+      << "non-numeric argument";
+  EXPECT_FALSE(T.deserialize("hash 1 42 => 5\n", Arena, &Error))
+      << "missing arrow";
+}
+
+TEST(SamplePersistence, NegativeValuesSurvive) {
+  TermArena Arena;
+  FuncId H = Arena.getOrCreateFunc("h", 2);
+  SampleTable T;
+  T.record(H, {-9223372036854775807LL, -1}, -42);
+  SampleTable Loaded;
+  ASSERT_TRUE(Loaded.deserialize(T.serialize(Arena), Arena, nullptr));
+  EXPECT_EQ(Loaded.lookup(H, {-9223372036854775807LL, -1}).value_or(0),
+            -42);
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+//===- tests/test_smt_simplify.cpp - Simplifier and NNF unit tests ---------------===//
+
+#include "smt/Simplify.h"
+
+#include <gtest/gtest.h>
+
+using namespace hotg::smt;
+
+namespace {
+
+class SimplifyTest : public ::testing::Test {
+protected:
+  TermArena Arena;
+  TermId X = Arena.mkVar("x");
+  TermId Y = Arena.mkVar("y");
+
+  std::string simp(TermId T) { return Arena.toString(simplify(Arena, T)); }
+};
+
+TEST_F(SimplifyTest, ConstantFolding) {
+  EXPECT_EQ(simp(Arena.mkAdd(Arena.mkIntConst(2), Arena.mkIntConst(3))), "5");
+  EXPECT_EQ(simp(Arena.mkSub(Arena.mkIntConst(2), Arena.mkIntConst(3))),
+            "-1");
+  EXPECT_EQ(simp(Arena.mkMul(Arena.mkIntConst(4), Arena.mkIntConst(5))),
+            "20");
+  EXPECT_EQ(simp(Arena.mkNeg(Arena.mkIntConst(7))), "-7");
+}
+
+TEST_F(SimplifyTest, ComparisonFolding) {
+  EXPECT_EQ(simp(Arena.mkLt(Arena.mkIntConst(1), Arena.mkIntConst(2))),
+            "true");
+  EXPECT_EQ(simp(Arena.mkEq(Arena.mkIntConst(1), Arena.mkIntConst(2))),
+            "false");
+  EXPECT_EQ(simp(Arena.mkGe(Arena.mkIntConst(5), Arena.mkIntConst(5))),
+            "true");
+}
+
+TEST_F(SimplifyTest, ArithmeticIdentities) {
+  EXPECT_EQ(simplify(Arena, Arena.mkAdd(X, Arena.mkIntConst(0))), X);
+  EXPECT_EQ(simplify(Arena, Arena.mkSub(X, Arena.mkIntConst(0))), X);
+  EXPECT_EQ(simplify(Arena, Arena.mkMul(Arena.mkIntConst(1), X)), X);
+  EXPECT_EQ(simp(Arena.mkMul(Arena.mkIntConst(0), X)), "0");
+  EXPECT_EQ(simp(Arena.mkSub(X, X)), "0");
+  EXPECT_EQ(simplify(Arena, Arena.mkNeg(Arena.mkNeg(X))), X);
+}
+
+TEST_F(SimplifyTest, SameOperandComparisons) {
+  EXPECT_EQ(simp(Arena.mkEq(X, X)), "true");
+  EXPECT_EQ(simp(Arena.mkNe(X, X)), "false");
+  EXPECT_EQ(simp(Arena.mkLe(X, X)), "true");
+  EXPECT_EQ(simp(Arena.mkLt(X, X)), "false");
+}
+
+TEST_F(SimplifyTest, BooleanIdentities) {
+  TermId Lit = Arena.mkEq(X, Arena.mkIntConst(1));
+  EXPECT_EQ(simplify(Arena, Arena.mkAnd(Lit, Arena.mkTrue())), Lit);
+  EXPECT_EQ(simp(Arena.mkAnd(Lit, Arena.mkFalse())), "false");
+  EXPECT_EQ(simplify(Arena, Arena.mkOr(Lit, Arena.mkFalse())), Lit);
+  EXPECT_EQ(simp(Arena.mkOr(Lit, Arena.mkTrue())), "true");
+  EXPECT_EQ(simplify(Arena, Arena.mkNot(Arena.mkNot(Lit))), Lit);
+  EXPECT_EQ(simplify(Arena, Arena.mkAnd(Lit, Lit)), Lit)
+      << "duplicate conjuncts collapse";
+}
+
+TEST_F(SimplifyTest, AddFlattensAndFoldsConstantTail) {
+  TermId Sum = Arena.mkAdd(Arena.mkAdd(X, Arena.mkIntConst(2)),
+                           Arena.mkAdd(Y, Arena.mkIntConst(3)));
+  EXPECT_EQ(simp(Sum), "(+ x y 5)");
+}
+
+TEST_F(SimplifyTest, NotOfComparisonFlips) {
+  EXPECT_EQ(simp(Arena.mkNot(Arena.mkLt(X, Y))), "(>= x y)");
+  EXPECT_EQ(simp(Arena.mkNot(Arena.mkEq(X, Y))), "(distinct x y)");
+}
+
+TEST_F(SimplifyTest, ImpliesSimplification) {
+  TermId Lit = Arena.mkEq(X, Arena.mkIntConst(1));
+  EXPECT_EQ(simplify(Arena, Arena.mkImplies(Arena.mkTrue(), Lit)), Lit);
+  EXPECT_EQ(simp(Arena.mkImplies(Arena.mkFalse(), Lit)), "true");
+  EXPECT_EQ(simp(Arena.mkImplies(Lit, Arena.mkTrue())), "true");
+}
+
+TEST_F(SimplifyTest, NNFEliminatesNotAndImplies) {
+  TermId L1 = Arena.mkEq(X, Arena.mkIntConst(1));
+  TermId L2 = Arena.mkLt(Y, Arena.mkIntConst(2));
+  // ¬(L1 ∧ L2) → ¬L1 ∨ ¬L2 with comparisons flipped.
+  TermId F = Arena.mkNot(Arena.mkAnd(L1, L2));
+  EXPECT_EQ(Arena.toString(toNNF(Arena, F)),
+            "(or (distinct x 1) (>= y 2))");
+  // L1 ⟹ L2 → ¬L1 ∨ L2.
+  TermId Impl = Arena.mkImplies(L1, L2);
+  EXPECT_EQ(Arena.toString(toNNF(Arena, Impl)),
+            "(or (distinct x 1) (< y 2))");
+}
+
+TEST_F(SimplifyTest, NegateIsNNFOfNot) {
+  TermId L1 = Arena.mkEq(X, Arena.mkIntConst(1));
+  TermId L2 = Arena.mkLt(Y, Arena.mkIntConst(2));
+  TermId Disj = Arena.mkOr(L1, L2);
+  EXPECT_EQ(Arena.toString(negate(Arena, Disj)),
+            "(and (distinct x 1) (>= y 2))");
+  EXPECT_EQ(negate(Arena, Arena.mkTrue()), Arena.mkFalse());
+}
+
+TEST_F(SimplifyTest, SimplifyIsIdempotent) {
+  TermId F = Arena.mkAnd(
+      Arena.mkNot(Arena.mkNot(Arena.mkEq(X, Arena.mkIntConst(1)))),
+      Arena.mkOr(Arena.mkLt(X, Y), Arena.mkFalse()));
+  TermId Once = simplify(Arena, F);
+  EXPECT_EQ(simplify(Arena, Once), Once);
+}
+
+TEST_F(SimplifyTest, WrapAroundConstantsFoldSafely) {
+  // INT64_MAX + 1 wraps to INT64_MIN under the wrapped semantics shared
+  // with the interpreter.
+  TermId Max = Arena.mkIntConst(INT64_MAX);
+  TermId One = Arena.mkIntConst(1);
+  EXPECT_EQ(simplify(Arena, Arena.mkAdd(Max, One)),
+            Arena.mkIntConst(INT64_MIN));
+}
+
+} // namespace

@@ -1,0 +1,266 @@
+//===- tools/hotg-run.cpp - Command-line driver ------------------------------------===//
+//
+// Runs test generation on a MiniLang source file:
+//
+//   hotg-run program.ml [options]
+//
+//   --entry NAME       entry function (default: "main" when present,
+//                      otherwise the first function)
+//   --policy P         unsound | sound | sound-delayed | higher-order
+//                      (default) | random
+//   --max-tests N      execution budget (default 64)
+//   --multistep K      learning-run bound for higher-order (default 2)
+//   --input a,b,c      initial input cells (default: random)
+//   --seed-input a,b,c additional seed-corpus input (repeatable)
+//   --seed N           PRNG seed (default 42)
+//   --samples-in F     pre-load an IOF sample table saved by --samples-out
+//   --samples-out F    save the accumulated IOF sample table
+//   --summarize        compositional mode: summarize helper calls (§8)
+//   --explore-paths    do not skip already-covered branch targets
+//   --order bfs|dfs    candidate exploration order (default bfs)
+//   --dump-tests       print every executed test
+//   --dump-pc          print the AST and per-test path constraints
+//
+// Available natives: hash(1), hash2(1), hash4(4), fstep(1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "app/Examples.h"
+#include "core/Search.h"
+#include "dse/SymbolicExecutor.h"
+#include "lang/Parser.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace hotg;
+using namespace hotg::core;
+using namespace hotg::dse;
+using namespace hotg::interp;
+
+namespace {
+
+[[noreturn]] void usageError(const char *Message) {
+  std::fprintf(stderr, "hotg-run: %s\n", Message);
+  std::fprintf(stderr,
+               "usage: hotg-run <file.ml> [--entry NAME] "
+               "[--policy unsound|sound|sound-delayed|higher-order|random] "
+               "[--max-tests N] [--multistep K] [--input a,b,c] "
+               "[--seed-input a,b,c] [--seed N] [--explore-paths] "
+               "[--dump-tests] [--dump-pc]\n");
+  std::exit(2);
+}
+
+TestInput parseCells(const char *Spec) {
+  TestInput Input;
+  for (const std::string &Part : split(Spec, ','))
+    Input.Cells.push_back(std::strtoll(Part.c_str(), nullptr, 10));
+  return Input;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    usageError("missing input file");
+
+  const char *Path = nullptr;
+  std::string Entry;
+  std::string Policy = "higher-order";
+  unsigned MaxTests = 64;
+  unsigned MultiStep = 2;
+  uint64_t Seed = 42;
+  std::optional<TestInput> Initial;
+  std::vector<TestInput> Seeds;
+  bool ExplorePaths = false, DumpTests = false, DumpPc = false;
+  bool DepthFirst = false, Summarize = false;
+  std::string SamplesIn, SamplesOut;
+
+  for (int I = 1; I != Argc; ++I) {
+    auto NextArg = [&](const char *Flag) -> const char * {
+      if (I + 1 >= Argc)
+        usageError(formatString("%s requires an argument", Flag).c_str());
+      return Argv[++I];
+    };
+    if (!std::strcmp(Argv[I], "--entry"))
+      Entry = NextArg("--entry");
+    else if (!std::strcmp(Argv[I], "--policy"))
+      Policy = NextArg("--policy");
+    else if (!std::strcmp(Argv[I], "--max-tests"))
+      MaxTests = static_cast<unsigned>(
+          std::strtoul(NextArg("--max-tests"), nullptr, 10));
+    else if (!std::strcmp(Argv[I], "--multistep"))
+      MultiStep = static_cast<unsigned>(
+          std::strtoul(NextArg("--multistep"), nullptr, 10));
+    else if (!std::strcmp(Argv[I], "--input"))
+      Initial = parseCells(NextArg("--input"));
+    else if (!std::strcmp(Argv[I], "--seed-input"))
+      Seeds.push_back(parseCells(NextArg("--seed-input")));
+    else if (!std::strcmp(Argv[I], "--seed"))
+      Seed = std::strtoull(NextArg("--seed"), nullptr, 10);
+    else if (!std::strcmp(Argv[I], "--samples-in"))
+      SamplesIn = NextArg("--samples-in");
+    else if (!std::strcmp(Argv[I], "--samples-out"))
+      SamplesOut = NextArg("--samples-out");
+    else if (!std::strcmp(Argv[I], "--explore-paths"))
+      ExplorePaths = true;
+    else if (!std::strcmp(Argv[I], "--summarize"))
+      Summarize = true;
+    else if (!std::strcmp(Argv[I], "--order")) {
+      const char *Order = NextArg("--order");
+      if (!std::strcmp(Order, "dfs"))
+        DepthFirst = true;
+      else if (std::strcmp(Order, "bfs"))
+        usageError("--order expects bfs or dfs");
+    }
+    else if (!std::strcmp(Argv[I], "--dump-tests"))
+      DumpTests = true;
+    else if (!std::strcmp(Argv[I], "--dump-pc"))
+      DumpPc = true;
+    else if (Argv[I][0] == '-')
+      usageError(formatString("unknown option '%s'", Argv[I]).c_str());
+    else if (Path)
+      usageError("multiple input files");
+    else
+      Path = Argv[I];
+  }
+  if (!Path)
+    usageError("missing input file");
+
+  std::ifstream File(Path);
+  if (!File) {
+    std::fprintf(stderr, "hotg-run: cannot open '%s'\n", Path);
+    return 2;
+  }
+  std::ostringstream Buffer;
+  Buffer << File.rdbuf();
+  std::string Source = Buffer.str();
+
+  DiagnosticEngine Diags;
+  auto Prog = lang::parseAndCheck(Source, Diags);
+  if (!Prog) {
+    std::fprintf(stderr, "%s", Diags.render(Path).c_str());
+    return 1;
+  }
+  if (!Diags.diagnostics().empty())
+    std::fprintf(stderr, "%s", Diags.render(Path).c_str());
+  if (Prog->Functions.empty()) {
+    std::fprintf(stderr, "hotg-run: no functions in '%s'\n", Path);
+    return 1;
+  }
+  if (Entry.empty())
+    Entry = Prog->findFunction("main") ? "main"
+                                       : Prog->Functions.front()->Name;
+  const lang::FunctionDecl *EntryFn = Prog->findFunction(Entry);
+  if (!EntryFn) {
+    std::fprintf(stderr, "hotg-run: no function named '%s'\n",
+                 Entry.c_str());
+    return 1;
+  }
+
+  NativeRegistry Natives;
+  app::registerExampleNatives(Natives);
+  for (const lang::ExternDecl &Ext : Prog->Externs)
+    if (!Natives.find(Ext.Name)) {
+      std::fprintf(stderr,
+                   "hotg-run: extern '%s' has no native binding "
+                   "(available: hash, hash2, hash4, fstep)\n",
+                   Ext.Name.c_str());
+      return 1;
+    }
+
+  if (DumpPc)
+    std::printf("=== AST ===\n%s\n", lang::dumpProgram(*Prog).c_str());
+
+  InputLayout Layout(*EntryFn);
+  std::printf("entry %s with %u input cell(s):", Entry.c_str(),
+              Layout.size());
+  for (unsigned I = 0; I != Layout.size(); ++I)
+    std::printf(" %s", Layout.name(I).c_str());
+  std::printf("\n");
+
+  SearchResult Result;
+  if (Policy == "random") {
+    Result = runRandomSearch(*Prog, Natives, Entry, MaxTests, 0, 99, Seed);
+  } else {
+    SearchOptions Options;
+    if (Policy == "unsound")
+      Options.Policy = ConcretizationPolicy::Unsound;
+    else if (Policy == "sound")
+      Options.Policy = ConcretizationPolicy::Sound;
+    else if (Policy == "sound-delayed")
+      Options.Policy = ConcretizationPolicy::SoundDelayed;
+    else if (Policy == "higher-order")
+      Options.Policy = ConcretizationPolicy::HigherOrder;
+    else
+      usageError("unknown policy");
+    Options.MaxTests = MaxTests;
+    Options.MultiStepBound = MultiStep;
+    Options.Seed = Seed;
+    Options.InitialInput = Initial;
+    Options.SeedInputs = Seeds;
+    Options.SkipCoveredTargets = !ExplorePaths;
+    Options.SummarizeCalls = Summarize;
+    if (DepthFirst)
+      Options.Order = SearchOptions::OrderKind::DepthFirst;
+
+    DirectedSearch Search(*Prog, Natives, Entry, Options);
+    if (!SamplesIn.empty()) {
+      std::ifstream In(SamplesIn);
+      if (!In) {
+        std::fprintf(stderr, "hotg-run: cannot open '%s'\n",
+                     SamplesIn.c_str());
+        return 2;
+      }
+      std::ostringstream Buf;
+      Buf << In.rdbuf();
+      std::string Err;
+      if (!Search.importSamples(Buf.str(), &Err)) {
+        std::fprintf(stderr, "hotg-run: %s: %s\n", SamplesIn.c_str(),
+                     Err.c_str());
+        return 2;
+      }
+      std::printf("pre-loaded %zu IOF samples from %s\n",
+                  Search.samples().size(), SamplesIn.c_str());
+    }
+    Result = Search.run();
+    if (DumpPc)
+      std::printf("IOF samples recorded: %zu\n", Search.samples().size());
+    if (Summarize)
+      std::printf("summary disjuncts recorded: %zu\n",
+                  Search.summaries().size());
+    if (!SamplesOut.empty()) {
+      std::ofstream Out(SamplesOut);
+      Out << Search.exportSamples();
+      std::printf("saved %zu IOF samples to %s\n", Search.samples().size(),
+                  SamplesOut.c_str());
+    }
+  }
+
+  if (DumpTests)
+    for (size_t I = 0; I != Result.Tests.size(); ++I) {
+      const TestRecord &T = Result.Tests[I];
+      std::printf("  test #%02zu %s -> %s%s%s\n", I + 1,
+                  T.Input.toString().c_str(), runStatusName(T.Status),
+                  T.Diverged ? " [diverged]" : "",
+                  T.Intermediate ? " [learning]" : "");
+    }
+
+  std::printf("policy %s: %u tests, %u/%u branch directions covered, "
+              "%u divergences\n",
+              Policy.c_str(), Result.testsRun(),
+              Result.Cov.coveredDirections(),
+              Result.Cov.totalDirections(), Result.Divergences);
+  if (Result.Bugs.empty()) {
+    std::printf("no bugs found\n");
+    return 0;
+  }
+  for (const BugRecord &Bug : Result.Bugs)
+    std::printf("BUG [%s] \"%s\" input %s (test #%u)\n",
+                runStatusName(Bug.Status), Bug.Message.c_str(),
+                Bug.Input.toString().c_str(), Bug.FoundAtTest);
+  return 0;
+}

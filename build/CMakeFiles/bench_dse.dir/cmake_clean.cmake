@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dse.dir/bench/bench_dse.cpp.o"
+  "CMakeFiles/bench_dse.dir/bench/bench_dse.cpp.o.d"
+  "bench/bench_dse"
+  "bench/bench_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

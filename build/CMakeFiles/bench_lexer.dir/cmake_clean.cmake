@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lexer.dir/bench/bench_lexer.cpp.o"
+  "CMakeFiles/bench_lexer.dir/bench/bench_lexer.cpp.o.d"
+  "bench/bench_lexer"
+  "bench/bench_lexer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_solver.dir/bench/bench_solver.cpp.o"
+  "CMakeFiles/bench_solver.dir/bench/bench_solver.cpp.o.d"
+  "bench/bench_solver"
+  "bench/bench_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

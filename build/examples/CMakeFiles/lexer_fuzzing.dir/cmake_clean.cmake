@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lexer_fuzzing.dir/lexer_fuzzing.cpp.o"
+  "CMakeFiles/lexer_fuzzing.dir/lexer_fuzzing.cpp.o.d"
+  "lexer_fuzzing"
+  "lexer_fuzzing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lexer_fuzzing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

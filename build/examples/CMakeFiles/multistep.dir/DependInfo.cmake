@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/multistep.cpp" "examples/CMakeFiles/multistep.dir/multistep.cpp.o" "gcc" "examples/CMakeFiles/multistep.dir/multistep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/hotg_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hotg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/hotg_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/hotg_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/hotg_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/hotg_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hotg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multistep.dir/multistep.cpp.o"
+  "CMakeFiles/multistep.dir/multistep.cpp.o.d"
+  "multistep"
+  "multistep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multistep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

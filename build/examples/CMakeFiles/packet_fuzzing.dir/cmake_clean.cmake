@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_fuzzing.dir/packet_fuzzing.cpp.o"
+  "CMakeFiles/packet_fuzzing.dir/packet_fuzzing.cpp.o.d"
+  "packet_fuzzing"
+  "packet_fuzzing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_fuzzing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

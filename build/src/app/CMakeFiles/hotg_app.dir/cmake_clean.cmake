@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotg_app.dir/Examples.cpp.o"
+  "CMakeFiles/hotg_app.dir/Examples.cpp.o.d"
+  "CMakeFiles/hotg_app.dir/KeywordLexer.cpp.o"
+  "CMakeFiles/hotg_app.dir/KeywordLexer.cpp.o.d"
+  "CMakeFiles/hotg_app.dir/PacketParser.cpp.o"
+  "CMakeFiles/hotg_app.dir/PacketParser.cpp.o.d"
+  "libhotg_app.a"
+  "libhotg_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotg_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

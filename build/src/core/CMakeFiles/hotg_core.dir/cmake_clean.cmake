@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotg_core.dir/Coverage.cpp.o"
+  "CMakeFiles/hotg_core.dir/Coverage.cpp.o.d"
+  "CMakeFiles/hotg_core.dir/Post.cpp.o"
+  "CMakeFiles/hotg_core.dir/Post.cpp.o.d"
+  "CMakeFiles/hotg_core.dir/Search.cpp.o"
+  "CMakeFiles/hotg_core.dir/Search.cpp.o.d"
+  "CMakeFiles/hotg_core.dir/ValiditySolver.cpp.o"
+  "CMakeFiles/hotg_core.dir/ValiditySolver.cpp.o.d"
+  "libhotg_core.a"
+  "libhotg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

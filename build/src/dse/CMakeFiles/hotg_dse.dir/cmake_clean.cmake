@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotg_dse.dir/PathConstraint.cpp.o"
+  "CMakeFiles/hotg_dse.dir/PathConstraint.cpp.o.d"
+  "CMakeFiles/hotg_dse.dir/Summary.cpp.o"
+  "CMakeFiles/hotg_dse.dir/Summary.cpp.o.d"
+  "CMakeFiles/hotg_dse.dir/SymbolicExecutor.cpp.o"
+  "CMakeFiles/hotg_dse.dir/SymbolicExecutor.cpp.o.d"
+  "libhotg_dse.a"
+  "libhotg_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotg_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interp/Interp.cpp" "src/interp/CMakeFiles/hotg_interp.dir/Interp.cpp.o" "gcc" "src/interp/CMakeFiles/hotg_interp.dir/Interp.cpp.o.d"
+  "/root/repo/src/interp/NativeFunc.cpp" "src/interp/CMakeFiles/hotg_interp.dir/NativeFunc.cpp.o" "gcc" "src/interp/CMakeFiles/hotg_interp.dir/NativeFunc.cpp.o.d"
+  "/root/repo/src/interp/Value.cpp" "src/interp/CMakeFiles/hotg_interp.dir/Value.cpp.o" "gcc" "src/interp/CMakeFiles/hotg_interp.dir/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/hotg_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hotg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

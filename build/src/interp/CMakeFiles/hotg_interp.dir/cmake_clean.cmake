@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotg_interp.dir/Interp.cpp.o"
+  "CMakeFiles/hotg_interp.dir/Interp.cpp.o.d"
+  "CMakeFiles/hotg_interp.dir/NativeFunc.cpp.o"
+  "CMakeFiles/hotg_interp.dir/NativeFunc.cpp.o.d"
+  "CMakeFiles/hotg_interp.dir/Value.cpp.o"
+  "CMakeFiles/hotg_interp.dir/Value.cpp.o.d"
+  "libhotg_interp.a"
+  "libhotg_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotg_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

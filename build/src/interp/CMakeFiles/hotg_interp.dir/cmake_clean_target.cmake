@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhotg_interp.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotg_lang.dir/AST.cpp.o"
+  "CMakeFiles/hotg_lang.dir/AST.cpp.o.d"
+  "CMakeFiles/hotg_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/hotg_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/hotg_lang.dir/Parser.cpp.o"
+  "CMakeFiles/hotg_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/hotg_lang.dir/Sema.cpp.o"
+  "CMakeFiles/hotg_lang.dir/Sema.cpp.o.d"
+  "libhotg_lang.a"
+  "libhotg_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotg_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

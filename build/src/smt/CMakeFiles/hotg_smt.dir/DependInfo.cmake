@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smt/CongruenceClosure.cpp" "src/smt/CMakeFiles/hotg_smt.dir/CongruenceClosure.cpp.o" "gcc" "src/smt/CMakeFiles/hotg_smt.dir/CongruenceClosure.cpp.o.d"
+  "/root/repo/src/smt/Interval.cpp" "src/smt/CMakeFiles/hotg_smt.dir/Interval.cpp.o" "gcc" "src/smt/CMakeFiles/hotg_smt.dir/Interval.cpp.o.d"
+  "/root/repo/src/smt/Linear.cpp" "src/smt/CMakeFiles/hotg_smt.dir/Linear.cpp.o" "gcc" "src/smt/CMakeFiles/hotg_smt.dir/Linear.cpp.o.d"
+  "/root/repo/src/smt/Model.cpp" "src/smt/CMakeFiles/hotg_smt.dir/Model.cpp.o" "gcc" "src/smt/CMakeFiles/hotg_smt.dir/Model.cpp.o.d"
+  "/root/repo/src/smt/SampleTable.cpp" "src/smt/CMakeFiles/hotg_smt.dir/SampleTable.cpp.o" "gcc" "src/smt/CMakeFiles/hotg_smt.dir/SampleTable.cpp.o.d"
+  "/root/repo/src/smt/Simplify.cpp" "src/smt/CMakeFiles/hotg_smt.dir/Simplify.cpp.o" "gcc" "src/smt/CMakeFiles/hotg_smt.dir/Simplify.cpp.o.d"
+  "/root/repo/src/smt/Solver.cpp" "src/smt/CMakeFiles/hotg_smt.dir/Solver.cpp.o" "gcc" "src/smt/CMakeFiles/hotg_smt.dir/Solver.cpp.o.d"
+  "/root/repo/src/smt/Subst.cpp" "src/smt/CMakeFiles/hotg_smt.dir/Subst.cpp.o" "gcc" "src/smt/CMakeFiles/hotg_smt.dir/Subst.cpp.o.d"
+  "/root/repo/src/smt/Supports.cpp" "src/smt/CMakeFiles/hotg_smt.dir/Supports.cpp.o" "gcc" "src/smt/CMakeFiles/hotg_smt.dir/Supports.cpp.o.d"
+  "/root/repo/src/smt/Term.cpp" "src/smt/CMakeFiles/hotg_smt.dir/Term.cpp.o" "gcc" "src/smt/CMakeFiles/hotg_smt.dir/Term.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/hotg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotg_smt.dir/CongruenceClosure.cpp.o"
+  "CMakeFiles/hotg_smt.dir/CongruenceClosure.cpp.o.d"
+  "CMakeFiles/hotg_smt.dir/Interval.cpp.o"
+  "CMakeFiles/hotg_smt.dir/Interval.cpp.o.d"
+  "CMakeFiles/hotg_smt.dir/Linear.cpp.o"
+  "CMakeFiles/hotg_smt.dir/Linear.cpp.o.d"
+  "CMakeFiles/hotg_smt.dir/Model.cpp.o"
+  "CMakeFiles/hotg_smt.dir/Model.cpp.o.d"
+  "CMakeFiles/hotg_smt.dir/SampleTable.cpp.o"
+  "CMakeFiles/hotg_smt.dir/SampleTable.cpp.o.d"
+  "CMakeFiles/hotg_smt.dir/Simplify.cpp.o"
+  "CMakeFiles/hotg_smt.dir/Simplify.cpp.o.d"
+  "CMakeFiles/hotg_smt.dir/Solver.cpp.o"
+  "CMakeFiles/hotg_smt.dir/Solver.cpp.o.d"
+  "CMakeFiles/hotg_smt.dir/Subst.cpp.o"
+  "CMakeFiles/hotg_smt.dir/Subst.cpp.o.d"
+  "CMakeFiles/hotg_smt.dir/Supports.cpp.o"
+  "CMakeFiles/hotg_smt.dir/Supports.cpp.o.d"
+  "CMakeFiles/hotg_smt.dir/Term.cpp.o"
+  "CMakeFiles/hotg_smt.dir/Term.cpp.o.d"
+  "libhotg_smt.a"
+  "libhotg_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotg_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

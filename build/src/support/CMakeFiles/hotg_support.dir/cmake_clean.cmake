@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotg_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/hotg_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/hotg_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/hotg_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/hotg_support.dir/Support.cpp.o"
+  "CMakeFiles/hotg_support.dir/Support.cpp.o.d"
+  "libhotg_support.a"
+  "libhotg_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotg_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_app_examples.cpp" "tests/CMakeFiles/hotg_tests.dir/test_app_examples.cpp.o" "gcc" "tests/CMakeFiles/hotg_tests.dir/test_app_examples.cpp.o.d"
+  "/root/repo/tests/test_app_lexer.cpp" "tests/CMakeFiles/hotg_tests.dir/test_app_lexer.cpp.o" "gcc" "tests/CMakeFiles/hotg_tests.dir/test_app_lexer.cpp.o.d"
+  "/root/repo/tests/test_app_packet.cpp" "tests/CMakeFiles/hotg_tests.dir/test_app_packet.cpp.o" "gcc" "tests/CMakeFiles/hotg_tests.dir/test_app_packet.cpp.o.d"
+  "/root/repo/tests/test_core_compositional.cpp" "tests/CMakeFiles/hotg_tests.dir/test_core_compositional.cpp.o" "gcc" "tests/CMakeFiles/hotg_tests.dir/test_core_compositional.cpp.o.d"
+  "/root/repo/tests/test_core_extensions.cpp" "tests/CMakeFiles/hotg_tests.dir/test_core_extensions.cpp.o" "gcc" "tests/CMakeFiles/hotg_tests.dir/test_core_extensions.cpp.o.d"
+  "/root/repo/tests/test_core_post.cpp" "tests/CMakeFiles/hotg_tests.dir/test_core_post.cpp.o" "gcc" "tests/CMakeFiles/hotg_tests.dir/test_core_post.cpp.o.d"
+  "/root/repo/tests/test_core_search_examples.cpp" "tests/CMakeFiles/hotg_tests.dir/test_core_search_examples.cpp.o" "gcc" "tests/CMakeFiles/hotg_tests.dir/test_core_search_examples.cpp.o.d"
+  "/root/repo/tests/test_core_search_unit.cpp" "tests/CMakeFiles/hotg_tests.dir/test_core_search_unit.cpp.o" "gcc" "tests/CMakeFiles/hotg_tests.dir/test_core_search_unit.cpp.o.d"
+  "/root/repo/tests/test_core_validity.cpp" "tests/CMakeFiles/hotg_tests.dir/test_core_validity.cpp.o" "gcc" "tests/CMakeFiles/hotg_tests.dir/test_core_validity.cpp.o.d"
+  "/root/repo/tests/test_dse_checks.cpp" "tests/CMakeFiles/hotg_tests.dir/test_dse_checks.cpp.o" "gcc" "tests/CMakeFiles/hotg_tests.dir/test_dse_checks.cpp.o.d"
+  "/root/repo/tests/test_dse_executor.cpp" "tests/CMakeFiles/hotg_tests.dir/test_dse_executor.cpp.o" "gcc" "tests/CMakeFiles/hotg_tests.dir/test_dse_executor.cpp.o.d"
+  "/root/repo/tests/test_dse_pathconstraint.cpp" "tests/CMakeFiles/hotg_tests.dir/test_dse_pathconstraint.cpp.o" "gcc" "tests/CMakeFiles/hotg_tests.dir/test_dse_pathconstraint.cpp.o.d"
+  "/root/repo/tests/test_interp.cpp" "tests/CMakeFiles/hotg_tests.dir/test_interp.cpp.o" "gcc" "tests/CMakeFiles/hotg_tests.dir/test_interp.cpp.o.d"
+  "/root/repo/tests/test_lang_lexer.cpp" "tests/CMakeFiles/hotg_tests.dir/test_lang_lexer.cpp.o" "gcc" "tests/CMakeFiles/hotg_tests.dir/test_lang_lexer.cpp.o.d"
+  "/root/repo/tests/test_lang_parser.cpp" "tests/CMakeFiles/hotg_tests.dir/test_lang_parser.cpp.o" "gcc" "tests/CMakeFiles/hotg_tests.dir/test_lang_parser.cpp.o.d"
+  "/root/repo/tests/test_lang_robustness.cpp" "tests/CMakeFiles/hotg_tests.dir/test_lang_robustness.cpp.o" "gcc" "tests/CMakeFiles/hotg_tests.dir/test_lang_robustness.cpp.o.d"
+  "/root/repo/tests/test_lang_sema.cpp" "tests/CMakeFiles/hotg_tests.dir/test_lang_sema.cpp.o" "gcc" "tests/CMakeFiles/hotg_tests.dir/test_lang_sema.cpp.o.d"
+  "/root/repo/tests/test_policy_sweep.cpp" "tests/CMakeFiles/hotg_tests.dir/test_policy_sweep.cpp.o" "gcc" "tests/CMakeFiles/hotg_tests.dir/test_policy_sweep.cpp.o.d"
+  "/root/repo/tests/test_property_theorems.cpp" "tests/CMakeFiles/hotg_tests.dir/test_property_theorems.cpp.o" "gcc" "tests/CMakeFiles/hotg_tests.dir/test_property_theorems.cpp.o.d"
+  "/root/repo/tests/test_property_validity.cpp" "tests/CMakeFiles/hotg_tests.dir/test_property_validity.cpp.o" "gcc" "tests/CMakeFiles/hotg_tests.dir/test_property_validity.cpp.o.d"
+  "/root/repo/tests/test_smt_cc.cpp" "tests/CMakeFiles/hotg_tests.dir/test_smt_cc.cpp.o" "gcc" "tests/CMakeFiles/hotg_tests.dir/test_smt_cc.cpp.o.d"
+  "/root/repo/tests/test_smt_interval.cpp" "tests/CMakeFiles/hotg_tests.dir/test_smt_interval.cpp.o" "gcc" "tests/CMakeFiles/hotg_tests.dir/test_smt_interval.cpp.o.d"
+  "/root/repo/tests/test_smt_linear.cpp" "tests/CMakeFiles/hotg_tests.dir/test_smt_linear.cpp.o" "gcc" "tests/CMakeFiles/hotg_tests.dir/test_smt_linear.cpp.o.d"
+  "/root/repo/tests/test_smt_misc.cpp" "tests/CMakeFiles/hotg_tests.dir/test_smt_misc.cpp.o" "gcc" "tests/CMakeFiles/hotg_tests.dir/test_smt_misc.cpp.o.d"
+  "/root/repo/tests/test_smt_persistence.cpp" "tests/CMakeFiles/hotg_tests.dir/test_smt_persistence.cpp.o" "gcc" "tests/CMakeFiles/hotg_tests.dir/test_smt_persistence.cpp.o.d"
+  "/root/repo/tests/test_smt_samples_model.cpp" "tests/CMakeFiles/hotg_tests.dir/test_smt_samples_model.cpp.o" "gcc" "tests/CMakeFiles/hotg_tests.dir/test_smt_samples_model.cpp.o.d"
+  "/root/repo/tests/test_smt_simplify.cpp" "tests/CMakeFiles/hotg_tests.dir/test_smt_simplify.cpp.o" "gcc" "tests/CMakeFiles/hotg_tests.dir/test_smt_simplify.cpp.o.d"
+  "/root/repo/tests/test_smt_solver.cpp" "tests/CMakeFiles/hotg_tests.dir/test_smt_solver.cpp.o" "gcc" "tests/CMakeFiles/hotg_tests.dir/test_smt_solver.cpp.o.d"
+  "/root/repo/tests/test_smt_term.cpp" "tests/CMakeFiles/hotg_tests.dir/test_smt_term.cpp.o" "gcc" "tests/CMakeFiles/hotg_tests.dir/test_smt_term.cpp.o.d"
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/hotg_tests.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/hotg_tests.dir/test_support.cpp.o.d"
+  "/root/repo/tests/test_theorem1.cpp" "tests/CMakeFiles/hotg_tests.dir/test_theorem1.cpp.o" "gcc" "tests/CMakeFiles/hotg_tests.dir/test_theorem1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/hotg_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hotg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/hotg_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/hotg_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/hotg_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/hotg_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/hotg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/hotg_tests[1]_include.cmake")
+add_test(cli_obscure "/root/repo/build/tools/hotg-run" "/root/repo/examples/programs/obscure.ml" "--policy" "higher-order" "--input" "33,42" "--dump-tests")
+set_tests_properties(cli_obscure PROPERTIES  PASS_REGULAR_EXPRESSION "BUG \\[error\\]" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;43;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_maze "/root/repo/build/tools/hotg-run" "/root/repo/examples/programs/maze.ml" "--policy" "higher-order" "--explore-paths" "--max-tests" "64")
+set_tests_properties(cli_maze PROPERTIES  PASS_REGULAR_EXPRESSION "maze: treasure reached" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;49;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_overflow_guard "/root/repo/build/tools/hotg-run" "/root/repo/examples/programs/overflow_guard.ml" "--policy" "unsound" "--explore-paths")
+set_tests_properties(cli_overflow_guard PROPERTIES  PASS_REGULAR_EXPRESSION "BUG \\[out-of-bounds\\]" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;55;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_random_policy "/root/repo/build/tools/hotg-run" "/root/repo/examples/programs/obscure.ml" "--policy" "random" "--max-tests" "16")
+set_tests_properties(cli_random_policy PROPERTIES  PASS_REGULAR_EXPRESSION "policy random: 16 tests" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;61;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_policy "/root/repo/build/tools/hotg-run" "/root/repo/examples/programs/obscure.ml" "--policy" "nonsense")
+set_tests_properties(cli_rejects_bad_policy PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;67;add_test;/root/repo/tests/CMakeLists.txt;0;")

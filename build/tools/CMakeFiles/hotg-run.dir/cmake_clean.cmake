@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotg-run.dir/hotg-run.cpp.o"
+  "CMakeFiles/hotg-run.dir/hotg-run.cpp.o.d"
+  "hotg-run"
+  "hotg-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotg-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -16,8 +16,11 @@
 #define HOTG_BENCH_BENCHUTIL_H
 
 #include "core/Search.h"
+#include "support/Telemetry.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -69,6 +72,25 @@ inline const char *yesNo(bool V) { return V ? "yes" : "no"; }
 /// Prints an experiment banner.
 inline void banner(const char *Id, const char *Title) {
   std::printf("\n==== %s — %s ====\n\n", Id, Title);
+}
+
+/// Dumps the global telemetry registry (counters + phase timers) as
+/// BENCH_<Id>.json into the directory named by the HOTG_BENCH_STATS_DIR
+/// environment variable. No-op when the variable is unset, so the default
+/// text-table output is unchanged.
+inline void writeBenchStats(const char *Id) {
+  const char *Dir = std::getenv("HOTG_BENCH_STATS_DIR");
+  if (!Dir)
+    return;
+  std::string Path = std::string(Dir) + "/BENCH_" + Id + ".json";
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "bench: cannot open '%s' for writing\n",
+                 Path.c_str());
+    return;
+  }
+  Out << telemetry::Registry::global().statsJson() << "\n";
+  std::printf("telemetry stats written to %s\n", Path.c_str());
 }
 
 } // namespace hotg::bench

@@ -203,5 +203,6 @@ fun main(x: int, y: int) -> int {
                 "keeps y free and finds it — both stay divergence-free.\n");
   }
 
+  bench::writeBenchStats("ablations");
   return 0;
 }

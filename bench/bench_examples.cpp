@@ -139,5 +139,6 @@ int main() {
       "(Example 6).\n"
       "  assign_then_test — sound-delayed finds it, eager sound cannot "
       "(Section 3.3 variant).\n");
+  bench::writeBenchStats("examples");
   return 0;
 }

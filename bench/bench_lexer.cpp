@@ -159,5 +159,6 @@ int main() {
       "generation cannot invert the hash and match nothing, exactly like "
       "blackbox random testing (a 4-printable-character keyword is a "
       "~1/95^4 random event).\n");
+  bench::writeBenchStats("lexer");
   return 0;
 }

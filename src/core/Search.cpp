@@ -5,6 +5,7 @@
 #include "core/Post.h"
 #include "support/Random.h"
 #include "support/Support.h"
+#include "support/Telemetry.h"
 
 #include <cassert>
 
@@ -67,6 +68,12 @@ DirectedSearch::runTest(const TestInput &Input, bool Intermediate,
   if (Result.Tests.size() >= Options.MaxTests)
     return std::nullopt;
 
+  telemetry::Registry &Reg = telemetry::Registry::global();
+  static telemetry::PhaseTimer &TestTimer = Reg.timer("search.test");
+  telemetry::ScopedTimer Timer(TestTimer);
+  Reg.counter("search.tests").add();
+  unsigned CovBefore = Result.Cov.coveredDirections();
+
   PathResult PR = Executor.execute(
       EntryName, Input, &Samples,
       Options.SummarizeCalls ? &Summaries : nullptr);
@@ -101,11 +108,38 @@ DirectedSearch::runTest(const TestInput &Input, bool Intermediate,
     if (!Match) {
       Record.Diverged = true;
       ++Result.Divergences;
+      Reg.counter("search.divergences").add();
+      if (telemetry::TraceSink *S = telemetry::sink()) {
+        telemetry::Event E(telemetry::EventKind::Divergence);
+        E.set("test", int64_t(Result.Tests.size() + 1));
+        E.set("negate_index", int64_t(From->NegateIndex));
+        E.set("branch", int64_t(Negated.Branch));
+        S->handle(E);
+      }
     }
   }
 
   Result.Tests.push_back(Record);
   Result.Cov.noteTrace(PR.Run.Trace);
+
+  if (telemetry::TraceSink *S = telemetry::sink()) {
+    telemetry::Event E(telemetry::EventKind::TestRun);
+    E.set("test", int64_t(Result.Tests.size()));
+    E.set("policy", policyName(Options.Policy));
+    E.setArray("cells", Input.Cells);
+    E.set("status", runStatusName(PR.Run.Status));
+    E.setBool("intermediate", Intermediate);
+    E.setBool("diverged", Record.Diverged);
+    if (From)
+      E.set("negate_index", int64_t(From->NegateIndex));
+    E.set("pc_size", int64_t(PR.PC.size()));
+    E.set("concretizations", int64_t(PR.NumConcretizations));
+    E.set("uf_apps", int64_t(PR.NumUFApps));
+    E.set("samples_recorded", int64_t(PR.NumSamplesRecorded));
+    E.set("new_coverage", int64_t(Result.Cov.coveredDirections() - CovBefore));
+    E.set("us", int64_t(Timer.elapsedNs() / 1000));
+    S->handle(E);
+  }
 
   if (PR.Run.isBug()) {
     lang::ErrorSiteId Site =
@@ -126,6 +160,18 @@ DirectedSearch::runTest(const TestInput &Input, bool Intermediate,
       if (PR.Run.Error)
         Bug.Message = PR.Run.Error->Message;
       Bug.FoundAtTest = static_cast<unsigned>(Result.Tests.size());
+      Reg.counter("search.bugs").add();
+      if (telemetry::TraceSink *S = telemetry::sink()) {
+        telemetry::Event E(telemetry::EventKind::BugFound);
+        E.set("test", int64_t(Bug.FoundAtTest));
+        E.set("status", runStatusName(Bug.Status));
+        if (Bug.Status == RunStatus::ErrorHit)
+          E.set("site", int64_t(Site));
+        if (!Bug.Message.empty())
+          E.set("message", Bug.Message);
+        E.setArray("cells", Input.Cells);
+        S->handle(E);
+      }
       Result.Bugs.push_back(std::move(Bug));
     }
   }
@@ -184,9 +230,25 @@ void DirectedSearch::seedFrontier() {
 
 bool DirectedSearch::processCandidate(const Candidate &Cand) {
   const PathEntry &Entry = Cand.PC->Entries[Cand.NegateIndex];
+  telemetry::Registry &Reg = telemetry::Registry::global();
+  Reg.counter("search.candidates").add();
+  auto EmitCandidate = [&](const char *Verdict) {
+    if (telemetry::TraceSink *S = telemetry::sink()) {
+      telemetry::Event E(telemetry::EventKind::Candidate);
+      E.set("negate_index", int64_t(Cand.NegateIndex));
+      E.set("branch", int64_t(Entry.Branch));
+      E.setBool("target_taken", !Entry.Taken);
+      E.set("verdict", Verdict);
+      S->handle(E);
+    }
+  };
+
   if (Options.SkipCoveredTargets &&
-      Result.Cov.isCovered(Entry.Branch, !Entry.Taken))
+      Result.Cov.isCovered(Entry.Branch, !Entry.Taken)) {
+    Reg.counter("search.candidates_skipped_covered").add();
+    EmitCandidate("skipped-covered");
     return true;
+  }
 
   smt::TermId Alt = Cand.PC->alternate(Arena, Cand.NegateIndex);
 
@@ -196,6 +258,7 @@ bool DirectedSearch::processCandidate(const Candidate &Cand) {
     smt::Solver Solver(Arena, Options.SolverOpts);
     ++Result.SolverCalls;
     smt::SatAnswer Answer = Solver.check(Alt);
+    EmitCandidate(smt::satResultName(Answer.Result));
     if (Answer.isSat())
       NewInput = completeInput(Answer.ModelValue, Cand.ParentInput);
   } else {
@@ -213,24 +276,32 @@ bool DirectedSearch::processCandidate(const Candidate &Cand) {
       ++Result.ValidityCalls;
       ValidityAnswer Answer = Validity.checkPost(Alt);
       if (Answer.Status == ValidityStatus::Valid) {
+        EmitCandidate(validityStatusName(Answer.Status));
         NewInput = completeInput(Answer.ModelValue, Parent);
         break;
       }
       if (Answer.Status != ValidityStatus::NeedsSamples ||
-          Step == Options.MultiStepBound)
+          Step == Options.MultiStepBound) {
+        EmitCandidate(validityStatusName(Answer.Status));
         break;
+      }
       // Run the candidate assignment as an intermediate test to learn the
       // missing samples (the paper's two-step generation in Example 7).
       TestInput Intermediate = completeInput(Answer.ModelValue, Parent);
       size_t Before = Samples.size();
       auto PR = runTest(Intermediate, /*Intermediate=*/true, nullptr);
-      if (!PR)
+      if (!PR) {
+        EmitCandidate("budget-exhausted");
         return false; // Budget exhausted.
+      }
       ++Result.MultiStepRuns;
+      Reg.counter("search.multistep_runs").add();
       SeenInputs.insert(Intermediate.Cells);
       expand(*PR, Intermediate, Cand.NegateIndex);
-      if (Samples.size() == Before)
+      if (Samples.size() == Before) {
+        EmitCandidate("learning-stalled");
         break; // Nothing learned; retrying would loop.
+      }
       Parent = Intermediate;
     }
   }

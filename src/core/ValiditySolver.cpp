@@ -7,6 +7,7 @@
 #include "smt/Simplify.h"
 #include "smt/Supports.h"
 #include "support/Support.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -243,6 +244,16 @@ private:
     if (Forced.Forced) {
       Result.Status = ValidityStatus::Valid;
       Result.ModelValue = std::move(Answer.ModelValue);
+      if (!DeterminedApps.empty()) {
+        telemetry::Registry::global()
+            .counter("validity.summaries_applied")
+            .add(DeterminedApps.size());
+        if (telemetry::TraceSink *S = telemetry::sink()) {
+          telemetry::Event E(telemetry::EventKind::SummaryApplied);
+          E.set("applications", int64_t(DeterminedApps.size()));
+          S->handle(E);
+        }
+      }
       return true;
     }
     if (!Forced.HardFailure && !Forced.Learn.empty() && !Learnable) {
@@ -471,6 +482,48 @@ ValidityAnswer ValiditySolver::checkAdHoc(TermId PathCondition) {
 }
 
 ValidityAnswer ValiditySolver::checkPost(TermId PathCondition) {
+  telemetry::Registry &Reg = telemetry::Registry::global();
+  static telemetry::PhaseTimer &CheckTimer = Reg.timer("validity.check");
+  static telemetry::Counter &Queries = Reg.counter("validity.queries");
+  telemetry::ScopedTimer Timer(CheckTimer);
+  Queries.add();
+
+  ValidityAnswer Answer = checkPostImpl(PathCondition);
+
+  Reg.counter("validity.groundings").add(Stats.GroundingsTried);
+  Reg.counter("validity.inner_solver_calls").add(Stats.InnerSolverCalls);
+  switch (Answer.Status) {
+  case ValidityStatus::Valid:
+    Reg.counter("validity.strategy_found").add();
+    break;
+  case ValidityStatus::NeedsSamples:
+    // No one-shot strategy: the search falls back to multi-step learning.
+    Reg.counter("validity.fallback_taken").add();
+    break;
+  case ValidityStatus::NotValid:
+    Reg.counter("validity.not_valid").add();
+    break;
+  case ValidityStatus::Unknown:
+    Reg.counter("validity.unknown").add();
+    break;
+  }
+
+  if (telemetry::TraceSink *S = telemetry::sink()) {
+    telemetry::Event E(telemetry::EventKind::ValidityQuery);
+    E.set("status", validityStatusName(Answer.Status));
+    E.set("supports", int64_t(Stats.SupportsExplored));
+    E.set("groundings", int64_t(Stats.GroundingsTried));
+    E.set("inner_solver_calls", int64_t(Stats.InnerSolverCalls));
+    E.set("learn_requests", int64_t(Answer.Learn.size()));
+    E.set("ns", int64_t(Timer.elapsedNs()));
+    if (!Answer.Reason.empty())
+      E.set("reason", Answer.Reason);
+    S->handle(E);
+  }
+  return Answer;
+}
+
+ValidityAnswer ValiditySolver::checkPostImpl(TermId PathCondition) {
   Stats = ValidityStats{};
   if (Options.Mode == ValidityOptions::StrategyMode::AdHocInversion)
     return checkAdHoc(PathCondition);

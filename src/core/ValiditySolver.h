@@ -131,6 +131,9 @@ public:
   ValidityAnswer checkPost(smt::TermId PathCondition);
 
 private:
+  /// checkPost minus telemetry (mode dispatch and support enumeration).
+  ValidityAnswer checkPostImpl(smt::TermId PathCondition);
+
   /// The Section 7 baseline procedure (StrategyMode::AdHocInversion).
   ValidityAnswer checkAdHoc(smt::TermId PathCondition);
 

@@ -5,6 +5,7 @@
 #include "smt/Simplify.h"
 #include "smt/Subst.h"
 #include "support/Support.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -270,6 +271,13 @@ private:
                     int64_t Output) {
     if (!Options.RecordSamples || !Samples)
       return;
+    if (telemetry::TraceSink *S = telemetry::sink()) {
+      telemetry::Event E(telemetry::EventKind::SampleLearned);
+      E.set("func", Arena.func(Func).Name);
+      E.setArray("args", Args);
+      E.set("output", Output);
+      S->handle(E);
+    }
     Samples->record(Func, std::move(Args), Output);
     ++Result.NumSamplesRecorded;
   }
@@ -969,6 +977,20 @@ PathResult SymbolicExecutor::execute(std::string_view EntryName,
     if (!Summaries)
       reportFatalError("SummarizeCalls requires a SummaryTable");
   }
+  telemetry::Registry &Reg = telemetry::Registry::global();
+  static telemetry::PhaseTimer &ExecTimer = Reg.timer("dse.execute");
+  telemetry::ScopedTimer Timer(ExecTimer);
+
   CoExecution Exec(Prog, Natives, Arena, Options, Samples, Summaries);
-  return Exec.run(*Entry, Input);
+  PathResult PR = Exec.run(*Entry, Input);
+
+  Reg.counter("dse.runs").add();
+  Reg.counter("dse.constraints_collected").add(PR.PC.size());
+  Reg.counter("dse.uf_apps").add(PR.NumUFApps);
+  Reg.counter("dse.samples_recorded").add(PR.NumSamplesRecorded);
+  if (PR.NumConcretizations)
+    Reg.counter(std::string("dse.concretizations.") +
+                policyName(Options.Policy))
+        .add(PR.NumConcretizations);
+  return PR;
 }

@@ -9,6 +9,7 @@
 #include "smt/Supports.h"
 #include "support/Random.h"
 #include "support/Support.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -582,7 +583,49 @@ private:
 } // namespace
 
 SatAnswer Solver::check(TermId Formula) {
-  Stats = SolverStats{};
+  telemetry::Registry &Reg = telemetry::Registry::global();
+  static telemetry::PhaseTimer &CheckTimer = Reg.timer("solver.check");
+  static telemetry::Counter &Checks = Reg.counter("solver.checks");
+  telemetry::ScopedTimer Timer(CheckTimer);
+  Checks.add();
+
+  SolverStats QueryStats;
+  SatAnswer Answer = checkImpl(Formula, QueryStats);
+
+  ++Stats.Checks;
+  Stats.SupportsExplored += QueryStats.SupportsExplored;
+  Stats.Decisions += QueryStats.Decisions;
+  Stats.Propagations += QueryStats.Propagations;
+  Reg.counter("solver.decisions").add(QueryStats.Decisions);
+  Reg.counter("solver.propagations").add(QueryStats.Propagations);
+  Reg.counter("solver.supports_explored").add(QueryStats.SupportsExplored);
+  switch (Answer.Result) {
+  case SatResult::Sat:
+    Reg.counter("solver.sat").add();
+    break;
+  case SatResult::Unsat:
+    Reg.counter("solver.unsat").add();
+    break;
+  case SatResult::Unknown:
+    Reg.counter("solver.unknown").add();
+    break;
+  }
+
+  if (telemetry::TraceSink *S = telemetry::sink()) {
+    telemetry::Event E(telemetry::EventKind::SolverCheck);
+    E.set("result", satResultName(Answer.Result));
+    E.set("supports", int64_t(QueryStats.SupportsExplored));
+    E.set("decisions", int64_t(QueryStats.Decisions));
+    E.set("propagations", int64_t(QueryStats.Propagations));
+    E.set("ns", int64_t(Timer.elapsedNs()));
+    if (!Answer.Reason.empty())
+      E.set("reason", Answer.Reason);
+    S->handle(E);
+  }
+  return Answer;
+}
+
+SatAnswer Solver::checkImpl(TermId Formula, SolverStats &QueryStats) {
   TermId NNF = toNNF(Arena, Formula);
   if (Arena.isBoolConst(NNF)) {
     SatAnswer Answer;
@@ -595,7 +638,7 @@ SatAnswer Solver::check(TermId Formula) {
   Answer.Result = SatResult::Unsat; // Until a support survives.
   bool SawExhausted = false;
 
-  SupportSolver Support(Arena, Options, Stats);
+  SupportSolver Support(Arena, Options, QueryStats);
   SupportEnumStats EnumStats = forEachSupport(
       Arena, NNF, Options.MaxSupports,
       [&](const std::vector<TermId> &Literals) {
@@ -620,7 +663,7 @@ SatAnswer Solver::check(TermId Formula) {
     }
     return false;
       });
-  Stats.SupportsExplored = EnumStats.SupportsTried;
+  QueryStats.SupportsExplored = EnumStats.SupportsTried;
 
   if (Answer.Result == SatResult::Sat)
     return Answer;

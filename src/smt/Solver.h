@@ -71,8 +71,11 @@ struct SatAnswer {
   bool isUnsat() const { return Result == SatResult::Unsat; }
 };
 
-/// Statistics of the last check() call.
+/// Statistics accumulated across every check() call since construction (or
+/// the last resetStats()). Per-query numbers are reported through the
+/// telemetry event stream (one `solver_check` event per query).
 struct SolverStats {
+  unsigned Checks = 0;
   unsigned SupportsExplored = 0;
   unsigned Decisions = 0;
   unsigned Propagations = 0;
@@ -91,10 +94,15 @@ public:
   SatAnswer checkConjunction(std::span<const TermId> Literals);
 
   const SolverStats &stats() const { return Stats; }
+  void resetStats() { Stats = SolverStats{}; }
   const SolverOptions &options() const { return Options; }
   void setOptions(const SolverOptions &NewOptions) { Options = NewOptions; }
 
 private:
+  /// check() minus telemetry: decides \p Formula, charging work to
+  /// \p QueryStats (budgets are per query).
+  SatAnswer checkImpl(TermId Formula, SolverStats &QueryStats);
+
   TermArena &Arena;
   SolverOptions Options;
   SolverStats Stats;

@@ -1,0 +1,122 @@
+//===- support/JsonWriter.cpp - Minimal streaming JSON writer -------------===//
+
+#include "support/JsonWriter.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace hotg;
+
+std::string hotg::jsonEscape(std::string_view Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += formatString("\\u%04x", static_cast<unsigned char>(C));
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+void JsonWriter::separate() {
+  if (AfterKey) {
+    AfterKey = false;
+    return;
+  }
+  if (!HasElement.empty()) {
+    if (HasElement.back())
+      Out += ',';
+    HasElement.back() = true;
+  }
+}
+
+void JsonWriter::beginObject() {
+  separate();
+  Out += '{';
+  HasElement.push_back(false);
+}
+
+void JsonWriter::endObject() {
+  assert(!HasElement.empty() && "endObject without beginObject");
+  HasElement.pop_back();
+  Out += '}';
+}
+
+void JsonWriter::beginArray() {
+  separate();
+  Out += '[';
+  HasElement.push_back(false);
+}
+
+void JsonWriter::endArray() {
+  assert(!HasElement.empty() && "endArray without beginArray");
+  HasElement.pop_back();
+  Out += ']';
+}
+
+void JsonWriter::key(std::string_view Name) {
+  assert(!AfterKey && "two consecutive keys");
+  separate();
+  Out += '"';
+  Out += jsonEscape(Name);
+  Out += "\":";
+  AfterKey = true;
+}
+
+void JsonWriter::value(int64_t V) {
+  separate();
+  Out += std::to_string(V);
+}
+
+void JsonWriter::value(uint64_t V) {
+  separate();
+  Out += std::to_string(V);
+}
+
+void JsonWriter::value(double V) {
+  separate();
+  Out += formatString("%g", V);
+}
+
+void JsonWriter::value(bool V) {
+  separate();
+  Out += V ? "true" : "false";
+}
+
+void JsonWriter::value(std::string_view V) {
+  separate();
+  Out += '"';
+  Out += jsonEscape(V);
+  Out += '"';
+}
+
+void JsonWriter::nullValue() {
+  separate();
+  Out += "null";
+}

@@ -1,0 +1,75 @@
+//===- support/JsonWriter.h - Minimal streaming JSON writer --------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dependency-free streaming JSON writer used by the telemetry subsystem
+/// (JSONL traces, stats dumps) and the benchmark harnesses. Appends to a
+/// caller-owned std::string; commas and key/value separators are inserted
+/// automatically, so callers only describe structure:
+///
+///   std::string Out;
+///   JsonWriter W(Out);
+///   W.beginObject();
+///   W.key("event"); W.value("solver_check");
+///   W.key("decisions"); W.value(int64_t(12));
+///   W.endObject();      // Out == {"event":"solver_check","decisions":12}
+///
+/// Strings are escaped per RFC 8259: quote, backslash, and all control
+/// characters below 0x20 (the common ones as two-character escapes, the
+/// rest as \u00XX).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_SUPPORT_JSONWRITER_H
+#define HOTG_SUPPORT_JSONWRITER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hotg {
+
+/// Escapes \p Text for embedding in a double-quoted JSON string (without
+/// the surrounding quotes).
+std::string jsonEscape(std::string_view Text);
+
+/// Streaming JSON writer with automatic comma placement.
+class JsonWriter {
+public:
+  explicit JsonWriter(std::string &Out) : Out(Out) {}
+
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+
+  /// Writes an object key; the next value() or begin*() is its value.
+  void key(std::string_view Name);
+
+  void value(int64_t V);
+  void value(uint64_t V);
+  void value(double V);
+  void value(bool V);
+  void value(std::string_view V);
+  void value(const char *V) { value(std::string_view(V)); }
+  void nullValue();
+
+private:
+  /// Emits the separating comma when the enclosing aggregate already holds
+  /// an element; no-op after a key or at the first element.
+  void separate();
+
+  std::string &Out;
+  /// One entry per open aggregate: true once it contains an element.
+  std::vector<bool> HasElement;
+  /// A key was just written; the next value completes the member.
+  bool AfterKey = false;
+};
+
+} // namespace hotg
+
+#endif // HOTG_SUPPORT_JSONWRITER_H

@@ -1,0 +1,231 @@
+//===- support/Telemetry.cpp - Counters, phase timers, trace events -------===//
+
+#include "support/Telemetry.h"
+
+#include "support/JsonWriter.h"
+#include "support/StringUtils.h"
+#include "support/Support.h"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+
+using namespace hotg;
+using namespace hotg::telemetry;
+
+uint64_t hotg::telemetry::monotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+Registry &Registry::global() {
+  static Registry Instance;
+  return Instance;
+}
+
+Counter &Registry::counter(std::string_view Name) {
+  auto It = Counters.find(Name);
+  if (It == Counters.end())
+    It = Counters.emplace(std::string(Name), Counter()).first;
+  return It->second;
+}
+
+PhaseTimer &Registry::timer(std::string_view Name) {
+  auto It = Timers.find(Name);
+  if (It == Timers.end())
+    It = Timers.emplace(std::string(Name), PhaseTimer()).first;
+  return It->second;
+}
+
+void Registry::reset() {
+  for (auto &[Name, C] : Counters)
+    C.reset();
+  for (auto &[Name, T] : Timers)
+    T.reset();
+}
+
+std::string Registry::statsTable() const {
+  size_t Width = 4;
+  for (const auto &[Name, C] : Counters)
+    Width = std::max(Width, Name.size());
+  for (const auto &[Name, T] : Timers)
+    Width = std::max(Width, Name.size());
+  int W = static_cast<int>(Width);
+
+  std::string Out = "== telemetry counters ==\n";
+  if (Counters.empty())
+    Out += "  (none)\n";
+  for (const auto &[Name, C] : Counters)
+    Out += formatString("  %-*s %12llu\n", W, Name.c_str(),
+                        static_cast<unsigned long long>(C.value()));
+  Out += "== telemetry timers (ms) ==\n";
+  if (Timers.empty())
+    Out += "  (none)\n";
+  else
+    Out += formatString("  %-*s %12s %12s %12s %12s\n", W, "name", "count",
+                        "total", "max", "mean");
+  for (const auto &[Name, T] : Timers) {
+    double TotalMs = static_cast<double>(T.totalNs()) / 1e6;
+    double MaxMs = static_cast<double>(T.maxNs()) / 1e6;
+    double MeanMs = T.count() ? TotalMs / static_cast<double>(T.count()) : 0;
+    Out += formatString("  %-*s %12llu %12.3f %12.3f %12.3f\n", W,
+                        Name.c_str(),
+                        static_cast<unsigned long long>(T.count()), TotalMs,
+                        MaxMs, MeanMs);
+  }
+  return Out;
+}
+
+std::string Registry::statsJson() const {
+  std::string Out;
+  JsonWriter W(Out);
+  W.beginObject();
+  W.key("counters");
+  W.beginObject();
+  for (const auto &[Name, C] : Counters) {
+    W.key(Name);
+    W.value(C.value());
+  }
+  W.endObject();
+  W.key("timers");
+  W.beginObject();
+  for (const auto &[Name, T] : Timers) {
+    W.key(Name);
+    W.beginObject();
+    W.key("count");
+    W.value(T.count());
+    W.key("total_ns");
+    W.value(T.totalNs());
+    W.key("max_ns");
+    W.value(T.maxNs());
+    W.endObject();
+  }
+  W.endObject();
+  W.endObject();
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Events
+//===----------------------------------------------------------------------===//
+
+const char *hotg::telemetry::eventKindName(EventKind Kind) {
+  switch (Kind) {
+  case EventKind::TestRun:
+    return "test_run";
+  case EventKind::Candidate:
+    return "candidate";
+  case EventKind::SolverCheck:
+    return "solver_check";
+  case EventKind::ValidityQuery:
+    return "validity_query";
+  case EventKind::SampleLearned:
+    return "sample_learned";
+  case EventKind::SummaryApplied:
+    return "summary_applied";
+  case EventKind::Divergence:
+    return "divergence";
+  case EventKind::BugFound:
+    return "bug_found";
+  }
+  HOTG_UNREACHABLE("unknown event kind");
+}
+
+Event &Event::set(std::string_view Key, int64_t V) {
+  Field F;
+  F.FieldType = Field::Type::Int;
+  F.Key = std::string(Key);
+  F.Int = V;
+  Fields.push_back(std::move(F));
+  return *this;
+}
+
+Event &Event::set(std::string_view Key, std::string_view V) {
+  Field F;
+  F.FieldType = Field::Type::Str;
+  F.Key = std::string(Key);
+  F.Str = std::string(V);
+  Fields.push_back(std::move(F));
+  return *this;
+}
+
+Event &Event::setBool(std::string_view Key, bool V) {
+  Field F;
+  F.FieldType = Field::Type::Bool;
+  F.Key = std::string(Key);
+  F.Int = V ? 1 : 0;
+  Fields.push_back(std::move(F));
+  return *this;
+}
+
+Event &Event::setArray(std::string_view Key, std::span<const int64_t> V) {
+  Field F;
+  F.FieldType = Field::Type::IntArray;
+  F.Key = std::string(Key);
+  F.Array.assign(V.begin(), V.end());
+  Fields.push_back(std::move(F));
+  return *this;
+}
+
+const Event::Field *Event::find(std::string_view Key) const {
+  for (const Field &F : Fields)
+    if (F.Key == Key)
+      return &F;
+  return nullptr;
+}
+
+std::string Event::toJson() const {
+  std::string Out;
+  JsonWriter W(Out);
+  W.beginObject();
+  W.key("event");
+  W.value(eventKindName(KindValue));
+  for (const Field &F : Fields) {
+    W.key(F.Key);
+    switch (F.FieldType) {
+    case Field::Type::Int:
+      W.value(F.Int);
+      break;
+    case Field::Type::Bool:
+      W.value(F.Int != 0);
+      break;
+    case Field::Type::Str:
+      W.value(F.Str);
+      break;
+    case Field::Type::IntArray:
+      W.beginArray();
+      for (int64_t V : F.Array)
+        W.value(V);
+      W.endArray();
+      break;
+    }
+  }
+  W.endObject();
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Sinks
+//===----------------------------------------------------------------------===//
+
+TraceSink::~TraceSink() = default;
+
+void JsonlTraceSink::handle(const Event &E) { OS << E.toJson() << '\n'; }
+
+unsigned RecordingTraceSink::countOf(EventKind Kind) const {
+  unsigned N = 0;
+  for (const Event &E : Events)
+    if (E.kind() == Kind)
+      ++N;
+  return N;
+}
+
+TraceSink *hotg::telemetry::detail::GlobalSink = nullptr;
+
+void hotg::telemetry::setSink(TraceSink *Sink) { detail::GlobalSink = Sink; }

@@ -1,0 +1,249 @@
+//===- support/Telemetry.h - Counters, phase timers, trace events --------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability layer shared by the solver, the validity solver, the
+/// symbolic executor, the directed search, the hotg-run driver and the
+/// benchmark harnesses. Three mechanisms:
+///
+///  * **Counters** — process-wide named monotonic counters, registered on
+///    first use in the global Registry (`Registry::global().counter("x")`
+///    returns a stable reference; increments are a single add).
+///
+///  * **Phase timers** — named wall-clock aggregates (count / total / max,
+///    nanosecond resolution from a monotonic clock). `ScopedTimer` notes
+///    the enclosing scope's duration on destruction.
+///
+///  * **Trace events** — a structured event stream. Instrumented code
+///    builds an `Event` (a kind plus typed key/value fields) and hands it
+///    to the process-wide `TraceSink`. When no sink is attached — the
+///    default — emission sites reduce to a branch on a null pointer:
+///
+///      if (telemetry::TraceSink *S = telemetry::sink()) {
+///        telemetry::Event E(telemetry::EventKind::SolverCheck);
+///        E.set("decisions", int64_t(N));
+///        S->handle(E);
+///      }
+///
+///    `JsonlTraceSink` serializes one JSON object per event per line
+///    (JSONL); `RecordingTraceSink` captures events for tests.
+///
+/// The registry and sink are process-global and **not** thread-safe, like
+/// every other part of this (single-threaded) reproduction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_SUPPORT_TELEMETRY_H
+#define HOTG_SUPPORT_TELEMETRY_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hotg::telemetry {
+
+/// Nanoseconds from a monotonic (steady) clock.
+uint64_t monotonicNanos();
+
+//===----------------------------------------------------------------------===//
+// Counters and phase timers
+//===----------------------------------------------------------------------===//
+
+/// A named monotonic counter. Obtained from Registry::counter; the
+/// reference stays valid for the life of the process.
+class Counter {
+public:
+  void add(uint64_t N = 1) { Value += N; }
+  uint64_t value() const { return Value; }
+  void reset() { Value = 0; }
+
+private:
+  uint64_t Value = 0;
+};
+
+/// Wall-clock aggregate of one named phase: number of occurrences, total
+/// and maximum duration in nanoseconds.
+class PhaseTimer {
+public:
+  void note(uint64_t Ns) {
+    ++CountValue;
+    TotalValue += Ns;
+    if (Ns > MaxValue)
+      MaxValue = Ns;
+  }
+  uint64_t count() const { return CountValue; }
+  uint64_t totalNs() const { return TotalValue; }
+  uint64_t maxNs() const { return MaxValue; }
+  void reset() { CountValue = TotalValue = MaxValue = 0; }
+
+private:
+  uint64_t CountValue = 0;
+  uint64_t TotalValue = 0;
+  uint64_t MaxValue = 0;
+};
+
+/// Notes the enclosing scope's wall-clock duration into a PhaseTimer.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(PhaseTimer &Timer)
+      : Timer(Timer), StartNs(monotonicNanos()) {}
+  ~ScopedTimer() { Timer.note(elapsedNs()); }
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  uint64_t elapsedNs() const { return monotonicNanos() - StartNs; }
+
+private:
+  PhaseTimer &Timer;
+  uint64_t StartNs;
+};
+
+/// The process-wide registry of counters and timers. Names are
+/// dot-separated lowercase ("solver.check"). reset() zeroes every value
+/// but keeps registrations, so cached references stay valid.
+class Registry {
+public:
+  static Registry &global();
+
+  Counter &counter(std::string_view Name);
+  PhaseTimer &timer(std::string_view Name);
+
+  void reset();
+
+  /// Sorted iteration (for rendering).
+  const std::map<std::string, Counter, std::less<>> &counters() const {
+    return Counters;
+  }
+  const std::map<std::string, PhaseTimer, std::less<>> &timers() const {
+    return Timers;
+  }
+
+  /// Human-readable aligned table of every counter and timer.
+  std::string statsTable() const;
+
+  /// One JSON object: {"counters":{...},"timers":{name:{count,total_ns,
+  /// max_ns},...}} — the --stats-json / BENCH_*.json payload.
+  std::string statsJson() const;
+
+private:
+  std::map<std::string, Counter, std::less<>> Counters;
+  std::map<std::string, PhaseTimer, std::less<>> Timers;
+};
+
+//===----------------------------------------------------------------------===//
+// Trace events
+//===----------------------------------------------------------------------===//
+
+/// The event kinds of the structured trace (docs/observability.md has one
+/// schema table per kind).
+enum class EventKind : uint8_t {
+  TestRun,       ///< One program execution of the directed search.
+  Candidate,     ///< One frontier candidate processed (negate attempt).
+  SolverCheck,   ///< One smt::Solver satisfiability query.
+  ValidityQuery, ///< One core::ValiditySolver POST(pc) query.
+  SampleLearned, ///< One IOF sample recorded during co-execution.
+  SummaryApplied,///< A validity strategy grounded via summary disjuncts.
+  Divergence,    ///< A generated test took an unpredicted path.
+  BugFound,      ///< A new distinct bug was recorded.
+};
+
+/// Returns the JSONL name: "test_run", "solver_check", ...
+const char *eventKindName(EventKind Kind);
+
+/// One structured trace event: a kind plus ordered typed fields.
+class Event {
+public:
+  struct Field {
+    enum class Type : uint8_t { Int, Bool, Str, IntArray } FieldType;
+    std::string Key;
+    int64_t Int = 0;
+    std::string Str;
+    std::vector<int64_t> Array;
+  };
+
+  explicit Event(EventKind Kind) : KindValue(Kind) {}
+
+  Event &set(std::string_view Key, int64_t V);
+  Event &set(std::string_view Key, std::string_view V);
+  Event &set(std::string_view Key, const char *V) {
+    return set(Key, std::string_view(V));
+  }
+  Event &setBool(std::string_view Key, bool V);
+  Event &setArray(std::string_view Key, std::span<const int64_t> V);
+
+  EventKind kind() const { return KindValue; }
+  const std::vector<Field> &fields() const { return Fields; }
+
+  /// The field named \p Key, or null.
+  const Field *find(std::string_view Key) const;
+
+  /// Serializes to one JSON object: {"event":"<kind>",...fields}.
+  std::string toJson() const;
+
+private:
+  EventKind KindValue;
+  std::vector<Field> Fields;
+};
+
+/// Receiver of trace events. Implementations must not re-enter
+/// instrumented code.
+class TraceSink {
+public:
+  virtual ~TraceSink();
+  virtual void handle(const Event &E) = 0;
+};
+
+/// Writes one JSON object per event per line to a caller-owned stream.
+class JsonlTraceSink : public TraceSink {
+public:
+  explicit JsonlTraceSink(std::ostream &OS) : OS(OS) {}
+  void handle(const Event &E) override;
+
+private:
+  std::ostream &OS;
+};
+
+/// Captures events in memory (tests, integration assertions).
+class RecordingTraceSink : public TraceSink {
+public:
+  void handle(const Event &E) override { Events.push_back(E); }
+  const std::vector<Event> &events() const { return Events; }
+  unsigned countOf(EventKind Kind) const;
+  void clear() { Events.clear(); }
+
+private:
+  std::vector<Event> Events;
+};
+
+namespace detail {
+extern TraceSink *GlobalSink;
+} // namespace detail
+
+/// The process-wide trace sink; null (the default) disables tracing.
+inline TraceSink *sink() { return detail::GlobalSink; }
+
+/// Attaches \p Sink (caller keeps ownership); pass null to detach.
+void setSink(TraceSink *Sink);
+
+/// RAII sink attachment that restores the previous sink on destruction.
+class ScopedSink {
+public:
+  explicit ScopedSink(TraceSink *Sink) : Previous(sink()) { setSink(Sink); }
+  ~ScopedSink() { setSink(Previous); }
+  ScopedSink(const ScopedSink &) = delete;
+  ScopedSink &operator=(const ScopedSink &) = delete;
+
+private:
+  TraceSink *Previous;
+};
+
+} // namespace hotg::telemetry
+
+#endif // HOTG_SUPPORT_TELEMETRY_H

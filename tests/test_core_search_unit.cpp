@@ -3,6 +3,7 @@
 #include "core/Coverage.h"
 #include "core/Search.h"
 #include "lang/Parser.h"
+#include "support/Telemetry.h"
 
 #include <gtest/gtest.h>
 
@@ -207,6 +208,49 @@ TEST_F(SearchUnitTest, SamplesAccumulateAcrossRuns) {
   SearchResult R = Search.run();
   EXPECT_TRUE(R.foundErrorSite(0));
   EXPECT_GE(Search.samples().size(), 1u);
+}
+
+TEST_F(SearchUnitTest, HigherOrderSearchEmitsTelemetryEvents) {
+  compile("extern hash(int) -> int;\n"
+          "fun f(x: int, y: int) -> int {\n"
+          "  if (x == hash(y)) { error(\"hit\"); }\n"
+          "  return 0;\n"
+          "}");
+  NativeRegistry HashNatives;
+  HashNatives.registerDefaultHashes();
+  SearchOptions Options;
+  Options.Policy = ConcretizationPolicy::HigherOrder;
+  Options.MaxTests = 8;
+  TestInput Init;
+  Init.Cells = {33, 42};
+  Options.InitialInput = Init;
+
+  telemetry::RecordingTraceSink Rec;
+  telemetry::ScopedSink Guard(&Rec);
+  DirectedSearch Search(Prog, HashNatives, "f", Options);
+  SearchResult R = Search.run();
+
+  EXPECT_TRUE(R.foundErrorSite(0));
+  EXPECT_GE(Rec.countOf(telemetry::EventKind::ValidityQuery), 1u)
+      << "a HigherOrder search must consult the validity solver";
+  EXPECT_GE(Rec.countOf(telemetry::EventKind::SampleLearned), 1u)
+      << "executing hash() must record IOF samples";
+  EXPECT_GE(Rec.countOf(telemetry::EventKind::TestRun), 1u);
+  EXPECT_GE(Rec.countOf(telemetry::EventKind::Candidate), 1u);
+  EXPECT_GE(Rec.countOf(telemetry::EventKind::BugFound), 1u);
+
+  // Every test_run event carries the per-test record of the tentpole
+  // spec: input cells, policy, status, coverage delta, elapsed time.
+  for (const telemetry::Event &E : Rec.events()) {
+    if (E.kind() != telemetry::EventKind::TestRun)
+      continue;
+    ASSERT_NE(E.find("cells"), nullptr);
+    ASSERT_NE(E.find("policy"), nullptr);
+    EXPECT_EQ(E.find("policy")->Str, "higher-order");
+    ASSERT_NE(E.find("status"), nullptr);
+    ASSERT_NE(E.find("new_coverage"), nullptr);
+    ASSERT_NE(E.find("us"), nullptr);
+  }
 }
 
 } // namespace

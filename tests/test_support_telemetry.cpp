@@ -1,0 +1,185 @@
+//===- tests/test_support_telemetry.cpp - Telemetry subsystem unit tests ----------===//
+
+#include "support/JsonWriter.h"
+#include "support/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace hotg;
+using namespace hotg::telemetry;
+
+namespace {
+
+TEST(JsonWriterTest, ObjectsArraysAndCommas) {
+  std::string Out;
+  JsonWriter W(Out);
+  W.beginObject();
+  W.key("a");
+  W.value(int64_t(1));
+  W.key("b");
+  W.beginArray();
+  W.value(int64_t(2));
+  W.value("x");
+  W.value(true);
+  W.nullValue();
+  W.endArray();
+  W.key("c");
+  W.beginObject();
+  W.endObject();
+  W.endObject();
+  EXPECT_EQ(Out, "{\"a\":1,\"b\":[2,\"x\",true,null],\"c\":{}}");
+}
+
+TEST(JsonWriterTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(jsonEscape("nl\ncr\rtab\t"), "nl\\ncr\\rtab\\t");
+  EXPECT_EQ(jsonEscape(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+}
+
+TEST(CounterTest, AddAndReset) {
+  Counter C;
+  EXPECT_EQ(C.value(), 0u);
+  C.add();
+  C.add(41);
+  EXPECT_EQ(C.value(), 42u);
+  C.reset();
+  EXPECT_EQ(C.value(), 0u);
+}
+
+TEST(PhaseTimerTest, AggregatesCountTotalMax) {
+  PhaseTimer T;
+  T.note(10);
+  T.note(30);
+  T.note(20);
+  EXPECT_EQ(T.count(), 3u);
+  EXPECT_EQ(T.totalNs(), 60u);
+  EXPECT_EQ(T.maxNs(), 30u);
+  T.reset();
+  EXPECT_EQ(T.count(), 0u);
+  EXPECT_EQ(T.totalNs(), 0u);
+  EXPECT_EQ(T.maxNs(), 0u);
+}
+
+TEST(PhaseTimerTest, ScopedTimerNotesNonNegativeDuration) {
+  PhaseTimer T;
+  {
+    ScopedTimer S(T);
+    EXPECT_GE(S.elapsedNs(), 0u);
+  }
+  EXPECT_EQ(T.count(), 1u);
+}
+
+TEST(RegistryTest, SameNameReturnsSameCounter) {
+  Registry &Reg = Registry::global();
+  Counter &A = Reg.counter("test.registry.same");
+  Counter &B = Reg.counter("test.registry.same");
+  EXPECT_EQ(&A, &B);
+  uint64_t Before = A.value();
+  B.add();
+  EXPECT_EQ(A.value(), Before + 1);
+  PhaseTimer &TA = Reg.timer("test.registry.timer");
+  PhaseTimer &TB = Reg.timer("test.registry.timer");
+  EXPECT_EQ(&TA, &TB);
+}
+
+TEST(RegistryTest, ResetKeepsRegistrationsValid) {
+  Registry &Reg = Registry::global();
+  Counter &C = Reg.counter("test.registry.reset");
+  C.add(7);
+  Reg.reset();
+  EXPECT_EQ(C.value(), 0u);
+  EXPECT_EQ(&Reg.counter("test.registry.reset"), &C);
+}
+
+TEST(RegistryTest, RendersTableAndJson) {
+  Registry &Reg = Registry::global();
+  Reg.counter("test.render.counter").add(5);
+  Reg.timer("test.render.timer").note(1000);
+  std::string Table = Reg.statsTable();
+  EXPECT_NE(Table.find("test.render.counter"), std::string::npos);
+  EXPECT_NE(Table.find("test.render.timer"), std::string::npos);
+  std::string Json = Reg.statsJson();
+  EXPECT_NE(Json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(Json.find("\"test.render.counter\":5"), std::string::npos);
+  EXPECT_NE(Json.find("\"test.render.timer\":{\"count\":1,\"total_ns\":1000,"
+                      "\"max_ns\":1000}"),
+            std::string::npos);
+}
+
+TEST(EventTest, SerializesKindAndTypedFields) {
+  Event E(EventKind::SolverCheck);
+  E.set("result", "sat");
+  E.set("decisions", int64_t(-3));
+  E.setBool("cached", false);
+  int64_t Cells[] = {1, 2, 3};
+  E.setArray("cells", Cells);
+  EXPECT_EQ(E.toJson(),
+            "{\"event\":\"solver_check\",\"result\":\"sat\","
+            "\"decisions\":-3,\"cached\":false,\"cells\":[1,2,3]}");
+  ASSERT_NE(E.find("result"), nullptr);
+  EXPECT_EQ(E.find("result")->Str, "sat");
+  EXPECT_EQ(E.find("missing"), nullptr);
+}
+
+TEST(EventTest, EscapesStringFields) {
+  Event E(EventKind::BugFound);
+  E.set("message", "say \"hi\"\nline2");
+  EXPECT_EQ(E.toJson(), "{\"event\":\"bug_found\","
+                        "\"message\":\"say \\\"hi\\\"\\nline2\"}");
+}
+
+TEST(EventKindTest, NamesMatchSchema) {
+  EXPECT_STREQ(eventKindName(EventKind::TestRun), "test_run");
+  EXPECT_STREQ(eventKindName(EventKind::Candidate), "candidate");
+  EXPECT_STREQ(eventKindName(EventKind::SolverCheck), "solver_check");
+  EXPECT_STREQ(eventKindName(EventKind::ValidityQuery), "validity_query");
+  EXPECT_STREQ(eventKindName(EventKind::SampleLearned), "sample_learned");
+  EXPECT_STREQ(eventKindName(EventKind::SummaryApplied), "summary_applied");
+  EXPECT_STREQ(eventKindName(EventKind::Divergence), "divergence");
+  EXPECT_STREQ(eventKindName(EventKind::BugFound), "bug_found");
+}
+
+TEST(SinkTest, NullSinkByDefaultAndZeroEmission) {
+  ASSERT_EQ(sink(), nullptr) << "no sink must be attached by default";
+  // The instrumentation idiom: with no sink, nothing runs.
+  bool Built = false;
+  if (TraceSink *S = sink()) {
+    Built = true;
+    (void)S;
+  }
+  EXPECT_FALSE(Built);
+}
+
+TEST(SinkTest, ScopedSinkAttachesAndRestores) {
+  RecordingTraceSink Rec;
+  {
+    ScopedSink Guard(&Rec);
+    ASSERT_EQ(sink(), &Rec);
+    Event E(EventKind::TestRun);
+    E.set("test", int64_t(1));
+    sink()->handle(E);
+  }
+  EXPECT_EQ(sink(), nullptr);
+  EXPECT_EQ(Rec.events().size(), 1u);
+  EXPECT_EQ(Rec.countOf(EventKind::TestRun), 1u);
+  EXPECT_EQ(Rec.countOf(EventKind::BugFound), 0u);
+}
+
+TEST(SinkTest, JsonlSinkWritesOneLinePerEvent) {
+  std::ostringstream OS;
+  JsonlTraceSink Sink(OS);
+  Event A(EventKind::TestRun);
+  A.set("test", int64_t(1));
+  Event B(EventKind::Divergence);
+  B.set("test", int64_t(2));
+  Sink.handle(A);
+  Sink.handle(B);
+  EXPECT_EQ(OS.str(), "{\"event\":\"test_run\",\"test\":1}\n"
+                      "{\"event\":\"divergence\",\"test\":2}\n");
+}
+
+} // namespace

@@ -20,6 +20,10 @@
 //   --order bfs|dfs    candidate exploration order (default bfs)
 //   --dump-tests       print every executed test
 //   --dump-pc          print the AST and per-test path constraints
+//   --stats            print the telemetry counter/timer table to stderr
+//   --stats-json F     write the telemetry registry as JSON to F
+//   --trace-out F      write a JSONL trace (one event per line) to F;
+//                      docs/observability.md documents the event schema
 //
 // Available natives: hash(1), hash2(1), hash4(4), fstep(1).
 //
@@ -30,10 +34,12 @@
 #include "dse/SymbolicExecutor.h"
 #include "lang/Parser.h"
 #include "support/StringUtils.h"
+#include "support/Telemetry.h"
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 using namespace hotg;
@@ -49,8 +55,10 @@ namespace {
                "usage: hotg-run <file.ml> [--entry NAME] "
                "[--policy unsound|sound|sound-delayed|higher-order|random] "
                "[--max-tests N] [--multistep K] [--input a,b,c] "
-               "[--seed-input a,b,c] [--seed N] [--explore-paths] "
-               "[--dump-tests] [--dump-pc]\n");
+               "[--seed-input a,b,c] [--seed N] [--samples-in F] "
+               "[--samples-out F] [--summarize] [--explore-paths] "
+               "[--order bfs|dfs] [--dump-tests] [--dump-pc] [--stats] "
+               "[--stats-json F] [--trace-out F]\n");
   std::exit(2);
 }
 
@@ -76,8 +84,8 @@ int main(int Argc, char **Argv) {
   std::optional<TestInput> Initial;
   std::vector<TestInput> Seeds;
   bool ExplorePaths = false, DumpTests = false, DumpPc = false;
-  bool DepthFirst = false, Summarize = false;
-  std::string SamplesIn, SamplesOut;
+  bool DepthFirst = false, Summarize = false, PrintStats = false;
+  std::string SamplesIn, SamplesOut, StatsJsonPath, TracePath;
 
   for (int I = 1; I != Argc; ++I) {
     auto NextArg = [&](const char *Flag) -> const char * {
@@ -120,6 +128,12 @@ int main(int Argc, char **Argv) {
       DumpTests = true;
     else if (!std::strcmp(Argv[I], "--dump-pc"))
       DumpPc = true;
+    else if (!std::strcmp(Argv[I], "--stats"))
+      PrintStats = true;
+    else if (!std::strcmp(Argv[I], "--stats-json"))
+      StatsJsonPath = NextArg("--stats-json");
+    else if (!std::strcmp(Argv[I], "--trace-out"))
+      TracePath = NextArg("--trace-out");
     else if (Argv[I][0] == '-')
       usageError(formatString("unknown option '%s'", Argv[I]).c_str());
     else if (Path)
@@ -181,6 +195,19 @@ int main(int Argc, char **Argv) {
   for (unsigned I = 0; I != Layout.size(); ++I)
     std::printf(" %s", Layout.name(I).c_str());
   std::printf("\n");
+
+  std::ofstream TraceFile;
+  std::unique_ptr<telemetry::JsonlTraceSink> Trace;
+  if (!TracePath.empty()) {
+    TraceFile.open(TracePath);
+    if (!TraceFile) {
+      std::fprintf(stderr, "hotg-run: cannot open '%s' for writing\n",
+                   TracePath.c_str());
+      return 2;
+    }
+    Trace = std::make_unique<telemetry::JsonlTraceSink>(TraceFile);
+    telemetry::setSink(Trace.get());
+  }
 
   SearchResult Result;
   if (Policy == "random") {
@@ -248,6 +275,20 @@ int main(int Argc, char **Argv) {
                   T.Diverged ? " [diverged]" : "",
                   T.Intermediate ? " [learning]" : "");
     }
+
+  telemetry::setSink(nullptr);
+  if (PrintStats)
+    std::fprintf(stderr, "%s",
+                 telemetry::Registry::global().statsTable().c_str());
+  if (!StatsJsonPath.empty()) {
+    std::ofstream StatsFile(StatsJsonPath);
+    if (!StatsFile) {
+      std::fprintf(stderr, "hotg-run: cannot open '%s' for writing\n",
+                   StatsJsonPath.c_str());
+      return 2;
+    }
+    StatsFile << telemetry::Registry::global().statsJson() << "\n";
+  }
 
   std::printf("policy %s: %u tests, %u/%u branch directions covered, "
               "%u divergences\n",

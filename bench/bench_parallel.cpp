@@ -1,0 +1,179 @@
+//===- bench/bench_parallel.cpp - E10: parallel candidate evaluation --------------===//
+//
+// Measures the parallel candidate-evaluation pipeline (docs/parallelism.md)
+// on the two query-bound workloads: the Section 7 keyword-hash lexer and
+// the CRC-gated packet parser. For each workload the same search runs at
+// --jobs 1 (the plain serial path), 2 and 4; the harness reports wall
+// clock, speedup over serial, and the solver-query cache hit rate, and
+// *asserts* that every jobs value produced the identical SearchResult —
+// the pipeline is a scheduling optimization, not a search change.
+//
+// Speedup obviously needs hardware parallelism: on a single-core runner
+// the jobs>1 rows degrade to roughly 1.0x (speculation overlaps nothing)
+// while determinism still holds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "app/KeywordLexer.h"
+#include "app/PacketParser.h"
+#include "core/Search.h"
+#include "lang/Parser.h"
+#include "support/StringUtils.h"
+#include "support/Support.h"
+#include "support/Telemetry.h"
+
+using namespace hotg;
+using namespace hotg::app;
+using namespace hotg::bench;
+using namespace hotg::core;
+using namespace hotg::dse;
+using namespace hotg::interp;
+
+namespace {
+
+lang::Program compileSource(const std::string &Source, const char *What) {
+  DiagnosticEngine Diags;
+  auto Prog = lang::parseAndCheck(Source, Diags);
+  if (!Prog)
+    reportFatalError(std::string(What) + " failed to compile:\n" +
+                     Diags.render());
+  return std::move(*Prog);
+}
+
+struct Measured {
+  SearchResult Result;
+  double WallMs = 0;
+};
+
+Measured timedSearch(const lang::Program &Prog, const NativeRegistry &Natives,
+                     const std::string &Entry, SearchOptions Options) {
+  uint64_t Start = telemetry::monotonicNanos();
+  DirectedSearch Search(Prog, Natives, Entry, Options);
+  Measured M;
+  M.Result = Search.run();
+  M.WallMs = double(telemetry::monotonicNanos() - Start) / 1e6;
+  return M;
+}
+
+bool sameResult(const SearchResult &A, const SearchResult &B) {
+  if (A.Tests.size() != B.Tests.size() || A.Bugs.size() != B.Bugs.size())
+    return false;
+  for (size_t I = 0; I != A.Tests.size(); ++I) {
+    const TestRecord &X = A.Tests[I], &Y = B.Tests[I];
+    if (X.Input.Cells != Y.Input.Cells || X.Status != Y.Status ||
+        X.Diverged != Y.Diverged || X.Intermediate != Y.Intermediate)
+      return false;
+  }
+  for (size_t I = 0; I != A.Bugs.size(); ++I) {
+    const BugRecord &X = A.Bugs[I], &Y = B.Bugs[I];
+    if (X.Input.Cells != Y.Input.Cells || X.Status != Y.Status ||
+        X.Site != Y.Site || X.FoundAtTest != Y.FoundAtTest)
+      return false;
+  }
+  return A.Cov == B.Cov && A.Divergences == B.Divergences &&
+         A.SolverCalls == B.SolverCalls &&
+         A.ValidityCalls == B.ValidityCalls &&
+         A.MultiStepRuns == B.MultiStepRuns &&
+         A.SolverQueryStats.Checks == B.SolverQueryStats.Checks &&
+         A.SolverQueryStats.Decisions == B.SolverQueryStats.Decisions &&
+         A.ValidityQueryStats.GroundingsTried ==
+             B.ValidityQueryStats.GroundingsTried &&
+         A.ValidityQueryStats.InnerSolverCalls ==
+             B.ValidityQueryStats.InnerSolverCalls;
+}
+
+void runWorkload(const char *Name, const lang::Program &Prog,
+                 const NativeRegistry &Natives, const std::string &Entry,
+                 SearchOptions Options) {
+  Table T({"workload", "jobs", "wall ms", "speedup", "cache hits",
+           "cache misses", "hit rate", "tests", "covered"});
+  Measured Serial;
+  for (unsigned Jobs : {1u, 2u, 4u}) {
+    SearchOptions O = Options;
+    O.Jobs = Jobs;
+    Measured M = timedSearch(Prog, Natives, Entry, O);
+    if (Jobs == 1)
+      Serial = M;
+    else if (!sameResult(Serial.Result, M.Result))
+      reportFatalError(formatString(
+          "bench_parallel: %s diverged between --jobs 1 and --jobs %u",
+          Name, Jobs));
+    uint64_t Lookups = M.Result.CacheHits + M.Result.CacheMisses;
+    T.addRow({Name, formatString("%u", Jobs),
+              formatString("%.1f", M.WallMs),
+              formatString("%.2fx", Serial.WallMs / M.WallMs),
+              formatString("%llu", (unsigned long long)M.Result.CacheHits),
+              formatString("%llu", (unsigned long long)M.Result.CacheMisses),
+              Lookups ? formatString("%.0f%%",
+                                     100.0 * double(M.Result.CacheHits) /
+                                         double(Lookups))
+                      : std::string("-"),
+              formatString("%u", M.Result.testsRun()),
+              formatString("%u/%u", M.Result.Cov.coveredDirections(),
+                           M.Result.Cov.totalDirections())});
+  }
+  T.print();
+  std::printf("determinism: identical tests/bugs/coverage/query stats for "
+              "jobs 1/2/4 on %s\n\n",
+              Name);
+}
+
+} // namespace
+
+int main() {
+  std::printf("hotg bench_parallel: speculative candidate evaluation "
+              "(per-worker arena replicas + shared query cache)\n");
+
+  banner("E10a", "keyword-hash lexer (higher-order, 16 keywords)");
+  {
+    LexerApp App = buildKeywordLexer({16, 2});
+    lang::Program Prog = compileSource(App.Source, "lexer app");
+    NativeRegistry Natives;
+    Natives.registerDefaultHashes();
+    SearchOptions Options;
+    Options.Policy = ConcretizationPolicy::HigherOrder;
+    Options.MaxTests = 160;
+    Options.InitialInput = App.identifierInput();
+    Options.RandomLo = 32;
+    Options.RandomHi = 126;
+    Options.SkipCoveredTargets = false; // classify() repeats per chunk.
+    runWorkload("lexer", Prog, Natives, App.Entry, Options);
+  }
+
+  banner("E10b", "CRC-gated packet parser (higher-order)");
+  {
+    PacketApp App = buildPacketParser();
+    lang::Program Prog = compileSource(App.Source, "packet app");
+    NativeRegistry Natives;
+    registerPacketNatives(Natives);
+    SearchOptions Options;
+    Options.Policy = ConcretizationPolicy::HigherOrder;
+    Options.MaxTests = 96;
+    Options.InitialInput = App.garbagePacket();
+    runWorkload("packet", Prog, Natives, App.Entry, Options);
+  }
+
+  banner("E10c", "classic DART path (unsound policy, satisfiability cache)");
+  {
+    PacketApp App = buildPacketParser();
+    lang::Program Prog = compileSource(App.Source, "packet app");
+    NativeRegistry Natives;
+    registerPacketNatives(Natives);
+    SearchOptions Options;
+    Options.Policy = ConcretizationPolicy::Unsound;
+    Options.MaxTests = 96;
+    Options.InitialInput = App.validPacket(1, {1, 2});
+    Options.SkipCoveredTargets = false;
+    runWorkload("packet-dart", Prog, Natives, App.Entry, Options);
+  }
+
+  std::printf("Expected shape: jobs=1 is the untouched serial path; at "
+              "jobs=4 on four hardware threads the query-bound higher-order "
+              "rows reach >=1.5x with a high cache hit rate (speculated "
+              "answers consumed at merge time); single-core runners see "
+              "~1.0x with determinism intact.\n");
+  bench::writeBenchStats("parallel");
+  return 0;
+}

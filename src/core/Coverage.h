@@ -56,6 +56,9 @@ public:
   /// Merges \p Other into this coverage map.
   void mergeFrom(const Coverage &Other);
 
+  /// Exact equality of the covered sets (determinism assertions).
+  bool operator==(const Coverage &Other) const = default;
+
 private:
   uint32_t NumBranches = 0;
   /// Two bits per branch: [taken, not-taken].

@@ -3,16 +3,179 @@
 #include "core/Search.h"
 
 #include "core/Post.h"
+#include "smt/QueryCache.h"
 #include "support/Random.h"
 #include "support/Support.h"
 #include "support/Telemetry.h"
+#include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <cassert>
+#include <future>
+#include <mutex>
+#include <unordered_map>
 
 using namespace hotg;
 using namespace hotg::core;
 using namespace hotg::dse;
 using namespace hotg::interp;
+
+//===----------------------------------------------------------------------===//
+// Parallel candidate evaluation (docs/parallelism.md)
+//
+// Workers keep private TermArena replicas that are *exact prefixes* of the
+// main arena: the main thread publishes append-only ArenaDeltas at dispatch
+// time, workers replay them in order, run the candidate's solver query
+// against the replica, roll the replica back to its pre-query mark, and
+// publish the answer into a shared QueryCache. An answer is published only
+// when the query interned zero new atoms (variables, function symbols,
+// IntVar/UFApp nodes) in the replica — solver behaviour depends on the
+// relative TermId order of atoms and on nothing else id-related, so such an
+// answer is provably identical to what the merge path would compute inline.
+// Everything else is discarded and recomputed inline, which keeps the
+// SearchResult bit-identical for every Jobs value.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Renders a model's variable assignment with arena-independent names.
+std::vector<std::pair<std::string, int64_t>>
+encodeModel(const smt::Model &M, const smt::TermArena &Arena) {
+  std::vector<std::pair<std::string, int64_t>> Out;
+  Out.reserve(M.varAssignments().size());
+  for (const auto &[Var, Value] : M.varAssignments())
+    Out.emplace_back(std::string(Arena.varName(Var)), Value);
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+/// Rebuilds a model from encoded name/value pairs. Every named variable
+/// already exists in the consuming arena (models only assign variables of
+/// the query formula, which lives in the shared prefix), so this never
+/// interns anything new.
+smt::Model decodeModel(
+    const std::vector<std::pair<std::string, int64_t>> &Pairs,
+    smt::TermArena &Arena) {
+  smt::Model M;
+  for (const auto &[Name, Value] : Pairs)
+    M.setVar(Arena.getOrCreateVar(Name), Value);
+  return M;
+}
+
+smt::PortableAnswer encodeSat(const smt::SatAnswer &Answer,
+                              const smt::SolverStats &S,
+                              const smt::TermArena &Arena) {
+  smt::PortableAnswer PA;
+  PA.Status = static_cast<uint8_t>(Answer.Result);
+  PA.Model = encodeModel(Answer.ModelValue, Arena);
+  PA.Checks = S.Checks;
+  PA.SupportsExplored = S.SupportsExplored;
+  PA.Decisions = S.Decisions;
+  PA.Propagations = S.Propagations;
+  return PA;
+}
+
+smt::PortableAnswer encodeValidity(const ValidityAnswer &Answer,
+                                   const ValidityStats &S,
+                                   const smt::TermArena &Arena) {
+  smt::PortableAnswer PA;
+  PA.Status = static_cast<uint8_t>(Answer.Status);
+  PA.Model = encodeModel(Answer.ModelValue, Arena);
+  PA.ValiditySupports = S.SupportsExplored;
+  PA.GroundingsTried = S.GroundingsTried;
+  PA.InnerSolverCalls = S.InnerSolverCalls;
+  return PA;
+}
+
+} // namespace
+
+struct DirectedSearch::ParallelState {
+  explicit ParallelState(unsigned Jobs) : Workers(Jobs), Pool(Jobs) {}
+
+  smt::QueryCache Cache;
+
+  /// Published arena history; appended by the main thread, replayed in
+  /// order by workers. Entries are shared_ptr so late workers can still
+  /// read deltas published long ago without copying.
+  std::mutex DeltaMutex;
+  std::vector<std::shared_ptr<const smt::ArenaDelta>> Deltas;
+  /// Main-arena position covered by Deltas (main thread only).
+  smt::ArenaMark Published;
+
+  /// Immutable snapshot of the antecedent sample table, shared by every
+  /// job dispatched at its generation (jobs hold the shared_ptr, so a
+  /// refresh never invalidates running queries).
+  std::shared_ptr<const smt::SampleTable> SampleSnap;
+  uint64_t SnapGeneration = ~uint64_t(0);
+
+  struct Worker {
+    smt::TermArena Replica;   ///< Exact prefix of the main arena.
+    size_t DeltasApplied = 0; ///< Index into Deltas (owning thread only).
+  };
+  std::vector<Worker> Workers;
+
+  /// Speculations in flight, by Candidate::Id (main thread only).
+  std::unordered_map<uint64_t, std::future<void>> Inflight;
+
+  /// Declared last: its destructor drains the queue and joins the workers
+  /// while the replicas, deltas and cache above are still alive.
+  support::ThreadPool Pool;
+
+  void runJob(unsigned W, smt::TermId Alt, smt::TermFingerprint Fp,
+              uint64_t Gen, smt::QueryKind Kind,
+              const smt::SolverOptions &SolverOpts,
+              const ValidityOptions &VOpts,
+              std::shared_ptr<const smt::SampleTable> Snap);
+};
+
+void DirectedSearch::ParallelState::runJob(
+    unsigned W, smt::TermId Alt, smt::TermFingerprint Fp, uint64_t Gen,
+    smt::QueryKind Kind, const smt::SolverOptions &SolverOpts,
+    const ValidityOptions &VOpts,
+    std::shared_ptr<const smt::SampleTable> Snap) {
+  Worker &Me = Workers[W];
+
+  // Catch the replica up to (at least) this job's publish point. Later
+  // deltas are fine too: the arena is append-only and the query's root was
+  // published, so extra unreachable terms cannot change the answer.
+  std::vector<std::shared_ptr<const smt::ArenaDelta>> Pending;
+  {
+    std::lock_guard<std::mutex> Lock(DeltaMutex);
+    Pending.assign(Deltas.begin() + Me.DeltasApplied, Deltas.end());
+  }
+  for (const auto &D : Pending)
+    Me.Replica.applyDelta(*D);
+  Me.DeltasApplied += Pending.size();
+
+  if (Cache.contains(Fp, Gen, Kind))
+    return; // Another worker (or the merge path) already answered.
+
+  smt::ArenaMark Mark = Me.Replica.mark();
+  smt::PortableAnswer PA;
+  if (Kind == smt::QueryKind::Satisfiability) {
+    smt::Solver Solver(Me.Replica, SolverOpts);
+    smt::SatAnswer Answer = Solver.check(Alt);
+    PA = encodeSat(Answer, Solver.stats(), Me.Replica);
+  } else {
+    ValiditySolver Validity(Me.Replica, *Snap, VOpts);
+    ValidityAnswer Answer = Validity.checkPost(Alt);
+    PA = encodeValidity(Answer, Validity.stats(), Me.Replica);
+  }
+
+  // Transferability gate: if the query interned any new atom, its answer
+  // may depend on atom id order the merge-time main arena will not share —
+  // discard it and let the merge path recompute inline.
+  bool Transferable = Me.Replica.numAtomsCreatedSince(Mark) == 0;
+  Me.Replica.truncateTo(Mark); // Stay an exact prefix for the next job.
+  if (Transferable)
+    Cache.store(Fp, Gen, Kind, std::move(PA));
+  else
+    telemetry::Registry::global()
+        .counter("search.speculation_discarded")
+        .add();
+}
+
+DirectedSearch::~DirectedSearch() = default;
 
 bool SearchResult::foundErrorSite(lang::ErrorSiteId Site) const {
   for (const BugRecord &Bug : Bugs)
@@ -191,6 +354,7 @@ void DirectedSearch::expand(const PathResult &PR, const TestInput &Input,
     Cand.Trace = Trace;
     Cand.ParentInput = Input;
     Cand.NegateIndex = Pos;
+    Cand.Id = NextCandidateId++;
     if (Options.Order == SearchOptions::OrderKind::DepthFirst)
       Frontier.push_front(std::move(Cand));
     else
@@ -228,6 +392,167 @@ void DirectedSearch::seedFrontier() {
   }
 }
 
+unsigned DirectedSearch::effectiveJobs() const {
+  if (Options.Jobs <= 1)
+    return 1;
+  // Speculation replays queries on replica arenas. Summary grounding and a
+  // user-supplied sample table are not replicated there, so those modes
+  // keep the plain serial path (results are identical either way; this is
+  // purely a scheduling decision).
+  if (Options.SummarizeCalls || Options.SolverOpts.Samples != nullptr)
+    return 1;
+  return Options.Jobs;
+}
+
+void DirectedSearch::initParallel() {
+  unsigned Jobs = effectiveJobs();
+  if (Jobs > 1)
+    Parallel = std::make_unique<ParallelState>(Jobs);
+}
+
+void DirectedSearch::dispatchSpeculative() {
+  ParallelState &PS = *Parallel;
+  telemetry::Registry &Reg = telemetry::Registry::global();
+  const bool HigherOrder =
+      Options.Policy == ConcretizationPolicy::HigherOrder;
+  const smt::QueryKind Kind = HigherOrder ? smt::QueryKind::Validity
+                                          : smt::QueryKind::Satisfiability;
+  // Validity answers depend on the antecedent; an append-only table makes
+  // generation (= size) equality equivalent to table equality.
+  const uint64_t Gen =
+      HigherOrder && Options.UseAntecedent ? Samples.size() : 0;
+  if (PS.SnapGeneration != Gen) {
+    PS.SampleSnap = std::make_shared<const smt::SampleTable>(
+        HigherOrder && Options.UseAntecedent ? Samples : EmptySamples);
+    PS.SnapGeneration = Gen;
+  }
+
+  // Speculate over a window at the front of the frontier: the candidates
+  // the merge loop will consume next.
+  size_t Window =
+      std::min<size_t>(Frontier.size(), size_t(PS.Pool.size()) * 2);
+  for (size_t I = 0; I != Window; ++I) {
+    Candidate &Cand = Frontier[I];
+    if (PS.Inflight.count(Cand.Id))
+      continue;
+    const PathEntry &Entry = Cand.PC->Entries[Cand.NegateIndex];
+    // Coverage only grows, so a target covered now is covered at merge
+    // time too: the merge path would skip this candidate anyway.
+    if (Options.SkipCoveredTargets &&
+        Result.Cov.isCovered(Entry.Branch, !Entry.Taken))
+      continue;
+    // ALT(pc) is built on the main arena *before* the delta is published,
+    // so the job can reference it by id. alternate() interns no atoms
+    // (negation and conjunction over existing terms), so interning it
+    // earlier than the serial schedule would is harmless.
+    smt::TermId Alt = Cand.PC->alternate(Arena, Cand.NegateIndex);
+    smt::TermFingerprint Fp = Arena.fingerprint(Alt);
+    if (PS.Cache.contains(Fp, Gen, Kind))
+      continue; // Answer already available.
+
+    smt::ArenaMark Now = Arena.mark();
+    if (!(Now == PS.Published)) {
+      auto Delta = std::make_shared<const smt::ArenaDelta>(
+          Arena.deltaSince(PS.Published));
+      std::lock_guard<std::mutex> Lock(PS.DeltaMutex);
+      PS.Deltas.push_back(std::move(Delta));
+      PS.Published = Now;
+    }
+
+    ValidityOptions VOpts = Options.ValidityOpts;
+    VOpts.SolverOpts = Options.SolverOpts;
+    Reg.counter("search.speculative_dispatches").add();
+    PS.Inflight.emplace(
+        Cand.Id, PS.Pool.submit([&PS, Alt, Fp, Gen, Kind, VOpts,
+                                 SolverOpts = Options.SolverOpts,
+                                 Snap = PS.SampleSnap](unsigned W) {
+          PS.runJob(W, Alt, Fp, Gen, Kind, SolverOpts, VOpts,
+                    std::move(Snap));
+        }));
+  }
+  // Sampled gauge: count = dispatch rounds, max = peak depth.
+  Reg.timer("search.queue_depth").note(PS.Pool.queueDepth());
+}
+
+void DirectedSearch::awaitSpeculation(const Candidate &Cand) {
+  auto It = Parallel->Inflight.find(Cand.Id);
+  if (It == Parallel->Inflight.end())
+    return;
+  try {
+    It->second.get();
+  } catch (...) {
+    // A failed speculation only means no cached answer; the merge path
+    // recomputes inline.
+  }
+  Parallel->Inflight.erase(It);
+}
+
+smt::SatAnswer DirectedSearch::solveSat(smt::TermId Alt) {
+  if (Parallel) {
+    smt::TermFingerprint Fp = Arena.fingerprint(Alt);
+    if (auto Hit =
+            Parallel->Cache.lookup(Fp, 0, smt::QueryKind::Satisfiability)) {
+      Result.SolverQueryStats.Checks += Hit->Checks;
+      Result.SolverQueryStats.SupportsExplored += Hit->SupportsExplored;
+      Result.SolverQueryStats.Decisions += Hit->Decisions;
+      Result.SolverQueryStats.Propagations += Hit->Propagations;
+      smt::SatAnswer Answer;
+      Answer.Result = static_cast<smt::SatResult>(Hit->Status);
+      Answer.ModelValue = decodeModel(Hit->Model, Arena);
+      return Answer;
+    }
+  }
+  // Fresh solver per query: budgets (MaxDecisions, MaxSupports) are
+  // per-query; work is aggregated into the search-owned stats below.
+  smt::Solver Solver(Arena, Options.SolverOpts);
+  smt::SatAnswer Answer = Solver.check(Alt);
+  const smt::SolverStats &S = Solver.stats();
+  Result.SolverQueryStats.Checks += S.Checks;
+  Result.SolverQueryStats.SupportsExplored += S.SupportsExplored;
+  Result.SolverQueryStats.Decisions += S.Decisions;
+  Result.SolverQueryStats.Propagations += S.Propagations;
+  // Computed on the main arena, so any atoms it interned are permanent:
+  // the answer is transferable to every later consumer.
+  if (Parallel)
+    Parallel->Cache.store(Arena.fingerprint(Alt), 0,
+                          smt::QueryKind::Satisfiability,
+                          encodeSat(Answer, S, Arena));
+  return Answer;
+}
+
+ValidityAnswer DirectedSearch::solveValidity(smt::TermId Alt) {
+  const uint64_t Gen = Options.UseAntecedent ? Samples.size() : 0;
+  if (Parallel) {
+    smt::TermFingerprint Fp = Arena.fingerprint(Alt);
+    if (auto Hit = Parallel->Cache.lookup(Fp, Gen, smt::QueryKind::Validity)) {
+      Result.ValidityQueryStats.SupportsExplored += Hit->ValiditySupports;
+      Result.ValidityQueryStats.GroundingsTried += Hit->GroundingsTried;
+      Result.ValidityQueryStats.InnerSolverCalls += Hit->InnerSolverCalls;
+      ValidityAnswer Answer;
+      Answer.Status = static_cast<ValidityStatus>(Hit->Status);
+      Answer.ModelValue = decodeModel(Hit->Model, Arena);
+      return Answer;
+    }
+  }
+  const smt::SampleTable &Antecedent =
+      Options.UseAntecedent ? Samples : EmptySamples;
+  ValidityOptions VOpts = Options.ValidityOpts;
+  VOpts.SolverOpts = Options.SolverOpts;
+  if (Options.SummarizeCalls)
+    VOpts.Summaries = &Summaries;
+  ValiditySolver Validity(Arena, Antecedent, VOpts);
+  ValidityAnswer Answer = Validity.checkPost(Alt);
+  const ValidityStats &S = Validity.stats();
+  Result.ValidityQueryStats.SupportsExplored += S.SupportsExplored;
+  Result.ValidityQueryStats.GroundingsTried += S.GroundingsTried;
+  Result.ValidityQueryStats.InnerSolverCalls += S.InnerSolverCalls;
+  if (Parallel)
+    Parallel->Cache.store(Arena.fingerprint(Alt), Gen,
+                          smt::QueryKind::Validity,
+                          encodeValidity(Answer, S, Arena));
+  return Answer;
+}
+
 bool DirectedSearch::processCandidate(const Candidate &Cand) {
   const PathEntry &Entry = Cand.PC->Entries[Cand.NegateIndex];
   telemetry::Registry &Reg = telemetry::Registry::global();
@@ -255,26 +580,19 @@ bool DirectedSearch::processCandidate(const Candidate &Cand) {
   std::optional<TestInput> NewInput;
 
   if (Options.Policy != ConcretizationPolicy::HigherOrder) {
-    smt::Solver Solver(Arena, Options.SolverOpts);
     ++Result.SolverCalls;
-    smt::SatAnswer Answer = Solver.check(Alt);
+    smt::SatAnswer Answer = solveSat(Alt);
     EmitCandidate(smt::satResultName(Answer.Result));
     if (Answer.isSat())
       NewInput = completeInput(Answer.ModelValue, Cand.ParentInput);
   } else {
     // Higher-order test generation: POST(ALT(pc)) validity with bounded
-    // multi-step learning (Section 5.3).
+    // multi-step learning (Section 5.3). Each intermediate run can grow
+    // the sample table, so every step re-queries at the new generation.
     TestInput Parent = Cand.ParentInput;
     for (unsigned Step = 0; Step <= Options.MultiStepBound; ++Step) {
-      const smt::SampleTable &Antecedent =
-          Options.UseAntecedent ? Samples : EmptySamples;
-      ValidityOptions VOpts = Options.ValidityOpts;
-      VOpts.SolverOpts = Options.SolverOpts;
-      if (Options.SummarizeCalls)
-        VOpts.Summaries = &Summaries;
-      ValiditySolver Validity(Arena, Antecedent, VOpts);
       ++Result.ValidityCalls;
-      ValidityAnswer Answer = Validity.checkPost(Alt);
+      ValidityAnswer Answer = solveValidity(Alt);
       if (Answer.Status == ValidityStatus::Valid) {
         EmitCandidate(validityStatusName(Answer.Status));
         NewInput = completeInput(Answer.ModelValue, Parent);
@@ -319,12 +637,25 @@ bool DirectedSearch::processCandidate(const Candidate &Cand) {
 }
 
 SearchResult DirectedSearch::run() {
+  initParallel();
   seedFrontier();
   while (!Frontier.empty() && Result.Tests.size() < Options.MaxTests) {
+    if (Parallel)
+      dispatchSpeculative();
     Candidate Cand = std::move(Frontier.front());
     Frontier.pop_front();
+    if (Parallel)
+      awaitSpeculation(Cand);
     if (!processCandidate(Cand))
       break;
+  }
+  if (Parallel) {
+    telemetry::Registry &Reg = telemetry::Registry::global();
+    Result.CacheHits = Parallel->Cache.hits();
+    Result.CacheMisses = Parallel->Cache.misses();
+    Reg.counter("solver.cache_hits").add(Result.CacheHits);
+    Reg.counter("solver.cache_misses").add(Result.CacheMisses);
+    Reg.counter("search.worker_busy_ns").add(Parallel->Pool.busyNanos());
   }
   return std::move(Result);
 }

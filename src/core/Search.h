@@ -67,6 +67,12 @@ struct SearchOptions {
   int64_t RandomLo = 0;
   int64_t RandomHi = 99;
   uint64_t Seed = 42;
+  /// Worker threads for speculative candidate evaluation. 1 = the plain
+  /// single-threaded loop (no pool, no query cache). Results are identical
+  /// for every value (docs/parallelism.md); modes the pipeline cannot
+  /// speculate for (SummarizeCalls, a user-supplied SolverOpts.Samples
+  /// table) silently fall back to 1.
+  unsigned Jobs = 1;
   smt::SolverOptions SolverOpts;
   ValidityOptions ValidityOpts;
 };
@@ -100,6 +106,16 @@ struct SearchResult {
   unsigned SolverCalls = 0;
   unsigned ValidityCalls = 0;
   unsigned MultiStepRuns = 0;
+  /// Work accumulated across every satisfiability query of the search (the
+  /// solvers themselves are created fresh per query so budgets stay
+  /// per-query; see docs/observability.md). Identical for every Jobs value.
+  smt::SolverStats SolverQueryStats;
+  /// Work accumulated across every validity query of the search.
+  ValidityStats ValidityQueryStats;
+  /// Query-cache traffic (both zero when Jobs == 1). These describe the
+  /// schedule, not the search: they may vary across Jobs values and runs.
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
 
   bool foundErrorSite(lang::ErrorSiteId Site) const;
   bool foundStatus(interp::RunStatus Status) const;
@@ -112,6 +128,7 @@ public:
   DirectedSearch(const lang::Program &Prog,
                  const interp::NativeRegistry &Natives,
                  std::string EntryName, SearchOptions Options = {});
+  ~DirectedSearch(); // Out of line: ParallelState is incomplete here.
 
   /// Runs the search to budget exhaustion or frontier exhaustion.
   SearchResult run();
@@ -144,7 +161,12 @@ private:
     interp::TestInput ParentInput;
     /// Index of the entry to negate.
     size_t NegateIndex = 0;
+    /// Monotonic identity, assigned at enqueue time (keys in-flight
+    /// speculative work).
+    uint64_t Id = 0;
   };
+
+  struct ParallelState; // Defined in Search.cpp (Jobs > 1 only).
 
   void seedFrontier();
   void expand(const dse::PathResult &Result, const interp::TestInput &Input,
@@ -157,6 +179,23 @@ private:
   interp::TestInput completeInput(const smt::Model &M,
                                   const interp::TestInput &Parent) const;
   bool processCandidate(const Candidate &Cand);
+
+  /// Decides the effective worker count (Options.Jobs, clamped to 1 for
+  /// modes the speculation pipeline cannot replay deterministically).
+  unsigned effectiveJobs() const;
+  /// Lazily builds ParallelState + the worker pool.
+  void initParallel();
+  /// Publishes arena/sample deltas and enqueues speculative evaluations of
+  /// the first few frontier candidates onto the worker pool.
+  void dispatchSpeculative();
+  /// Blocks until the speculative evaluation of \p Cand (if any) finished.
+  void awaitSpeculation(const Candidate &Cand);
+  /// One satisfiability query (classic policies), via the query cache when
+  /// the search runs parallel; folds work stats into SolverQueryStats.
+  smt::SatAnswer solveSat(smt::TermId Alt);
+  /// One POST(Alt) validity query (HigherOrder), via the query cache when
+  /// the search runs parallel; folds work stats into ValidityQueryStats.
+  ValidityAnswer solveValidity(smt::TermId Alt);
 
   const lang::Program &Prog;
   const interp::NativeRegistry &Natives;
@@ -173,6 +212,9 @@ private:
   std::deque<Candidate> Frontier;
   std::set<std::vector<int64_t>> SeenInputs;
   SearchResult Result;
+  uint64_t NextCandidateId = 0;
+  /// Null when the search runs serially (effectiveJobs() == 1).
+  std::unique_ptr<ParallelState> Parallel;
 };
 
 /// Blackbox random testing baseline (Section 7's comparison point): \p

@@ -1,0 +1,36 @@
+//===- smt/QueryCache.cpp - Memoizing solver-query cache -------------------===//
+
+#include "smt/QueryCache.h"
+
+using namespace hotg;
+using namespace hotg::smt;
+
+std::optional<PortableAnswer> QueryCache::lookup(const TermFingerprint &Fp,
+                                                 uint64_t Generation,
+                                                 QueryKind Kind) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Entries.find({Fp, Generation, Kind});
+  if (It == Entries.end()) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  return It->second;
+}
+
+bool QueryCache::contains(const TermFingerprint &Fp, uint64_t Generation,
+                          QueryKind Kind) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Entries.count({Fp, Generation, Kind}) != 0;
+}
+
+void QueryCache::store(const TermFingerprint &Fp, uint64_t Generation,
+                       QueryKind Kind, PortableAnswer Answer) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Entries.try_emplace({Fp, Generation, Kind}, std::move(Answer));
+}
+
+size_t QueryCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Entries.size();
+}

@@ -6,6 +6,7 @@
 #include "support/StringUtils.h"
 #include "support/Support.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace hotg;
@@ -91,13 +92,21 @@ const FuncSymbol &TermArena::func(FuncId Func) const {
   return Funcs[Func];
 }
 
-TermId TermArena::intern(TermKind Kind, TermType Type, int64_t Payload,
-                         std::span<const TermId> Operands) {
+namespace {
+size_t nodeHash(TermKind Kind, int64_t Payload,
+                std::span<const TermId> Operands) {
   size_t Hash = 0x811c9dc5u;
   hashCombine(Hash, static_cast<size_t>(Kind));
   hashCombine(Hash, static_cast<size_t>(Payload));
   for (TermId Op : Operands)
     hashCombine(Hash, Op);
+  return Hash;
+}
+} // namespace
+
+TermId TermArena::intern(TermKind Kind, TermType Type, int64_t Payload,
+                         std::span<const TermId> Operands) {
+  size_t Hash = nodeHash(Kind, Payload, Operands);
 
   auto &Bucket = DedupBuckets[Hash];
   for (TermId Candidate : Bucket) {
@@ -272,6 +281,309 @@ VarId TermArena::varIdOf(TermId Term) const {
 FuncId TermArena::funcIdOf(TermId Term) const {
   assert(kind(Term) == TermKind::UFApp && "not a UF application");
   return static_cast<FuncId>(node(Term).Payload);
+}
+
+PortableTerm TermArena::exportTerm(TermId Term) const {
+  PortableTerm Out;
+  // Map from this arena's ids to snapshot indices; InvalidTerm = unvisited.
+  std::vector<TermId> NodeIndex(numTerms(), InvalidTerm);
+  std::vector<TermId> VarIndex(numVars(), InvalidTerm);
+  std::vector<TermId> FuncIndex(numFuncs(), InvalidTerm);
+
+  // Iterative postorder: emit operands before their users, root last.
+  std::vector<std::pair<TermId, bool>> Stack = {{Term, false}};
+  while (!Stack.empty()) {
+    auto [T, Expanded] = Stack.back();
+    Stack.pop_back();
+    if (NodeIndex[T] != InvalidTerm)
+      continue;
+    if (!Expanded) {
+      Stack.push_back({T, true});
+      auto Ops = operands(T);
+      for (size_t I = Ops.size(); I != 0; --I)
+        Stack.push_back({Ops[I - 1], false});
+      continue;
+    }
+    const TermNode &N = node(T);
+    PortableTerm::Node Copy;
+    Copy.Kind = N.Kind;
+    Copy.Type = N.Type;
+    Copy.OperandBegin = static_cast<uint32_t>(Out.Operands.size());
+    Copy.NumOperands = N.NumOperands;
+    for (TermId Op : operands(T)) {
+      assert(NodeIndex[Op] != InvalidTerm && "operand emitted after user");
+      Out.Operands.push_back(NodeIndex[Op]);
+    }
+    switch (N.Kind) {
+    case TermKind::IntVar: {
+      VarId Var = static_cast<VarId>(N.Payload);
+      if (VarIndex[Var] == InvalidTerm) {
+        VarIndex[Var] = static_cast<TermId>(Out.Vars.size());
+        Out.Vars.emplace_back(varName(Var));
+      }
+      Copy.Payload = VarIndex[Var];
+      break;
+    }
+    case TermKind::UFApp: {
+      FuncId Func = static_cast<FuncId>(N.Payload);
+      if (FuncIndex[Func] == InvalidTerm) {
+        FuncIndex[Func] = static_cast<TermId>(Out.Funcs.size());
+        Out.Funcs.push_back(func(Func));
+      }
+      Copy.Payload = FuncIndex[Func];
+      break;
+    }
+    default:
+      Copy.Payload = N.Payload;
+      break;
+    }
+    NodeIndex[T] = static_cast<TermId>(Out.Nodes.size());
+    Out.Nodes.push_back(Copy);
+  }
+  return Out;
+}
+
+TermId TermArena::importTerm(const PortableTerm &Snapshot) {
+  assert(!Snapshot.empty() && "cannot import an empty snapshot");
+
+  std::vector<VarId> Vars;
+  Vars.reserve(Snapshot.Vars.size());
+  for (const std::string &Name : Snapshot.Vars)
+    Vars.push_back(getOrCreateVar(Name));
+
+  std::vector<FuncId> Funcs;
+  Funcs.reserve(Snapshot.Funcs.size());
+  for (const FuncSymbol &Sym : Snapshot.Funcs)
+    Funcs.push_back(getOrCreateFunc(Sym.Name, Sym.Arity));
+
+  std::vector<TermId> Local(Snapshot.Nodes.size(), InvalidTerm);
+  std::vector<TermId> Ops;
+  for (size_t I = 0; I != Snapshot.Nodes.size(); ++I) {
+    const PortableTerm::Node &N = Snapshot.Nodes[I];
+    Ops.clear();
+    for (uint32_t K = 0; K != N.NumOperands; ++K) {
+      TermId Op = Local[Snapshot.Operands[N.OperandBegin + K]];
+      assert(Op != InvalidTerm && "snapshot is not topologically ordered");
+      Ops.push_back(Op);
+    }
+    switch (N.Kind) {
+    case TermKind::IntConst:
+      Local[I] = mkIntConst(N.Payload);
+      break;
+    case TermKind::BoolConst:
+      Local[I] = mkBoolConst(N.Payload != 0);
+      break;
+    case TermKind::IntVar:
+      Local[I] = mkVar(Vars[static_cast<size_t>(N.Payload)]);
+      break;
+    case TermKind::Add:
+      Local[I] = mkAdd(Ops);
+      break;
+    case TermKind::Sub:
+      Local[I] = mkSub(Ops[0], Ops[1]);
+      break;
+    case TermKind::Neg:
+      Local[I] = mkNeg(Ops[0]);
+      break;
+    case TermKind::Mul:
+      Local[I] = mkMul(Ops[0], Ops[1]);
+      break;
+    case TermKind::Eq:
+    case TermKind::Ne:
+    case TermKind::Lt:
+    case TermKind::Le:
+    case TermKind::Gt:
+    case TermKind::Ge:
+      Local[I] = mkCmp(N.Kind, Ops[0], Ops[1]);
+      break;
+    case TermKind::Not:
+      Local[I] = mkNot(Ops[0]);
+      break;
+    case TermKind::And:
+      Local[I] = mkAnd(Ops);
+      break;
+    case TermKind::Or:
+      Local[I] = mkOr(Ops);
+      break;
+    case TermKind::Implies:
+      Local[I] = mkImplies(Ops[0], Ops[1]);
+      break;
+    case TermKind::UFApp:
+      Local[I] = mkUFApp(Funcs[static_cast<size_t>(N.Payload)], Ops);
+      break;
+    }
+  }
+  return Local.back();
+}
+
+TermId TermArena::import(const TermArena &Src, TermId SrcTerm) {
+  return importTerm(Src.exportTerm(SrcTerm));
+}
+
+ArenaMark TermArena::mark() const {
+  ArenaMark M;
+  M.NumNodes = static_cast<uint32_t>(Nodes.size());
+  M.NumOperands = static_cast<uint32_t>(OperandPool.size());
+  M.NumVars = static_cast<uint32_t>(VarNames.size());
+  M.NumFuncs = static_cast<uint32_t>(Funcs.size());
+  return M;
+}
+
+ArenaDelta TermArena::deltaSince(const ArenaMark &M) const {
+  if (M.NumNodes > Nodes.size() || M.NumOperands > OperandPool.size() ||
+      M.NumVars > VarNames.size() || M.NumFuncs > Funcs.size())
+    reportFatalError("deltaSince: mark is ahead of the arena");
+  ArenaDelta D;
+  D.Base = M;
+  D.Nodes.assign(Nodes.begin() + M.NumNodes, Nodes.end());
+  D.Operands.assign(OperandPool.begin() + M.NumOperands, OperandPool.end());
+  D.Vars.assign(VarNames.begin() + M.NumVars, VarNames.end());
+  D.Funcs.assign(Funcs.begin() + M.NumFuncs, Funcs.end());
+  return D;
+}
+
+void TermArena::applyDelta(const ArenaDelta &D) {
+  if (!(mark() == D.Base))
+    reportFatalError("applyDelta: delta applied out of stream order");
+
+  for (const std::string &Name : D.Vars) {
+    VarByName.emplace(Name, static_cast<VarId>(VarNames.size()));
+    VarNames.push_back(Name);
+  }
+  for (const FuncSymbol &Sym : D.Funcs) {
+    FuncByName.emplace(Sym.Name, static_cast<FuncId>(Funcs.size()));
+    Funcs.push_back(Sym);
+  }
+
+  // Node operand offsets are absolute pool positions; because the base
+  // sizes match, the copied nodes and operand slices line up verbatim.
+  OperandPool.insert(OperandPool.end(), D.Operands.begin(), D.Operands.end());
+  Nodes.reserve(Nodes.size() + D.Nodes.size());
+  for (const TermNode &N : D.Nodes) {
+    TermId Id = static_cast<TermId>(Nodes.size());
+    Nodes.push_back(N);
+    std::span<const TermId> Ops{OperandPool.data() + N.OperandBegin,
+                                N.NumOperands};
+    DedupBuckets[nodeHash(N.Kind, N.Payload, Ops)].push_back(Id);
+  }
+}
+
+void TermArena::truncateTo(const ArenaMark &M) {
+  if (M.NumNodes > Nodes.size() || M.NumOperands > OperandPool.size() ||
+      M.NumVars > VarNames.size() || M.NumFuncs > Funcs.size())
+    reportFatalError("truncateTo: mark is ahead of the arena");
+
+  for (size_t Id = Nodes.size(); Id-- > M.NumNodes;) {
+    const TermNode &N = Nodes[Id];
+    std::span<const TermId> Ops{OperandPool.data() + N.OperandBegin,
+                                N.NumOperands};
+    auto It = DedupBuckets.find(nodeHash(N.Kind, N.Payload, Ops));
+    assert(It != DedupBuckets.end() && "interned node missing its bucket");
+    auto &Bucket = It->second;
+    auto Pos = std::find(Bucket.begin(), Bucket.end(),
+                         static_cast<TermId>(Id));
+    assert(Pos != Bucket.end() && "interned node missing from its bucket");
+    Bucket.erase(Pos);
+    if (Bucket.empty())
+      DedupBuckets.erase(It);
+  }
+  Nodes.resize(M.NumNodes);
+  OperandPool.resize(M.NumOperands);
+
+  for (size_t I = VarNames.size(); I-- > M.NumVars;)
+    VarByName.erase(VarNames[I]);
+  VarNames.resize(M.NumVars);
+  for (size_t I = Funcs.size(); I-- > M.NumFuncs;)
+    FuncByName.erase(Funcs[I].Name);
+  Funcs.resize(M.NumFuncs);
+
+  // The memoized simplified forms may reference ids that were just
+  // un-interned; the memo is an optimization only, so drop it wholesale.
+  SimplifiedForm.clear();
+  if (Fingerprints.size() > M.NumNodes)
+    Fingerprints.resize(M.NumNodes);
+}
+
+unsigned TermArena::numAtomsCreatedSince(const ArenaMark &M) const {
+  unsigned Count = static_cast<unsigned>(VarNames.size() - M.NumVars) +
+                   static_cast<unsigned>(Funcs.size() - M.NumFuncs);
+  for (size_t Id = M.NumNodes; Id != Nodes.size(); ++Id)
+    if (Nodes[Id].Kind == TermKind::IntVar ||
+        Nodes[Id].Kind == TermKind::UFApp)
+      ++Count;
+  return Count;
+}
+
+namespace {
+/// splitmix64 finalizer — the avalanche step behind the fingerprint mixes.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+uint64_t hashBytes(std::string_view Bytes, uint64_t Seed) {
+  uint64_t H = Seed;
+  for (unsigned char C : Bytes)
+    H = mix64(H ^ C);
+  return H;
+}
+} // namespace
+
+TermFingerprint TermArena::fingerprint(TermId Term) {
+  if (Fingerprints.size() < Nodes.size())
+    Fingerprints.resize(Nodes.size());
+
+  // Bottom-up over the DAG: operands are always interned before their
+  // users, so ids below Term already have memo slots filled on demand.
+  std::vector<TermId> Stack = {Term};
+  while (!Stack.empty()) {
+    TermId T = Stack.back();
+    if (Fingerprints[T] != TermFingerprint{}) {
+      Stack.pop_back();
+      continue;
+    }
+    bool Ready = true;
+    for (TermId Op : operands(T))
+      if (Fingerprints[Op] == TermFingerprint{}) {
+        Stack.push_back(Op);
+        Ready = false;
+      }
+    if (!Ready)
+      continue;
+    Stack.pop_back();
+
+    const TermNode &N = node(T);
+    uint64_t Payload;
+    switch (N.Kind) {
+    case TermKind::IntVar:
+      Payload = hashBytes(varName(static_cast<VarId>(N.Payload)), 0x9e37);
+      break;
+    case TermKind::UFApp: {
+      const FuncSymbol &Sym = func(static_cast<FuncId>(N.Payload));
+      Payload = hashBytes(Sym.Name, 0x85eb ^ Sym.Arity);
+      break;
+    }
+    default:
+      Payload = static_cast<uint64_t>(N.Payload);
+      break;
+    }
+
+    TermFingerprint F;
+    F.Hi = mix64(0xc2b2ae3d27d4eb4full ^ static_cast<uint64_t>(N.Kind));
+    F.Lo = mix64(0x165667b19e3779f9ull ^ static_cast<uint64_t>(N.Kind));
+    F.Hi = mix64(F.Hi ^ Payload);
+    F.Lo = mix64(F.Lo ^ Payload);
+    for (TermId Op : operands(T)) {
+      F.Hi = mix64(F.Hi ^ Fingerprints[Op].Hi);
+      F.Lo = mix64(F.Lo ^ Fingerprints[Op].Lo);
+    }
+    if (F == TermFingerprint{})
+      F.Lo = 1; // Keep {0,0} reserved as the "unset" memo marker.
+    Fingerprints[T] = F;
+  }
+  return Fingerprints[Term];
 }
 
 namespace {

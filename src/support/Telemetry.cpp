@@ -30,20 +30,23 @@ Registry &Registry::global() {
 }
 
 Counter &Registry::counter(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Counters.find(Name);
   if (It == Counters.end())
-    It = Counters.emplace(std::string(Name), Counter()).first;
+    It = Counters.try_emplace(std::string(Name)).first;
   return It->second;
 }
 
 PhaseTimer &Registry::timer(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Timers.find(Name);
   if (It == Timers.end())
-    It = Timers.emplace(std::string(Name), PhaseTimer()).first;
+    It = Timers.try_emplace(std::string(Name)).first;
   return It->second;
 }
 
 void Registry::reset() {
+  std::lock_guard<std::mutex> Lock(Mutex);
   for (auto &[Name, C] : Counters)
     C.reset();
   for (auto &[Name, T] : Timers)
@@ -51,6 +54,7 @@ void Registry::reset() {
 }
 
 std::string Registry::statsTable() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
   size_t Width = 4;
   for (const auto &[Name, C] : Counters)
     Width = std::max(Width, Name.size());
@@ -83,6 +87,7 @@ std::string Registry::statsTable() const {
 }
 
 std::string Registry::statsJson() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
   std::string Out;
   JsonWriter W(Out);
   W.beginObject();
@@ -216,7 +221,12 @@ std::string Event::toJson() const {
 
 TraceSink::~TraceSink() = default;
 
-void JsonlTraceSink::handle(const Event &E) { OS << E.toJson() << '\n'; }
+void JsonlTraceSink::handle(const Event &E) {
+  std::string Line = E.toJson();
+  Line.push_back('\n');
+  std::lock_guard<std::mutex> Lock(Mutex);
+  OS << Line;
+}
 
 unsigned RecordingTraceSink::countOf(EventKind Kind) const {
   unsigned N = 0;

@@ -31,17 +31,23 @@
 ///    `JsonlTraceSink` serializes one JSON object per event per line
 ///    (JSONL); `RecordingTraceSink` captures events for tests.
 ///
-/// The registry and sink are process-global and **not** thread-safe, like
-/// every other part of this (single-threaded) reproduction.
+/// The registry, counters, timers, and the shipped sinks are thread-safe:
+/// worker threads of the parallel candidate-evaluation pipeline
+/// (docs/parallelism.md) run fully instrumented solver code. Counter and
+/// timer updates are relaxed atomics; sink handle() implementations
+/// serialize internally. setSink() itself must still be called only while
+/// no instrumented code is running.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef HOTG_SUPPORT_TELEMETRY_H
 #define HOTG_SUPPORT_TELEMETRY_H
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -57,36 +63,45 @@ uint64_t monotonicNanos();
 //===----------------------------------------------------------------------===//
 
 /// A named monotonic counter. Obtained from Registry::counter; the
-/// reference stays valid for the life of the process.
+/// reference stays valid for the life of the process. Updates are relaxed
+/// atomics, so workers may increment concurrently.
 class Counter {
 public:
-  void add(uint64_t N = 1) { Value += N; }
-  uint64_t value() const { return Value; }
-  void reset() { Value = 0; }
+  void add(uint64_t N = 1) { Value.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return Value.load(std::memory_order_relaxed); }
+  void reset() { Value.store(0, std::memory_order_relaxed); }
 
 private:
-  uint64_t Value = 0;
+  std::atomic<uint64_t> Value{0};
 };
 
 /// Wall-clock aggregate of one named phase: number of occurrences, total
-/// and maximum duration in nanoseconds.
+/// and maximum duration in nanoseconds. Safe for concurrent note() calls.
 class PhaseTimer {
 public:
   void note(uint64_t Ns) {
-    ++CountValue;
-    TotalValue += Ns;
-    if (Ns > MaxValue)
-      MaxValue = Ns;
+    CountValue.fetch_add(1, std::memory_order_relaxed);
+    TotalValue.fetch_add(Ns, std::memory_order_relaxed);
+    uint64_t Max = MaxValue.load(std::memory_order_relaxed);
+    while (Ns > Max && !MaxValue.compare_exchange_weak(
+                           Max, Ns, std::memory_order_relaxed))
+      ;
   }
-  uint64_t count() const { return CountValue; }
-  uint64_t totalNs() const { return TotalValue; }
-  uint64_t maxNs() const { return MaxValue; }
-  void reset() { CountValue = TotalValue = MaxValue = 0; }
+  uint64_t count() const { return CountValue.load(std::memory_order_relaxed); }
+  uint64_t totalNs() const {
+    return TotalValue.load(std::memory_order_relaxed);
+  }
+  uint64_t maxNs() const { return MaxValue.load(std::memory_order_relaxed); }
+  void reset() {
+    CountValue.store(0, std::memory_order_relaxed);
+    TotalValue.store(0, std::memory_order_relaxed);
+    MaxValue.store(0, std::memory_order_relaxed);
+  }
 
 private:
-  uint64_t CountValue = 0;
-  uint64_t TotalValue = 0;
-  uint64_t MaxValue = 0;
+  std::atomic<uint64_t> CountValue{0};
+  std::atomic<uint64_t> TotalValue{0};
+  std::atomic<uint64_t> MaxValue{0};
 };
 
 /// Notes the enclosing scope's wall-clock duration into a PhaseTimer.
@@ -107,7 +122,9 @@ private:
 
 /// The process-wide registry of counters and timers. Names are
 /// dot-separated lowercase ("solver.check"). reset() zeroes every value
-/// but keeps registrations, so cached references stay valid.
+/// but keeps registrations, so cached references stay valid. Registration
+/// is serialized by an internal mutex; the returned references are stable
+/// (map nodes never move), so hot-path increments stay lock-free.
 class Registry {
 public:
   static Registry &global();
@@ -133,6 +150,7 @@ public:
   std::string statsJson() const;
 
 private:
+  mutable std::mutex Mutex;
   std::map<std::string, Counter, std::less<>> Counters;
   std::map<std::string, PhaseTimer, std::less<>> Timers;
 };
@@ -201,24 +219,33 @@ public:
 };
 
 /// Writes one JSON object per event per line to a caller-owned stream.
+/// Lines are written whole under an internal mutex, so events from worker
+/// threads never interleave mid-line (their relative order is, of course,
+/// whatever the scheduler produced).
 class JsonlTraceSink : public TraceSink {
 public:
   explicit JsonlTraceSink(std::ostream &OS) : OS(OS) {}
   void handle(const Event &E) override;
 
 private:
+  std::mutex Mutex;
   std::ostream &OS;
 };
 
-/// Captures events in memory (tests, integration assertions).
+/// Captures events in memory (tests, integration assertions). handle() is
+/// thread-safe; read events() only after the instrumented code finished.
 class RecordingTraceSink : public TraceSink {
 public:
-  void handle(const Event &E) override { Events.push_back(E); }
+  void handle(const Event &E) override {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Events.push_back(E);
+  }
   const std::vector<Event> &events() const { return Events; }
   unsigned countOf(EventKind Kind) const;
   void clear() { Events.clear(); }
 
 private:
+  std::mutex Mutex;
   std::vector<Event> Events;
 };
 

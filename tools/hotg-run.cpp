@@ -10,6 +10,9 @@
 //                      (default) | random
 //   --max-tests N      execution budget (default 64)
 //   --multistep K      learning-run bound for higher-order (default 2)
+//   --jobs N           worker threads for speculative candidate evaluation
+//                      (default 1 = serial; results are identical for any
+//                      N, see docs/parallelism.md)
 //   --input a,b,c      initial input cells (default: random)
 //   --seed-input a,b,c additional seed-corpus input (repeatable)
 //   --seed N           PRNG seed (default 42)
@@ -54,7 +57,7 @@ namespace {
   std::fprintf(stderr,
                "usage: hotg-run <file.ml> [--entry NAME] "
                "[--policy unsound|sound|sound-delayed|higher-order|random] "
-               "[--max-tests N] [--multistep K] [--input a,b,c] "
+               "[--max-tests N] [--multistep K] [--jobs N] [--input a,b,c] "
                "[--seed-input a,b,c] [--seed N] [--samples-in F] "
                "[--samples-out F] [--summarize] [--explore-paths] "
                "[--order bfs|dfs] [--dump-tests] [--dump-pc] [--stats] "
@@ -80,6 +83,7 @@ int main(int Argc, char **Argv) {
   std::string Policy = "higher-order";
   unsigned MaxTests = 64;
   unsigned MultiStep = 2;
+  unsigned Jobs = 1;
   uint64_t Seed = 42;
   std::optional<TestInput> Initial;
   std::vector<TestInput> Seeds;
@@ -103,6 +107,12 @@ int main(int Argc, char **Argv) {
     else if (!std::strcmp(Argv[I], "--multistep"))
       MultiStep = static_cast<unsigned>(
           std::strtoul(NextArg("--multistep"), nullptr, 10));
+    else if (!std::strcmp(Argv[I], "--jobs")) {
+      Jobs = static_cast<unsigned>(
+          std::strtoul(NextArg("--jobs"), nullptr, 10));
+      if (Jobs == 0)
+        usageError("--jobs expects a positive worker count");
+    }
     else if (!std::strcmp(Argv[I], "--input"))
       Initial = parseCells(NextArg("--input"));
     else if (!std::strcmp(Argv[I], "--seed-input"))
@@ -226,6 +236,7 @@ int main(int Argc, char **Argv) {
       usageError("unknown policy");
     Options.MaxTests = MaxTests;
     Options.MultiStepBound = MultiStep;
+    Options.Jobs = Jobs;
     Options.Seed = Seed;
     Options.InitialInput = Initial;
     Options.SeedInputs = Seeds;

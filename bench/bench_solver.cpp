@@ -7,12 +7,20 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "app/KeywordLexer.h"
 #include "core/ValiditySolver.h"
+#include "dse/SymbolicExecutor.h"
+#include "lang/Parser.h"
 #include "smt/CongruenceClosure.h"
 #include "smt/Simplify.h"
 #include "smt/Solver.h"
+#include "smt/SolverContext.h"
+#include "support/Support.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <mutex>
 
 using namespace hotg;
 using namespace hotg::smt;
@@ -184,6 +192,139 @@ void BM_ValidityCongruenceStrategy(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_ValidityCongruenceStrategy);
+
+//===----------------------------------------------------------------------===//
+// Incremental vs fresh on the keyword-lexer sibling workload
+//===----------------------------------------------------------------------===//
+//
+// The directed search's frontier expansion produces *sibling* queries:
+// ALT(pc, i) = pc[0..i-1] ∧ ¬pc[i], so consecutive queries share their
+// literal prefix and flip only the final literal. Moreover the frontier
+// re-issues *identical* sibling sets: every distinct parent input that
+// reaches the same branch sequence regenerates the same ALT queries
+// (frontier dedup only collapses candidates from the same parent), and
+// between sample-table generations those repeats are exact. This workload
+// replays that stream — several rounds over a real keyword-lexer path
+// constraint's full sibling set — two ways: a fresh Solver per query (the
+// pre-incremental architecture) and one long-lived SolverContext with the
+// refutation memo and answer cache on. It verifies on startup that the
+// answers and models are byte-identical per query while the incremental
+// arm spends at least 2x fewer solver decisions.
+
+struct LexerSiblingWorkload {
+  /// Rounds over the sibling set, modelling distinct parent inputs
+  /// re-reaching the same branch points within one sample generation.
+  static constexpr unsigned Rounds = 4;
+
+  smt::TermArena Arena;
+  smt::SampleTable Samples;
+  std::vector<std::vector<TermId>> SiblingLiterals;
+  unsigned FreshDecisions = 0;
+  unsigned IncrementalDecisions = 0;
+
+  LexerSiblingWorkload() {
+    app::LexerApp App = app::buildKeywordLexer({6, 2});
+    DiagnosticEngine Diags;
+    auto Prog = lang::parseAndCheck(App.Source, Diags);
+    if (!Prog)
+      reportFatalError("bench: lexer does not compile");
+    interp::NativeRegistry Natives;
+    Natives.registerDefaultHashes();
+
+    dse::ExecOptions ExecOpts;
+    ExecOpts.Policy = dse::ConcretizationPolicy::HigherOrder;
+    dse::SymbolicExecutor Executor(*Prog, Natives, Arena, ExecOpts);
+    dse::PathResult Result =
+        Executor.execute(App.Entry, App.identifierInput(), &Samples);
+    for (size_t Index : Result.PC.negatablePositions())
+      SiblingLiterals.push_back(Result.PC.alternateLiterals(Arena, Index));
+    if (SiblingLiterals.size() < 8)
+      reportFatalError("bench: lexer sibling workload unexpectedly small");
+    verify();
+  }
+
+  smt::SolverOptions solverOptions(bool Incremental) const {
+    smt::SolverOptions Opts;
+    Opts.Samples = &Samples;
+    Opts.EnableRefutationMemo = Incremental;
+    Opts.EnableAnswerCache = Incremental;
+    return Opts;
+  }
+
+  unsigned runFresh(std::vector<smt::SatAnswer> *Answers = nullptr) {
+    unsigned Decisions = 0;
+    for (unsigned Round = 0; Round != Rounds; ++Round)
+      for (const std::vector<TermId> &Lits : SiblingLiterals) {
+        Solver S(Arena, solverOptions(false));
+        smt::SatAnswer Answer = S.checkConjunction(Lits);
+        Decisions += S.stats().Decisions;
+        if (Answers)
+          Answers->push_back(std::move(Answer));
+      }
+    return Decisions;
+  }
+
+  unsigned runIncremental(std::vector<smt::SatAnswer> *Answers = nullptr) {
+    SolverContext Ctx(Arena, solverOptions(true));
+    unsigned Decisions = 0;
+    for (unsigned Round = 0; Round != Rounds; ++Round)
+      for (const std::vector<TermId> &Lits : SiblingLiterals) {
+        SolverStats QS;
+        smt::SatAnswer Answer = Ctx.checkFormula(Arena.mkAnd(Lits), QS);
+        Decisions += QS.Decisions;
+        if (Answers)
+          Answers->push_back(std::move(Answer));
+      }
+    return Decisions;
+  }
+
+  /// The acceptance gate: byte-identical answers and >= 2x fewer decisions.
+  void verify() {
+    std::vector<smt::SatAnswer> Fresh, Incremental;
+    FreshDecisions = runFresh(&Fresh);
+    IncrementalDecisions = runIncremental(&Incremental);
+    for (size_t I = 0; I != Fresh.size(); ++I) {
+      if (Fresh[I].Result != Incremental[I].Result ||
+          Fresh[I].ModelValue.varAssignments() !=
+              Incremental[I].ModelValue.varAssignments())
+        reportFatalError("bench: incremental sibling answer diverges from "
+                         "fresh solving at query " + std::to_string(I));
+    }
+    if (IncrementalDecisions * 2 > FreshDecisions)
+      reportFatalError(
+          "bench: incremental contexts must spend at least 2x fewer "
+          "decisions on the sibling workload (fresh " +
+          std::to_string(FreshDecisions) + ", incremental " +
+          std::to_string(IncrementalDecisions) + ")");
+  }
+};
+
+LexerSiblingWorkload &lexerSiblings() {
+  static LexerSiblingWorkload Workload;
+  return Workload;
+}
+
+void BM_LexerSiblingsFreshSolver(benchmark::State &State) {
+  LexerSiblingWorkload &W = lexerSiblings();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(W.runFresh());
+  State.counters["decisions"] = double(W.FreshDecisions);
+  State.counters["queries"] =
+      double(W.SiblingLiterals.size() * LexerSiblingWorkload::Rounds);
+}
+BENCHMARK(BM_LexerSiblingsFreshSolver);
+
+void BM_LexerSiblingsIncrementalContext(benchmark::State &State) {
+  LexerSiblingWorkload &W = lexerSiblings();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(W.runIncremental());
+  State.counters["decisions"] = double(W.IncrementalDecisions);
+  State.counters["queries"] =
+      double(W.SiblingLiterals.size() * LexerSiblingWorkload::Rounds);
+  State.counters["decision_ratio"] =
+      double(W.FreshDecisions) / double(W.IncrementalDecisions ? W.IncrementalDecisions : 1);
+}
+BENCHMARK(BM_LexerSiblingsIncrementalContext);
 
 } // namespace
 

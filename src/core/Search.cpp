@@ -4,6 +4,7 @@
 
 #include "core/Post.h"
 #include "smt/QueryCache.h"
+#include "smt/SolverContext.h"
 #include "support/Random.h"
 #include "support/Support.h"
 #include "support/Telemetry.h"
@@ -111,8 +112,18 @@ struct DirectedSearch::ParallelState {
   struct Worker {
     smt::TermArena Replica;   ///< Exact prefix of the main arena.
     size_t DeltasApplied = 0; ///< Index into Deltas (owning thread only).
+    /// Persistent incremental context over the replica (owning thread
+    /// only), retargeted per sat job; ALT queries flatten negated-literal
+    /// first, so positional prefix sharing is incidental here — the point
+    /// is avoiding per-job context construction (docs/solver.md). Dropped
+    /// whenever a query interns replica terms, because the post-job
+    /// truncation recycles those TermIds (see runJob).
+    std::unique_ptr<smt::SolverContext> Ctx;
   };
   std::vector<Worker> Workers;
+
+  /// Mirrors SearchOptions::UseIncrementalContexts (set at construction).
+  bool UseIncremental = true;
 
   /// Speculations in flight, by Candidate::Id (main thread only).
   std::unordered_map<uint64_t, std::future<void>> Inflight;
@@ -153,9 +164,24 @@ void DirectedSearch::ParallelState::runJob(
   smt::ArenaMark Mark = Me.Replica.mark();
   smt::PortableAnswer PA;
   if (Kind == smt::QueryKind::Satisfiability) {
-    smt::Solver Solver(Me.Replica, SolverOpts);
-    smt::SatAnswer Answer = Solver.check(Alt);
-    PA = encodeSat(Answer, Solver.stats(), Me.Replica);
+    smt::SolverStats QS;
+    smt::SatAnswer Answer;
+    if (UseIncremental) {
+      if (!Me.Ctx) {
+        smt::SolverOptions CtxOpts = SolverOpts;
+        // The memo would make per-query decision counts depend on which
+        // queries this worker happened to run earlier — the cached stats
+        // must equal what the merge path computes (docs/solver.md).
+        CtxOpts.EnableRefutationMemo = false;
+        Me.Ctx = std::make_unique<smt::SolverContext>(Me.Replica, CtxOpts);
+      }
+      Answer = Me.Ctx->checkFormulaWithTelemetry(Alt, QS);
+    } else {
+      smt::Solver Solver(Me.Replica, SolverOpts);
+      Answer = Solver.check(Alt);
+      QS = Solver.stats();
+    }
+    PA = encodeSat(Answer, QS, Me.Replica);
   } else {
     ValiditySolver Validity(Me.Replica, *Snap, VOpts);
     ValidityAnswer Answer = Validity.checkPost(Alt);
@@ -166,6 +192,14 @@ void DirectedSearch::ParallelState::runJob(
   // may depend on atom id order the merge-time main arena will not share —
   // discard it and let the merge path recompute inline.
   bool Transferable = Me.Replica.numAtomsCreatedSince(Mark) == 0;
+  // The persistent context may retain state (asserted rows, congruence
+  // constants, cached normalizations) referencing terms this query interned
+  // above the mark; the truncation below recycles those TermIds, so the
+  // context cannot outlive them. Queries that interned nothing (the common
+  // case — ALT roots and their subterms are published before dispatch)
+  // keep the context, and with it the cross-job prefix sharing.
+  if (Me.Ctx && !(Me.Replica.mark() == Mark))
+    Me.Ctx.reset();
   Me.Replica.truncateTo(Mark); // Stay an exact prefix for the next job.
   if (Transferable)
     Cache.store(Fp, Gen, Kind, std::move(PA));
@@ -406,8 +440,10 @@ unsigned DirectedSearch::effectiveJobs() const {
 
 void DirectedSearch::initParallel() {
   unsigned Jobs = effectiveJobs();
-  if (Jobs > 1)
+  if (Jobs > 1) {
     Parallel = std::make_unique<ParallelState>(Jobs);
+    Parallel->UseIncremental = Options.UseIncrementalContexts;
+  }
 }
 
 void DirectedSearch::dispatchSpeculative() {
@@ -446,6 +482,11 @@ void DirectedSearch::dispatchSpeculative() {
     // (negation and conjunction over existing terms), so interning it
     // earlier than the serial schedule would is harmless.
     smt::TermId Alt = Cand.PC->alternate(Arena, Cand.NegateIndex);
+    // Membership check only (no insert — the merge path owns the set): a
+    // structural duplicate of an already-evaluated candidate will be
+    // skipped at merge time, so speculating on it is wasted work.
+    if (EvaluatedCandidates.count(candidateKey(Alt, Cand.ParentInput)))
+      continue;
     smt::TermFingerprint Fp = Arena.fingerprint(Alt);
     if (PS.Cache.contains(Fp, Gen, Kind))
       continue; // Answer already available.
@@ -461,6 +502,7 @@ void DirectedSearch::dispatchSpeculative() {
 
     ValidityOptions VOpts = Options.ValidityOpts;
     VOpts.SolverOpts = Options.SolverOpts;
+    VOpts.UseIncrementalContexts = Options.UseIncrementalContexts;
     Reg.counter("search.speculative_dispatches").add();
     PS.Inflight.emplace(
         Cand.Id, PS.Pool.submit([&PS, Alt, Fp, Gen, Kind, VOpts,
@@ -502,11 +544,28 @@ smt::SatAnswer DirectedSearch::solveSat(smt::TermId Alt) {
       return Answer;
     }
   }
-  // Fresh solver per query: budgets (MaxDecisions, MaxSupports) are
-  // per-query; work is aggregated into the search-owned stats below.
-  smt::Solver Solver(Arena, Options.SolverOpts);
-  smt::SatAnswer Answer = Solver.check(Alt);
-  const smt::SolverStats &S = Solver.stats();
+  // Budgets (MaxDecisions, MaxSupports) are per-query either way: the
+  // incremental context charges each query to a fresh SolverStats, and the
+  // fallback constructs a fresh solver. Work is aggregated into the
+  // search-owned stats below.
+  smt::SolverStats S;
+  smt::SatAnswer Answer;
+  if (Options.UseIncrementalContexts) {
+    if (!SatCtx) {
+      smt::SolverOptions CtxOpts = Options.SolverOpts;
+      // Memo off: per-query decision counts must not depend on which
+      // queries ran earlier in this context, or parallel runs (whose
+      // workers see a different query order) would report different
+      // aggregates (docs/solver.md).
+      CtxOpts.EnableRefutationMemo = false;
+      SatCtx = std::make_unique<smt::SolverContext>(Arena, CtxOpts);
+    }
+    Answer = SatCtx->checkFormulaWithTelemetry(Alt, S);
+  } else {
+    smt::Solver Solver(Arena, Options.SolverOpts);
+    Answer = Solver.check(Alt);
+    S = Solver.stats();
+  }
   Result.SolverQueryStats.Checks += S.Checks;
   Result.SolverQueryStats.SupportsExplored += S.SupportsExplored;
   Result.SolverQueryStats.Decisions += S.Decisions;
@@ -518,6 +577,21 @@ smt::SatAnswer DirectedSearch::solveSat(smt::TermId Alt) {
                           smt::QueryKind::Satisfiability,
                           encodeSat(Answer, S, Arena));
   return Answer;
+}
+
+std::tuple<uint64_t, uint64_t, uint64_t, std::vector<int64_t>>
+DirectedSearch::candidateKey(smt::TermId Alt,
+                             const TestInput &Parent) const {
+  // The generation matches the query-cache keying: satisfiability answers
+  // never depend on the growing sample table, validity answers do (via the
+  // antecedent), so a duplicate at a later generation is re-evaluated.
+  const uint64_t Gen = Options.Policy == ConcretizationPolicy::HigherOrder &&
+                               Options.UseAntecedent
+                           ? Samples.size()
+                           : 0;
+  smt::TermFingerprint Fp =
+      const_cast<smt::TermArena &>(Arena).fingerprint(Alt);
+  return {Fp.Hi, Fp.Lo, Gen, Parent.Cells};
 }
 
 ValidityAnswer DirectedSearch::solveValidity(smt::TermId Alt) {
@@ -538,6 +612,7 @@ ValidityAnswer DirectedSearch::solveValidity(smt::TermId Alt) {
       Options.UseAntecedent ? Samples : EmptySamples;
   ValidityOptions VOpts = Options.ValidityOpts;
   VOpts.SolverOpts = Options.SolverOpts;
+  VOpts.UseIncrementalContexts = Options.UseIncrementalContexts;
   if (Options.SummarizeCalls)
     VOpts.Summaries = &Summaries;
   ValiditySolver Validity(Arena, Antecedent, VOpts);
@@ -576,6 +651,19 @@ bool DirectedSearch::processCandidate(const Candidate &Cand) {
   }
 
   smt::TermId Alt = Cand.PC->alternate(Arena, Cand.NegateIndex);
+
+  // Structural deduplication: an earlier candidate with the same ALT
+  // fingerprint, sample generation, and parent input saw byte-identical
+  // queries and completed to the same input (which SeenInputs already
+  // holds), so re-evaluating it cannot add coverage, tests, or samples.
+  // Loops are the common source: a path testing one condition per
+  // iteration yields sibling alternates that simplify to the same term.
+  if (!EvaluatedCandidates.insert(candidateKey(Alt, Cand.ParentInput))
+           .second) {
+    Reg.counter("search.candidates_deduped").add();
+    EmitCandidate("deduplicated");
+    return true;
+  }
 
   std::optional<TestInput> NewInput;
 
@@ -656,6 +744,16 @@ SearchResult DirectedSearch::run() {
     Reg.counter("solver.cache_hits").add(Result.CacheHits);
     Reg.counter("solver.cache_misses").add(Result.CacheMisses);
     Reg.counter("search.worker_busy_ns").add(Parallel->Pool.busyNanos());
+  }
+  if (SatCtx) {
+    // Scope traffic and prefix reuse of the merge-path context. Like
+    // CacheHits these describe the schedule, not the search: worker-side
+    // contexts keep their own (unfolded) tallies, so the fields may vary
+    // across Jobs values while every deterministic field stays identical.
+    const smt::ContextStats &CS = SatCtx->contextStats();
+    Result.SolverQueryStats.ScopePushes += CS.ScopePushes;
+    Result.SolverQueryStats.ScopePops += CS.ScopePops;
+    Result.SolverQueryStats.PrefixLiteralsReused += CS.PrefixLiteralsReused;
   }
   return std::move(Result);
 }

@@ -32,6 +32,11 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <tuple>
+
+namespace hotg::smt {
+class SolverContext;
+} // namespace hotg::smt
 
 namespace hotg::core {
 
@@ -73,6 +78,13 @@ struct SearchOptions {
   /// speculate for (SummarizeCalls, a user-supplied SolverOpts.Samples
   /// table) silently fall back to 1.
   unsigned Jobs = 1;
+  /// Route satisfiability queries through long-lived incremental
+  /// smt::SolverContexts (one for the merge loop, one per worker) that
+  /// share asserted path-constraint prefixes across sibling candidates.
+  /// Answers and per-query work stats are identical either way — the fold
+  /// invariant of docs/solver.md — so this switch exists only for the
+  /// differential test suite and for debugging.
+  bool UseIncrementalContexts = true;
   smt::SolverOptions SolverOpts;
   ValidityOptions ValidityOpts;
 };
@@ -193,6 +205,12 @@ private:
   /// One satisfiability query (classic policies), via the query cache when
   /// the search runs parallel; folds work stats into SolverQueryStats.
   smt::SatAnswer solveSat(smt::TermId Alt);
+  /// Structural identity of a candidate for frontier deduplication:
+  /// (ALT fingerprint, sample generation, parent input cells). Two
+  /// candidates with equal keys see byte-identical solver queries and
+  /// complete to the same input, so the second is skipped.
+  std::tuple<uint64_t, uint64_t, uint64_t, std::vector<int64_t>>
+  candidateKey(smt::TermId Alt, const interp::TestInput &Parent) const;
   /// One POST(Alt) validity query (HigherOrder), via the query cache when
   /// the search runs parallel; folds work stats into ValidityQueryStats.
   ValidityAnswer solveValidity(smt::TermId Alt);
@@ -211,7 +229,16 @@ private:
 
   std::deque<Candidate> Frontier;
   std::set<std::vector<int64_t>> SeenInputs;
+  /// Keys of candidates already evaluated by the merge path (see
+  /// candidateKey); later structural duplicates are skipped
+  /// ("search.candidates_deduped").
+  std::set<std::tuple<uint64_t, uint64_t, uint64_t, std::vector<int64_t>>>
+      EvaluatedCandidates;
   SearchResult Result;
+  /// Long-lived incremental context for the merge path's satisfiability
+  /// queries (UseIncrementalContexts); created lazily, refutation memo
+  /// forced off so per-query stats stay jobs-invariant (docs/solver.md).
+  std::unique_ptr<smt::SolverContext> SatCtx;
   uint64_t NextCandidateId = 0;
   /// Null when the search runs serially (effectiveJobs() == 1).
   std::unique_ptr<ParallelState> Parallel;

@@ -3,6 +3,7 @@
 #include "core/ValiditySolver.h"
 
 #include "smt/Linear.h"
+#include "smt/SolverContext.h"
 #include "smt/Subst.h"
 #include "smt/Simplify.h"
 #include "smt/Supports.h"
@@ -12,6 +13,7 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <memory>
 #include <unordered_set>
 
 using namespace hotg;
@@ -136,7 +138,11 @@ private:
   /// Returns false when the application cap is exceeded.
   bool pushChoice(size_t Index, const GroundingChoice &C) {
     size_t QMark = Query.size();
-    auto Args = Arena.operands(Apps[Index]);
+    // Copy the argument spans: the mkEq/mkIntConst/substituteVars calls
+    // below intern terms, which may reallocate the arena's shared operand
+    // pool under a live operands() span.
+    auto ArgsSpan = Arena.operands(Apps[Index]);
+    std::vector<TermId> Args(ArgsSpan.begin(), ArgsSpan.end());
     if (C.ChoiceKind == GroundingChoice::Kind::Sample) {
       const Sample &S = AppSamples[Index][C.SampleIndex];
       assert(S.Args.size() == Args.size() && "arity mismatch in samples");
@@ -156,7 +162,8 @@ private:
           Arena.mkEq(Apps[Index], substituteVars(Arena, D.Out, Subst)));
       DeterminedApps.insert(Apps[Index]);
     } else if (C.ChoiceKind == GroundingChoice::Kind::PairWith) {
-      auto PeerArgs = Arena.operands(Apps[C.PeerApp]);
+      auto PeerSpan = Arena.operands(Apps[C.PeerApp]);
+      std::vector<TermId> PeerArgs(PeerSpan.begin(), PeerSpan.end());
       for (size_t A = 0; A != Args.size(); ++A)
         Query.push_back(Arena.mkEq(Args[A], PeerArgs[A]));
     }
@@ -226,11 +233,32 @@ private:
     (void)Literals;
     ++Stats.GroundingsTried;
 
-    SolverOptions InnerOpts = Options.SolverOpts;
-    InnerOpts.Samples = &Samples;
-    Solver Inner(Arena, InnerOpts);
     ++Stats.InnerSolverCalls;
-    SatAnswer Answer = Inner.checkConjunction(Query);
+    SatAnswer Answer;
+    if (Options.UseIncrementalContexts) {
+      // One long-lived context serves every grounding of this support
+      // enumeration. checkFormula's conjunctive fast path retargets the
+      // context's assertion stack onto the query's literal sequence, so
+      // consecutive groundings — which share the support literals plus a
+      // common choice prefix — keep that prefix asserted instead of
+      // re-asserting it, and refutation-memo entries recorded against the
+      // surviving prefix frames carry over. The fold invariant
+      // (docs/solver.md) makes the answer and per-query work stats
+      // byte-identical to the fresh-solver path below.
+      if (!Ctx) {
+        SolverOptions CtxOpts = Options.SolverOpts;
+        CtxOpts.Samples = &Samples;
+        CtxOpts.EnableRefutationMemo = true;
+        Ctx = std::make_unique<SolverContext>(Arena, CtxOpts);
+      }
+      SolverStats QueryStats;
+      Answer = Ctx->checkFormulaWithTelemetry(Arena.mkAnd(Query), QueryStats);
+    } else {
+      SolverOptions InnerOpts = Options.SolverOpts;
+      InnerOpts.Samples = &Samples;
+      Solver Inner(Arena, InnerOpts);
+      Answer = Inner.checkConjunction(Query);
+    }
     if (Answer.Result == SatResult::Unknown)
       SawUnknown = true;
     if (Answer.Result != SatResult::Sat)
@@ -365,6 +393,11 @@ private:
   std::vector<GroundingChoice> Choices;
   std::vector<TermId> Query;
   std::unordered_set<TermId> DeterminedApps;
+  /// Shared incremental context for every grounding query of this
+  /// enumeration (UseIncrementalContexts); created on first use. Lives
+  /// inside one checkPost call, so it never outlives arena truncation of
+  /// parallel-search worker replicas.
+  std::unique_ptr<SolverContext> Ctx;
 };
 
 } // namespace
@@ -383,9 +416,12 @@ public:
     switch (Arena.kind(Term)) {
     case TermKind::And:
     case TermKind::Or: {
-      std::vector<TermId> Ops;
-      for (TermId Op : Arena.operands(Term))
-        Ops.push_back(rewrite(Op));
+      // Copy before recursing: rewrite() interns, which may reallocate
+      // the arena's shared operand pool under a live operands() span.
+      auto Span = Arena.operands(Term);
+      std::vector<TermId> Ops(Span.begin(), Span.end());
+      for (TermId &Op : Ops)
+        Op = rewrite(Op);
       return Arena.kind(Term) == TermKind::And ? Arena.mkAnd(Ops)
                                                : Arena.mkOr(Ops);
     }
@@ -429,7 +465,10 @@ private:
     }());
 
     FuncId Func = Arena.funcIdOf(AppMono->Atom);
-    auto Args = Arena.operands(AppMono->Atom);
+    // Copy the argument span: the mkEq/mkIntConst calls below intern,
+    // which may reallocate the arena's shared operand pool.
+    auto ArgsSpan = Arena.operands(AppMono->Atom);
+    std::vector<TermId> Args(ArgsSpan.begin(), ArgsSpan.end());
     std::vector<TermId> Disjuncts;
     for (const Sample &S : Samples.samplesFor(Func)) {
       std::vector<TermId> Conjuncts;

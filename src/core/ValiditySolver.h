@@ -106,6 +106,15 @@ struct ValidityOptions {
   /// instantiating a recorded disjunct instead of a concrete sample.
   /// Null disables compositional grounding.
   const dse::SummaryTable *Summaries = nullptr;
+  /// Route the existential queries of grounding enumeration through one
+  /// long-lived smt::SolverContext per support enumeration (seeded with
+  /// the sample antecedent). Sibling groundings share their asserted
+  /// support-literal prefix via retarget(), and the refutation memo is
+  /// enabled on the shared context (sound within one query). Answers and
+  /// the ValidityStats counters are identical either way — the fold
+  /// invariant of docs/solver.md — so this switch exists only for the
+  /// differential test suite and for debugging.
+  bool UseIncrementalContexts = true;
   /// Options of the inner existential LIA+EUF solver.
   smt::SolverOptions SolverOpts;
 };

@@ -26,9 +26,26 @@ smt::TermId PathConstraint::alternate(smt::TermArena &Arena,
   assert(Index < Entries.size() && "alternate index out of range");
   assert(!Entries[Index].IsConcretization &&
          "concretization constraints are never negated (Section 3.3)");
+  // Built as mkAnd(prefix-conjunction, negated-literal) — NOT as a flat
+  // mkAnd over alternateLiterals() — so the interned term is byte-identical
+  // to what this function historically produced; the fingerprint feeds the
+  // query cache and candidate dedup.
   smt::TermId Prefix = prefixConjunction(Arena, Index);
   smt::TermId Negated = smt::negate(Arena, Entries[Index].Constraint);
   return smt::simplify(Arena, Arena.mkAnd(Prefix, Negated));
+}
+
+std::vector<smt::TermId>
+PathConstraint::alternateLiterals(smt::TermArena &Arena, size_t Index) const {
+  assert(Index < Entries.size() && "alternate index out of range");
+  assert(!Entries[Index].IsConcretization &&
+         "concretization constraints are never negated (Section 3.3)");
+  std::vector<smt::TermId> Lits;
+  Lits.reserve(Index + 1);
+  for (size_t I = 0; I != Index; ++I)
+    Lits.push_back(Entries[I].Constraint);
+  Lits.push_back(smt::negate(Arena, Entries[Index].Constraint));
+  return Lits;
 }
 
 std::vector<size_t> PathConstraint::negatablePositions() const {

@@ -70,6 +70,15 @@ struct PathConstraint {
   /// ¬entries[Index]. \p Index must address a non-concretization entry.
   smt::TermId alternate(smt::TermArena &Arena, size_t Index) const;
 
+  /// ALT(pc, Index) as a flat literal list in path order:
+  /// [e_0, ..., e_{Index-1}, ¬e_Index]. Sibling alternates of one path
+  /// share list prefixes literal-for-literal, which is what lets an
+  /// incremental smt::SolverContext assert the shared prefix once and flip
+  /// only the final literal per sibling. alternate() is the conjunction of
+  /// exactly this list.
+  std::vector<smt::TermId> alternateLiterals(smt::TermArena &Arena,
+                                             size_t Index) const;
+
   /// Positions eligible for negation (non-concretization entries).
   std::vector<size_t> negatablePositions() const;
 

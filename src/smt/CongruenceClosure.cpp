@@ -9,10 +9,82 @@
 using namespace hotg;
 using namespace hotg::smt;
 
+CongruenceClosure::Mark CongruenceClosure::mark() {
+  Mark M;
+  M.TrailSize = Trail.size();
+  M.Conflict = Conflict;
+  M.Pending = Pending;
+  ++OutstandingMarks;
+  return M;
+}
+
+void CongruenceClosure::rollbackTo(const Mark &M) {
+  assert(OutstandingMarks != 0 && "rollback without an outstanding mark");
+  assert(M.TrailSize <= Trail.size() && "marks must be released LIFO");
+  while (Trail.size() > M.TrailSize) {
+    UndoRecord &R = Trail.back();
+    switch (R.K) {
+    case UndoRecord::Kind::ParentInsert:
+      Parent.erase(R.A);
+      break;
+    case UndoRecord::Kind::ParentWrite:
+      Parent[R.A] = R.B;
+      break;
+    case UndoRecord::Kind::ConstWrite:
+      ClassConstant[R.A] = R.OldConst;
+      break;
+    case UndoRecord::Kind::DistinctInsert:
+      Distincts[R.A].erase(R.B);
+      break;
+    case UndoRecord::Kind::DistinctErase:
+      Distincts[R.A].insert(R.B);
+      break;
+    case UndoRecord::Kind::DistinctSetErase:
+      Distincts[R.A] = std::move(R.SavedSet);
+      break;
+    case UndoRecord::Kind::UseAppend:
+      UseList[R.A].pop_back();
+      break;
+    case UndoRecord::Kind::UseSetErase:
+      UseList[R.A] = std::move(R.SavedVec);
+      break;
+    case UndoRecord::Kind::SigAppend:
+      SigTable[R.Hash].pop_back();
+      break;
+    case UndoRecord::Kind::AppsAppend:
+      Apps.pop_back();
+      break;
+    }
+    Trail.pop_back();
+  }
+  Conflict = M.Conflict;
+  Pending = M.Pending;
+  --OutstandingMarks;
+}
+
+void CongruenceClosure::clear() {
+  assert(OutstandingMarks == 0 && "clear with an outstanding mark");
+  Conflict = false;
+  Trail.clear();
+  Parent.clear();
+  ClassConstant.clear();
+  Distincts.clear();
+  UseList.clear();
+  SigTable.clear();
+  Apps.clear();
+  Pending.clear();
+}
+
 void CongruenceClosure::addTerm(TermId Term) {
   if (Parent.count(Term))
     return;
   Parent[Term] = Term;
+  log({UndoRecord::Kind::ParentInsert, Term});
+  {
+    auto It = ClassConstant.find(Term);
+    log({UndoRecord::Kind::ConstWrite, Term, InvalidTerm, 0,
+         It != ClassConstant.end() ? It->second : std::nullopt});
+  }
   if (Arena.isIntConst(Term))
     ClassConstant[Term] = Arena.intConstValue(Term);
   else
@@ -20,10 +92,14 @@ void CongruenceClosure::addTerm(TermId Term) {
 
   for (TermId Op : Arena.operands(Term)) {
     addTerm(Op);
-    UseList[findRepr(Op)].push_back(Term);
+    TermId Repr = findRepr(Op);
+    UseList[Repr].push_back(Term);
+    log({UndoRecord::Kind::UseAppend, Repr});
   }
-  if (Arena.kind(Term) == TermKind::UFApp)
+  if (Arena.kind(Term) == TermKind::UFApp) {
     Apps.push_back(Term);
+    log({UndoRecord::Kind::AppsAppend});
+  }
 
   // Congruence: if an existing registered term has the same signature,
   // the two must be equal.
@@ -35,6 +111,7 @@ void CongruenceClosure::addTerm(TermId Term) {
       if (Other != Term && signatureOf(Other) == Sig)
         Pending.push_back({Term, Other});
     Bucket.push_back(Term);
+    log({UndoRecord::Kind::SigAppend, InvalidTerm, InvalidTerm, Hash});
   }
   propagate();
 }
@@ -56,7 +133,10 @@ TermId CongruenceClosure::findRepr(TermId Term) {
   if (It->second == Term)
     return Term;
   TermId Root = findRepr(It->second);
-  It->second = Root; // Path compression.
+  if (It->second != Root) {
+    log({UndoRecord::Kind::ParentWrite, Term, It->second});
+    It->second = Root; // Path compression.
+  }
   return Root;
 }
 
@@ -81,21 +161,42 @@ bool CongruenceClosure::merge(TermId A, TermId B) {
   // Merge the smaller use list into the larger (heuristic by list size).
   if (UseList[RA].size() > UseList[RB].size())
     std::swap(RA, RB);
+  log({UndoRecord::Kind::ParentWrite, RA, Parent[RA]});
   Parent[RA] = RB;
-  if (ClassConstant[RA])
+  if (ClassConstant[RA]) {
+    log({UndoRecord::Kind::ConstWrite, RB, InvalidTerm, 0, ClassConstant[RB]});
     ClassConstant[RB] = ClassConstant[RA];
+  }
 
   // Move disequalities.
   for (TermId D : Distincts[RA]) {
-    Distincts[RB].insert(D);
-    Distincts[D].erase(RA);
-    Distincts[D].insert(RB);
+    if (Distincts[RB].insert(D).second)
+      log({UndoRecord::Kind::DistinctInsert, RB, D});
+    if (Distincts[D].erase(RA) != 0)
+      log({UndoRecord::Kind::DistinctErase, D, RA});
+    if (Distincts[D].insert(RB).second)
+      log({UndoRecord::Kind::DistinctInsert, D, RB});
   }
-  Distincts.erase(RA);
+  if (auto It = Distincts.find(RA); It != Distincts.end()) {
+    if (recording()) {
+      UndoRecord R{UndoRecord::Kind::DistinctSetErase, RA};
+      R.SavedSet = std::move(It->second);
+      log(std::move(R));
+    }
+    Distincts.erase(It);
+  }
 
   // Re-hash users of the merged class; enqueue congruent pairs.
-  auto Users = std::move(UseList[RA]);
-  UseList.erase(RA);
+  std::vector<TermId> Users;
+  if (auto It = UseList.find(RA); It != UseList.end()) {
+    Users = std::move(It->second);
+    if (recording()) {
+      UndoRecord R{UndoRecord::Kind::UseSetErase, RA};
+      R.SavedVec = Users; // Copy: the moved-out list is still consumed below.
+      log(std::move(R));
+    }
+    UseList.erase(It);
+  }
   for (TermId User : Users) {
     auto Sig = signatureOf(User);
     size_t Hash = hashRange(Sig);
@@ -104,7 +205,9 @@ bool CongruenceClosure::merge(TermId A, TermId B) {
       if (Other != User && signatureOf(Other) == Sig)
         Pending.push_back({User, Other});
     Bucket.push_back(User);
+    log({UndoRecord::Kind::SigAppend, InvalidTerm, InvalidTerm, Hash});
     UseList[RB].push_back(User);
+    log({UndoRecord::Kind::UseAppend, RB});
   }
   return true;
 }
@@ -139,8 +242,10 @@ bool CongruenceClosure::assertDistinct(TermId A, TermId B) {
     Conflict = true;
     return false;
   }
-  Distincts[RA].insert(RB);
-  Distincts[RB].insert(RA);
+  if (Distincts[RA].insert(RB).second)
+    log({UndoRecord::Kind::DistinctInsert, RA, RB});
+  if (Distincts[RB].insert(RA).second)
+    log({UndoRecord::Kind::DistinctInsert, RB, RA});
   return true;
 }
 

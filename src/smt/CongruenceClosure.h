@@ -29,11 +29,36 @@ namespace hotg::smt {
 /// Incremental congruence closure with constants and disequalities.
 ///
 /// Conflicts arise when (a) two distinct integer constants are merged, or
-/// (b) a merge joins two classes asserted distinct. Once in conflict the
-/// structure stays in conflict (no backtracking; the solver rebuilds).
+/// (b) a merge joins two classes asserted distinct.
+///
+/// Backtracking: mark() opens an undo scope; every mutation after it —
+/// union-find writes (including path compression), constant assignments,
+/// disequality edges, use-list and signature-table growth, and the
+/// conflict flag — is logged on a trail, and rollbackTo() restores the
+/// exact pre-mark state. Marks nest and must be released LIFO. While no
+/// mark is outstanding nothing is logged, so non-scoped use stays free.
 class CongruenceClosure {
 public:
   explicit CongruenceClosure(const TermArena &Arena) : Arena(Arena) {}
+
+  /// A rollback point for the undo trail (see mark/rollbackTo).
+  struct Mark {
+    size_t TrailSize = 0;
+    bool Conflict = false;
+    std::vector<std::pair<TermId, TermId>> Pending;
+  };
+
+  /// Opens an undo scope: mutations are logged until the matching
+  /// rollbackTo. Scopes nest (LIFO).
+  Mark mark();
+
+  /// Restores the exact state captured by \p M (including leaving a
+  /// conflict entered inside the scope) and closes the scope.
+  void rollbackTo(const Mark &M);
+
+  /// Forgets every asserted fact and registered term. Invalid while a mark
+  /// is outstanding.
+  void clear();
 
   /// Registers \p Term and all of its subterms.
   void addTerm(TermId Term);
@@ -71,8 +96,39 @@ private:
   /// Congruence key: kind/payload plus representative operand classes.
   std::vector<uint64_t> signatureOf(TermId Term);
 
+  /// One logged mutation; applied in reverse on rollback.
+  struct UndoRecord {
+    enum class Kind : uint8_t {
+      ParentInsert,    ///< addTerm registered A: erase Parent[A].
+      ParentWrite,     ///< Parent[A] had value B (merge root, compression).
+      ConstWrite,      ///< ClassConstant[A] had value OldConst.
+      DistinctInsert,  ///< Distincts[A].insert(B): erase it.
+      DistinctErase,   ///< Distincts[A].erase(B): re-insert it.
+      DistinctSetErase,///< Distincts.erase(A): restore SavedSet.
+      UseAppend,       ///< UseList[A].push_back: pop it.
+      UseSetErase,     ///< UseList.erase(A) after move-out: restore SavedVec.
+      SigAppend,       ///< SigTable[Hash].push_back: pop it.
+      AppsAppend,      ///< Apps.push_back: pop it.
+    };
+    Kind K;
+    TermId A = InvalidTerm;
+    TermId B = InvalidTerm;
+    size_t Hash = 0;
+    std::optional<int64_t> OldConst;
+    std::unordered_set<TermId> SavedSet;
+    std::vector<TermId> SavedVec;
+  };
+
+  bool recording() const { return OutstandingMarks != 0; }
+  void log(UndoRecord R) {
+    if (recording())
+      Trail.push_back(std::move(R));
+  }
+
   const TermArena &Arena;
   bool Conflict = false;
+  size_t OutstandingMarks = 0;
+  std::vector<UndoRecord> Trail;
 
   std::unordered_map<TermId, TermId> Parent;
   std::unordered_map<TermId, std::optional<int64_t>> ClassConstant;

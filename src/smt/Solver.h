@@ -57,6 +57,24 @@ struct SolverOptions {
   const SampleTable *Samples = nullptr;
   /// Deterministic seed for probe candidates.
   uint64_t Seed = 0x5eed;
+  /// SolverContext only: memoize candidate assignments the asserted
+  /// *prefix* already refutes, and skip them without spending a decision
+  /// in later checks over the same prefix. Off by default because it makes
+  /// per-query decision counts depend on which checks ran earlier in the
+  /// same context; core::ValiditySolver turns it on (its contexts live
+  /// inside one query, so the query stays deterministic), and
+  /// core::DirectedSearch keeps it off to preserve the jobs-invariant
+  /// stats (docs/solver.md).
+  bool EnableRefutationMemo = false;
+  /// SolverContext only: cache the answer (and model) of each decided
+  /// assertion-stack state, keyed on the exact literal sequence and the
+  /// sample-table generation, and replay it when the frontier re-issues an
+  /// identical query. Sound because check() is a deterministic function of
+  /// that state and the sample table is append-only; a replay is
+  /// byte-identical to recomputation. Off by default for the same reason
+  /// as the memo: replays spend zero decisions, so per-query stats depend
+  /// on which checks ran earlier in the same context (docs/solver.md).
+  bool EnableAnswerCache = false;
 };
 
 /// Result of Solver::check.
@@ -74,11 +92,21 @@ struct SatAnswer {
 /// Statistics accumulated across every check() call since construction (or
 /// the last resetStats()). Per-query numbers are reported through the
 /// telemetry event stream (one `solver_check` event per query).
+///
+/// Checks/SupportsExplored/Decisions/Propagations are deterministic
+/// functions of the query stream: they are identical whether a query ran
+/// in a reused incremental context, a fresh one, or on a parallel worker.
+/// The Scope*/PrefixLiteralsReused fields describe how much asserted
+/// state was shared, which depends on the schedule (like
+/// SearchResult::CacheHits) — identical answers, varying reuse.
 struct SolverStats {
   unsigned Checks = 0;
   unsigned SupportsExplored = 0;
   unsigned Decisions = 0;
   unsigned Propagations = 0;
+  uint64_t ScopePushes = 0;
+  uint64_t ScopePops = 0;
+  uint64_t PrefixLiteralsReused = 0;
 };
 
 /// Quantifier-free LIA+EUF satisfiability solver.
@@ -99,10 +127,6 @@ public:
   void setOptions(const SolverOptions &NewOptions) { Options = NewOptions; }
 
 private:
-  /// check() minus telemetry: decides \p Formula, charging work to
-  /// \p QueryStats (budgets are per query).
-  SatAnswer checkImpl(TermId Formula, SolverStats &QueryStats);
-
   TermArena &Arena;
   SolverOptions Options;
   SolverStats Stats;

@@ -1,0 +1,1029 @@
+//===- smt/SolverContext.cpp - Incremental solver contexts ------------------===//
+
+#include "smt/SolverContext.h"
+
+#include "smt/Simplify.h"
+#include "smt/Supports.h"
+#include "support/Random.h"
+#include "support/Support.h"
+#include "support/Telemetry.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace hotg;
+using namespace hotg::smt;
+
+namespace {
+
+/// Reduces the Eq rows of \p Rows to integer echelon form (Gauss–Jordan with
+/// cross-multiplication and gcd normalization). Returns false when a row is
+/// integer-infeasible. Rows whose cross-multiplication would overflow 64
+/// bits are left untouched — elimination is an optimization, not required
+/// for soundness.
+bool normalizeEqRows(std::vector<LinearAtom> &Rows,
+                     const std::vector<size_t> &EqIdx) {
+  for (size_t Row : EqIdx) {
+    LinearExpr &Expr = Rows[Row].Expr;
+    if (Expr.Monomials.empty()) {
+      if (Expr.Constant != 0)
+        return false; // 0 = k with k != 0.
+      continue;
+    }
+    int64_t G = 0;
+    for (const LinearMonomial &M : Expr.Monomials)
+      G = std::gcd(G, std::abs(M.Coeff));
+    if (G > 1) {
+      if (Expr.Constant % G != 0)
+        return false; // No integer solutions.
+      for (LinearMonomial &M : Expr.Monomials)
+        M.Coeff /= G;
+      Expr.Constant /= G;
+    }
+  }
+  return true;
+}
+
+bool eliminateEqualities(std::vector<LinearAtom> &Rows) {
+  std::vector<size_t> EqIdx;
+  for (size_t I = 0; I != Rows.size(); ++I)
+    if (Rows[I].Rel == LinearRelKind::Eq)
+      EqIdx.push_back(I);
+  if (EqIdx.size() < 2)
+    return normalizeEqRows(Rows, EqIdx);
+
+  std::vector<TermId> UsedPivots;
+  for (size_t Row : EqIdx) {
+    LinearExpr &Pivot = Rows[Row].Expr;
+    // Choose the pivot atom with the smallest |coeff| not yet used.
+    TermId PivotAtom = InvalidTerm;
+    int64_t PivotCoeff = 0;
+    for (const LinearMonomial &M : Pivot.Monomials) {
+      bool Used = std::find(UsedPivots.begin(), UsedPivots.end(), M.Atom) !=
+                  UsedPivots.end();
+      if (Used)
+        continue;
+      if (PivotAtom == InvalidTerm ||
+          std::abs(M.Coeff) < std::abs(PivotCoeff)) {
+        PivotAtom = M.Atom;
+        PivotCoeff = M.Coeff;
+      }
+    }
+    if (PivotAtom == InvalidTerm)
+      continue; // Fully reduced (or empty) row.
+    UsedPivots.push_back(PivotAtom);
+
+    for (size_t Other : EqIdx) {
+      if (Other == Row)
+        continue;
+      LinearExpr &Target = Rows[Other].Expr;
+      int64_t C = Target.coeffOf(PivotAtom);
+      if (C == 0)
+        continue;
+      // Target := PivotCoeff * Target - C * Pivot, checked.
+      LinearExpr Combined;
+      bool Overflow = false;
+      auto Fma = [&](int64_t A, int64_t B, int64_t D, int64_t E,
+                     int64_t &Out) {
+        int64_t P1, P2;
+        if (__builtin_mul_overflow(A, B, &P1) ||
+            __builtin_mul_overflow(D, E, &P2) ||
+            __builtin_sub_overflow(P1, P2, &Out))
+          Overflow = true;
+      };
+      for (const LinearMonomial &M : Target.Monomials) {
+        int64_t NewCoeff;
+        Fma(PivotCoeff, M.Coeff, C, Pivot.coeffOf(M.Atom), NewCoeff);
+        if (Overflow)
+          break;
+        Combined.add(NewCoeff, M.Atom);
+      }
+      for (const LinearMonomial &M : Pivot.Monomials) {
+        if (Target.coeffOf(M.Atom) != 0)
+          continue; // Already combined above.
+        int64_t NewCoeff;
+        Fma(PivotCoeff, 0, C, M.Coeff, NewCoeff);
+        if (Overflow)
+          break;
+        Combined.add(NewCoeff, M.Atom);
+      }
+      int64_t NewConst;
+      Fma(PivotCoeff, Target.Constant, C, Pivot.Constant, NewConst);
+      if (Overflow)
+        continue; // Keep the original row.
+      Combined.Constant = NewConst;
+      Target = std::move(Combined);
+    }
+  }
+  return normalizeEqRows(Rows, EqIdx);
+}
+
+/// One-step Fourier–Motzkin check: two inequalities whose left-hand sides
+/// cancel refute each other when the combined constant is positive (catches
+/// x < y ∧ y < x, which bound propagation cannot).
+bool fourierMotzkinRefutes(const std::vector<LinearAtom> &Rows) {
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    if (Rows[I].Rel != LinearRelKind::Le)
+      continue;
+    for (size_t J = I + 1; J != Rows.size(); ++J) {
+      if (Rows[J].Rel != LinearRelKind::Le)
+        continue;
+      LinearExpr Sum = Rows[I].Expr;
+      Sum.addScaled(Rows[J].Expr, 1);
+      if (Sum.Monomials.empty() && Sum.Constant > 0)
+        return true;
+    }
+  }
+  return false;
+}
+
+/// Feeds the structural EUF content of \p LA into \p CC:
+/// equalities/disequalities between two bare atoms, and bindings of a bare
+/// atom to a constant. Returns false on congruence conflict.
+bool assertRowInCC(TermArena &Arena, CongruenceClosure &CC,
+                   const LinearAtom &LA) {
+  if (LA.Expr.Monomials.size() == 2 && LA.Expr.Constant == 0) {
+    const auto &M0 = LA.Expr.Monomials[0];
+    const auto &M1 = LA.Expr.Monomials[1];
+    if (M0.Coeff == 1 && M1.Coeff == -1) {
+      if (LA.Rel == LinearRelKind::Eq && !CC.assertEqual(M0.Atom, M1.Atom))
+        return false;
+      if (LA.Rel == LinearRelKind::Ne && !CC.assertDistinct(M0.Atom, M1.Atom))
+        return false;
+    }
+  } else if (LA.Expr.Monomials.size() == 1) {
+    const auto &M0 = LA.Expr.Monomials[0];
+    if (M0.Coeff == 1 || M0.Coeff == -1) {
+      int64_t K = M0.Coeff == 1 ? -LA.Expr.Constant : LA.Expr.Constant;
+      TermId KTerm = Arena.mkIntConst(K);
+      if (LA.Rel == LinearRelKind::Eq && !CC.assertEqual(M0.Atom, KTerm))
+        return false;
+      if (LA.Rel == LinearRelKind::Ne && !CC.assertDistinct(M0.Atom, KTerm))
+        return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Engine: the check-time decision procedure (propagation + value search)
+//===----------------------------------------------------------------------===//
+
+/// Decides one row system over a prefix of the context's atom list. The
+/// engine never mutates context state: it works on domain vectors handed in
+/// by the caller and reads Atoms/AtomIndex from the context. Work is charged
+/// to the SolverStats it was built with (per-query stats at check time, a
+/// discarded scratch at assert/probe time).
+class SolverContext::Engine {
+public:
+  enum class Outcome {
+    Sat,      ///< Model found (verified).
+    Refuted,  ///< Propagation proved the rows unsatisfiable.
+    Exhausted ///< Budget or candidate exhaustion; no conclusion.
+  };
+
+  Engine(SolverContext &Ctx, const std::vector<LinearAtom> &Rows,
+         size_t NumAtoms, SolverStats &Stats, bool UseMemo)
+      : Ctx(Ctx), Arena(Ctx.Arena), Options(Ctx.Options), Rows(Rows),
+        NumAtoms(NumAtoms), Stats(Stats), UseMemo(UseMemo) {}
+
+  /// Bound propagation to a fixpoint. Returns false when a domain empties
+  /// (a sound refutation of the rows).
+  bool propagate(std::vector<Interval> &Domains) {
+    bool Changed = true;
+    unsigned Rounds = 0;
+    while (Changed && Rounds < 64) {
+      Changed = false;
+      ++Rounds;
+      ++Stats.Propagations;
+      for (const LinearAtom &LA : Rows)
+        if (!propagateAtom(LA, Domains, Changed))
+          return false;
+      if (!propagateUF(Domains, Changed))
+        return false;
+    }
+    return true;
+  }
+
+  Outcome search(std::vector<Interval> Domains, unsigned Depth,
+                 Model &ModelOut) {
+    if (Stats.Decisions >= Options.MaxDecisions)
+      return Outcome::Exhausted;
+
+    // Find an undetermined atom (smallest domain first; infinite-width
+    // atoms are eligible too).
+    size_t BestIdx = NumAtoms;
+    int64_t BestWidth = Bound::PosInf;
+    for (size_t I = 0; I != NumAtoms; ++I) {
+      if (Domains[I].isPoint())
+        continue;
+      int64_t W = Domains[I].width();
+      if (BestIdx == NumAtoms || W < BestWidth) {
+        BestWidth = W;
+        BestIdx = I;
+      }
+    }
+
+    if (BestIdx == NumAtoms)
+      return finalize(Domains, ModelOut) ? Outcome::Sat : Outcome::Exhausted;
+
+    std::vector<int64_t> Candidates = candidatesFor(BestIdx, Domains[BestIdx]);
+    bool Exhaustive =
+        !Domains[BestIdx].isEmpty() && Domains[BestIdx].isFinite() &&
+        Domains[BestIdx].width() <= static_cast<int64_t>(Candidates.size());
+
+    TermId Atom = Ctx.Atoms[BestIdx];
+    bool AllRefuted = true;
+    for (int64_t Value : Candidates) {
+      // A candidate the asserted prefix already refuted stays refuted under
+      // the full assertion set: skip it without spending a decision. The
+      // skip counts as a refutation for Exhaustive purposes (the memo holds
+      // only sound refutations).
+      if (UseMemo && Ctx.memoRefuted(Atom, Value)) {
+        ++Ctx.Stats.MemoHits;
+        continue;
+      }
+      ++Stats.Decisions;
+      std::vector<Interval> Next = Domains;
+      Next[BestIdx] = Interval::point(Value);
+      if (!propagate(Next)) {
+        if (UseMemo)
+          Ctx.notePrefixCandidate(Atom, Value);
+        continue; // Candidate refuted.
+      }
+      Outcome Sub = search(std::move(Next), Depth + 1, ModelOut);
+      if (Sub == Outcome::Sat)
+        return Outcome::Sat;
+      if (Sub != Outcome::Refuted)
+        AllRefuted = false;
+    }
+    // Candidate sampling proves unsatisfiability only when it enumerated
+    // the whole (finite) domain and every branch was refuted.
+    if (Exhaustive && AllRefuted)
+      return Outcome::Refuted;
+    return Outcome::Exhausted;
+  }
+
+private:
+  /// Interval evaluation of a linear expression under current domains.
+  Interval evalExpr(const LinearExpr &Expr,
+                    const std::vector<Interval> &Domains) const {
+    Interval Acc = Interval::point(Expr.Constant);
+    for (const LinearMonomial &M : Expr.Monomials) {
+      const Interval &D = Domains[Ctx.AtomIndex.at(M.Atom)];
+      Acc = Acc.add(D.scale(M.Coeff));
+    }
+    return Acc;
+  }
+
+  bool propagateAtom(const LinearAtom &LA, std::vector<Interval> &Domains,
+                     bool &Changed) {
+    // Expr ⋈ 0 with ⋈ ∈ {=, ≠, ≤}.
+    Interval Whole = evalExpr(LA.Expr, Domains);
+    switch (LA.Rel) {
+    case LinearRelKind::Eq:
+      if (Whole.Lo > 0 || Whole.Hi < 0)
+        return false;
+      break;
+    case LinearRelKind::Le:
+      if (Whole.Lo > 0)
+        return false;
+      break;
+    case LinearRelKind::Ne:
+      if (Whole.isPoint() && Whole.Lo == 0)
+        return false;
+      // Ne prunes only singleton complements below.
+      break;
+    }
+
+    // Tighten each monomial from the rest.
+    for (const LinearMonomial &M : LA.Expr.Monomials) {
+      size_t Idx = Ctx.AtomIndex.at(M.Atom);
+      // Rest = Expr - M.
+      Interval Rest = Interval::point(LA.Expr.Constant);
+      for (const LinearMonomial &Other : LA.Expr.Monomials) {
+        if (Other.Atom == M.Atom)
+          continue;
+        Rest =
+            Rest.add(Domains[Ctx.AtomIndex.at(Other.Atom)].scale(Other.Coeff));
+      }
+      Interval NewDom = Domains[Idx];
+      if (LA.Rel == LinearRelKind::Eq) {
+        // coeff*x = -Rest → x ∈ ceil(-RestHi/coeff)..floor(-RestLo/coeff)
+        // (for coeff > 0; flipped otherwise). Saturating division keeps
+        // infinities intact.
+        int64_t A = Bound::divCeil(negSat(Rest.Hi), M.Coeff);
+        int64_t B = Bound::divFloor(negSat(Rest.Lo), M.Coeff);
+        Interval Bounds =
+            M.Coeff > 0
+                ? Interval{A, B}
+                : Interval{Bound::divCeil(negSat(Rest.Lo), M.Coeff),
+                           Bound::divFloor(negSat(Rest.Hi), M.Coeff)};
+        NewDom = NewDom.intersect(Bounds);
+      } else if (LA.Rel == LinearRelKind::Le) {
+        // coeff*x <= -Rest.Lo → upper bound (coeff>0) / lower bound.
+        if (M.Coeff > 0)
+          NewDom = NewDom.intersect(
+              {Bound::NegInf, Bound::divFloor(negSat(Rest.Lo), M.Coeff)});
+        else
+          NewDom = NewDom.intersect(
+              {Bound::divCeil(negSat(Rest.Lo), M.Coeff), Bound::PosInf});
+      } else { // Ne: prune point only when everything else is fixed.
+        if (Rest.isPoint() && (M.Coeff == 1 || M.Coeff == -1)) {
+          int64_t Forbidden = M.Coeff == 1 ? -Rest.Lo : Rest.Lo;
+          NewDom = NewDom.without(Forbidden);
+        }
+      }
+      if (NewDom.isEmpty())
+        return false;
+      if (!(NewDom == Domains[Idx])) {
+        Domains[Idx] = NewDom;
+        Changed = true;
+      }
+    }
+    return true;
+  }
+
+  /// UF consistency: sampled points pin application outputs; syntactic
+  /// congruence (same func, same determined args) links outputs.
+  bool propagateUF(std::vector<Interval> &Domains, bool &Changed) {
+    for (size_t I = 0; I != NumAtoms; ++I) {
+      TermId App = Ctx.Atoms[I];
+      if (Arena.kind(App) != TermKind::UFApp)
+        continue;
+      auto ArgsOpt = determinedArgs(App, Domains);
+      if (!ArgsOpt)
+        continue;
+      if (Options.Samples) {
+        if (auto Out = Options.Samples->lookup(Arena.funcIdOf(App), *ArgsOpt)) {
+          Interval NewDom = Domains[I].intersect(Interval::point(*Out));
+          if (NewDom.isEmpty())
+            return false;
+          if (!(NewDom == Domains[I])) {
+            Domains[I] = NewDom;
+            Changed = true;
+          }
+        }
+      }
+      // Congruence with other determined applications of the same symbol.
+      for (size_t J = I + 1; J != NumAtoms; ++J) {
+        TermId Other = Ctx.Atoms[J];
+        if (Arena.kind(Other) != TermKind::UFApp ||
+            Arena.funcIdOf(Other) != Arena.funcIdOf(App))
+          continue;
+        auto OtherArgs = determinedArgs(Other, Domains);
+        if (!OtherArgs || *OtherArgs != *ArgsOpt)
+          continue;
+        Interval Joint = Domains[I].intersect(Domains[J]);
+        if (Joint.isEmpty())
+          return false;
+        if (!(Joint == Domains[I]) || !(Joint == Domains[J])) {
+          Domains[I] = Joint;
+          Domains[J] = Joint;
+          Changed = true;
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Evaluates the arguments of \p App when every argument's linear form is
+  /// determined by point domains.
+  std::optional<std::vector<int64_t>>
+  determinedArgs(TermId App, const std::vector<Interval> &Domains) const {
+    std::vector<int64_t> Args;
+    for (TermId Arg : Arena.operands(App)) {
+      auto Lin = extractLinear(Arena, Arg);
+      assert(Lin && "UF argument outside linear fragment");
+      Interval V = evalExpr(*Lin, Domains);
+      if (!V.isPoint())
+        return std::nullopt;
+      Args.push_back(V.Lo);
+    }
+    return Args;
+  }
+
+  std::vector<int64_t> candidatesFor(size_t Idx, const Interval &Dom) {
+    std::vector<int64_t> Out;
+    auto Push = [&](int64_t V) {
+      if (!Dom.contains(V))
+        return;
+      if (std::find(Out.begin(), Out.end(), V) == Out.end())
+        Out.push_back(V);
+    };
+
+    if (Dom.isFinite() && Dom.width() <= Options.SmallDomainWidth) {
+      for (int64_t V = Dom.Lo; V <= Dom.Hi; ++V)
+        Push(V);
+      return Out;
+    }
+
+    TermId Atom = Ctx.Atoms[Idx];
+    // Sample-guided candidates (the Section 7 inversion behaviour).
+    if (Options.Samples) {
+      if (Arena.kind(Atom) == TermKind::UFApp) {
+        for (const Sample &S :
+             Options.Samples->samplesFor(Arena.funcIdOf(Atom)))
+          Push(S.Output);
+      } else {
+        // If this atom feeds a UF application argument, try the sampled
+        // argument values at the corresponding position.
+        for (size_t AppIdx = 0; AppIdx != NumAtoms; ++AppIdx) {
+          TermId App = Ctx.Atoms[AppIdx];
+          if (Arena.kind(App) != TermKind::UFApp)
+            continue;
+          auto Args = Arena.operands(App);
+          for (size_t Pos = 0; Pos != Args.size(); ++Pos) {
+            if (Args[Pos] != Atom)
+              continue;
+            for (const Sample &S :
+                 Options.Samples->samplesFor(Arena.funcIdOf(App)))
+              Push(S.Args[Pos]);
+          }
+        }
+      }
+    }
+
+    // Structure-guided defaults.
+    if (Dom.Lo != Bound::NegInf)
+      Push(Dom.Lo);
+    if (Dom.Hi != Bound::PosInf)
+      Push(Dom.Hi);
+    Push(0);
+    Push(1);
+    Push(-1);
+    int64_t PrefLo = std::max(Dom.Lo, Options.PreferredLo);
+    int64_t PrefHi = std::min(Dom.Hi, Options.PreferredHi);
+    if (PrefLo <= PrefHi) {
+      Push(PrefLo);
+      Push(PrefHi);
+      RandomGen Rng(Options.Seed + Idx * 7919);
+      for (int I = 0; I < 4 && Out.size() < Options.MaxBranchCandidates; ++I)
+        Push(Rng.nextInRange(PrefLo, PrefHi));
+    }
+    if (Out.size() > Options.MaxBranchCandidates)
+      Out.resize(Options.MaxBranchCandidates);
+    return Out;
+  }
+
+  /// Builds and verifies a model from fully determined domains.
+  bool finalize(const std::vector<Interval> &Domains, Model &ModelOut) {
+    Model M;
+    M.attachSamples(Options.Samples);
+    // Assign variables first.
+    for (size_t I = 0; I != NumAtoms; ++I)
+      if (Arena.kind(Ctx.Atoms[I]) == TermKind::IntVar)
+        M.setVar(Arena.varIdOf(Ctx.Atoms[I]), Domains[I].Lo);
+    // Extend functions at the evaluated argument points; reject candidate
+    // models with inconsistent extensions (congruence violations).
+    for (size_t I = 0; I != NumAtoms; ++I) {
+      TermId App = Ctx.Atoms[I];
+      if (Arena.kind(App) != TermKind::UFApp)
+        continue;
+      std::vector<int64_t> Args;
+      for (TermId Arg : Arena.operands(App)) {
+        auto Lin = extractLinear(Arena, Arg);
+        Interval V = evalExpr(*Lin, Domains);
+        assert(V.isPoint() && "finalize with undetermined UF argument");
+        Args.push_back(V.Lo);
+      }
+      if (auto Existing = M.funcValue(Arena.funcIdOf(App), Args)) {
+        if (*Existing != Domains[I].Lo)
+          return false;
+      } else {
+        M.extendFunc(Arena.funcIdOf(App), std::move(Args), Domains[I].Lo);
+      }
+    }
+    // Verify every row under wrapped program semantics.
+    for (const LinearAtom &LA : Rows) {
+      int64_t Value = LA.Expr.Constant;
+      for (const LinearMonomial &Mono : LA.Expr.Monomials) {
+        int64_t AtomValue = Domains[Ctx.AtomIndex.at(Mono.Atom)].Lo;
+        Value = static_cast<int64_t>(static_cast<uint64_t>(Value) +
+                                     static_cast<uint64_t>(Mono.Coeff) *
+                                         static_cast<uint64_t>(AtomValue));
+      }
+      bool Holds = LA.Rel == LinearRelKind::Eq   ? Value == 0
+                   : LA.Rel == LinearRelKind::Ne ? Value != 0
+                                                 : Value <= 0;
+      if (!Holds)
+        return false;
+    }
+    ModelOut = std::move(M);
+    return true;
+  }
+
+  static int64_t negSat(int64_t V) {
+    if (V == Bound::NegInf)
+      return Bound::PosInf;
+    if (V == Bound::PosInf)
+      return Bound::NegInf;
+    return -V;
+  }
+
+  SolverContext &Ctx;
+  TermArena &Arena;
+  const SolverOptions &Options;
+  const std::vector<LinearAtom> &Rows;
+  size_t NumAtoms;
+  SolverStats &Stats;
+  bool UseMemo;
+};
+
+//===----------------------------------------------------------------------===//
+// SolverContext
+//===----------------------------------------------------------------------===//
+
+SolverContext::SolverContext(TermArena &Arena, SolverOptions Options)
+    : Arena(Arena), Options(std::move(Options)), CC(Arena) {}
+
+SolverContext::~SolverContext() = default;
+
+void SolverContext::push() {
+  Frame F;
+  F.LitSize = Lits.size();
+  F.AtomSize = Atoms.size();
+  F.RowSize = Rows.size();
+  F.CCMark = CC.mark();
+  F.EntryDomains = Domains;
+  Frames.push_back(std::move(F));
+  ++Stats.ScopePushes;
+  static telemetry::Counter &Pushes =
+      telemetry::Registry::global().counter("solver.scope_pushes");
+  Pushes.add();
+}
+
+void SolverContext::pop() {
+  assert(!Frames.empty() && "pop without a matching push");
+  Frame &F = Frames.back();
+  // Undo in-place domain narrowing first (while indices are still valid),
+  // then drop atoms registered inside the scope.
+  for (auto It = F.DomainTrail.rbegin(); It != F.DomainTrail.rend(); ++It)
+    Domains[It->first] = It->second;
+  Domains.resize(F.AtomSize);
+  for (size_t I = F.AtomSize; I != Atoms.size(); ++I)
+    AtomIndex.erase(Atoms[I]);
+  Atoms.resize(F.AtomSize);
+  Rows.resize(F.RowSize);
+  Lits.resize(F.LitSize);
+  CC.rollbackTo(F.CCMark);
+  size_t Depth = Frames.size(); // This scope's depth before the pop.
+  if (PoisonedAt && *PoisonedAt >= Depth)
+    PoisonedAt.reset();
+  if (RefutedAt && *RefutedAt >= Depth)
+    RefutedAt.reset();
+  Frames.pop_back();
+  ++Stats.ScopePops;
+  static telemetry::Counter &Pops =
+      telemetry::Registry::global().counter("solver.scope_pops");
+  Pops.add();
+}
+
+void SolverContext::registerAtom(TermId Atom) {
+  if (AtomIndex.count(Atom))
+    return;
+  AtomIndex[Atom] = Atoms.size();
+  Atoms.push_back(Atom);
+  Domains.push_back(Interval::full());
+  // UF arguments are themselves solver atoms when they are vars/apps.
+  if (Arena.kind(Atom) == TermKind::UFApp)
+    for (TermId Arg : Arena.operands(Atom)) {
+      auto Lin = extractLinear(Arena, Arg);
+      assert(Lin && "UF argument outside linear fragment");
+      for (const LinearMonomial &M : Lin->Monomials)
+        registerAtom(M.Atom);
+    }
+}
+
+void SolverContext::setDomain(size_t Idx, const Interval &NewDom) {
+  if (!Frames.empty())
+    Frames.back().DomainTrail.emplace_back(Idx, Domains[Idx]);
+  Domains[Idx] = NewDom;
+}
+
+bool SolverContext::propagateBase() {
+  std::vector<Interval> Work = Domains;
+  SolverStats Scratch;
+  Engine E(*this, Rows, Atoms.size(), Scratch, /*UseMemo=*/false);
+  bool Ok = E.propagate(Work);
+  Stats.AssertPropagations += Scratch.Propagations;
+  for (size_t I = 0; I != Domains.size(); ++I)
+    if (!(Work[I] == Domains[I]))
+      setDomain(I, Work[I]);
+  return Ok;
+}
+
+bool SolverContext::assertLiteral(TermId Lit) {
+  Lits.push_back(Lit);
+  // Once the context is poisoned or refuted, later literals are recorded
+  // (they are part of the canonical query) but not processed — exactly what
+  // a from-scratch fold over the same list would do.
+  if (PoisonedAt || RefutedAt)
+    return true;
+
+  auto CacheIt = NormCache.find(Lit);
+  if (CacheIt == NormCache.end())
+    CacheIt = NormCache.emplace(Lit, normalizeComparison(Arena, Lit)).first;
+  if (!CacheIt->second) {
+    PoisonedAt = Frames.size();
+    if (!Frames.empty())
+      Frames.back().PoisonedHere = true;
+    return false; // Outside fragment; check() answers Unknown.
+  }
+
+  for (const LinearMonomial &M : CacheIt->second->Expr.Monomials)
+    registerAtom(M.Atom);
+  Rows.push_back(*CacheIt->second);
+
+  auto Refute = [&] {
+    RefutedAt = Frames.size();
+    if (!Frames.empty())
+      Frames.back().RefutedHere = true;
+    return true;
+  };
+
+  // Structural EUF content feeds congruence closure immediately.
+  if (!assertRowInCC(Arena, CC, Rows.back()))
+    return Refute();
+
+  // Fold congruence-derived constants into the base domains. constantOf
+  // registers atoms on demand; with a scope open every CC mutation lands
+  // on the undo trail.
+  for (size_t I = 0; I != Atoms.size(); ++I)
+    if (auto C = CC.constantOf(Atoms[I])) {
+      Interval NewDom = Domains[I].intersect(Interval::point(*C));
+      if (NewDom.isEmpty()) {
+        setDomain(I, NewDom);
+        return Refute();
+      }
+      if (!(NewDom == Domains[I]))
+        setDomain(I, NewDom);
+    }
+
+  if (!propagateBase())
+    return Refute();
+  return true;
+}
+
+bool SolverContext::memoRefuted(TermId Atom, int64_t Value) const {
+  std::pair<TermId, int64_t> Key{Atom, Value};
+  if (BaseMemoRefuted.count(Key))
+    return true;
+  // Only prefixes that are still fully asserted may be consulted: every
+  // frame but the newest one.
+  for (size_t I = 0; I + 1 < Frames.size(); ++I)
+    if (Frames[I].MemoRefuted.count(Key))
+      return true;
+  return false;
+}
+
+void SolverContext::notePrefixCandidate(TermId Atom, int64_t Value) {
+  if (Frames.empty())
+    return; // No prefix distinct from the full assertion set.
+  auto &Owner = Frames.size() >= 2 ? Frames[Frames.size() - 2] : Frames[0];
+  auto &RefutedSet =
+      Frames.size() >= 2 ? Owner.MemoRefuted : BaseMemoRefuted;
+  auto &UnknownSet =
+      Frames.size() >= 2 ? Owner.MemoUnknown : BaseMemoUnknown;
+  std::pair<TermId, int64_t> Key{Atom, Value};
+  if (RefutedSet.count(Key) || UnknownSet.count(Key))
+    return;
+  if (prefixRefutes(Atom, Value))
+    RefutedSet.insert(Key);
+  else
+    UnknownSet.insert(Key);
+}
+
+bool SolverContext::prefixRefutes(TermId Atom, int64_t Value) {
+  const Frame &Last = Frames.back();
+  auto It = AtomIndex.find(Atom);
+  // An atom first mentioned in the newest scope is unconstrained by the
+  // prefix; no probe needed.
+  if (It == AtomIndex.end() || It->second >= Last.AtomSize)
+    return false;
+  ++Stats.MemoProbes;
+  std::vector<Interval> Doms = Last.EntryDomains;
+  Doms[It->second] = Doms[It->second].intersect(Interval::point(Value));
+  if (Doms[It->second].isEmpty())
+    return true;
+  std::vector<LinearAtom> PrefixRows(Rows.begin(), Rows.begin() + Last.RowSize);
+  SolverStats Scratch; // Probe work never lands in per-query stats.
+  Engine Probe(*this, PrefixRows, Last.AtomSize, Scratch, /*UseMemo=*/false);
+  return !Probe.propagate(Doms);
+}
+
+SatAnswer SolverContext::check(SolverStats &QueryStats) {
+  SatAnswer Answer;
+  if (PoisonedAt) {
+    Answer.Result = SatResult::Unknown;
+    Answer.Reason = "search budget exhausted";
+    return Answer;
+  }
+  if (RefutedAt) {
+    Answer.Result = SatResult::Unsat;
+    return Answer;
+  }
+
+  // Answer-cache replay: the frontier re-issues identical sibling queries
+  // (distinct parent inputs reaching the same branch points between sample
+  // generations; dedup only collapses same-parent candidates). check() is a
+  // deterministic function of (literal sequence, sample table), so a replay
+  // is byte-identical to recomputing — provided a fresh run would not have
+  // hit the decision budget first, hence the Spent guard.
+  const size_t SampleGen = Options.Samples ? Options.Samples->size() : 0;
+  if (Options.EnableAnswerCache) {
+    auto It = AnswerCache.find({Lits, SampleGen});
+    if (It != AnswerCache.end() &&
+        QueryStats.Decisions + It->second.Spent <= Options.MaxDecisions) {
+      ++Stats.AnswerCacheHits;
+      static telemetry::Counter &CacheHits =
+          telemetry::Registry::global().counter("solver.answer_cache_hits");
+      CacheHits.add();
+      return It->second.Answer;
+    }
+    ++Stats.AnswerCacheMisses;
+  }
+  const unsigned DecisionsBefore = QueryStats.Decisions;
+  auto CacheResult = [&](const SatAnswer &A) {
+    if (!Options.EnableAnswerCache || A.Result == SatResult::Unknown)
+      return;
+    if (AnswerCache.size() >= 4096) // Backstop for pathological contexts.
+      return;
+    AnswerCache.emplace(
+        std::make_pair(Lits, SampleGen),
+        CachedAnswer{A, QueryStats.Decisions - DecisionsBefore});
+  };
+
+  // Gauss–Jordan elimination over the equality subsystem runs on a copy at
+  // check time: interval propagation alone cannot combine equations, but
+  // keeping the elimination incremental would mean re-running it on every
+  // assert. The copies are cheap (rows are small) and the base rows stay
+  // untouched for pop()/prefix probes.
+  std::vector<LinearAtom> Work = Rows;
+  if (!eliminateEqualities(Work)) {
+    Answer.Result = SatResult::Unsat;
+    CacheResult(Answer);
+    return Answer;
+  }
+  if (fourierMotzkinRefutes(Work)) {
+    Answer.Result = SatResult::Unsat;
+    CacheResult(Answer);
+    return Answer;
+  }
+
+  bool UseMemo = Options.EnableRefutationMemo;
+  Model M;
+  Engine::Outcome Out;
+  if (Work == Rows) {
+    // Fast path: elimination was the identity, so the base domains (the
+    // assert-time fixpoint over exactly these rows, with congruence
+    // constants folded in) are the search's starting point.
+    Engine E(*this, Rows, Atoms.size(), QueryStats, UseMemo);
+    std::vector<Interval> Doms = Domains;
+    if (!E.propagate(Doms)) {
+      Answer.Result = SatResult::Unsat;
+      CacheResult(Answer);
+      return Answer;
+    }
+    Out = E.search(std::move(Doms), 0, M);
+  } else {
+    // Slow path: elimination rewrote rows, so congruence constants and
+    // domains are rebuilt against the echelon system, exactly like a
+    // one-shot solve.
+    CongruenceClosure ScratchCC(Arena);
+    for (const LinearAtom &LA : Work)
+      if (!assertRowInCC(Arena, ScratchCC, LA)) {
+        Answer.Result = SatResult::Unsat;
+        CacheResult(Answer);
+        return Answer;
+      }
+    std::vector<Interval> Doms(Atoms.size(), Interval::full());
+    for (size_t I = 0; I != Atoms.size(); ++I)
+      if (auto C = ScratchCC.constantOf(Atoms[I]))
+        Doms[I] = Doms[I].intersect(Interval::point(*C));
+    Engine E(*this, Work, Atoms.size(), QueryStats, UseMemo);
+    if (!E.propagate(Doms)) {
+      Answer.Result = SatResult::Unsat;
+      CacheResult(Answer);
+      return Answer;
+    }
+    Out = E.search(std::move(Doms), 0, M);
+  }
+
+  switch (Out) {
+  case Engine::Outcome::Sat: {
+    // Re-verify against the original literals; the engine only checked its
+    // row system.
+    M.attachSamples(Options.Samples);
+    bool Verified = true;
+    for (TermId Lit : Lits)
+      if (!M.evalBool(Arena, Lit)) {
+        Verified = false;
+        break;
+      }
+    if (Verified) {
+      Answer.Result = SatResult::Sat;
+      Answer.ModelValue = std::move(M);
+    } else {
+      Answer.Result = SatResult::Unknown;
+      Answer.Reason = "search budget exhausted";
+    }
+    CacheResult(Answer);
+    return Answer;
+  }
+  case Engine::Outcome::Refuted:
+    Answer.Result = SatResult::Unsat;
+    CacheResult(Answer);
+    return Answer;
+  case Engine::Outcome::Exhausted:
+    Answer.Result = SatResult::Unknown;
+    Answer.Reason = "search budget exhausted";
+    return Answer;
+  }
+  HOTG_UNREACHABLE("unknown engine outcome");
+}
+
+std::optional<std::vector<TermId>>
+SolverContext::conjunctiveLiterals(TermArena &Arena, TermId Formula) {
+  TermId NNF = toNNF(Arena, Formula);
+  if (Arena.isBoolConst(NNF))
+    return std::nullopt;
+  std::vector<TermId> Out;
+  std::vector<TermId> Stack{NNF};
+  while (!Stack.empty()) {
+    TermId T = Stack.back();
+    Stack.pop_back();
+    if (Arena.kind(T) == TermKind::And) {
+      auto Ops = Arena.operands(T);
+      for (auto It = Ops.rbegin(); It != Ops.rend(); ++It)
+        Stack.push_back(*It);
+      continue;
+    }
+    if (Arena.kind(T) == TermKind::Or || Arena.isBoolConst(T))
+      return std::nullopt;
+    Out.push_back(T);
+  }
+  return Out;
+}
+
+void SolverContext::retarget(std::span<const TermId> Literals) {
+  assert(Lits.size() == Frames.size() &&
+         "retarget requires one literal per scope and no base assertions");
+  size_t Common = 0;
+  while (Common < Lits.size() && Common < Literals.size() &&
+         Lits[Common] == Literals[Common])
+    ++Common;
+  while (Frames.size() > Common)
+    pop();
+  Stats.PrefixLiteralsReused += Common;
+  if (Common != 0) {
+    static telemetry::Counter &Reused =
+        telemetry::Registry::global().counter("solver.prefix_literals_reused");
+    Reused.add(Common);
+  }
+  for (size_t I = Common; I != Literals.size(); ++I) {
+    push();
+    assertLiteral(Literals[I]);
+  }
+}
+
+void SolverContext::reset() {
+  while (!Frames.empty())
+    pop();
+  Lits.clear();
+  Rows.clear();
+  Atoms.clear();
+  AtomIndex.clear();
+  Domains.clear();
+  CC.clear();
+  PoisonedAt.reset();
+  RefutedAt.reset();
+  BaseMemoRefuted.clear();
+  BaseMemoUnknown.clear();
+  // NormCache survives: it is a pure function of arena terms.
+}
+
+SatAnswer SolverContext::checkFormula(TermId Formula, SolverStats &QueryStats) {
+  TermId NNF = toNNF(Arena, Formula);
+  if (Arena.isBoolConst(NNF)) {
+    SatAnswer Answer;
+    Answer.Result =
+        Arena.boolConstValue(NNF) ? SatResult::Sat : SatResult::Unsat;
+    return Answer;
+  }
+
+  if (auto Literals = conjunctiveLiterals(Arena, Formula)) {
+    // Incremental fast path: a flat conjunction retargets this context's
+    // assertion stack, sharing whatever prefix is already asserted.
+    retarget(*Literals);
+    QueryStats.SupportsExplored += 1;
+    return check(QueryStats);
+  }
+
+  // Disjunctive structure: enumerate conjunctive supports in scratch
+  // contexts, sharing QueryStats so the decision budget spans the whole
+  // query (the historic one-shot accounting).
+  SatAnswer Answer;
+  Answer.Result = SatResult::Unsat; // Until a support survives.
+  bool SawExhausted = false;
+  SupportEnumStats EnumStats = forEachSupport(
+      Arena, NNF, Options.MaxSupports,
+      [&](const std::vector<TermId> &Literals) {
+        SolverContext Scratch(Arena, Options);
+        for (TermId Lit : Literals)
+          Scratch.assertLiteral(Lit);
+        SatAnswer Sub = Scratch.check(QueryStats);
+        if (Sub.isSat()) {
+          // Verify against the full original formula under the model.
+          if (Sub.ModelValue.evalBool(Arena, Formula)) {
+            Answer.Result = SatResult::Sat;
+            Answer.ModelValue = std::move(Sub.ModelValue);
+            return true;
+          }
+          SawExhausted = true; // Model verification failed; inconclusive.
+          return false;
+        }
+        if (Sub.Result == SatResult::Unknown)
+          SawExhausted = true;
+        return false;
+      });
+  QueryStats.SupportsExplored += EnumStats.SupportsTried;
+
+  if (Answer.Result == SatResult::Sat)
+    return Answer;
+  if (SawExhausted || EnumStats.BudgetExhausted) {
+    Answer.Result = SatResult::Unknown;
+    Answer.Reason = EnumStats.BudgetExhausted ? "support budget exhausted"
+                                              : "search budget exhausted";
+  }
+  return Answer;
+}
+
+void SolverContext::foldQueryTelemetry(const SatAnswer &Answer,
+                                       const SolverStats &QueryStats,
+                                       SolverStats &CumStats,
+                                       int64_t ElapsedNs) {
+  telemetry::Registry &Reg = telemetry::Registry::global();
+  ++CumStats.Checks;
+  CumStats.SupportsExplored += QueryStats.SupportsExplored;
+  CumStats.Decisions += QueryStats.Decisions;
+  CumStats.Propagations += QueryStats.Propagations;
+  Reg.counter("solver.decisions").add(QueryStats.Decisions);
+  Reg.counter("solver.propagations").add(QueryStats.Propagations);
+  Reg.counter("solver.supports_explored").add(QueryStats.SupportsExplored);
+  switch (Answer.Result) {
+  case SatResult::Sat:
+    Reg.counter("solver.sat").add();
+    break;
+  case SatResult::Unsat:
+    Reg.counter("solver.unsat").add();
+    break;
+  case SatResult::Unknown:
+    Reg.counter("solver.unknown").add();
+    break;
+  }
+
+  if (telemetry::TraceSink *S = telemetry::sink()) {
+    telemetry::Event E(telemetry::EventKind::SolverCheck);
+    E.set("result", satResultName(Answer.Result));
+    E.set("supports", int64_t(QueryStats.SupportsExplored));
+    E.set("decisions", int64_t(QueryStats.Decisions));
+    E.set("propagations", int64_t(QueryStats.Propagations));
+    E.set("ns", ElapsedNs);
+    if (!Answer.Reason.empty())
+      E.set("reason", Answer.Reason);
+    S->handle(E);
+  }
+}
+
+SatAnswer SolverContext::checkFormulaWithTelemetry(TermId Formula,
+                                                   SolverStats &CumStats) {
+  telemetry::Registry &Reg = telemetry::Registry::global();
+  static telemetry::PhaseTimer &CheckTimer = Reg.timer("solver.check");
+  static telemetry::Counter &Checks = Reg.counter("solver.checks");
+  telemetry::ScopedTimer Timer(CheckTimer);
+  Checks.add();
+
+  SolverStats QueryStats;
+  SatAnswer Answer = checkFormula(Formula, QueryStats);
+  foldQueryTelemetry(Answer, QueryStats, CumStats,
+                     int64_t(Timer.elapsedNs()));
+  return Answer;
+}
+
+SatAnswer SolverContext::checkWithTelemetry(SolverStats &CumStats) {
+  telemetry::Registry &Reg = telemetry::Registry::global();
+  static telemetry::PhaseTimer &CheckTimer = Reg.timer("solver.check");
+  static telemetry::Counter &Checks = Reg.counter("solver.checks");
+  telemetry::ScopedTimer Timer(CheckTimer);
+  Checks.add();
+
+  SolverStats QueryStats;
+  SatAnswer Answer = check(QueryStats);
+  foldQueryTelemetry(Answer, QueryStats, CumStats,
+                     int64_t(Timer.elapsedNs()));
+  return Answer;
+}

@@ -37,11 +37,15 @@ private:
     default:
       break;
     }
-    std::vector<TermId> Ops;
+    // Copy before recursing: run() interns, which may reallocate the
+    // arena's shared operand pool under a live operands() span.
+    auto Span = Arena.operands(Term);
+    std::vector<TermId> Ops(Span.begin(), Span.end());
     bool Changed = false;
-    for (TermId Op : Arena.operands(Term)) {
-      Ops.push_back(run(Op));
-      Changed |= Ops.back() != Op;
+    for (TermId &Op : Ops) {
+      TermId Old = Op;
+      Op = run(Op);
+      Changed |= Op != Old;
     }
     if (!Changed)
       return Term;

@@ -15,6 +15,8 @@ public:
              const std::function<bool(const std::vector<TermId> &)> &Callback)
       : Arena(Arena), Budget(MaxSupports), Callback(Callback) {}
 
+  TermId Root = InvalidTerm;
+
   bool walk(std::vector<TermId> Obligations, std::vector<TermId> &Literals) {
     while (!Obligations.empty()) {
       TermId Term = Obligations.back();
@@ -25,13 +27,22 @@ public:
           return false; // This support is trivially false.
         continue;
       case TermKind::And: {
+        // Obligations pop from the back; pushing the operands reversed
+        // yields literals in source order, matching the flat-conjunction
+        // decomposition of SolverContext::conjunctiveLiterals (prefix
+        // sharing keys on that order).
         auto Ops = Arena.operands(Term);
-        Obligations.insert(Obligations.end(), Ops.begin(), Ops.end());
+        Obligations.insert(Obligations.end(), Ops.rbegin(), Ops.rend());
         continue;
       }
       case TermKind::Or: {
         size_t Mark = Literals.size();
-        for (TermId Disjunct : Arena.operands(Term)) {
+        // Copy before iterating: the callback may intern terms, and
+        // interning can reallocate the arena's shared operand pool,
+        // dangling any live operands() span.
+        auto Ops = Arena.operands(Term);
+        std::vector<TermId> Disjuncts(Ops.begin(), Ops.end());
+        for (TermId Disjunct : Disjuncts) {
           std::vector<TermId> Branch = Obligations;
           Branch.push_back(Disjunct);
           if (walk(std::move(Branch), Literals))
@@ -51,7 +62,8 @@ public:
         Literals.push_back(Term);
         continue;
       default:
-        HOTG_UNREACHABLE("support enumeration: formula not in NNF");
+        reportFatalError("support enumeration: formula not in NNF: " +
+                         Arena.toString(Term) + " in " + Arena.toString(Root));
       }
     }
     if (Budget == 0)
@@ -73,6 +85,7 @@ SupportEnumStats hotg::smt::forEachSupport(
     const TermArena &Arena, TermId Formula, unsigned MaxSupports,
     const std::function<bool(const std::vector<TermId> &)> &Callback) {
   Enumerator E(Arena, MaxSupports, Callback);
+  E.Root = Formula;
   std::vector<TermId> Literals;
   E.walk({Formula}, Literals);
   E.Stats.BudgetExhausted = E.Budget == 0;

@@ -1,0 +1,453 @@
+//===- tests/test_smt_incremental.cpp - Incremental solver contexts -------------===//
+//
+// The incremental architecture (docs/solver.md) rests on one invariant:
+// a SolverContext's state is a fold over its asserted literal sequence,
+// and pop() restores the exact pre-push state. These tests pin the
+// invariant at three levels — the CongruenceClosure undo trail, the
+// SolverContext scope stack (including retarget prefix sharing and the
+// refutation memo), and a search-level differential sweep asserting that
+// UseIncrementalContexts on/off produces identical SearchResults for
+// every example program, policy, and exploration order.
+//
+//===----------------------------------------------------------------------===//
+
+#include "app/Examples.h"
+#include "core/Search.h"
+#include "lang/Parser.h"
+#include "smt/CongruenceClosure.h"
+#include "smt/SolverContext.h"
+
+#include <gtest/gtest.h>
+
+using namespace hotg;
+using namespace hotg::smt;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// CongruenceClosure undo trail
+//===----------------------------------------------------------------------===//
+
+class CongruenceTrailTest : public ::testing::Test {
+protected:
+  TermArena Arena;
+  TermId X = Arena.mkVar("x");
+  TermId Y = Arena.mkVar("y");
+  TermId Z = Arena.mkVar("z");
+};
+
+TEST_F(CongruenceTrailTest, RollbackUndoesMerges) {
+  CongruenceClosure CC(Arena);
+  ASSERT_TRUE(CC.assertEqual(X, Y));
+  CongruenceClosure::Mark M = CC.mark();
+  ASSERT_TRUE(CC.assertEqual(Y, Z));
+  EXPECT_TRUE(CC.areEqual(X, Z));
+  CC.rollbackTo(M);
+  EXPECT_TRUE(CC.areEqual(X, Y)) << "pre-mark fact must survive";
+  EXPECT_FALSE(CC.areEqual(X, Z)) << "in-scope merge must be undone";
+}
+
+TEST_F(CongruenceTrailTest, RollbackUndoesConflict) {
+  CongruenceClosure CC(Arena);
+  TermId One = Arena.mkIntConst(1);
+  TermId Two = Arena.mkIntConst(2);
+  ASSERT_TRUE(CC.assertEqual(X, One));
+  CongruenceClosure::Mark M = CC.mark();
+  EXPECT_FALSE(CC.assertEqual(X, Two)) << "1 = 2 is a conflict";
+  EXPECT_TRUE(CC.inConflict());
+  CC.rollbackTo(M);
+  EXPECT_FALSE(CC.inConflict());
+  ASSERT_TRUE(CC.constantOf(X).has_value());
+  EXPECT_EQ(*CC.constantOf(X), 1);
+}
+
+TEST_F(CongruenceTrailTest, RollbackUndoesCongruenceAndDisequalities) {
+  CongruenceClosure CC(Arena);
+  FuncId F = Arena.getOrCreateFunc("f", 1);
+  TermId FX = Arena.mkUFApp(F, std::vector<TermId>{X});
+  TermId FY = Arena.mkUFApp(F, std::vector<TermId>{Y});
+  CongruenceClosure::Mark M = CC.mark();
+  ASSERT_TRUE(CC.assertEqual(X, Y));
+  EXPECT_TRUE(CC.areEqual(FX, FY)) << "congruence must fire";
+  ASSERT_TRUE(CC.assertDistinct(FX, Z));
+  EXPECT_TRUE(CC.areDistinct(FX, Z));
+  CC.rollbackTo(M);
+  EXPECT_FALSE(CC.areEqual(FX, FY));
+  EXPECT_FALSE(CC.areDistinct(FX, Z));
+}
+
+TEST_F(CongruenceTrailTest, MarksNestLifo) {
+  CongruenceClosure CC(Arena);
+  CongruenceClosure::Mark Outer = CC.mark();
+  ASSERT_TRUE(CC.assertEqual(X, Y));
+  CongruenceClosure::Mark Inner = CC.mark();
+  ASSERT_TRUE(CC.assertEqual(Y, Z));
+  CC.rollbackTo(Inner);
+  EXPECT_TRUE(CC.areEqual(X, Y));
+  EXPECT_FALSE(CC.areEqual(Y, Z));
+  CC.rollbackTo(Outer);
+  EXPECT_FALSE(CC.areEqual(X, Y));
+}
+
+//===----------------------------------------------------------------------===//
+// SolverContext scopes: the fold invariant
+//===----------------------------------------------------------------------===//
+
+class IncrementalContextTest : public ::testing::Test {
+protected:
+  TermArena Arena;
+  TermId X = Arena.mkVar("x");
+  TermId Y = Arena.mkVar("y");
+  TermId Z = Arena.mkVar("z");
+
+  TermId eqc(TermId T, int64_t C) { return Arena.mkEq(T, Arena.mkIntConst(C)); }
+  TermId ltc(TermId T, int64_t C) { return Arena.mkLt(T, Arena.mkIntConst(C)); }
+  TermId gec(TermId T, int64_t C) { return Arena.mkGe(T, Arena.mkIntConst(C)); }
+
+  /// Answers must agree down to the model's variable assignment — the
+  /// bit-identical-result guarantee of docs/solver.md.
+  static void expectSameAnswer(const SatAnswer &A, const SatAnswer &B,
+                               const char *What) {
+    EXPECT_EQ(A.Result, B.Result) << What;
+    EXPECT_EQ(A.ModelValue.varAssignments(), B.ModelValue.varAssignments())
+        << What;
+  }
+
+  SatAnswer freshConjunction(std::span<const TermId> Lits, SolverStats &S) {
+    Solver Fresh(Arena);
+    SatAnswer Answer = Fresh.checkConjunction(Lits);
+    S = Fresh.stats();
+    return Answer;
+  }
+};
+
+TEST_F(IncrementalContextTest, FoldMatchesFreshSolver) {
+  std::vector<TermId> Lits = {gec(X, 3), ltc(X, 10), eqc(Y, 7),
+                              Arena.mkEq(Z, Arena.mkAdd(std::vector<TermId>{X, Y}))};
+  SolverContext Ctx(Arena);
+  for (TermId Lit : Lits) {
+    Ctx.push();
+    EXPECT_TRUE(Ctx.assertLiteral(Lit));
+  }
+  SolverStats CtxStats;
+  SatAnswer Incremental = Ctx.check(CtxStats);
+
+  SolverStats FreshStats;
+  SatAnswer Fresh = freshConjunction(Lits, FreshStats);
+  expectSameAnswer(Incremental, Fresh, "fold vs fresh");
+  EXPECT_EQ(CtxStats.Decisions, FreshStats.Decisions);
+  EXPECT_EQ(CtxStats.Propagations, FreshStats.Propagations);
+}
+
+TEST_F(IncrementalContextTest, PopRestoresExactState) {
+  SolverContext Ctx(Arena);
+  Ctx.push();
+  ASSERT_TRUE(Ctx.assertLiteral(eqc(X, 5)));
+  SolverStats Before;
+  SatAnswer First = Ctx.check(Before);
+  ASSERT_EQ(First.Result, SatResult::Sat);
+
+  Ctx.push();
+  ASSERT_TRUE(Ctx.assertLiteral(eqc(X, 6)));
+  SolverStats Conflicted;
+  EXPECT_EQ(Ctx.check(Conflicted).Result, SatResult::Unsat);
+  Ctx.pop();
+
+  SolverStats After;
+  SatAnswer Second = Ctx.check(After);
+  expectSameAnswer(First, Second, "check after pop");
+  EXPECT_EQ(Before.Decisions, After.Decisions)
+      << "pop must restore the exact pre-push search state";
+  EXPECT_EQ(Before.Propagations, After.Propagations);
+}
+
+TEST_F(IncrementalContextTest, RetargetReusesCommonPrefix) {
+  std::vector<TermId> Prefix = {gec(X, 0), ltc(X, 100), eqc(Y, 7)};
+  std::vector<TermId> SibA = Prefix;
+  SibA.push_back(ltc(Z, 5));
+  std::vector<TermId> SibB = Prefix;
+  SibB.push_back(gec(Z, 5));
+
+  SolverContext Ctx(Arena);
+  Ctx.retarget(SibA);
+  SolverStats StatsA;
+  SatAnswer AnsA = Ctx.check(StatsA);
+  Ctx.retarget(SibB);
+  SolverStats StatsB;
+  SatAnswer AnsB = Ctx.check(StatsB);
+
+  EXPECT_EQ(Ctx.contextStats().PrefixLiteralsReused, Prefix.size())
+      << "the sibling retarget must keep the shared prefix asserted";
+
+  SolverStats FreshA, FreshB;
+  expectSameAnswer(AnsA, freshConjunction(SibA, FreshA), "sibling A");
+  expectSameAnswer(AnsB, freshConjunction(SibB, FreshB), "sibling B");
+  EXPECT_EQ(StatsA.Decisions, FreshA.Decisions);
+  EXPECT_EQ(StatsB.Decisions, FreshB.Decisions);
+}
+
+TEST_F(IncrementalContextTest, PoisonIsScopedToItsFrame) {
+  SolverContext Ctx(Arena);
+  Ctx.push();
+  ASSERT_TRUE(Ctx.assertLiteral(eqc(X, 4)));
+  Ctx.push();
+  // A disjunction is not a comparison literal: the context poisons itself
+  // rather than guessing.
+  EXPECT_FALSE(Ctx.assertLiteral(Arena.mkOr(eqc(Y, 1), eqc(Y, 2))));
+  SolverStats Poisoned;
+  EXPECT_EQ(Ctx.check(Poisoned).Result, SatResult::Unknown);
+  Ctx.pop();
+  SolverStats Clean;
+  EXPECT_EQ(Ctx.check(Clean).Result, SatResult::Sat)
+      << "poison must not outlive its owning scope";
+}
+
+TEST_F(IncrementalContextTest, RefutationMemoPreservesAnswers) {
+  // Sibling queries over a shared prefix, memo on: answers and models must
+  // be byte-identical to fresh solving; only the work may shrink.
+  SolverOptions MemoOpts;
+  MemoOpts.EnableRefutationMemo = true;
+  SolverContext Ctx(Arena, MemoOpts);
+
+  std::vector<TermId> Prefix = {gec(X, 0), ltc(X, 8), eqc(Y, 3),
+                                Arena.mkEq(Z, Arena.mkAdd(std::vector<TermId>{X, Y}))};
+  unsigned IncrementalDecisions = 0, FreshDecisions = 0;
+  for (int64_t Flip = 0; Flip != 8; ++Flip) {
+    std::vector<TermId> Query = Prefix;
+    Query.push_back(Flip % 2 ? Arena.mkNe(X, Arena.mkIntConst(Flip))
+                             : eqc(X, Flip));
+    Ctx.retarget(Query);
+    SolverStats QS;
+    SatAnswer Incremental = Ctx.check(QS);
+    IncrementalDecisions += QS.Decisions;
+
+    SolverStats FS;
+    SatAnswer Fresh = freshConjunction(Query, FS);
+    FreshDecisions += FS.Decisions;
+    expectSameAnswer(Incremental, Fresh,
+                     ("memo sibling #" + std::to_string(Flip)).c_str());
+  }
+  EXPECT_LE(IncrementalDecisions, FreshDecisions)
+      << "the memo may only remove work, never add decisions";
+}
+
+TEST_F(IncrementalContextTest, CheckFormulaLeavesAssertionsUntouched) {
+  SolverContext Ctx(Arena);
+  Ctx.push();
+  ASSERT_TRUE(Ctx.assertLiteral(eqc(X, 1)));
+  size_t Scopes = Ctx.numScopes();
+  size_t Lits = Ctx.numAssertedLiterals();
+
+  // Disjunctive formulas route through scratch contexts.
+  TermId Disjunctive = Arena.mkOr(eqc(Y, 1), eqc(Y, 2));
+  SolverStats QS;
+  SatAnswer Answer = Ctx.checkFormula(Disjunctive, QS);
+  EXPECT_EQ(Answer.Result, SatResult::Sat);
+  EXPECT_EQ(Ctx.numScopes(), Scopes);
+  EXPECT_EQ(Ctx.numAssertedLiterals(), Lits);
+
+  Solver Fresh(Arena);
+  SatAnswer FreshAnswer = Fresh.check(Disjunctive);
+  expectSameAnswer(Answer, FreshAnswer, "disjunctive scratch path");
+}
+
+TEST_F(IncrementalContextTest, CheckWithTelemetryFoldsCumulativeStats) {
+  SolverContext Ctx(Arena);
+  Ctx.push();
+  ASSERT_TRUE(Ctx.assertLiteral(gec(X, 2)));
+  SolverStats Cum;
+  SatAnswer First = Ctx.checkWithTelemetry(Cum);
+  EXPECT_EQ(First.Result, SatResult::Sat);
+  EXPECT_EQ(Cum.Checks, 1u);
+  SatAnswer Second = Ctx.checkWithTelemetry(Cum);
+  expectSameAnswer(First, Second, "repeated check");
+  EXPECT_EQ(Cum.Checks, 2u) << "cumulative stats must fold across queries";
+}
+
+TEST_F(IncrementalContextTest, SolverWrapperReportsScopeTraffic) {
+  // The one-shot Solver API is a thin wrapper over a fresh context; its
+  // stats must surface the context's scope accounting.
+  Solver S(Arena);
+  TermId F = Arena.mkAnd(std::vector<TermId>{gec(X, 1), ltc(X, 9), eqc(Y, 2)});
+  ASSERT_EQ(S.check(F).Result, SatResult::Sat);
+  EXPECT_EQ(S.stats().ScopePushes, 3u) << "one scope per literal";
+  EXPECT_EQ(S.stats().PrefixLiteralsReused, 0u)
+      << "a fresh context has no prefix to reuse";
+}
+
+//===----------------------------------------------------------------------===//
+// Answer cache
+//===----------------------------------------------------------------------===//
+
+TEST_F(IncrementalContextTest, AnswerCacheReplaysIdenticalQueries) {
+  // The frontier re-issues identical sibling queries (distinct parents
+  // reaching the same branch points). With the answer cache on, a repeat
+  // costs zero decisions and replays the byte-identical answer.
+  SolverOptions Opts;
+  Opts.EnableAnswerCache = true;
+  SolverContext Ctx(Arena, Opts);
+  std::vector<TermId> Query{gec(X, 3), ltc(X, 9), eqc(Y, 2)};
+
+  SolverStats First;
+  SatAnswer A = Ctx.checkFormula(Arena.mkAnd(Query), First);
+  ASSERT_EQ(A.Result, SatResult::Sat);
+  ASSERT_GT(First.Decisions, 0u) << "query must exercise the search";
+
+  SolverStats Second;
+  SatAnswer B = Ctx.checkFormula(Arena.mkAnd(Query), Second);
+  expectSameAnswer(A, B, "cached replay");
+  EXPECT_EQ(Second.Decisions, 0u) << "replay must not re-search";
+  EXPECT_EQ(Ctx.contextStats().AnswerCacheHits, 1u);
+  EXPECT_EQ(Ctx.contextStats().AnswerCacheMisses, 1u);
+
+  // And the replay matches a from-scratch solve exactly.
+  Solver Fresh(Arena);
+  expectSameAnswer(Fresh.checkConjunction(Query), B, "replay vs fresh");
+}
+
+TEST_F(IncrementalContextTest, AnswerCacheKeyedOnSampleGeneration) {
+  // The cache key includes the sample-table generation: the table is
+  // append-only, so a grown table may decide more, and stale replays are
+  // not allowed across generations.
+  SampleTable Samples;
+  SolverOptions Opts;
+  Opts.Samples = &Samples;
+  Opts.EnableAnswerCache = true;
+  SolverContext Ctx(Arena, Opts);
+  std::vector<TermId> Query{gec(X, 0), ltc(X, 4)};
+
+  SolverStats First;
+  ASSERT_EQ(Ctx.checkFormula(Arena.mkAnd(Query), First).Result,
+            SatResult::Sat);
+  FuncId F = Arena.getOrCreateFunc("h", 1);
+  Samples.record(F, {7}, 42);
+
+  SolverStats Second;
+  ASSERT_EQ(Ctx.checkFormula(Arena.mkAnd(Query), Second).Result,
+            SatResult::Sat);
+  EXPECT_EQ(Ctx.contextStats().AnswerCacheHits, 0u)
+      << "a new sample generation must invalidate the cache";
+  EXPECT_EQ(Ctx.contextStats().AnswerCacheMisses, 2u);
+  EXPECT_EQ(Second.Decisions, First.Decisions)
+      << "the re-solve is a fresh fold over the same state";
+}
+
+TEST_F(IncrementalContextTest, AnswerCacheRespectsDecisionBudget) {
+  // A replay is accepted only when a fresh run would have finished within
+  // the caller's remaining decision budget; otherwise check() must fall
+  // through and report the same budget exhaustion a fresh solver would.
+  SolverOptions Opts;
+  Opts.EnableAnswerCache = true;
+  SolverContext Ctx(Arena, Opts);
+  std::vector<TermId> Query{gec(X, 3), ltc(X, 9)};
+
+  SolverStats First;
+  ASSERT_EQ(Ctx.checkFormula(Arena.mkAnd(Query), First).Result,
+            SatResult::Sat);
+  ASSERT_GT(First.Decisions, 0u);
+
+  SolverStats Exhausted;
+  Exhausted.Decisions = Ctx.options().MaxDecisions;
+  SatAnswer B = Ctx.checkFormula(Arena.mkAnd(Query), Exhausted);
+  EXPECT_EQ(B.Result, SatResult::Unknown)
+      << "an exhausted budget must not be papered over by a cached Sat";
+}
+
+//===----------------------------------------------------------------------===//
+// Search-level differential sweep
+//===----------------------------------------------------------------------===//
+
+/// The deterministic slice of a SearchResult (scope/reuse counters are
+/// schedule-descriptive and excluded; see docs/observability.md).
+void expectSameSearchResult(const core::SearchResult &A,
+                            const core::SearchResult &B, const char *What) {
+  ASSERT_EQ(A.Tests.size(), B.Tests.size()) << What;
+  for (size_t I = 0; I != A.Tests.size(); ++I) {
+    EXPECT_EQ(A.Tests[I].Input.Cells, B.Tests[I].Input.Cells)
+        << What << " test #" << I;
+    EXPECT_EQ(A.Tests[I].Status, B.Tests[I].Status) << What << " #" << I;
+    EXPECT_EQ(A.Tests[I].Diverged, B.Tests[I].Diverged) << What << " #" << I;
+    EXPECT_EQ(A.Tests[I].Intermediate, B.Tests[I].Intermediate)
+        << What << " #" << I;
+  }
+  ASSERT_EQ(A.Bugs.size(), B.Bugs.size()) << What;
+  for (size_t I = 0; I != A.Bugs.size(); ++I) {
+    EXPECT_EQ(A.Bugs[I].Input.Cells, B.Bugs[I].Input.Cells) << What;
+    EXPECT_EQ(A.Bugs[I].Status, B.Bugs[I].Status) << What;
+    EXPECT_EQ(A.Bugs[I].Site, B.Bugs[I].Site) << What;
+    EXPECT_EQ(A.Bugs[I].FoundAtTest, B.Bugs[I].FoundAtTest) << What;
+  }
+  EXPECT_TRUE(A.Cov == B.Cov) << What << ": coverage differs";
+  EXPECT_EQ(A.Divergences, B.Divergences) << What;
+  EXPECT_EQ(A.SolverCalls, B.SolverCalls) << What;
+  EXPECT_EQ(A.ValidityCalls, B.ValidityCalls) << What;
+  EXPECT_EQ(A.MultiStepRuns, B.MultiStepRuns) << What;
+  EXPECT_EQ(A.SolverQueryStats.Checks, B.SolverQueryStats.Checks) << What;
+  EXPECT_EQ(A.SolverQueryStats.SupportsExplored,
+            B.SolverQueryStats.SupportsExplored)
+      << What;
+  EXPECT_EQ(A.SolverQueryStats.Decisions, B.SolverQueryStats.Decisions)
+      << What;
+  EXPECT_EQ(A.SolverQueryStats.Propagations, B.SolverQueryStats.Propagations)
+      << What;
+  EXPECT_EQ(A.ValidityQueryStats.SupportsExplored,
+            B.ValidityQueryStats.SupportsExplored)
+      << What;
+  EXPECT_EQ(A.ValidityQueryStats.GroundingsTried,
+            B.ValidityQueryStats.GroundingsTried)
+      << What;
+  EXPECT_EQ(A.ValidityQueryStats.InnerSolverCalls,
+            B.ValidityQueryStats.InnerSolverCalls)
+      << What;
+}
+
+class IncrementalSearchSweep
+    : public ::testing::TestWithParam<
+          std::tuple<dse::ConcretizationPolicy, bool>> {};
+
+TEST_P(IncrementalSearchSweep, MatchesFromScratchOnEveryExample) {
+  auto [Policy, DepthFirst] = GetParam();
+  for (const app::ExampleProgram &Example : app::allExamples()) {
+    lang::Program Prog = app::compileExample(Example);
+    interp::NativeRegistry Natives;
+    app::registerExampleNatives(Natives);
+
+    auto RunArm = [&](bool Incremental) {
+      core::SearchOptions Options;
+      Options.Policy = Policy;
+      Options.MaxTests = 24;
+      Options.InitialInput = Example.InitialInput;
+      Options.SkipCoveredTargets = false;
+      Options.Order = DepthFirst ? core::SearchOptions::OrderKind::DepthFirst
+                                 : core::SearchOptions::OrderKind::BreadthFirst;
+      Options.UseIncrementalContexts = Incremental;
+      core::DirectedSearch Search(Prog, Natives, Example.Entry, Options);
+      core::SearchResult Result = Search.run();
+      return std::make_pair(std::move(Result), Search.exportSamples());
+    };
+
+    auto [Incremental, IncSamples] = RunArm(true);
+    auto [FromScratch, FsSamples] = RunArm(false);
+    expectSameSearchResult(Incremental, FromScratch, Example.Name.c_str());
+    EXPECT_EQ(IncSamples, FsSamples)
+        << Example.Name << ": learned IOF tables must match";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, IncrementalSearchSweep,
+    ::testing::Combine(
+        ::testing::Values(dse::ConcretizationPolicy::Unsound,
+                          dse::ConcretizationPolicy::Sound,
+                          dse::ConcretizationPolicy::SoundDelayed,
+                          dse::ConcretizationPolicy::HigherOrder),
+        ::testing::Bool()),
+    [](const auto &Info) {
+      std::string Name = dse::policyName(std::get<0>(Info.param));
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name + (std::get<1>(Info.param) ? "_dfs" : "_bfs");
+    });
+
+} // namespace

@@ -288,9 +288,19 @@ int main(int Argc, char **Argv) {
     }
 
   telemetry::setSink(nullptr);
-  if (PrintStats)
-    std::fprintf(stderr, "%s",
-                 telemetry::Registry::global().statsTable().c_str());
+  if (PrintStats) {
+    telemetry::Registry &Reg = telemetry::Registry::global();
+    std::fprintf(stderr, "%s", Reg.statsTable().c_str());
+    // Incremental-context reuse rate: literals kept asserted across
+    // retargets as a fraction of all literal assertion work (reused +
+    // freshly pushed scopes). See docs/solver.md.
+    uint64_t Reused = Reg.counter("solver.prefix_literals_reused").value();
+    uint64_t Pushes = Reg.counter("solver.scope_pushes").value();
+    if (Reused + Pushes != 0)
+      std::fprintf(stderr, "solver prefix reuse: %.1f%% (%llu reused, %llu pushed)\n",
+                   100.0 * double(Reused) / double(Reused + Pushes),
+                   (unsigned long long)Reused, (unsigned long long)Pushes);
+  }
   if (!StatsJsonPath.empty()) {
     std::ofstream StatsFile(StatsJsonPath);
     if (!StatsFile) {

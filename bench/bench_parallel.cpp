@@ -20,6 +20,7 @@
 #include "app/PacketParser.h"
 #include "core/Search.h"
 #include "lang/Parser.h"
+#include "support/FaultInjector.h"
 #include "support/StringUtils.h"
 #include "support/Support.h"
 #include "support/Telemetry.h"
@@ -116,8 +117,32 @@ void runWorkload(const char *Name, const lang::Program &Prog,
   }
   T.print();
   std::printf("determinism: identical tests/bugs/coverage/query stats for "
-              "jobs 1/2/4 on %s\n\n",
+              "jobs 1/2/4 on %s\n",
               Name);
+
+  // Fault-tolerance leg (docs/robustness.md): re-run at --jobs 4 with
+  // worker-dispatch faults injected at p = 0.2. Recovery must be invisible
+  // in the result — identical to the fault-free serial run — and only
+  // visible as worker failures + inline retries.
+  {
+    std::string Error;
+    auto Injector =
+        support::FaultInjector::parse("worker-dispatch:0.2:7", Error);
+    if (!Injector)
+      reportFatalError("bench_parallel: bad fault spec: " + Error);
+    support::setFaultInjector(Injector.get());
+    SearchOptions O = Options;
+    O.Jobs = 4;
+    Measured Faulty = timedSearch(Prog, Natives, Entry, O);
+    support::setFaultInjector(nullptr);
+    if (!sameResult(Serial.Result, Faulty.Result))
+      reportFatalError(formatString(
+          "bench_parallel: %s diverged under injected worker faults", Name));
+    std::printf("fault tolerance: %u worker failures, %u inline retries, "
+                "result identical to fault-free serial on %s\n\n",
+                Faulty.Result.WorkerFailures, Faulty.Result.InlineRetries,
+                Name);
+  }
 }
 
 } // namespace

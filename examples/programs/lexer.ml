@@ -1,0 +1,35 @@
+// The Section 7 keyword-hash lexer (buildKeywordLexer({6, 2})), dumped to
+// a file so hotg-run and the CI fault-injection smoke matrix can drive the
+// flagship application end to end. Six keywords, two 4-character chunks;
+// reaching the error sites requires inverting hash4 through IOF samples
+// (higher-order policy); plain DSE degenerates to random testing here.
+extern hash4(int, int, int, int) -> int;
+
+fun classify(c0: int, c1: int, c2: int, c3: int) -> int {
+  var sym: int = hash4(c0, c1, c2, c3);
+  if (sym == hash4(119, 104, 105, 108)) { return 1; } // "whil"
+  if (sym == hash4(100, 111, 110, 101)) { return 2; } // "done"
+  if (sym == hash4(101, 108, 115, 101)) { return 3; } // "else"
+  if (sym == hash4(108, 111, 111, 112)) { return 4; } // "loop"
+  if (sym == hash4(102, 117, 110, 99)) { return 5; } // "func"
+  if (sym == hash4(99, 97, 108, 108)) { return 6; } // "call"
+  return 0; // identifier
+}
+
+fun lex_main(buf: int[8]) -> int {
+  var t0: int = classify(buf[0], buf[1], buf[2], buf[3]);
+  var t1: int = classify(buf[4], buf[5], buf[6], buf[7]);
+  if (t0 == 1) {
+    if (t1 == 2) {
+      error("parsed 'whil done' production");
+    }
+    return 100;
+  }
+  if (t0 == 3 && t1 == 3) {
+    error("parsed repeated 'else'");
+  }
+  var nkw: int = 0;
+  if (t0 > 0) { nkw = nkw + 1; }
+  if (t1 > 0) { nkw = nkw + 1; }
+  return nkw;
+}

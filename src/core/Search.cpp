@@ -5,6 +5,7 @@
 #include "core/Post.h"
 #include "smt/QueryCache.h"
 #include "smt/SolverContext.h"
+#include "support/FaultInjector.h"
 #include "support/Random.h"
 #include "support/Support.h"
 #include "support/Telemetry.h"
@@ -112,6 +113,11 @@ struct DirectedSearch::ParallelState {
   struct Worker {
     smt::TermArena Replica;   ///< Exact prefix of the main arena.
     size_t DeltasApplied = 0; ///< Index into Deltas (owning thread only).
+    /// Set when a job threw mid-flight: the replica may no longer be an
+    /// exact prefix (e.g. not truncated back to its pre-query mark), so
+    /// the next job on this worker rebuilds it from the full delta stream
+    /// before trusting it (docs/robustness.md).
+    bool Broken = false;
     /// Persistent incremental context over the replica (owning thread
     /// only), retargeted per sat job; ALT queries flatten negated-literal
     /// first, so positional prefix sharing is incidental here — the point
@@ -127,6 +133,11 @@ struct DirectedSearch::ParallelState {
 
   /// Speculations in flight, by Candidate::Id (main thread only).
   std::unordered_map<uint64_t, std::future<void>> Inflight;
+
+  /// Set by awaitSpeculation when the awaited job failed: the next inline
+  /// computation for this candidate is the recovery retry and is counted
+  /// as such (main thread only; cleared after each candidate).
+  bool PendingInlineRetry = false;
 
   /// Declared last: its destructor drains the queue and joins the workers
   /// while the replicas, deltas and cache above are still alive.
@@ -146,67 +157,102 @@ void DirectedSearch::ParallelState::runJob(
     std::shared_ptr<const smt::SampleTable> Snap) {
   Worker &Me = Workers[W];
 
-  // Catch the replica up to (at least) this job's publish point. Later
-  // deltas are fine too: the arena is append-only and the query's root was
-  // published, so extra unreachable terms cannot change the answer.
-  std::vector<std::shared_ptr<const smt::ArenaDelta>> Pending;
-  {
-    std::lock_guard<std::mutex> Lock(DeltaMutex);
-    Pending.assign(Deltas.begin() + Me.DeltasApplied, Deltas.end());
-  }
-  for (const auto &D : Pending)
-    Me.Replica.applyDelta(*D);
-  Me.DeltasApplied += Pending.size();
-
-  if (Cache.contains(Fp, Gen, Kind))
-    return; // Another worker (or the merge path) already answered.
-
-  smt::ArenaMark Mark = Me.Replica.mark();
-  smt::PortableAnswer PA;
-  if (Kind == smt::QueryKind::Satisfiability) {
-    smt::SolverStats QS;
-    smt::SatAnswer Answer;
-    if (UseIncremental) {
-      if (!Me.Ctx) {
-        smt::SolverOptions CtxOpts = SolverOpts;
-        // The memo would make per-query decision counts depend on which
-        // queries this worker happened to run earlier — the cached stats
-        // must equal what the merge path computes (docs/solver.md).
-        CtxOpts.EnableRefutationMemo = false;
-        Me.Ctx = std::make_unique<smt::SolverContext>(Me.Replica, CtxOpts);
-      }
-      Answer = Me.Ctx->checkFormulaWithTelemetry(Alt, QS);
-    } else {
-      smt::Solver Solver(Me.Replica, SolverOpts);
-      Answer = Solver.check(Alt);
-      QS = Solver.stats();
-    }
-    PA = encodeSat(Answer, QS, Me.Replica);
-  } else {
-    ValiditySolver Validity(Me.Replica, *Snap, VOpts);
-    ValidityAnswer Answer = Validity.checkPost(Alt);
-    PA = encodeValidity(Answer, Validity.stats(), Me.Replica);
-  }
-
-  // Transferability gate: if the query interned any new atom, its answer
-  // may depend on atom id order the merge-time main arena will not share —
-  // discard it and let the merge path recompute inline.
-  bool Transferable = Me.Replica.numAtomsCreatedSince(Mark) == 0;
-  // The persistent context may retain state (asserted rows, congruence
-  // constants, cached normalizations) referencing terms this query interned
-  // above the mark; the truncation below recycles those TermIds, so the
-  // context cannot outlive them. Queries that interned nothing (the common
-  // case — ALT roots and their subterms are published before dispatch)
-  // keep the context, and with it the cross-job prefix sharing.
-  if (Me.Ctx && !(Me.Replica.mark() == Mark))
+  // A previous job on this worker threw mid-flight, so the replica cannot
+  // be trusted as an exact prefix anymore. Rebuild it from scratch by
+  // replaying the full delta stream (delta 0 starts from the empty arena),
+  // and drop the context that referenced the old replica's TermIds.
+  if (Me.Broken) {
+    Me.Replica = smt::TermArena();
+    Me.DeltasApplied = 0;
     Me.Ctx.reset();
-  Me.Replica.truncateTo(Mark); // Stay an exact prefix for the next job.
-  if (Transferable)
-    Cache.store(Fp, Gen, Kind, std::move(PA));
-  else
-    telemetry::Registry::global()
-        .counter("search.speculation_discarded")
-        .add();
+    Me.Broken = false;
+    telemetry::Registry::global().counter("search.replica_rebuilds").add();
+  }
+
+  try {
+    // Catch the replica up to (at least) this job's publish point. Later
+    // deltas are fine too: the arena is append-only and the query's root
+    // was published, so extra unreachable terms cannot change the answer.
+    std::vector<std::shared_ptr<const smt::ArenaDelta>> Pending;
+    {
+      std::lock_guard<std::mutex> Lock(DeltaMutex);
+      Pending.assign(Deltas.begin() + Me.DeltasApplied, Deltas.end());
+    }
+    for (const auto &D : Pending) {
+      // Fault site: before the delta lands, so an injected throw leaves
+      // the replica consistent (merely stale) — the Broken rebuild is
+      // still exercised, just never against a half-applied delta.
+      support::maybeInjectFault(support::FaultSite::ArenaDelta);
+      Me.Replica.applyDelta(*D);
+      ++Me.DeltasApplied;
+    }
+
+    if (Cache.contains(Fp, Gen, Kind))
+      return; // Another worker (or the merge path) already answered.
+
+    smt::ArenaMark Mark = Me.Replica.mark();
+    smt::PortableAnswer PA;
+    bool Unfinished = false; // Unknown answer (may encode a deadline).
+    if (Kind == smt::QueryKind::Satisfiability) {
+      smt::SolverStats QS;
+      smt::SatAnswer Answer;
+      if (UseIncremental) {
+        if (!Me.Ctx) {
+          smt::SolverOptions CtxOpts = SolverOpts;
+          // The memo would make per-query decision counts depend on which
+          // queries this worker happened to run earlier — the cached stats
+          // must equal what the merge path computes (docs/solver.md).
+          CtxOpts.EnableRefutationMemo = false;
+          Me.Ctx = std::make_unique<smt::SolverContext>(Me.Replica, CtxOpts);
+        }
+        Answer = Me.Ctx->checkFormulaWithTelemetry(Alt, QS);
+      } else {
+        smt::Solver Solver(Me.Replica, SolverOpts);
+        Answer = Solver.check(Alt);
+        QS = Solver.stats();
+      }
+      Unfinished = Answer.Result == smt::SatResult::Unknown;
+      PA = encodeSat(Answer, QS, Me.Replica);
+    } else {
+      ValiditySolver Validity(Me.Replica, *Snap, VOpts);
+      ValidityAnswer Answer = Validity.checkPost(Alt);
+      Unfinished = Answer.Status == ValidityStatus::Unknown;
+      PA = encodeValidity(Answer, Validity.stats(), Me.Replica);
+    }
+
+    // Transferability gate: if the query interned any new atom, its answer
+    // may depend on atom id order the merge-time main arena will not share
+    // — discard it and let the merge path recompute inline. Likewise, an
+    // Unknown computed while a stop control is armed may encode the
+    // deadline (how far the search got before the clock ran out), which
+    // the merge path must not consume as a definitive answer.
+    bool StopArmed = SolverOpts.Deadline.active() || SolverOpts.Cancel.valid();
+    bool Transferable = Me.Replica.numAtomsCreatedSince(Mark) == 0 &&
+                        !(StopArmed && Unfinished);
+    // The persistent context may retain state (asserted rows, congruence
+    // constants, cached normalizations) referencing terms this query
+    // interned above the mark; the truncation below recycles those
+    // TermIds, so the context cannot outlive them. Queries that interned
+    // nothing (the common case — ALT roots and their subterms are
+    // published before dispatch) keep the context, and with it the
+    // cross-job prefix sharing.
+    if (Me.Ctx && !(Me.Replica.mark() == Mark))
+      Me.Ctx.reset();
+    Me.Replica.truncateTo(Mark); // Stay an exact prefix for the next job.
+    if (Transferable) {
+      // Fault site: the replica is already rolled back, so a throw here
+      // only costs the publish (plus a precautionary rebuild).
+      support::maybeInjectFault(support::FaultSite::CachePublish);
+      Cache.store(Fp, Gen, Kind, std::move(PA));
+    } else {
+      telemetry::Registry::global()
+          .counter("search.speculation_discarded")
+          .add();
+    }
+  } catch (...) {
+    Me.Broken = true;
+    throw; // awaitSpeculation classifies and recovers at the merge point.
+  }
 }
 
 DirectedSearch::~DirectedSearch() = default;
@@ -235,11 +281,27 @@ DirectedSearch::DirectedSearch(const lang::Program &Prog,
     reportFatalError("entry function '" + this->EntryName + "' not found");
   Layout = InputLayout(*Entry);
 
+  // Thread the search-level stop controls into every layer below, unless a
+  // layer carries its own already (tests exercise per-layer deadlines).
+  // One Deadline/Cancel pair then bounds the whole stack: this loop,
+  // worker dispatch, solver decision loops, validity grounding, and
+  // program execution. (`Options` here names the constructor parameter;
+  // the member is the one the search reads from now on.)
+  SearchOptions &O = this->Options;
+  if (!O.SolverOpts.Deadline.active())
+    O.SolverOpts.Deadline = O.Deadline;
+  if (!O.SolverOpts.Cancel.valid())
+    O.SolverOpts.Cancel = O.Cancel;
+  if (!O.Limits.Deadline.active())
+    O.Limits.Deadline = O.Deadline;
+  if (!O.Limits.Cancel.valid())
+    O.Limits.Cancel = O.Cancel;
+
   ExecOptions Exec;
-  Exec.Policy = Options.Policy;
-  Exec.Limits = Options.Limits;
-  Exec.RecordSamples = Options.RecordSamples;
-  Exec.SummarizeCalls = Options.SummarizeCalls;
+  Exec.Policy = O.Policy;
+  Exec.Limits = O.Limits;
+  Exec.RecordSamples = O.RecordSamples;
+  Exec.SummarizeCalls = O.SummarizeCalls;
   Executor.setOptions(Exec);
 
   Result.Cov = Coverage(Prog.NumBranches);
@@ -447,6 +509,11 @@ void DirectedSearch::initParallel() {
 }
 
 void DirectedSearch::dispatchSpeculative() {
+  // Stop-control poll at worker dispatch: once tripped, no further jobs
+  // are enqueued (the merge loop is about to observe the same stop).
+  if (support::stopRequested(Options.Deadline, Options.Cancel) !=
+      support::StopReason::None)
+    return;
   ParallelState &PS = *Parallel;
   telemetry::Registry &Reg = telemetry::Registry::global();
   const bool HigherOrder =
@@ -508,6 +575,9 @@ void DirectedSearch::dispatchSpeculative() {
         Cand.Id, PS.Pool.submit([&PS, Alt, Fp, Gen, Kind, VOpts,
                                  SolverOpts = Options.SolverOpts,
                                  Snap = PS.SampleSnap](unsigned W) {
+          // Fault site: models a worker dying before touching any shared
+          // state (replica untouched, nothing published).
+          support::maybeInjectFault(support::FaultSite::WorkerDispatch);
           PS.runJob(W, Alt, Fp, Gen, Kind, SolverOpts, VOpts,
                     std::move(Snap));
         }));
@@ -520,13 +590,39 @@ void DirectedSearch::awaitSpeculation(const Candidate &Cand) {
   auto It = Parallel->Inflight.find(Cand.Id);
   if (It == Parallel->Inflight.end())
     return;
+  // Satellite fix: future::get() used to rethrow a worker exception out of
+  // run() here, discarding every accumulated test. A failed speculation
+  // only means no cached answer — classify it, count it, and let the merge
+  // path recompute this candidate's query inline (the bounded retry).
+  const char *Failure = nullptr;
   try {
     It->second.get();
+  } catch (const support::FaultInjected &) {
+    Failure = "injected";
+  } catch (const std::exception &) {
+    Failure = "exception";
   } catch (...) {
-    // A failed speculation only means no cached answer; the merge path
-    // recomputes inline.
+    Failure = "unknown";
   }
   Parallel->Inflight.erase(It);
+  if (Failure) {
+    ++Result.WorkerFailures;
+    telemetry::Registry &Reg = telemetry::Registry::global();
+    Reg.counter("search.worker_failures").add();
+    Reg.counter(std::string("search.worker_failures.") + Failure).add();
+    Parallel->PendingInlineRetry = true;
+  }
+}
+
+/// Counts one inline recomputation performed to recover from a failed
+/// speculation (set by awaitSpeculation, consumed by the first query the
+/// merge path actually computes for that candidate).
+static void noteInlineRetryIfPending(bool &Pending, unsigned &Retries) {
+  if (!Pending)
+    return;
+  Pending = false;
+  ++Retries;
+  telemetry::Registry::global().counter("search.inline_retries").add();
 }
 
 smt::SatAnswer DirectedSearch::solveSat(smt::TermId Alt) {
@@ -534,6 +630,9 @@ smt::SatAnswer DirectedSearch::solveSat(smt::TermId Alt) {
     smt::TermFingerprint Fp = Arena.fingerprint(Alt);
     if (auto Hit =
             Parallel->Cache.lookup(Fp, 0, smt::QueryKind::Satisfiability)) {
+      // Another worker answered after the awaited one failed: no inline
+      // recomputation was needed after all.
+      Parallel->PendingInlineRetry = false;
       Result.SolverQueryStats.Checks += Hit->Checks;
       Result.SolverQueryStats.SupportsExplored += Hit->SupportsExplored;
       Result.SolverQueryStats.Decisions += Hit->Decisions;
@@ -548,6 +647,9 @@ smt::SatAnswer DirectedSearch::solveSat(smt::TermId Alt) {
   // incremental context charges each query to a fresh SolverStats, and the
   // fallback constructs a fresh solver. Work is aggregated into the
   // search-owned stats below.
+  if (Parallel)
+    noteInlineRetryIfPending(Parallel->PendingInlineRetry,
+                             Result.InlineRetries);
   smt::SolverStats S;
   smt::SatAnswer Answer;
   if (Options.UseIncrementalContexts) {
@@ -572,10 +674,17 @@ smt::SatAnswer DirectedSearch::solveSat(smt::TermId Alt) {
   Result.SolverQueryStats.Propagations += S.Propagations;
   // Computed on the main arena, so any atoms it interned are permanent:
   // the answer is transferable to every later consumer.
-  if (Parallel)
-    Parallel->Cache.store(Arena.fingerprint(Alt), 0,
-                          smt::QueryKind::Satisfiability,
-                          encodeSat(Answer, S, Arena));
+  if (Parallel) {
+    try {
+      support::maybeInjectFault(support::FaultSite::CachePublish);
+      Parallel->Cache.store(Arena.fingerprint(Alt), 0,
+                            smt::QueryKind::Satisfiability,
+                            encodeSat(Answer, S, Arena));
+    } catch (const support::FaultInjected &) {
+      // A dropped publish only costs later duplicates a recomputation —
+      // they produce the same answer and fold the same per-query stats.
+    }
+  }
   return Answer;
 }
 
@@ -599,6 +708,7 @@ ValidityAnswer DirectedSearch::solveValidity(smt::TermId Alt) {
   if (Parallel) {
     smt::TermFingerprint Fp = Arena.fingerprint(Alt);
     if (auto Hit = Parallel->Cache.lookup(Fp, Gen, smt::QueryKind::Validity)) {
+      Parallel->PendingInlineRetry = false;
       Result.ValidityQueryStats.SupportsExplored += Hit->ValiditySupports;
       Result.ValidityQueryStats.GroundingsTried += Hit->GroundingsTried;
       Result.ValidityQueryStats.InnerSolverCalls += Hit->InnerSolverCalls;
@@ -608,6 +718,9 @@ ValidityAnswer DirectedSearch::solveValidity(smt::TermId Alt) {
       return Answer;
     }
   }
+  if (Parallel)
+    noteInlineRetryIfPending(Parallel->PendingInlineRetry,
+                             Result.InlineRetries);
   const smt::SampleTable &Antecedent =
       Options.UseAntecedent ? Samples : EmptySamples;
   ValidityOptions VOpts = Options.ValidityOpts;
@@ -621,11 +734,61 @@ ValidityAnswer DirectedSearch::solveValidity(smt::TermId Alt) {
   Result.ValidityQueryStats.SupportsExplored += S.SupportsExplored;
   Result.ValidityQueryStats.GroundingsTried += S.GroundingsTried;
   Result.ValidityQueryStats.InnerSolverCalls += S.InnerSolverCalls;
-  if (Parallel)
-    Parallel->Cache.store(Arena.fingerprint(Alt), Gen,
-                          smt::QueryKind::Validity,
-                          encodeValidity(Answer, S, Arena));
+  if (Parallel) {
+    try {
+      support::maybeInjectFault(support::FaultSite::CachePublish);
+      Parallel->Cache.store(Arena.fingerprint(Alt), Gen,
+                            smt::QueryKind::Validity,
+                            encodeValidity(Answer, S, Arena));
+    } catch (const support::FaultInjected &) {
+      // See solveSat: a dropped publish is a pure scheduling cost.
+    }
+  }
   return Answer;
+}
+
+smt::SatAnswer DirectedSearch::solveSatGuarded(smt::TermId Alt) {
+  constexpr unsigned MaxInlineRetries = 3;
+  for (unsigned Attempt = 0;; ++Attempt) {
+    try {
+      return solveSat(Alt);
+    } catch (const std::exception &E) {
+      // The throw may have unwound mid-retarget; drop the incremental
+      // context so the retry starts from a clean assertion stack (the
+      // context is rebuilt lazily, answers are identical either way).
+      SatCtx.reset();
+      telemetry::Registry &Reg = telemetry::Registry::global();
+      Reg.counter("search.query_failures").add();
+      if (Attempt >= MaxInlineRetries) {
+        smt::SatAnswer Answer;
+        Answer.Result = smt::SatResult::Unknown;
+        Answer.Reason = std::string("query failed: ") + E.what();
+        return Answer; // Candidate abandoned; the search continues.
+      }
+      ++Result.InlineRetries;
+      Reg.counter("search.inline_retries").add();
+    }
+  }
+}
+
+ValidityAnswer DirectedSearch::solveValidityGuarded(smt::TermId Alt) {
+  constexpr unsigned MaxInlineRetries = 3;
+  for (unsigned Attempt = 0;; ++Attempt) {
+    try {
+      return solveValidity(Alt);
+    } catch (const std::exception &E) {
+      telemetry::Registry &Reg = telemetry::Registry::global();
+      Reg.counter("search.query_failures").add();
+      if (Attempt >= MaxInlineRetries) {
+        ValidityAnswer Answer;
+        Answer.Status = ValidityStatus::Unknown;
+        Answer.Reason = std::string("query failed: ") + E.what();
+        return Answer;
+      }
+      ++Result.InlineRetries;
+      Reg.counter("search.inline_retries").add();
+    }
+  }
 }
 
 bool DirectedSearch::processCandidate(const Candidate &Cand) {
@@ -669,7 +832,7 @@ bool DirectedSearch::processCandidate(const Candidate &Cand) {
 
   if (Options.Policy != ConcretizationPolicy::HigherOrder) {
     ++Result.SolverCalls;
-    smt::SatAnswer Answer = solveSat(Alt);
+    smt::SatAnswer Answer = solveSatGuarded(Alt);
     EmitCandidate(smt::satResultName(Answer.Result));
     if (Answer.isSat())
       NewInput = completeInput(Answer.ModelValue, Cand.ParentInput);
@@ -680,7 +843,7 @@ bool DirectedSearch::processCandidate(const Candidate &Cand) {
     TestInput Parent = Cand.ParentInput;
     for (unsigned Step = 0; Step <= Options.MultiStepBound; ++Step) {
       ++Result.ValidityCalls;
-      ValidityAnswer Answer = solveValidity(Alt);
+      ValidityAnswer Answer = solveValidityGuarded(Alt);
       if (Answer.Status == ValidityStatus::Valid) {
         EmitCandidate(validityStatusName(Answer.Status));
         NewInput = completeInput(Answer.ModelValue, Parent);
@@ -725,20 +888,60 @@ bool DirectedSearch::processCandidate(const Candidate &Cand) {
 }
 
 SearchResult DirectedSearch::run() {
+  telemetry::Registry &Reg = telemetry::Registry::global();
   initParallel();
   seedFrontier();
   while (!Frontier.empty() && Result.Tests.size() < Options.MaxTests) {
+    // Stop-control poll at the candidate boundary: a partial result keeps
+    // every test, bug, coverage direction and stat accumulated so far —
+    // only not-yet-processed frontier work is abandoned.
+    if (support::StopReason R =
+            support::stopRequested(Options.Deadline, Options.Cancel);
+        R != support::StopReason::None) {
+      Result.Stopped = R;
+      break;
+    }
     if (Parallel)
       dispatchSpeculative();
     Candidate Cand = std::move(Frontier.front());
     Frontier.pop_front();
     if (Parallel)
       awaitSpeculation(Cand);
-    if (!processCandidate(Cand))
+    bool KeepGoing = processCandidate(Cand);
+    if (Parallel) // The retry flag never outlives its candidate.
+      Parallel->PendingInlineRetry = false;
+    if (!KeepGoing)
       break;
   }
+  // A run that halted with RunStatus::Deadline also trips the poll above
+  // on the next iteration — unless the truncated run was the last one and
+  // left the frontier empty (e.g. the seed run under an already-expired
+  // deadline), in which case the loop exits without polling. Classify
+  // from the evidence: a cut test means the stop control truncated work.
+  if (Result.Stopped == support::StopReason::None &&
+      std::any_of(Result.Tests.begin(), Result.Tests.end(),
+                  [](const TestRecord &T) {
+                    return T.Status == RunStatus::Deadline;
+                  }))
+    Result.Stopped = support::stopRequested(Options.Deadline, Options.Cancel);
+  // The test budget is only a stop *reason* when work remained.
+  if (Result.Stopped == support::StopReason::None &&
+      Result.Tests.size() >= Options.MaxTests && !Frontier.empty())
+    Result.Stopped = support::StopReason::TestBudget;
+  switch (Result.Stopped) {
+  case support::StopReason::None:
+    break;
+  case support::StopReason::DeadlineExpired:
+    Reg.counter("search.deadline_expired").add();
+    break;
+  case support::StopReason::Cancelled:
+    Reg.counter("search.cancelled").add();
+    break;
+  case support::StopReason::TestBudget:
+    Reg.counter("search.test_budget_stops").add();
+    break;
+  }
   if (Parallel) {
-    telemetry::Registry &Reg = telemetry::Registry::global();
     Result.CacheHits = Parallel->Cache.hits();
     Result.CacheMisses = Parallel->Cache.misses();
     Reg.counter("solver.cache_hits").add(Result.CacheHits);
@@ -754,6 +957,19 @@ SearchResult DirectedSearch::run() {
     Result.SolverQueryStats.ScopePushes += CS.ScopePushes;
     Result.SolverQueryStats.ScopePops += CS.ScopePops;
     Result.SolverQueryStats.PrefixLiteralsReused += CS.PrefixLiteralsReused;
+  }
+  if (telemetry::TraceSink *S = telemetry::sink()) {
+    // End-of-run totals: one event per search, with the stop reason — the
+    // trace-side face of SearchResult.Stopped (docs/observability.md).
+    telemetry::Event E(telemetry::EventKind::SearchSummary);
+    E.set("stop_reason", support::stopReasonName(Result.Stopped));
+    E.set("tests", int64_t(Result.Tests.size()));
+    E.set("bugs", int64_t(Result.Bugs.size()));
+    E.set("covered_directions", int64_t(Result.Cov.coveredDirections()));
+    E.set("divergences", int64_t(Result.Divergences));
+    E.set("worker_failures", int64_t(Result.WorkerFailures));
+    E.set("inline_retries", int64_t(Result.InlineRetries));
+    S->handle(E);
   }
   return std::move(Result);
 }
@@ -776,6 +992,12 @@ SearchResult hotg::core::runRandomSearch(const lang::Program &Prog,
   SearchResult Result;
   Result.Cov = Coverage(Prog.NumBranches);
   for (unsigned T = 0; T != NumTests; ++T) {
+    if (support::StopReason R =
+            support::stopRequested(Limits.Deadline, Limits.Cancel);
+        R != support::StopReason::None) {
+      Result.Stopped = R;
+      break;
+    }
     TestInput Input = Layout.zeroInput();
     for (int64_t &Cell : Input.Cells)
       Cell = Rng.nextInRange(Lo, Hi);
@@ -809,5 +1031,13 @@ SearchResult hotg::core::runRandomSearch(const lang::Program &Prog,
       }
     }
   }
+  // Same late-classification as DirectedSearch::run(): a final test cut
+  // mid-run never reaches the loop-top poll.
+  if (Result.Stopped == support::StopReason::None &&
+      std::any_of(Result.Tests.begin(), Result.Tests.end(),
+                  [](const TestRecord &T) {
+                    return T.Status == RunStatus::Deadline;
+                  }))
+    Result.Stopped = support::stopRequested(Limits.Deadline, Limits.Cancel);
   return Result;
 }

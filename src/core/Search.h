@@ -87,6 +87,14 @@ struct SearchOptions {
   bool UseIncrementalContexts = true;
   smt::SolverOptions SolverOpts;
   ValidityOptions ValidityOpts;
+  /// Wall-clock stop controls (docs/robustness.md). The constructor
+  /// threads them into SolverOpts and Limits (unless those carry their own
+  /// already), so one deadline bounds the whole stack: search loop, worker
+  /// dispatch, solver decision loops, validity grounding, and program
+  /// execution. Inactive by default — the search then never reads the
+  /// clock and results stay bit-identical across Jobs values.
+  support::Deadline Deadline;
+  support::CancelToken Cancel;
 };
 
 /// One executed test.
@@ -128,6 +136,17 @@ struct SearchResult {
   /// schedule, not the search: they may vary across Jobs values and runs.
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
+  /// Why the search returned: None = the frontier drained naturally;
+  /// anything else means this is a partial (but internally consistent)
+  /// result — all tests, bugs, coverage and stats accumulated so far.
+  support::StopReason Stopped = support::StopReason::None;
+  /// Worker jobs that threw (injected fault or real failure) and were
+  /// recovered from by recomputing inline. Schedule-dependent, like
+  /// CacheHits; always 0 when Jobs == 1 and no faults are armed.
+  unsigned WorkerFailures = 0;
+  /// Inline recomputations/retries performed after failures (worker or
+  /// inline query faults). Schedule-dependent.
+  unsigned InlineRetries = 0;
 
   bool foundErrorSite(lang::ErrorSiteId Site) const;
   bool foundStatus(interp::RunStatus Status) const;
@@ -214,6 +233,12 @@ private:
   /// One POST(Alt) validity query (HigherOrder), via the query cache when
   /// the search runs parallel; folds work stats into ValidityQueryStats.
   ValidityAnswer solveValidity(smt::TermId Alt);
+  /// solveSat/solveValidity wrapped in the bounded inline-retry loop of
+  /// docs/robustness.md: a thrown fault drops the incremental context and
+  /// retries; after MaxInlineRetries the answer degrades to Unknown (the
+  /// candidate is abandoned, the search continues).
+  smt::SatAnswer solveSatGuarded(smt::TermId Alt);
+  ValidityAnswer solveValidityGuarded(smt::TermId Alt);
 
   const lang::Program &Prog;
   const interp::NativeRegistry &Natives;

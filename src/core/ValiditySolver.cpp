@@ -7,6 +7,8 @@
 #include "smt/Subst.h"
 #include "smt/Simplify.h"
 #include "smt/Supports.h"
+#include "support/Deadline.h"
+#include "support/FaultInjector.h"
 #include "support/Support.h"
 #include "support/Telemetry.h"
 
@@ -187,6 +189,16 @@ private:
       SawUnknown = true;
       return false;
     }
+    // The grounding enumeration is the validity solver's long loop; poll
+    // the stop controls here (the inner solver polls its own decision
+    // loop). Guarded so the default configuration never reads the clock.
+    const SolverOptions &SO = Options.SolverOpts;
+    if ((SO.Deadline.active() || SO.Cancel.valid()) &&
+        support::stopRequested(SO.Deadline, SO.Cancel) !=
+            support::StopReason::None) {
+      SawUnknown = true;
+      return false;
+    }
     if (Index == Apps.size())
       return tryGrounding(Literals, Result, Learnable, SawUnknown);
 
@@ -231,6 +243,10 @@ private:
   bool tryGrounding(const std::vector<TermId> &Literals, Outcome &Result,
                     std::optional<Outcome> &Learnable, bool &SawUnknown) {
     (void)Literals;
+    // Fault site: before the grounding is counted or the query mutated, so
+    // the enumeration state stays consistent when the throw unwinds
+    // through solve() (the whole checkPost is retried by the caller).
+    support::maybeInjectFault(support::FaultSite::ValidityGround);
     ++Stats.GroundingsTried;
 
     ++Stats.InnerSolverCalls;
@@ -582,6 +598,12 @@ ValidityAnswer ValiditySolver::checkPostImpl(TermId PathCondition) {
   SupportEnumStats EnumStats = forEachSupport(
       Arena, NNF, Options.MaxSupports,
       [&](const std::vector<TermId> &Literals) {
+        if (support::stopRequested(Options.SolverOpts.Deadline,
+                                   Options.SolverOpts.Cancel) !=
+            support::StopReason::None) {
+          SawUnknown = true;
+          return true; // Halt the support enumeration.
+        }
         auto Outcome = Support.solve(Literals);
         switch (Outcome.Status) {
         case ValidityStatus::Valid:
@@ -614,7 +636,20 @@ ValidityAnswer ValiditySolver::checkPostImpl(TermId PathCondition) {
   Answer.Status = SawUnknown || EnumStats.BudgetExhausted
                       ? ValidityStatus::Unknown
                       : ValidityStatus::NotValid;
-  if (Answer.Status == ValidityStatus::Unknown)
-    Answer.Reason = "budget exhausted";
+  if (Answer.Status == ValidityStatus::Unknown) {
+    // Stop controls are monotone within a query, so post-hoc
+    // classification is exact (mirrors the sat solver's unknownReason).
+    const SolverOptions &SO = Options.SolverOpts;
+    if (SO.Cancel.cancelled())
+      Answer.Reason = "cancelled";
+    else if (SO.Deadline.expired())
+      Answer.Reason = "deadline expired";
+    else if (Stats.GroundingsTried >= Options.MaxGroundings)
+      Answer.Reason = "grounding budget exhausted";
+    else if (EnumStats.BudgetExhausted)
+      Answer.Reason = "support budget exhausted";
+    else
+      Answer.Reason = "inner solver unknown";
+  }
   return Answer;
 }

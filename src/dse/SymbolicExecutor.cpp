@@ -4,6 +4,7 @@
 
 #include "smt/Simplify.h"
 #include "smt/Subst.h"
+#include "support/Deadline.h"
 #include "support/Support.h"
 #include "support/Telemetry.h"
 
@@ -132,6 +133,16 @@ private:
   bool budget() {
     if (++Steps > Options.Limits.MaxSteps) {
       halt(RunStatus::StepLimit);
+      return false;
+    }
+    // Same stop-control poll as the concrete interpreter (every 1024
+    // steps, nothing read when inactive) so co-execution honours the
+    // search deadline too.
+    if ((Steps & 1023) == 0 &&
+        support::stopRequested(Options.Limits.Deadline,
+                               Options.Limits.Cancel) !=
+            support::StopReason::None) {
+      halt(RunStatus::Deadline);
       return false;
     }
     return true;

@@ -20,6 +20,7 @@ bool hotg::interp::isBugStatus(RunStatus Status) {
   case RunStatus::Ok:
   case RunStatus::StepLimit:
   case RunStatus::CallDepth:
+  case RunStatus::Deadline:
     return false;
   }
   HOTG_UNREACHABLE("unknown run status");
@@ -41,6 +42,8 @@ const char *hotg::interp::runStatusName(RunStatus Status) {
     return "step-limit";
   case RunStatus::CallDepth:
     return "call-depth";
+  case RunStatus::Deadline:
+    return "deadline";
   }
   HOTG_UNREACHABLE("unknown run status");
 }
@@ -121,6 +124,14 @@ private:
   bool budget() {
     if (++Steps > Limits.MaxSteps) {
       halt(RunStatus::StepLimit);
+      return false;
+    }
+    // Poll the wall-clock stop controls every 1024 steps; without a
+    // deadline or token installed this is one branch, no clock read.
+    if ((Steps & 1023) == 0 &&
+        support::stopRequested(Limits.Deadline, Limits.Cancel) !=
+            support::StopReason::None) {
+      halt(RunStatus::Deadline);
       return false;
     }
     return true;

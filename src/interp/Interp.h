@@ -19,6 +19,7 @@
 #include "interp/NativeFunc.h"
 #include "interp/Value.h"
 #include "lang/AST.h"
+#include "support/Deadline.h"
 
 #include <optional>
 
@@ -43,6 +44,7 @@ enum class RunStatus : uint8_t {
   OutOfBounds,  ///< Array index out of range.
   StepLimit,    ///< Execution budget exhausted (possible non-termination).
   CallDepth,    ///< Recursion limit exceeded.
+  Deadline,     ///< Wall-clock deadline expired or run was cancelled.
 };
 
 /// True for statuses that count as bugs found by the search.
@@ -64,6 +66,11 @@ struct ErrorInfo {
 struct RunLimits {
   uint64_t MaxSteps = 1000000;
   unsigned MaxCallDepth = 64;
+  /// Wall-clock stop controls, polled every 1024 steps (inactive by
+  /// default: no clock reads). A tripped control halts the run with
+  /// RunStatus::Deadline — a degraded outcome, not a bug.
+  support::Deadline Deadline;
+  support::CancelToken Cancel;
 };
 
 /// Everything observed during one concrete run.

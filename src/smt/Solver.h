@@ -27,6 +27,7 @@
 #include "smt/Model.h"
 #include "smt/SampleTable.h"
 #include "smt/Term.h"
+#include "support/Deadline.h"
 
 #include <span>
 #include <string>
@@ -75,6 +76,14 @@ struct SolverOptions {
   /// as the memo: replays spend zero decisions, so per-query stats depend
   /// on which checks ran earlier in the same context (docs/solver.md).
   bool EnableAnswerCache = false;
+  /// Wall-clock stop controls (docs/robustness.md). Both are inactive by
+  /// default, in which case the search loop never reads the clock and the
+  /// solver stays fully deterministic. When the deadline expires (or the
+  /// token is cancelled) mid-query the answer degrades to
+  /// Unknown{"deadline expired"} / Unknown{"cancelled"} — never a wrong
+  /// Sat/Unsat.
+  support::Deadline Deadline;
+  support::CancelToken Cancel;
 };
 
 /// Result of Solver::check.

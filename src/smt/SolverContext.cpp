@@ -4,6 +4,7 @@
 
 #include "smt/Simplify.h"
 #include "smt/Supports.h"
+#include "support/FaultInjector.h"
 #include "support/Random.h"
 #include "support/Support.h"
 #include "support/Telemetry.h"
@@ -212,6 +213,17 @@ public:
                  Model &ModelOut) {
     if (Stats.Decisions >= Options.MaxDecisions)
       return Outcome::Exhausted;
+    // Wall-clock stop controls: polled once per search node, but only when
+    // a deadline or token is actually installed — the default search never
+    // reads the clock (and stays exactly deterministic).
+    if (Options.Deadline.active() || Options.Cancel.valid()) {
+      static telemetry::Counter &DeadlineChecks =
+          telemetry::Registry::global().counter("solver.deadline_checks");
+      DeadlineChecks.add();
+      if (support::stopRequested(Options.Deadline, Options.Cancel) !=
+          support::StopReason::None)
+        return Outcome::Exhausted;
+    }
 
     // Find an undetermined atom (smallest domain first; infinite-width
     // atoms are eligible too).
@@ -715,11 +727,28 @@ bool SolverContext::prefixRefutes(TermId Atom, int64_t Value) {
   return !Probe.propagate(Doms);
 }
 
+/// Why an inconclusive search came back Unknown. Deadline and
+/// cancellation are monotone within one query (they cannot un-fire), so
+/// classifying after the fact is exact: if a stop control tripped, it is
+/// what cut the search short; otherwise the decision budget is checked,
+/// and anything else is generic exhaustion (candidate sampling gave out
+/// before the budget did, or the model failed verification).
+static const char *unknownReason(const SolverOptions &Options,
+                                 const SolverStats &QueryStats) {
+  if (Options.Cancel.cancelled())
+    return "cancelled";
+  if (Options.Deadline.expired())
+    return "deadline expired";
+  if (QueryStats.Decisions >= Options.MaxDecisions)
+    return "decision budget exhausted";
+  return "search budget exhausted";
+}
+
 SatAnswer SolverContext::check(SolverStats &QueryStats) {
   SatAnswer Answer;
   if (PoisonedAt) {
     Answer.Result = SatResult::Unknown;
-    Answer.Reason = "search budget exhausted";
+    Answer.Reason = "non-linear literal";
     return Answer;
   }
   if (RefutedAt) {
@@ -829,7 +858,7 @@ SatAnswer SolverContext::check(SolverStats &QueryStats) {
       Answer.ModelValue = std::move(M);
     } else {
       Answer.Result = SatResult::Unknown;
-      Answer.Reason = "search budget exhausted";
+      Answer.Reason = unknownReason(Options, QueryStats);
     }
     CacheResult(Answer);
     return Answer;
@@ -840,7 +869,7 @@ SatAnswer SolverContext::check(SolverStats &QueryStats) {
     return Answer;
   case Engine::Outcome::Exhausted:
     Answer.Result = SatResult::Unknown;
-    Answer.Reason = "search budget exhausted";
+    Answer.Reason = unknownReason(Options, QueryStats);
     return Answer;
   }
   HOTG_UNREACHABLE("unknown engine outcome");
@@ -929,9 +958,19 @@ SatAnswer SolverContext::checkFormula(TermId Formula, SolverStats &QueryStats) {
   SatAnswer Answer;
   Answer.Result = SatResult::Unsat; // Until a support survives.
   bool SawExhausted = false;
+  bool StopHit = false;
   SupportEnumStats EnumStats = forEachSupport(
       Arena, NNF, Options.MaxSupports,
       [&](const std::vector<TermId> &Literals) {
+        // Between supports is the natural poll point of the enumeration
+        // loop: halt it entirely once a stop control trips (the per-node
+        // poll inside check() only cuts the current support short).
+        if (support::stopRequested(Options.Deadline, Options.Cancel) !=
+            support::StopReason::None) {
+          StopHit = true;
+          SawExhausted = true;
+          return true;
+        }
         SolverContext Scratch(Arena, Options);
         for (TermId Lit : Literals)
           Scratch.assertLiteral(Lit);
@@ -956,8 +995,12 @@ SatAnswer SolverContext::checkFormula(TermId Formula, SolverStats &QueryStats) {
     return Answer;
   if (SawExhausted || EnumStats.BudgetExhausted) {
     Answer.Result = SatResult::Unknown;
-    Answer.Reason = EnumStats.BudgetExhausted ? "support budget exhausted"
-                                              : "search budget exhausted";
+    // unknownReason reports a tripped stop control first, so a deadline
+    // that halted the enumeration (StopHit) or the inner search wins over
+    // the budget labels.
+    Answer.Reason = EnumStats.BudgetExhausted && !StopHit
+                        ? "support budget exhausted"
+                        : unknownReason(Options, QueryStats);
   }
   return Answer;
 }
@@ -1001,6 +1044,9 @@ void SolverContext::foldQueryTelemetry(const SatAnswer &Answer,
 
 SatAnswer SolverContext::checkFormulaWithTelemetry(TermId Formula,
                                                    SolverStats &CumStats) {
+  // Fault site: before the context or the cumulative stats are touched, so
+  // a recovering caller can simply retry the call (docs/robustness.md).
+  support::maybeInjectFault(support::FaultSite::SolverCheck);
   telemetry::Registry &Reg = telemetry::Registry::global();
   static telemetry::PhaseTimer &CheckTimer = Reg.timer("solver.check");
   static telemetry::Counter &Checks = Reg.counter("solver.checks");
@@ -1015,6 +1061,7 @@ SatAnswer SolverContext::checkFormulaWithTelemetry(TermId Formula,
 }
 
 SatAnswer SolverContext::checkWithTelemetry(SolverStats &CumStats) {
+  support::maybeInjectFault(support::FaultSite::SolverCheck);
   telemetry::Registry &Reg = telemetry::Registry::global();
   static telemetry::PhaseTimer &CheckTimer = Reg.timer("solver.check");
   static telemetry::Counter &Checks = Reg.counter("solver.checks");

@@ -1,0 +1,56 @@
+//===- support/Deadline.cpp - Wall-clock deadlines and cancellation -------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Deadline.h"
+
+#include "support/Support.h"
+#include "support/Telemetry.h"
+
+using namespace hotg;
+using namespace hotg::support;
+
+Deadline Deadline::afterMillis(uint64_t Millis) {
+  return afterNanos(Millis * 1000000ull);
+}
+
+Deadline Deadline::afterNanos(uint64_t Nanos) {
+  Deadline D;
+  D.WhenNs = telemetry::monotonicNanos() + Nanos;
+  if (D.WhenNs == 0) // Overflow wrapped to the inactive sentinel.
+    D.WhenNs = 1;
+  return D;
+}
+
+bool Deadline::expired() const {
+  return WhenNs != 0 && telemetry::monotonicNanos() >= WhenNs;
+}
+
+uint64_t Deadline::remainingNanos() const {
+  if (WhenNs == 0)
+    return UINT64_MAX;
+  uint64_t Now = telemetry::monotonicNanos();
+  return Now >= WhenNs ? 0 : WhenNs - Now;
+}
+
+CancelToken CancelToken::create() {
+  CancelToken Token;
+  Token.Flag = std::make_shared<std::atomic<bool>>(false);
+  return Token;
+}
+
+const char *hotg::support::stopReasonName(StopReason Reason) {
+  switch (Reason) {
+  case StopReason::None:
+    return "none";
+  case StopReason::DeadlineExpired:
+    return "deadline-expired";
+  case StopReason::Cancelled:
+    return "cancelled";
+  case StopReason::TestBudget:
+    return "test-budget";
+  }
+  HOTG_UNREACHABLE("unknown stop reason");
+}

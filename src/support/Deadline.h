@@ -1,0 +1,124 @@
+//===- support/Deadline.h - Wall-clock deadlines and cancellation ---------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cooperative stop controls for long-running searches (docs/robustness.md).
+/// Two independent mechanisms share one polling protocol:
+///
+///  * **Deadline** — an absolute point on the monotonic clock. A
+///    default-constructed Deadline is inactive (never expires), so every
+///    layer can carry one unconditionally at zero cost: expired() on an
+///    inactive deadline is a single integer compare, no clock read.
+///
+///  * **CancelToken** — a shared atomic flag. The owner (a driver thread,
+///    a signal handler trampoline) calls requestCancel(); every copy of
+///    the token observes it. A default-constructed token is empty and
+///    never reports cancellation.
+///
+/// Both are *polled*, never asynchronous: the solver decision loop, the
+/// validity grounding loop, the interpreter step budget, and the search
+/// dispatch loop each call stopRequested() at their natural iteration
+/// boundary and unwind with a structured reason (`Unknown{Reason}`,
+/// `RunStatus::Deadline`, `SearchResult.Stopped`). Nothing is torn down
+/// mid-operation, which is what keeps partial results well-formed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_SUPPORT_DEADLINE_H
+#define HOTG_SUPPORT_DEADLINE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace hotg::support {
+
+/// An absolute wall-clock deadline on the monotonic (steady) clock.
+/// Inactive (WhenNs == 0) by default; copyable and trivially cheap to
+/// pass by value through option structs.
+class Deadline {
+public:
+  Deadline() = default;
+
+  /// A deadline \p Millis milliseconds from now. Millis == 0 produces a
+  /// deadline that is already expired (useful in tests).
+  static Deadline afterMillis(uint64_t Millis);
+  static Deadline afterNanos(uint64_t Nanos);
+
+  /// True when a deadline was actually set (default-constructed deadlines
+  /// never expire and never read the clock).
+  bool active() const { return WhenNs != 0; }
+
+  /// True when the deadline has passed. Reads the monotonic clock only
+  /// when active.
+  bool expired() const;
+
+  /// Nanoseconds until expiry (0 when already expired); UINT64_MAX when
+  /// inactive.
+  uint64_t remainingNanos() const;
+
+private:
+  /// Absolute telemetry::monotonicNanos() value; 0 = inactive. The
+  /// monotonic clock never returns 0 in practice (it measures from boot),
+  /// and afterNanos guards the degenerate case anyway.
+  uint64_t WhenNs = 0;
+};
+
+/// A cooperative cancellation flag shared between the requesting thread
+/// and any number of polling threads. Copies alias the same flag. The
+/// default-constructed token is empty: valid() is false and cancelled()
+/// is always false.
+class CancelToken {
+public:
+  CancelToken() = default;
+
+  /// A fresh, uncancelled token.
+  static CancelToken create();
+
+  bool valid() const { return Flag != nullptr; }
+
+  bool cancelled() const {
+    return Flag && Flag->load(std::memory_order_relaxed);
+  }
+
+  /// Requests cancellation; every copy of this token observes it. No-op
+  /// on an empty token.
+  void requestCancel() {
+    if (Flag)
+      Flag->store(true, std::memory_order_relaxed);
+  }
+
+private:
+  std::shared_ptr<std::atomic<bool>> Flag;
+};
+
+/// Why a search (or any stop-aware loop) stopped before exhausting its
+/// work list. None means the loop ran to natural completion.
+enum class StopReason : uint8_t {
+  None,            ///< Ran to completion (frontier drained).
+  DeadlineExpired, ///< The wall-clock deadline passed.
+  Cancelled,       ///< A CancelToken was triggered.
+  TestBudget,      ///< SearchOptions.MaxTests reached with work remaining.
+};
+
+/// "none", "deadline-expired", "cancelled", "test-budget".
+const char *stopReasonName(StopReason Reason);
+
+/// The shared polling protocol: cancellation is checked first (it is a
+/// plain atomic load, cheaper than a clock read and the stronger signal —
+/// an operator asked for it), then the deadline. Returns StopReason::None
+/// when the loop should keep going.
+inline StopReason stopRequested(const Deadline &D, const CancelToken &C) {
+  if (C.cancelled())
+    return StopReason::Cancelled;
+  if (D.expired())
+    return StopReason::DeadlineExpired;
+  return StopReason::None;
+}
+
+} // namespace hotg::support
+
+#endif // HOTG_SUPPORT_DEADLINE_H

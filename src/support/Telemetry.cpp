@@ -138,6 +138,8 @@ const char *hotg::telemetry::eventKindName(EventKind Kind) {
     return "divergence";
   case EventKind::BugFound:
     return "bug_found";
+  case EventKind::SearchSummary:
+    return "search_summary";
   }
   HOTG_UNREACHABLE("unknown event kind");
 }

@@ -170,6 +170,7 @@ enum class EventKind : uint8_t {
   SummaryApplied,///< A validity strategy grounded via summary disjuncts.
   Divergence,    ///< A generated test took an unpredicted path.
   BugFound,      ///< A new distinct bug was recorded.
+  SearchSummary, ///< End-of-run totals and stop reason of one search.
 };
 
 /// Returns the JSONL name: "test_run", "solver_check", ...

@@ -54,14 +54,21 @@ void ThreadPool::workerMain(unsigned Index) {
       It = std::move(Queue.front());
       Queue.pop_front();
     }
+    // Account the busy time *before* fulfilling the promise: a caller
+    // returning from future::get() must observe this job's contribution
+    // in busyNanos().
     uint64_t Start = telemetry::monotonicNanos();
+    std::exception_ptr Err;
     try {
       It.Fn(Index);
-      It.Done.set_value();
     } catch (...) {
-      It.Done.set_exception(std::current_exception());
+      Err = std::current_exception();
     }
     BusyNs.fetch_add(telemetry::monotonicNanos() - Start,
                      std::memory_order_relaxed);
+    if (Err)
+      It.Done.set_exception(std::move(Err));
+    else
+      It.Done.set_value();
   }
 }

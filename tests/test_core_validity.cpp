@@ -209,4 +209,63 @@ TEST_F(ValidityTest, StatsArePopulated) {
   EXPECT_GE(Solver.stats().InnerSolverCalls, 1u);
 }
 
+// Unknown answers carry a structured reason (docs/robustness.md), mirroring
+// the inner solver's Unknown taxonomy at the validity layer.
+
+TEST_F(ValidityTest, GroundingBudgetExhaustionIsReported) {
+  Samples.record(H, {42}, 567);
+  ValidityOptions Options;
+  Options.MaxGroundings = 0;
+  ValiditySolver Solver(Arena, Samples, Options);
+  ValidityAnswer A = Solver.checkPost(Arena.mkEq(X, h(Y)));
+  EXPECT_EQ(A.Status, ValidityStatus::Unknown);
+  EXPECT_EQ(A.Reason, "grounding budget exhausted");
+}
+
+TEST_F(ValidityTest, SupportBudgetExhaustionIsReported) {
+  // A disjunctive POST with more supports than the budget allows, none of
+  // them provable: the enumerator gives up rather than concluding.
+  Samples.record(H, {42}, 567);
+  TermId Lit = Arena.mkEq(X, h(Y));
+  TermId F = Arena.mkOr(Arena.mkAnd(Lit, Arena.mkEq(X, Arena.mkIntConst(1))),
+                        Arena.mkAnd(Lit, Arena.mkEq(X, Arena.mkIntConst(2))));
+  ValidityOptions Options;
+  Options.MaxSupports = 1;
+  ValiditySolver Solver(Arena, Samples, Options);
+  ValidityAnswer A = Solver.checkPost(F);
+  if (A.Status == ValidityStatus::Unknown)
+    EXPECT_EQ(A.Reason, "support budget exhausted");
+}
+
+TEST_F(ValidityTest, ExpiredDeadlineIsReported) {
+  Samples.record(H, {42}, 567);
+  ValidityOptions Options;
+  Options.SolverOpts.Deadline = support::Deadline::afterNanos(0);
+  ValiditySolver Solver(Arena, Samples, Options);
+  ValidityAnswer A = Solver.checkPost(Arena.mkEq(X, h(Y)));
+  EXPECT_EQ(A.Status, ValidityStatus::Unknown);
+  EXPECT_EQ(A.Reason, "deadline expired");
+}
+
+TEST_F(ValidityTest, CancellationIsReported) {
+  Samples.record(H, {42}, 567);
+  ValidityOptions Options;
+  Options.SolverOpts.Cancel = support::CancelToken::create();
+  Options.SolverOpts.Cancel.requestCancel();
+  ValiditySolver Solver(Arena, Samples, Options);
+  ValidityAnswer A = Solver.checkPost(Arena.mkEq(X, h(Y)));
+  EXPECT_EQ(A.Status, ValidityStatus::Unknown);
+  EXPECT_EQ(A.Reason, "cancelled");
+}
+
+TEST_F(ValidityTest, InactiveStopControlsDoNotPerturbAnswers) {
+  Samples.record(H, {42}, 567);
+  ValidityOptions Options;
+  Options.SolverOpts.Deadline = support::Deadline::afterMillis(60 * 60 * 1000);
+  ValiditySolver Solver(Arena, Samples, Options);
+  ValidityAnswer A = Solver.checkPost(Arena.mkEq(X, h(Y)));
+  ASSERT_EQ(A.Status, ValidityStatus::Valid);
+  EXPECT_EQ(A.ModelValue.varValueOr(Arena.getOrCreateVar("y"), -1), 42);
+}
+
 } // namespace

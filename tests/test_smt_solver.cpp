@@ -337,4 +337,62 @@ TEST_P(SolverPropertyTest, SimpleFragmentIsComplete) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SolverPropertyTest,
                          ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
 
+// Every Unknown answer carries a structured reason string
+// (docs/robustness.md): budgets, stop controls, and fragment limits each
+// report distinctly so callers (and the search telemetry) can tell a
+// resource cliff from an expressiveness cliff.
+
+TEST_F(SolverTest, DecisionBudgetExhaustionIsReported) {
+  SolverOptions Options;
+  Options.MaxDecisions = 0;
+  Solver S(Arena, Options);
+  SatAnswer A = S.check(Arena.mkEq(X, Arena.mkIntConst(567)));
+  EXPECT_EQ(A.Result, SatResult::Unknown);
+  EXPECT_EQ(A.Reason, "decision budget exhausted");
+}
+
+TEST_F(SolverTest, SupportBudgetExhaustionIsReported) {
+  // First support is unsatisfiable, the budget bars exploring the second:
+  // no conclusion about the disjunction is possible.
+  TermId Contradiction = Arena.mkAnd(Arena.mkEq(X, Arena.mkIntConst(1)),
+                                     Arena.mkEq(X, Arena.mkIntConst(2)));
+  TermId F = Arena.mkOr(Contradiction, Arena.mkEq(X, Arena.mkIntConst(3)));
+  SolverOptions Options;
+  Options.MaxSupports = 1;
+  Solver S(Arena, Options);
+  SatAnswer A = S.check(F);
+  EXPECT_EQ(A.Result, SatResult::Unknown);
+  EXPECT_EQ(A.Reason, "support budget exhausted");
+}
+
+TEST_F(SolverTest, ExpiredDeadlineIsReported) {
+  SolverOptions Options;
+  Options.Deadline = support::Deadline::afterNanos(0);
+  Solver S(Arena, Options);
+  SatAnswer A = S.check(Arena.mkEq(X, Arena.mkIntConst(567)));
+  EXPECT_EQ(A.Result, SatResult::Unknown);
+  EXPECT_EQ(A.Reason, "deadline expired");
+}
+
+TEST_F(SolverTest, CancellationIsReported) {
+  SolverOptions Options;
+  Options.Cancel = support::CancelToken::create();
+  Options.Cancel.requestCancel();
+  Solver S(Arena, Options);
+  SatAnswer A = S.check(Arena.mkEq(X, Arena.mkIntConst(567)));
+  EXPECT_EQ(A.Result, SatResult::Unknown);
+  EXPECT_EQ(A.Reason, "cancelled");
+}
+
+TEST_F(SolverTest, InactiveStopControlsDoNotPerturbAnswers) {
+  // A generous deadline must behave exactly like no deadline: the poll
+  // returns None and the query completes normally.
+  SolverOptions Options;
+  Options.Deadline = support::Deadline::afterMillis(60 * 60 * 1000);
+  Solver S(Arena, Options);
+  SatAnswer A = S.check(Arena.mkEq(X, Arena.mkIntConst(567)));
+  ASSERT_TRUE(A.isSat());
+  EXPECT_EQ(A.ModelValue.varValueOr(Arena.getOrCreateVar("x"), 0), 567);
+}
+
 } // namespace

@@ -27,8 +27,17 @@
 //   --stats-json F     write the telemetry registry as JSON to F
 //   --trace-out F      write a JSONL trace (one event per line) to F;
 //                      docs/observability.md documents the event schema
+//   --deadline-ms N    wall-clock budget for the search; on expiry the
+//                      partial SearchResult is reported and the exit code
+//                      is 2 (see docs/robustness.md)
+//   --fault-spec S     arm the deterministic fault injector, e.g.
+//                      "worker-dispatch:0.2:7"; overrides HOTG_FAULT_SPEC
 //
 // Available natives: hash(1), hash2(1), hash4(4), fstep(1).
+//
+// Exit codes: 0 = search completed (bugs found or not), 1 = usage or
+// input error, 2 = search stopped early (deadline/cancellation — partial
+// results were still reported), 3 = internal error.
 //
 //===----------------------------------------------------------------------===//
 
@@ -36,11 +45,16 @@
 #include "core/Search.h"
 #include "dse/SymbolicExecutor.h"
 #include "lang/Parser.h"
+#include "support/Deadline.h"
+#include "support/FaultInjector.h"
 #include "support/StringUtils.h"
 #include "support/Telemetry.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -61,8 +75,9 @@ namespace {
                "[--seed-input a,b,c] [--seed N] [--samples-in F] "
                "[--samples-out F] [--summarize] [--explore-paths] "
                "[--order bfs|dfs] [--dump-tests] [--dump-pc] [--stats] "
-               "[--stats-json F] [--trace-out F]\n");
-  std::exit(2);
+               "[--stats-json F] [--trace-out F] [--deadline-ms N] "
+               "[--fault-spec site:prob:seed[,...]]\n");
+  std::exit(1);
 }
 
 TestInput parseCells(const char *Spec) {
@@ -72,9 +87,10 @@ TestInput parseCells(const char *Spec) {
   return Input;
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
+/// The driver proper; main() wraps this in a catch-all so unexpected
+/// exceptions (including injected faults that escape the recovery paths)
+/// map to exit code 3 instead of std::terminate.
+int runTool(int Argc, char **Argv) {
   if (Argc < 2)
     usageError("missing input file");
 
@@ -89,7 +105,8 @@ int main(int Argc, char **Argv) {
   std::vector<TestInput> Seeds;
   bool ExplorePaths = false, DumpTests = false, DumpPc = false;
   bool DepthFirst = false, Summarize = false, PrintStats = false;
-  std::string SamplesIn, SamplesOut, StatsJsonPath, TracePath;
+  uint64_t DeadlineMs = 0;
+  std::string SamplesIn, SamplesOut, StatsJsonPath, TracePath, FaultSpec;
 
   for (int I = 1; I != Argc; ++I) {
     auto NextArg = [&](const char *Flag) -> const char * {
@@ -144,6 +161,13 @@ int main(int Argc, char **Argv) {
       StatsJsonPath = NextArg("--stats-json");
     else if (!std::strcmp(Argv[I], "--trace-out"))
       TracePath = NextArg("--trace-out");
+    else if (!std::strcmp(Argv[I], "--deadline-ms")) {
+      DeadlineMs = std::strtoull(NextArg("--deadline-ms"), nullptr, 10);
+      if (DeadlineMs == 0)
+        usageError("--deadline-ms expects a positive millisecond count");
+    }
+    else if (!std::strcmp(Argv[I], "--fault-spec"))
+      FaultSpec = NextArg("--fault-spec");
     else if (Argv[I][0] == '-')
       usageError(formatString("unknown option '%s'", Argv[I]).c_str());
     else if (Path)
@@ -154,10 +178,25 @@ int main(int Argc, char **Argv) {
   if (!Path)
     usageError("missing input file");
 
+  // --fault-spec wins over the HOTG_FAULT_SPEC environment variable so a
+  // CI matrix can export a default and individual steps can override it.
+  if (FaultSpec.empty())
+    if (const char *Env = std::getenv("HOTG_FAULT_SPEC"))
+      FaultSpec = Env;
+  std::unique_ptr<support::FaultInjector> Injector;
+  if (!FaultSpec.empty()) {
+    std::string Error;
+    Injector = support::FaultInjector::parse(FaultSpec, Error);
+    if (!Injector)
+      usageError(
+          formatString("invalid fault spec: %s", Error.c_str()).c_str());
+    support::setFaultInjector(Injector.get());
+  }
+
   std::ifstream File(Path);
   if (!File) {
     std::fprintf(stderr, "hotg-run: cannot open '%s'\n", Path);
-    return 2;
+    return 1;
   }
   std::ostringstream Buffer;
   Buffer << File.rdbuf();
@@ -213,15 +252,24 @@ int main(int Argc, char **Argv) {
     if (!TraceFile) {
       std::fprintf(stderr, "hotg-run: cannot open '%s' for writing\n",
                    TracePath.c_str());
-      return 2;
+      return 1;
     }
     Trace = std::make_unique<telemetry::JsonlTraceSink>(TraceFile);
     telemetry::setSink(Trace.get());
   }
 
+  // Arm the deadline here, not at argument-parse time, so the budget
+  // covers the search itself rather than file loading and parsing.
+  support::Deadline Deadline;
+  if (DeadlineMs != 0)
+    Deadline = support::Deadline::afterMillis(DeadlineMs);
+
   SearchResult Result;
   if (Policy == "random") {
-    Result = runRandomSearch(*Prog, Natives, Entry, MaxTests, 0, 99, Seed);
+    RunLimits Limits;
+    Limits.Deadline = Deadline;
+    Result = runRandomSearch(*Prog, Natives, Entry, MaxTests, 0, 99, Seed,
+                             Limits);
   } else {
     SearchOptions Options;
     if (Policy == "unsound")
@@ -242,6 +290,7 @@ int main(int Argc, char **Argv) {
     Options.SeedInputs = Seeds;
     Options.SkipCoveredTargets = !ExplorePaths;
     Options.SummarizeCalls = Summarize;
+    Options.Deadline = Deadline;
     if (DepthFirst)
       Options.Order = SearchOptions::OrderKind::DepthFirst;
 
@@ -251,7 +300,7 @@ int main(int Argc, char **Argv) {
       if (!In) {
         std::fprintf(stderr, "hotg-run: cannot open '%s'\n",
                      SamplesIn.c_str());
-        return 2;
+        return 1;
       }
       std::ostringstream Buf;
       Buf << In.rdbuf();
@@ -259,7 +308,7 @@ int main(int Argc, char **Argv) {
       if (!Search.importSamples(Buf.str(), &Err)) {
         std::fprintf(stderr, "hotg-run: %s: %s\n", SamplesIn.c_str(),
                      Err.c_str());
-        return 2;
+        return 1;
       }
       std::printf("pre-loaded %zu IOF samples from %s\n",
                   Search.samples().size(), SamplesIn.c_str());
@@ -300,13 +349,16 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "solver prefix reuse: %.1f%% (%llu reused, %llu pushed)\n",
                    100.0 * double(Reused) / double(Reused + Pushes),
                    (unsigned long long)Reused, (unsigned long long)Pushes);
+    if (Injector)
+      std::fprintf(stderr, "fault injection (per armed site):\n%s",
+                   Injector->summary().c_str());
   }
   if (!StatsJsonPath.empty()) {
     std::ofstream StatsFile(StatsJsonPath);
     if (!StatsFile) {
       std::fprintf(stderr, "hotg-run: cannot open '%s' for writing\n",
                    StatsJsonPath.c_str());
-      return 2;
+      return 1;
     }
     StatsFile << telemetry::Registry::global().statsJson() << "\n";
   }
@@ -316,13 +368,37 @@ int main(int Argc, char **Argv) {
               Policy.c_str(), Result.testsRun(),
               Result.Cov.coveredDirections(),
               Result.Cov.totalDirections(), Result.Divergences);
-  if (Result.Bugs.empty()) {
+  if (Result.Bugs.empty())
     std::printf("no bugs found\n");
-    return 0;
-  }
   for (const BugRecord &Bug : Result.Bugs)
     std::printf("BUG [%s] \"%s\" input %s (test #%u)\n",
                 runStatusName(Bug.Status), Bug.Message.c_str(),
                 Bug.Input.toString().c_str(), Bug.FoundAtTest);
-  return 0;
+
+  // Exit 2 when the search stopped early (or a run was cut mid-flight by
+  // the deadline): the results above are real but possibly incomplete.
+  // Hitting --max-tests is the normal operating mode, not degradation.
+  bool Degraded = Result.Stopped == support::StopReason::DeadlineExpired ||
+                  Result.Stopped == support::StopReason::Cancelled ||
+                  std::any_of(Result.Tests.begin(), Result.Tests.end(),
+                              [](const TestRecord &T) {
+                                return T.Status == RunStatus::Deadline;
+                              });
+  if (Result.Stopped != support::StopReason::None)
+    std::printf("search stopped: %s\n",
+                support::stopReasonName(Result.Stopped));
+  return Degraded ? 2 : 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  try {
+    return runTool(Argc, Argv);
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "hotg-run: internal error: %s\n", E.what());
+  } catch (...) {
+    std::fprintf(stderr, "hotg-run: internal error\n");
+  }
+  return 3;
 }

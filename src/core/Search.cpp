@@ -147,21 +147,32 @@ struct DirectedSearch::ParallelState {
               uint64_t Gen, smt::QueryKind Kind,
               const smt::SolverOptions &SolverOpts,
               const ValidityOptions &VOpts,
-              std::shared_ptr<const smt::SampleTable> Snap);
+              std::shared_ptr<const smt::SampleTable> Snap, uint64_t CandId,
+              unsigned ParentTest);
 };
 
 void DirectedSearch::ParallelState::runJob(
     unsigned W, smt::TermId Alt, smt::TermFingerprint Fp, uint64_t Gen,
     smt::QueryKind Kind, const smt::SolverOptions &SolverOpts,
     const ValidityOptions &VOpts,
-    std::shared_ptr<const smt::SampleTable> Snap) {
+    std::shared_ptr<const smt::SampleTable> Snap, uint64_t CandId,
+    unsigned ParentTest) {
   Worker &Me = Workers[W];
+  // Worker spans root their own per-thread tree (span parent links never
+  // cross threads); the attribution ties the queries back to the
+  // candidate this job speculates for.
+  telemetry::ScopedSpan Span("search.worker_job");
+  telemetry::ScopedAttribution AttributionScope;
+  telemetry::queryAttribution().Test = int64_t(ParentTest);
+  telemetry::queryAttribution().Candidate = int64_t(CandId);
+  telemetry::queryAttribution().Worker = int64_t(W);
 
   // A previous job on this worker threw mid-flight, so the replica cannot
   // be trusted as an exact prefix anymore. Rebuild it from scratch by
   // replaying the full delta stream (delta 0 starts from the empty arena),
   // and drop the context that referenced the old replica's TermIds.
   if (Me.Broken) {
+    telemetry::ScopedSpan RebuildSpan("search.replica_rebuild");
     Me.Replica = smt::TermArena();
     Me.DeltasApplied = 0;
     Me.Ctx.reset();
@@ -329,6 +340,8 @@ DirectedSearch::runTest(const TestInput &Input, bool Intermediate,
 
   telemetry::Registry &Reg = telemetry::Registry::global();
   static telemetry::PhaseTimer &TestTimer = Reg.timer("search.test");
+  static telemetry::Histogram &TestHist = Reg.histogram("search.test");
+  telemetry::ScopedSpan Span("search.test");
   telemetry::ScopedTimer Timer(TestTimer);
   Reg.counter("search.tests").add();
   unsigned CovBefore = Result.Cov.coveredDirections();
@@ -389,8 +402,13 @@ DirectedSearch::runTest(const TestInput &Input, bool Intermediate,
     E.set("status", runStatusName(PR.Run.Status));
     E.setBool("intermediate", Intermediate);
     E.setBool("diverged", Record.Diverged);
-    if (From)
+    if (From) {
       E.set("negate_index", int64_t(From->NegateIndex));
+      // Search-tree edge: which candidate of which earlier test derived
+      // this input (hotg-trace tree).
+      E.set("from_candidate", int64_t(From->Id));
+      E.set("parent_test", int64_t(From->ParentTest));
+    }
     E.set("pc_size", int64_t(PR.PC.size()));
     E.set("concretizations", int64_t(PR.NumConcretizations));
     E.set("uf_apps", int64_t(PR.NumUFApps));
@@ -434,6 +452,7 @@ DirectedSearch::runTest(const TestInput &Input, bool Intermediate,
       Result.Bugs.push_back(std::move(Bug));
     }
   }
+  TestHist.note(Timer.elapsedNs());
   return PR;
 }
 
@@ -451,6 +470,9 @@ void DirectedSearch::expand(const PathResult &PR, const TestInput &Input,
     Cand.ParentInput = Input;
     Cand.NegateIndex = Pos;
     Cand.Id = NextCandidateId++;
+    // expand() runs directly after the parent test was recorded, so the
+    // current test count is its 1-based id.
+    Cand.ParentTest = static_cast<unsigned>(Result.Tests.size());
     if (Options.Order == SearchOptions::OrderKind::DepthFirst)
       Frontier.push_front(std::move(Cand));
     else
@@ -459,6 +481,7 @@ void DirectedSearch::expand(const PathResult &PR, const TestInput &Input,
 }
 
 void DirectedSearch::seedFrontier() {
+  telemetry::ScopedSpan Span("search.seed");
   TestInput Initial;
   if (Options.InitialInput) {
     Initial = *Options.InitialInput;
@@ -509,6 +532,7 @@ void DirectedSearch::initParallel() {
 }
 
 void DirectedSearch::dispatchSpeculative() {
+  telemetry::ScopedSpan Span("search.dispatch");
   // Stop-control poll at worker dispatch: once tripped, no further jobs
   // are enqueued (the merge loop is about to observe the same stop).
   if (support::stopRequested(Options.Deadline, Options.Cancel) !=
@@ -574,12 +598,13 @@ void DirectedSearch::dispatchSpeculative() {
     PS.Inflight.emplace(
         Cand.Id, PS.Pool.submit([&PS, Alt, Fp, Gen, Kind, VOpts,
                                  SolverOpts = Options.SolverOpts,
-                                 Snap = PS.SampleSnap](unsigned W) {
+                                 Snap = PS.SampleSnap, CandId = Cand.Id,
+                                 ParentTest = Cand.ParentTest](unsigned W) {
           // Fault site: models a worker dying before touching any shared
           // state (replica untouched, nothing published).
           support::maybeInjectFault(support::FaultSite::WorkerDispatch);
           PS.runJob(W, Alt, Fp, Gen, Kind, SolverOpts, VOpts,
-                    std::move(Snap));
+                    std::move(Snap), CandId, ParentTest);
         }));
   }
   // Sampled gauge: count = dispatch rounds, max = peak depth.
@@ -590,6 +615,7 @@ void DirectedSearch::awaitSpeculation(const Candidate &Cand) {
   auto It = Parallel->Inflight.find(Cand.Id);
   if (It == Parallel->Inflight.end())
     return;
+  telemetry::ScopedSpan Span("search.await");
   // Satellite fix: future::get() used to rethrow a worker exception out of
   // run() here, discarding every accumulated test. A failed speculation
   // only means no cached answer — classify it, count it, and let the merge
@@ -791,13 +817,65 @@ ValidityAnswer DirectedSearch::solveValidityGuarded(smt::TermId Alt) {
   }
 }
 
+void DirectedSearch::maybeEmitHeartbeat() {
+  if (!Options.ProgressEveryMs)
+    return;
+  telemetry::TraceSink *S = telemetry::sink();
+  if (!S)
+    return;
+  uint64_t Now = telemetry::monotonicNanos();
+  if (Now - LastBeatNs < Options.ProgressEveryMs * 1'000'000)
+    return;
+
+  telemetry::Registry &Reg = telemetry::Registry::global();
+  uint64_t Tests = Result.Tests.size();
+  uint64_t Checks = Reg.counter("solver.checks").value();
+  double IntervalS = static_cast<double>(Now - LastBeatNs) / 1e9;
+  uint64_t CacheHits = Parallel ? Parallel->Cache.hits() : 0;
+  uint64_t CacheMisses = Parallel ? Parallel->Cache.misses() : 0;
+  uint64_t CacheTotal = CacheHits + CacheMisses;
+
+  telemetry::Event E(telemetry::EventKind::Heartbeat);
+  E.set("ts_ns", static_cast<int64_t>(Now));
+  E.set("elapsed_ms",
+        static_cast<int64_t>((Now - SearchStartNs) / 1'000'000));
+  E.set("tests", static_cast<int64_t>(Tests));
+  E.setDouble("tests_per_s",
+              static_cast<double>(Tests - LastBeatTests) / IntervalS);
+  E.set("solver_checks", static_cast<int64_t>(Checks));
+  E.setDouble("solver_checks_per_s",
+              static_cast<double>(Checks - LastBeatChecks) / IntervalS);
+  E.set("cache_hits", static_cast<int64_t>(CacheHits));
+  E.set("cache_misses", static_cast<int64_t>(CacheMisses));
+  E.setDouble("cache_hit_rate",
+              CacheTotal ? static_cast<double>(CacheHits) /
+                               static_cast<double>(CacheTotal)
+                         : 0.0);
+  E.set("queue_depth", static_cast<int64_t>(
+                           Parallel ? Parallel->Pool.queueDepth() : 0));
+  E.set("frontier", static_cast<int64_t>(Frontier.size()));
+  S->handle(E);
+
+  LastBeatNs = Now;
+  LastBeatTests = Tests;
+  LastBeatChecks = Checks;
+}
+
 bool DirectedSearch::processCandidate(const Candidate &Cand) {
   const PathEntry &Entry = Cand.PC->Entries[Cand.NegateIndex];
   telemetry::Registry &Reg = telemetry::Registry::global();
   Reg.counter("search.candidates").add();
+  telemetry::ScopedSpan Span("search.candidate");
+  // Every solver/validity query issued while this candidate is being
+  // evaluated inline carries its identity (docs/observability.md).
+  telemetry::ScopedAttribution AttributionScope;
+  telemetry::queryAttribution().Test = int64_t(Cand.ParentTest);
+  telemetry::queryAttribution().Candidate = int64_t(Cand.Id);
   auto EmitCandidate = [&](const char *Verdict) {
     if (telemetry::TraceSink *S = telemetry::sink()) {
       telemetry::Event E(telemetry::EventKind::Candidate);
+      E.set("candidate", int64_t(Cand.Id));
+      E.set("parent_test", int64_t(Cand.ParentTest));
       E.set("negate_index", int64_t(Cand.NegateIndex));
       E.set("branch", int64_t(Entry.Branch));
       E.setBool("target_taken", !Entry.Taken);
@@ -889,9 +967,17 @@ bool DirectedSearch::processCandidate(const Candidate &Cand) {
 
 SearchResult DirectedSearch::run() {
   telemetry::Registry &Reg = telemetry::Registry::global();
+  // Root span of the whole search: hotg-trace computes its wall-time
+  // attribution ("N% covered by child spans") against this one.
+  telemetry::ScopedSpan Span("search.run");
+  SearchStartNs = telemetry::monotonicNanos();
+  LastBeatNs = SearchStartNs;
+  LastBeatTests = 0;
+  LastBeatChecks = Reg.counter("solver.checks").value();
   initParallel();
   seedFrontier();
   while (!Frontier.empty() && Result.Tests.size() < Options.MaxTests) {
+    maybeEmitHeartbeat();
     // Stop-control poll at the candidate boundary: a partial result keeps
     // every test, bug, coverage direction and stat accumulated so far —
     // only not-yet-processed frontier work is abandoned.

@@ -87,6 +87,11 @@ struct SearchOptions {
   bool UseIncrementalContexts = true;
   smt::SolverOptions SolverOpts;
   ValidityOptions ValidityOpts;
+  /// Emit a `heartbeat` trace event (tests/s, solver checks/s, cache hit
+  /// rate, queue depth, frontier size) at most every this many
+  /// milliseconds, sampled at loop boundaries of the search. 0 (default)
+  /// disables the heartbeat; it is also inert without a trace sink.
+  uint64_t ProgressEveryMs = 0;
   /// Wall-clock stop controls (docs/robustness.md). The constructor
   /// threads them into SolverOpts and Limits (unless those carry their own
   /// already), so one deadline bounds the whole stack: search loop, worker
@@ -195,6 +200,9 @@ private:
     /// Monotonic identity, assigned at enqueue time (keys in-flight
     /// speculative work).
     uint64_t Id = 0;
+    /// 1-based index of the test whose path spawned this candidate (query
+    /// attribution + the search-tree export of hotg-trace).
+    unsigned ParentTest = 0;
   };
 
   struct ParallelState; // Defined in Search.cpp (Jobs > 1 only).
@@ -239,6 +247,10 @@ private:
   /// candidate is abandoned, the search continues).
   smt::SatAnswer solveSatGuarded(smt::TermId Alt);
   ValidityAnswer solveValidityGuarded(smt::TermId Alt);
+  /// Emits a `heartbeat` trace event when Options.ProgressEveryMs elapsed
+  /// since the last one (no-op without a sink or with ProgressEveryMs 0).
+  /// Called at search loop boundaries.
+  void maybeEmitHeartbeat();
 
   const lang::Program &Prog;
   const interp::NativeRegistry &Natives;
@@ -265,6 +277,13 @@ private:
   /// forced off so per-query stats stay jobs-invariant (docs/solver.md).
   std::unique_ptr<smt::SolverContext> SatCtx;
   uint64_t NextCandidateId = 0;
+  /// Heartbeat sampling state (maybeEmitHeartbeat): search start time,
+  /// plus time and counter values at the previous beat for the
+  /// per-interval rates.
+  uint64_t SearchStartNs = 0;
+  uint64_t LastBeatNs = 0;
+  uint64_t LastBeatTests = 0;
+  uint64_t LastBeatChecks = 0;
   /// Null when the search runs serially (effectiveJobs() == 1).
   std::unique_ptr<ParallelState> Parallel;
 };

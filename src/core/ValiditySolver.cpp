@@ -9,6 +9,7 @@
 #include "smt/Supports.h"
 #include "support/Deadline.h"
 #include "support/FaultInjector.h"
+#include "support/StringUtils.h"
 #include "support/Support.h"
 #include "support/Telemetry.h"
 
@@ -16,6 +17,7 @@
 #include <cassert>
 #include <map>
 #include <memory>
+#include <optional>
 #include <unordered_set>
 
 using namespace hotg;
@@ -240,6 +242,21 @@ private:
     return Attempt({GroundingChoice::Kind::Unbound, 0, 0, 0});
   }
 
+  /// Compact signature of the complete grounding under trial: how many
+  /// applications each choice kind covers ("d1s2p0u0" = one disjunct, two
+  /// samples). The trace schema calls this the grounding family.
+  std::string groundingFamily() const {
+    size_t Counts[4] = {};
+    for (const GroundingChoice &C : Choices)
+      ++Counts[static_cast<size_t>(C.ChoiceKind)];
+    return formatString(
+        "d%zus%zup%zuu%zu",
+        Counts[static_cast<size_t>(GroundingChoice::Kind::Disjunct)],
+        Counts[static_cast<size_t>(GroundingChoice::Kind::Sample)],
+        Counts[static_cast<size_t>(GroundingChoice::Kind::PairWith)],
+        Counts[static_cast<size_t>(GroundingChoice::Kind::Unbound)]);
+  }
+
   bool tryGrounding(const std::vector<TermId> &Literals, Outcome &Result,
                     std::optional<Outcome> &Learnable, bool &SawUnknown) {
     (void)Literals;
@@ -250,6 +267,15 @@ private:
     ++Stats.GroundingsTried;
 
     ++Stats.InnerSolverCalls;
+    // Tag the inner solver checks of this grounding with its choice
+    // signature, so solver_check events can be grouped by grounding
+    // family offline. Only when a sink is attached: the signature
+    // allocates.
+    std::optional<telemetry::ScopedAttribution> Attribution;
+    if (telemetry::sink()) {
+      Attribution.emplace();
+      telemetry::queryAttribution().GroundingFamily = groundingFamily();
+    }
     SatAnswer Answer;
     if (Options.UseIncrementalContexts) {
       // One long-lived context serves every grounding of this support
@@ -539,7 +565,9 @@ ValidityAnswer ValiditySolver::checkAdHoc(TermId PathCondition) {
 ValidityAnswer ValiditySolver::checkPost(TermId PathCondition) {
   telemetry::Registry &Reg = telemetry::Registry::global();
   static telemetry::PhaseTimer &CheckTimer = Reg.timer("validity.check");
+  static telemetry::Histogram &CheckHist = Reg.histogram("validity.check");
   static telemetry::Counter &Queries = Reg.counter("validity.queries");
+  telemetry::ScopedSpan Span("validity.check");
   telemetry::ScopedTimer Timer(CheckTimer);
   Queries.add();
 
@@ -563,6 +591,7 @@ ValidityAnswer ValiditySolver::checkPost(TermId PathCondition) {
     break;
   }
 
+  CheckHist.note(Timer.elapsedNs());
   if (telemetry::TraceSink *S = telemetry::sink()) {
     telemetry::Event E(telemetry::EventKind::ValidityQuery);
     E.set("status", validityStatusName(Answer.Status));
@@ -573,6 +602,7 @@ ValidityAnswer ValiditySolver::checkPost(TermId PathCondition) {
     E.set("ns", int64_t(Timer.elapsedNs()));
     if (!Answer.Reason.empty())
       E.set("reason", Answer.Reason);
+    telemetry::attachAttribution(E);
     S->handle(E);
   }
   return Answer;

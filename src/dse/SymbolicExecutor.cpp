@@ -990,10 +990,13 @@ PathResult SymbolicExecutor::execute(std::string_view EntryName,
   }
   telemetry::Registry &Reg = telemetry::Registry::global();
   static telemetry::PhaseTimer &ExecTimer = Reg.timer("dse.execute");
+  static telemetry::Histogram &ExecHist = Reg.histogram("dse.execute");
+  telemetry::ScopedSpan Span("dse.execute");
   telemetry::ScopedTimer Timer(ExecTimer);
 
   CoExecution Exec(Prog, Natives, Arena, Options, Samples, Summaries);
   PathResult PR = Exec.run(*Entry, Input);
+  ExecHist.note(Timer.elapsedNs());
 
   Reg.counter("dse.runs").add();
   Reg.counter("dse.constraints_collected").add(PR.PC.size());

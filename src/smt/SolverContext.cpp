@@ -1008,8 +1008,11 @@ SatAnswer SolverContext::checkFormula(TermId Formula, SolverStats &QueryStats) {
 void SolverContext::foldQueryTelemetry(const SatAnswer &Answer,
                                        const SolverStats &QueryStats,
                                        SolverStats &CumStats,
-                                       int64_t ElapsedNs) {
+                                       int64_t ElapsedNs,
+                                       const char *CacheOutcome) {
   telemetry::Registry &Reg = telemetry::Registry::global();
+  static telemetry::Histogram &CheckHist = Reg.histogram("solver.check");
+  CheckHist.note(static_cast<uint64_t>(ElapsedNs));
   ++CumStats.Checks;
   CumStats.SupportsExplored += QueryStats.SupportsExplored;
   CumStats.Decisions += QueryStats.Decisions;
@@ -1038,6 +1041,10 @@ void SolverContext::foldQueryTelemetry(const SatAnswer &Answer,
     E.set("ns", ElapsedNs);
     if (!Answer.Reason.empty())
       E.set("reason", Answer.Reason);
+    E.set("scope_depth", int64_t(numScopes()));
+    if (CacheOutcome)
+      E.set("cache", CacheOutcome);
+    telemetry::attachAttribution(E);
     S->handle(E);
   }
 }
@@ -1050,13 +1057,18 @@ SatAnswer SolverContext::checkFormulaWithTelemetry(TermId Formula,
   telemetry::Registry &Reg = telemetry::Registry::global();
   static telemetry::PhaseTimer &CheckTimer = Reg.timer("solver.check");
   static telemetry::Counter &Checks = Reg.counter("solver.checks");
+  telemetry::ScopedSpan Span("solver.check");
   telemetry::ScopedTimer Timer(CheckTimer);
   Checks.add();
 
+  uint64_t CacheHitsBefore = Stats.AnswerCacheHits;
+  uint64_t CacheMissesBefore = Stats.AnswerCacheMisses;
   SolverStats QueryStats;
   SatAnswer Answer = checkFormula(Formula, QueryStats);
-  foldQueryTelemetry(Answer, QueryStats, CumStats,
-                     int64_t(Timer.elapsedNs()));
+  foldQueryTelemetry(Answer, QueryStats, CumStats, int64_t(Timer.elapsedNs()),
+                     Stats.AnswerCacheHits > CacheHitsBefore     ? "hit"
+                     : Stats.AnswerCacheMisses > CacheMissesBefore ? "miss"
+                                                                   : nullptr);
   return Answer;
 }
 
@@ -1065,12 +1077,17 @@ SatAnswer SolverContext::checkWithTelemetry(SolverStats &CumStats) {
   telemetry::Registry &Reg = telemetry::Registry::global();
   static telemetry::PhaseTimer &CheckTimer = Reg.timer("solver.check");
   static telemetry::Counter &Checks = Reg.counter("solver.checks");
+  telemetry::ScopedSpan Span("solver.check");
   telemetry::ScopedTimer Timer(CheckTimer);
   Checks.add();
 
+  uint64_t CacheHitsBefore = Stats.AnswerCacheHits;
+  uint64_t CacheMissesBefore = Stats.AnswerCacheMisses;
   SolverStats QueryStats;
   SatAnswer Answer = check(QueryStats);
-  foldQueryTelemetry(Answer, QueryStats, CumStats,
-                     int64_t(Timer.elapsedNs()));
+  foldQueryTelemetry(Answer, QueryStats, CumStats, int64_t(Timer.elapsedNs()),
+                     Stats.AnswerCacheHits > CacheHitsBefore     ? "hit"
+                     : Stats.AnswerCacheMisses > CacheMissesBefore ? "miss"
+                                                                   : nullptr);
   return Answer;
 }

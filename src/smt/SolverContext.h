@@ -163,10 +163,14 @@ private:
   void registerAtom(TermId Atom);
   void setDomain(size_t Idx, const Interval &NewDom);
   /// Folds \p QueryStats into \p CumStats and emits the per-query telemetry
-  /// counters and trace event (shared tail of the *WithTelemetry entries).
+  /// counters, latency-histogram sample, and trace event (shared tail of
+  /// the *WithTelemetry entries). \p CacheOutcome is "hit"/"miss" when the
+  /// answer cache resolved/recorded this query, null otherwise; the event
+  /// also carries the current scope depth and the thread's query
+  /// attribution (test / candidate / worker / grounding).
   void foldQueryTelemetry(const SatAnswer &Answer,
                           const SolverStats &QueryStats, SolverStats &CumStats,
-                          int64_t ElapsedNs);
+                          int64_t ElapsedNs, const char *CacheOutcome);
   bool propagateBase();
   /// Memo lookup: was (Atom = Value) proven refuted by a still-asserted
   /// prefix?

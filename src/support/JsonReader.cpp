@@ -1,0 +1,422 @@
+//===- support/JsonReader.cpp - Minimal recursive-descent JSON parser ----===//
+
+#include "support/JsonReader.h"
+
+#include "support/StringUtils.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+using namespace hotg;
+using namespace hotg::json;
+
+Value Value::makeBool(bool B) {
+  Value V;
+  V.KindValue = Kind::Bool;
+  V.Int = B ? 1 : 0;
+  return V;
+}
+
+Value Value::makeInt(int64_t I) {
+  Value V;
+  V.KindValue = Kind::Int;
+  V.Int = I;
+  return V;
+}
+
+Value Value::makeDouble(double D) {
+  Value V;
+  V.KindValue = Kind::Double;
+  V.Dbl = D;
+  return V;
+}
+
+Value Value::makeString(std::string S) {
+  Value V;
+  V.KindValue = Kind::String;
+  V.Str = std::move(S);
+  return V;
+}
+
+Value Value::makeArray(Array A) {
+  Value V;
+  V.KindValue = Kind::Array;
+  V.Elements = std::move(A);
+  return V;
+}
+
+Value Value::makeObject(Object O) {
+  Value V;
+  V.KindValue = Kind::Object;
+  V.Members = std::move(O);
+  return V;
+}
+
+double Value::asDouble() const {
+  return KindValue == Kind::Int ? static_cast<double>(Int) : Dbl;
+}
+
+const Value *Value::get(std::string_view Key) const {
+  if (KindValue != Kind::Object)
+    return nullptr;
+  auto It = Members.find(Key);
+  return It == Members.end() ? nullptr : &It->second;
+}
+
+int64_t Value::getInt(std::string_view Key, int64_t Default) const {
+  const Value *V = get(Key);
+  if (!V || !V->isNumber())
+    return Default;
+  return V->isInt() ? V->asInt() : static_cast<int64_t>(V->asDouble());
+}
+
+std::string_view Value::getString(std::string_view Key,
+                                  std::string_view Default) const {
+  const Value *V = get(Key);
+  return V && V->isString() ? std::string_view(V->asString()) : Default;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : Text(Text) {}
+
+  ParseResult run() {
+    skipWhitespace();
+    Value V;
+    if (!parseValue(V))
+      return ParseResult(std::move(Error));
+    skipWhitespace();
+    if (Pos != Text.size())
+      return ParseResult(fail("trailing content after document"));
+    return ParseResult(std::move(V));
+  }
+
+private:
+  std::string fail(std::string_view Message) {
+    if (Error.empty())
+      Error = formatString("json: %.*s at offset %zu",
+                           static_cast<int>(Message.size()), Message.data(),
+                           Pos);
+    return Error;
+  }
+
+  bool atEnd() const { return Pos >= Text.size(); }
+  char peek() const { return Text[Pos]; }
+
+  void skipWhitespace() {
+    while (!atEnd() && (Text[Pos] == ' ' || Text[Pos] == '\t' ||
+                        Text[Pos] == '\n' || Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (atEnd() || Text[Pos] != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  bool expect(char C, const char *What) {
+    if (consume(C))
+      return true;
+    fail(What);
+    return false;
+  }
+
+  bool consumeKeyword(std::string_view Word) {
+    if (Text.substr(Pos, Word.size()) != Word)
+      return false;
+    Pos += Word.size();
+    return true;
+  }
+
+  bool parseValue(Value &Out) {
+    if (atEnd()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    switch (peek()) {
+    case '{':
+      return parseObject(Out);
+    case '[':
+      return parseArray(Out);
+    case '"': {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = Value::makeString(std::move(S));
+      return true;
+    }
+    case 't':
+      if (consumeKeyword("true")) {
+        Out = Value::makeBool(true);
+        return true;
+      }
+      break;
+    case 'f':
+      if (consumeKeyword("false")) {
+        Out = Value::makeBool(false);
+        return true;
+      }
+      break;
+    case 'n':
+      if (consumeKeyword("null")) {
+        Out = Value();
+        return true;
+      }
+      break;
+    default:
+      return parseNumber(Out);
+    }
+    fail("invalid value");
+    return false;
+  }
+
+  bool parseObject(Value &Out) {
+    ++Pos; // '{'
+    Value::Object Members;
+    skipWhitespace();
+    if (consume('}')) {
+      Out = Value::makeObject(std::move(Members));
+      return true;
+    }
+    for (;;) {
+      skipWhitespace();
+      std::string Key;
+      if (atEnd() || peek() != '"') {
+        fail("expected object key");
+        return false;
+      }
+      if (!parseString(Key))
+        return false;
+      skipWhitespace();
+      if (!expect(':', "expected ':' after object key"))
+        return false;
+      skipWhitespace();
+      Value Member;
+      if (!parseValue(Member))
+        return false;
+      Members.insert_or_assign(std::move(Key), std::move(Member));
+      skipWhitespace();
+      if (consume(','))
+        continue;
+      if (!expect('}', "expected ',' or '}' in object"))
+        return false;
+      Out = Value::makeObject(std::move(Members));
+      return true;
+    }
+  }
+
+  bool parseArray(Value &Out) {
+    ++Pos; // '['
+    Value::Array Elements;
+    skipWhitespace();
+    if (consume(']')) {
+      Out = Value::makeArray(std::move(Elements));
+      return true;
+    }
+    for (;;) {
+      skipWhitespace();
+      Value Element;
+      if (!parseValue(Element))
+        return false;
+      Elements.push_back(std::move(Element));
+      skipWhitespace();
+      if (consume(','))
+        continue;
+      if (!expect(']', "expected ',' or ']' in array"))
+        return false;
+      Out = Value::makeArray(std::move(Elements));
+      return true;
+    }
+  }
+
+  static void appendUtf8(std::string &Out, uint32_t Code) {
+    if (Code < 0x80) {
+      Out.push_back(static_cast<char>(Code));
+    } else if (Code < 0x800) {
+      Out.push_back(static_cast<char>(0xC0 | (Code >> 6)));
+      Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+    } else if (Code < 0x10000) {
+      Out.push_back(static_cast<char>(0xE0 | (Code >> 12)));
+      Out.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+      Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+    } else {
+      Out.push_back(static_cast<char>(0xF0 | (Code >> 18)));
+      Out.push_back(static_cast<char>(0x80 | ((Code >> 12) & 0x3F)));
+      Out.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+      Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+    }
+  }
+
+  bool parseHex4(uint32_t &Out) {
+    if (Pos + 4 > Text.size()) {
+      fail("truncated \\u escape");
+      return false;
+    }
+    Out = 0;
+    for (unsigned I = 0; I != 4; ++I) {
+      char C = Text[Pos + I];
+      uint32_t Digit;
+      if (C >= '0' && C <= '9')
+        Digit = static_cast<uint32_t>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        Digit = static_cast<uint32_t>(C - 'a' + 10);
+      else if (C >= 'A' && C <= 'F')
+        Digit = static_cast<uint32_t>(C - 'A' + 10);
+      else {
+        fail("invalid hex digit in \\u escape");
+        return false;
+      }
+      Out = (Out << 4) | Digit;
+    }
+    Pos += 4;
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // '"'
+    Out.clear();
+    for (;;) {
+      if (atEnd()) {
+        fail("unterminated string");
+        return false;
+      }
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (static_cast<unsigned char>(C) < 0x20) {
+        fail("raw control character in string");
+        return false;
+      }
+      if (C != '\\') {
+        Out.push_back(C);
+        continue;
+      }
+      if (atEnd()) {
+        fail("truncated escape");
+        return false;
+      }
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out.push_back(E);
+        break;
+      case 'b':
+        Out.push_back('\b');
+        break;
+      case 'f':
+        Out.push_back('\f');
+        break;
+      case 'n':
+        Out.push_back('\n');
+        break;
+      case 'r':
+        Out.push_back('\r');
+        break;
+      case 't':
+        Out.push_back('\t');
+        break;
+      case 'u': {
+        uint32_t Code;
+        if (!parseHex4(Code))
+          return false;
+        // High surrogate: must be followed by \uDC00..\uDFFF.
+        if (Code >= 0xD800 && Code <= 0xDBFF) {
+          if (Pos + 2 > Text.size() || Text[Pos] != '\\' ||
+              Text[Pos + 1] != 'u') {
+            fail("unpaired high surrogate");
+            return false;
+          }
+          Pos += 2;
+          uint32_t Low;
+          if (!parseHex4(Low))
+            return false;
+          if (Low < 0xDC00 || Low > 0xDFFF) {
+            fail("invalid low surrogate");
+            return false;
+          }
+          Code = 0x10000 + ((Code - 0xD800) << 10) + (Low - 0xDC00);
+        } else if (Code >= 0xDC00 && Code <= 0xDFFF) {
+          fail("unpaired low surrogate");
+          return false;
+        }
+        appendUtf8(Out, Code);
+        break;
+      }
+      default:
+        fail("invalid escape character");
+        return false;
+      }
+    }
+  }
+
+  bool parseNumber(Value &Out) {
+    size_t Start = Pos;
+    if (!atEnd() && peek() == '-')
+      ++Pos;
+    bool HasDigits = false;
+    while (!atEnd() && peek() >= '0' && peek() <= '9') {
+      ++Pos;
+      HasDigits = true;
+    }
+    if (!HasDigits) {
+      fail("invalid number");
+      return false;
+    }
+    bool Integral = true;
+    if (!atEnd() && peek() == '.') {
+      Integral = false;
+      ++Pos;
+      while (!atEnd() && peek() >= '0' && peek() <= '9')
+        ++Pos;
+    }
+    if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+      Integral = false;
+      ++Pos;
+      if (!atEnd() && (peek() == '+' || peek() == '-'))
+        ++Pos;
+      while (!atEnd() && peek() >= '0' && peek() <= '9')
+        ++Pos;
+    }
+    std::string Literal(Text.substr(Start, Pos - Start));
+    if (Integral) {
+      errno = 0;
+      char *End = nullptr;
+      long long I = std::strtoll(Literal.c_str(), &End, 10);
+      if (errno == 0 && End && *End == '\0') {
+        Out = Value::makeInt(static_cast<int64_t>(I));
+        return true;
+      }
+      // Overflowing integer literal: fall through to double.
+    }
+    errno = 0;
+    char *End = nullptr;
+    double D = std::strtod(Literal.c_str(), &End);
+    if (!End || *End != '\0') {
+      fail("invalid number");
+      return false;
+    }
+    Out = Value::makeDouble(D);
+    return true;
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+  std::string Error;
+};
+
+} // namespace
+
+ParseResult hotg::json::parse(std::string_view Text) {
+  return Parser(Text).run();
+}

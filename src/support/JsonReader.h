@@ -1,0 +1,114 @@
+//===- support/JsonReader.h - Minimal recursive-descent JSON parser ------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dependency-free JSON parser for the offline trace tooling: `hotg-trace`
+/// reads back the JSONL event stream that JsonWriter produced, and the test
+/// suite round-trips Event::toJson() through it. Parses one document into a
+/// json::Value tree:
+///
+///   auto Doc = json::parse(R"({"event":"solver_check","ns":12})");
+///   if (!Doc) die(Doc.error());
+///   int64_t Ns = Doc->asObject().at("ns").asInt();
+///
+/// Numbers without fraction/exponent that fit are kept as int64_t (trace
+/// fields are integers); everything else becomes double. String escapes
+/// are decoded per RFC 8259 including \uXXXX and surrogate pairs (encoded
+/// back to UTF-8). Not a validator of everything (no depth limit beyond
+/// recursion, rejects trailing garbage) — inputs are our own traces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_SUPPORT_JSONREADER_H
+#define HOTG_SUPPORT_JSONREADER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hotg::json {
+
+/// One parsed JSON value; a tagged tree.
+class Value {
+public:
+  enum class Kind : uint8_t { Null, Bool, Int, Double, String, Array, Object };
+
+  using Array = std::vector<Value>;
+  using Object = std::map<std::string, Value, std::less<>>;
+
+  Value() : KindValue(Kind::Null) {}
+  static Value makeBool(bool B);
+  static Value makeInt(int64_t I);
+  static Value makeDouble(double D);
+  static Value makeString(std::string S);
+  static Value makeArray(Array A);
+  static Value makeObject(Object O);
+
+  Kind kind() const { return KindValue; }
+  bool isNull() const { return KindValue == Kind::Null; }
+  bool isBool() const { return KindValue == Kind::Bool; }
+  bool isInt() const { return KindValue == Kind::Int; }
+  bool isDouble() const { return KindValue == Kind::Double; }
+  /// Int or Double.
+  bool isNumber() const { return isInt() || isDouble(); }
+  bool isString() const { return KindValue == Kind::String; }
+  bool isArray() const { return KindValue == Kind::Array; }
+  bool isObject() const { return KindValue == Kind::Object; }
+
+  bool asBool() const { return Int != 0; }
+  int64_t asInt() const { return Int; }
+  /// Number as double regardless of representation.
+  double asDouble() const;
+  const std::string &asString() const { return Str; }
+  const Array &asArray() const { return Elements; }
+  const Object &asObject() const { return Members; }
+
+  /// Object member by key, or null if absent / not an object.
+  const Value *get(std::string_view Key) const;
+  /// Member as int64_t, or \p Default when absent or not a number
+  /// (doubles are truncated).
+  int64_t getInt(std::string_view Key, int64_t Default = 0) const;
+  /// Member as string, or \p Default when absent or not a string.
+  std::string_view getString(std::string_view Key,
+                             std::string_view Default = {}) const;
+
+private:
+  Kind KindValue;
+  int64_t Int = 0;
+  double Dbl = 0;
+  std::string Str;
+  Array Elements;
+  Object Members;
+};
+
+/// Result of parse(): a Value or a position-tagged error message.
+class ParseResult {
+public:
+  ParseResult(Value V) : Parsed(std::move(V)), Ok(true) {}
+  ParseResult(std::string Error) : ErrorText(std::move(Error)), Ok(false) {}
+
+  explicit operator bool() const { return Ok; }
+  Value &operator*() { return Parsed; }
+  const Value &operator*() const { return Parsed; }
+  Value *operator->() { return &Parsed; }
+  const Value *operator->() const { return &Parsed; }
+  const std::string &error() const { return ErrorText; }
+
+private:
+  Value Parsed;
+  std::string ErrorText;
+  bool Ok;
+};
+
+/// Parses exactly one JSON document from \p Text (surrounding whitespace
+/// allowed, trailing non-whitespace is an error).
+ParseResult parse(std::string_view Text);
+
+} // namespace hotg::json
+
+#endif // HOTG_SUPPORT_JSONREADER_H

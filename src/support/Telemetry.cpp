@@ -7,7 +7,9 @@
 #include "support/Support.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
+#include <cmath>
 #include <ostream>
 
 using namespace hotg;
@@ -18,6 +20,57 @@ uint64_t hotg::telemetry::monotonicNanos() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+unsigned Histogram::bucketFor(uint64_t Ns) {
+  return static_cast<unsigned>(std::bit_width(Ns));
+}
+
+uint64_t Histogram::bucketUpperNs(unsigned B) {
+  return B >= 64 ? ~uint64_t(0) : (uint64_t(1) << B) - 1;
+}
+
+uint64_t Histogram::count() const {
+  uint64_t Total = 0;
+  for (const auto &B : Buckets)
+    Total += B.load(std::memory_order_relaxed);
+  return Total;
+}
+
+uint64_t Histogram::percentileNs(double Percentile) const {
+  uint64_t Counts[NumBuckets];
+  uint64_t Total = 0;
+  for (unsigned B = 0; B != NumBuckets; ++B)
+    Total += Counts[B] = Buckets[B].load(std::memory_order_relaxed);
+  if (Total == 0)
+    return 0;
+  // Rank of the percentile (1-based, nearest-rank definition).
+  uint64_t Rank = static_cast<uint64_t>(
+      std::ceil(Percentile / 100.0 * static_cast<double>(Total)));
+  if (Rank < 1)
+    Rank = 1;
+  if (Rank > Total)
+    Rank = Total;
+  uint64_t Seen = 0;
+  unsigned Bucket = 0;
+  for (unsigned B = 0; B != NumBuckets; ++B) {
+    Seen += Counts[B];
+    if (Seen >= Rank) {
+      Bucket = B;
+      break;
+    }
+  }
+  return std::min(bucketUpperNs(Bucket), maxNs());
+}
+
+void Histogram::reset() {
+  for (auto &B : Buckets)
+    B.store(0, std::memory_order_relaxed);
+  MaxValue.store(0, std::memory_order_relaxed);
 }
 
 //===----------------------------------------------------------------------===//
@@ -45,70 +98,133 @@ PhaseTimer &Registry::timer(std::string_view Name) {
   return It->second;
 }
 
+Histogram &Registry::histogram(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end())
+    It = Histograms.try_emplace(std::string(Name)).first;
+  return It->second;
+}
+
 void Registry::reset() {
   std::lock_guard<std::mutex> Lock(Mutex);
   for (auto &[Name, C] : Counters)
     C.reset();
   for (auto &[Name, T] : Timers)
     T.reset();
+  for (auto &[Name, H] : Histograms)
+    H.reset();
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  // The lock guards the map structure against concurrent registration;
+  // the per-entry reads are relaxed loads like every other consumer.
+  std::lock_guard<std::mutex> Lock(Mutex);
+  RegistrySnapshot Snap;
+  Snap.Counters.reserve(Counters.size());
+  for (const auto &[Name, C] : Counters)
+    Snap.Counters.emplace_back(Name, C.value());
+  Snap.Timers.reserve(Timers.size());
+  for (const auto &[Name, T] : Timers)
+    Snap.Timers.push_back({Name, T.count(), T.totalNs(), T.maxNs()});
+  Snap.Histograms.reserve(Histograms.size());
+  for (const auto &[Name, H] : Histograms)
+    Snap.Histograms.push_back({Name, H.count(), H.maxNs(),
+                               H.percentileNs(50), H.percentileNs(90),
+                               H.percentileNs(99)});
+  return Snap;
 }
 
 std::string Registry::statsTable() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  RegistrySnapshot Snap = snapshot();
   size_t Width = 4;
-  for (const auto &[Name, C] : Counters)
+  for (const auto &[Name, Value] : Snap.Counters)
     Width = std::max(Width, Name.size());
-  for (const auto &[Name, T] : Timers)
-    Width = std::max(Width, Name.size());
+  for (const auto &T : Snap.Timers)
+    Width = std::max(Width, T.Name.size());
+  for (const auto &H : Snap.Histograms)
+    Width = std::max(Width, H.Name.size());
   int W = static_cast<int>(Width);
 
   std::string Out = "== telemetry counters ==\n";
-  if (Counters.empty())
+  if (Snap.Counters.empty())
     Out += "  (none)\n";
-  for (const auto &[Name, C] : Counters)
+  for (const auto &[Name, Value] : Snap.Counters)
     Out += formatString("  %-*s %12llu\n", W, Name.c_str(),
-                        static_cast<unsigned long long>(C.value()));
+                        static_cast<unsigned long long>(Value));
   Out += "== telemetry timers (ms) ==\n";
-  if (Timers.empty())
+  if (Snap.Timers.empty())
     Out += "  (none)\n";
   else
     Out += formatString("  %-*s %12s %12s %12s %12s\n", W, "name", "count",
                         "total", "max", "mean");
-  for (const auto &[Name, T] : Timers) {
-    double TotalMs = static_cast<double>(T.totalNs()) / 1e6;
-    double MaxMs = static_cast<double>(T.maxNs()) / 1e6;
-    double MeanMs = T.count() ? TotalMs / static_cast<double>(T.count()) : 0;
+  for (const auto &T : Snap.Timers) {
+    double TotalMs = static_cast<double>(T.TotalNs) / 1e6;
+    double MaxMs = static_cast<double>(T.MaxNs) / 1e6;
+    double MeanMs = T.Count ? TotalMs / static_cast<double>(T.Count) : 0;
     Out += formatString("  %-*s %12llu %12.3f %12.3f %12.3f\n", W,
-                        Name.c_str(),
-                        static_cast<unsigned long long>(T.count()), TotalMs,
+                        T.Name.c_str(),
+                        static_cast<unsigned long long>(T.Count), TotalMs,
                         MaxMs, MeanMs);
   }
+  Out += "== telemetry latency histograms (ms) ==\n";
+  if (Snap.Histograms.empty())
+    Out += "  (none)\n";
+  else
+    Out += formatString("  %-*s %12s %12s %12s %12s %12s\n", W, "name",
+                        "count", "p50", "p90", "p99", "max");
+  for (const auto &H : Snap.Histograms)
+    Out += formatString("  %-*s %12llu %12.3f %12.3f %12.3f %12.3f\n", W,
+                        H.Name.c_str(),
+                        static_cast<unsigned long long>(H.Count),
+                        static_cast<double>(H.P50Ns) / 1e6,
+                        static_cast<double>(H.P90Ns) / 1e6,
+                        static_cast<double>(H.P99Ns) / 1e6,
+                        static_cast<double>(H.MaxNs) / 1e6);
   return Out;
 }
 
 std::string Registry::statsJson() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  RegistrySnapshot Snap = snapshot();
   std::string Out;
   JsonWriter W(Out);
   W.beginObject();
   W.key("counters");
   W.beginObject();
-  for (const auto &[Name, C] : Counters) {
+  for (const auto &[Name, Value] : Snap.Counters) {
     W.key(Name);
-    W.value(C.value());
+    W.value(Value);
   }
   W.endObject();
   W.key("timers");
   W.beginObject();
-  for (const auto &[Name, T] : Timers) {
-    W.key(Name);
+  for (const auto &T : Snap.Timers) {
+    W.key(T.Name);
     W.beginObject();
     W.key("count");
-    W.value(T.count());
+    W.value(T.Count);
     W.key("total_ns");
-    W.value(T.totalNs());
+    W.value(T.TotalNs);
     W.key("max_ns");
-    W.value(T.maxNs());
+    W.value(T.MaxNs);
+    W.endObject();
+  }
+  W.endObject();
+  W.key("histograms");
+  W.beginObject();
+  for (const auto &H : Snap.Histograms) {
+    W.key(H.Name);
+    W.beginObject();
+    W.key("count");
+    W.value(H.Count);
+    W.key("p50_ns");
+    W.value(H.P50Ns);
+    W.key("p90_ns");
+    W.value(H.P90Ns);
+    W.key("p99_ns");
+    W.value(H.P99Ns);
+    W.key("max_ns");
+    W.value(H.MaxNs);
     W.endObject();
   }
   W.endObject();
@@ -140,6 +256,12 @@ const char *hotg::telemetry::eventKindName(EventKind Kind) {
     return "bug_found";
   case EventKind::SearchSummary:
     return "search_summary";
+  case EventKind::SpanBegin:
+    return "span_begin";
+  case EventKind::SpanEnd:
+    return "span_end";
+  case EventKind::Heartbeat:
+    return "heartbeat";
   }
   HOTG_UNREACHABLE("unknown event kind");
 }
@@ -158,6 +280,15 @@ Event &Event::set(std::string_view Key, std::string_view V) {
   F.FieldType = Field::Type::Str;
   F.Key = std::string(Key);
   F.Str = std::string(V);
+  Fields.push_back(std::move(F));
+  return *this;
+}
+
+Event &Event::setDouble(std::string_view Key, double V) {
+  Field F;
+  F.FieldType = Field::Type::Double;
+  F.Key = std::string(Key);
+  F.Dbl = V;
   Fields.push_back(std::move(F));
   return *this;
 }
@@ -202,6 +333,9 @@ std::string Event::toJson() const {
     case Field::Type::Bool:
       W.value(F.Int != 0);
       break;
+    case Field::Type::Double:
+      W.value(F.Dbl);
+      break;
     case Field::Type::Str:
       W.value(F.Str);
       break;
@@ -231,6 +365,7 @@ void JsonlTraceSink::handle(const Event &E) {
 }
 
 unsigned RecordingTraceSink::countOf(EventKind Kind) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
   unsigned N = 0;
   for (const Event &E : Events)
     if (E.kind() == Kind)
@@ -241,3 +376,82 @@ unsigned RecordingTraceSink::countOf(EventKind Kind) const {
 TraceSink *hotg::telemetry::detail::GlobalSink = nullptr;
 
 void hotg::telemetry::setSink(TraceSink *Sink) { detail::GlobalSink = Sink; }
+
+//===----------------------------------------------------------------------===//
+// Spans and query attribution
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Process-wide id allocators. Span id 0 / thread id 0 mean "none"; the
+/// first allocated id is 1.
+std::atomic<uint64_t> NextSpanId{1};
+std::atomic<uint64_t> NextThreadId{1};
+
+thread_local uint64_t ThisThreadId = 0;
+thread_local uint64_t CurrentSpan = 0;
+thread_local QueryAttribution ThreadAttribution;
+
+} // namespace
+
+uint64_t hotg::telemetry::currentThreadId() {
+  if (ThisThreadId == 0)
+    ThisThreadId = NextThreadId.fetch_add(1, std::memory_order_relaxed);
+  return ThisThreadId;
+}
+
+uint64_t hotg::telemetry::currentSpanId() { return CurrentSpan; }
+
+ScopedSpan::ScopedSpan(std::string_view Name) : Name(Name) {
+  TraceSink *S = sink();
+  if (!S)
+    return;
+  Id = NextSpanId.fetch_add(1, std::memory_order_relaxed);
+  Parent = CurrentSpan;
+  CurrentSpan = Id;
+  StartNs = monotonicNanos();
+  Event E(EventKind::SpanBegin);
+  E.set("span", static_cast<int64_t>(Id))
+      .set("parent", static_cast<int64_t>(Parent))
+      .set("thread", static_cast<int64_t>(currentThreadId()))
+      .set("name", Name)
+      .set("ts_ns", static_cast<int64_t>(StartNs));
+  S->handle(E);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (Id == 0)
+    return;
+  CurrentSpan = Parent;
+  uint64_t EndNs = monotonicNanos();
+  // The sink may have been detached while the span was open; the pop above
+  // must still happen, but there is nobody left to tell about it.
+  TraceSink *S = sink();
+  if (!S)
+    return;
+  Event E(EventKind::SpanEnd);
+  E.set("span", static_cast<int64_t>(Id))
+      .set("parent", static_cast<int64_t>(Parent))
+      .set("thread", static_cast<int64_t>(currentThreadId()))
+      .set("name", Name)
+      .set("ts_ns", static_cast<int64_t>(EndNs))
+      .set("dur_ns", static_cast<int64_t>(EndNs - StartNs));
+  S->handle(E);
+}
+
+QueryAttribution &hotg::telemetry::queryAttribution() {
+  return ThreadAttribution;
+}
+
+void hotg::telemetry::attachAttribution(Event &E) {
+  const QueryAttribution &A = ThreadAttribution;
+  E.set("test", A.Test);
+  if (A.Candidate >= 0)
+    E.set("candidate", A.Candidate);
+  if (A.Worker >= 0)
+    E.set("worker", A.Worker);
+  if (!A.GroundingFamily.empty())
+    E.set("grounding", A.GroundingFamily);
+  if (uint64_t Span = CurrentSpan)
+    E.set("span", static_cast<int64_t>(Span));
+}

@@ -26,7 +26,12 @@
 //   --stats            print the telemetry counter/timer table to stderr
 //   --stats-json F     write the telemetry registry as JSON to F
 //   --trace-out F      write a JSONL trace (one event per line) to F;
-//                      docs/observability.md documents the event schema
+//                      docs/observability.md documents the event schema,
+//                      and the hotg-trace tool analyzes the result
+//   --progress-ms N    emit a sampled heartbeat trace event (tests/s,
+//                      solver checks/s, cache hit rate, queue depth,
+//                      frontier size) at most every N ms; needs a trace
+//                      sink (--trace-out)
 //   --deadline-ms N    wall-clock budget for the search; on expiry the
 //                      partial SearchResult is reported and the exit code
 //                      is 2 (see docs/robustness.md)
@@ -75,8 +80,8 @@ namespace {
                "[--seed-input a,b,c] [--seed N] [--samples-in F] "
                "[--samples-out F] [--summarize] [--explore-paths] "
                "[--order bfs|dfs] [--dump-tests] [--dump-pc] [--stats] "
-               "[--stats-json F] [--trace-out F] [--deadline-ms N] "
-               "[--fault-spec site:prob:seed[,...]]\n");
+               "[--stats-json F] [--trace-out F] [--progress-ms N] "
+               "[--deadline-ms N] [--fault-spec site:prob:seed[,...]]\n");
   std::exit(1);
 }
 
@@ -106,6 +111,7 @@ int runTool(int Argc, char **Argv) {
   bool ExplorePaths = false, DumpTests = false, DumpPc = false;
   bool DepthFirst = false, Summarize = false, PrintStats = false;
   uint64_t DeadlineMs = 0;
+  uint64_t ProgressMs = 0;
   std::string SamplesIn, SamplesOut, StatsJsonPath, TracePath, FaultSpec;
 
   for (int I = 1; I != Argc; ++I) {
@@ -161,6 +167,11 @@ int runTool(int Argc, char **Argv) {
       StatsJsonPath = NextArg("--stats-json");
     else if (!std::strcmp(Argv[I], "--trace-out"))
       TracePath = NextArg("--trace-out");
+    else if (!std::strcmp(Argv[I], "--progress-ms")) {
+      ProgressMs = std::strtoull(NextArg("--progress-ms"), nullptr, 10);
+      if (ProgressMs == 0)
+        usageError("--progress-ms expects a positive millisecond count");
+    }
     else if (!std::strcmp(Argv[I], "--deadline-ms")) {
       DeadlineMs = std::strtoull(NextArg("--deadline-ms"), nullptr, 10);
       if (DeadlineMs == 0)
@@ -290,6 +301,7 @@ int runTool(int Argc, char **Argv) {
     Options.SeedInputs = Seeds;
     Options.SkipCoveredTargets = !ExplorePaths;
     Options.SummarizeCalls = Summarize;
+    Options.ProgressEveryMs = ProgressMs;
     Options.Deadline = Deadline;
     if (DepthFirst)
       Options.Order = SearchOptions::OrderKind::DepthFirst;

@@ -81,8 +81,8 @@ bool sameResult(const SearchResult &A, const SearchResult &B) {
          A.SolverQueryStats.Decisions == B.SolverQueryStats.Decisions &&
          A.ValidityQueryStats.GroundingsTried ==
              B.ValidityQueryStats.GroundingsTried &&
-         A.ValidityQueryStats.InnerSolverCalls ==
-             B.ValidityQueryStats.InnerSolverCalls;
+         A.ValidityQueryStats.GroundingsPruned ==
+             B.ValidityQueryStats.GroundingsPruned;
 }
 
 void runWorkload(const char *Name, const lang::Program &Prog,

@@ -74,6 +74,9 @@ smt::PortableAnswer encodeSat(const smt::SatAnswer &Answer,
   PA.SupportsExplored = S.SupportsExplored;
   PA.Decisions = S.Decisions;
   PA.Propagations = S.Propagations;
+  PA.LearnedClauses = S.LearnedClauses;
+  PA.LearnedClauseHits = S.LearnedClauseHits;
+  PA.Backjumps = S.Backjumps;
   return PA;
 }
 
@@ -85,7 +88,7 @@ smt::PortableAnswer encodeValidity(const ValidityAnswer &Answer,
   PA.Model = encodeModel(Answer.ModelValue, Arena);
   PA.ValiditySupports = S.SupportsExplored;
   PA.GroundingsTried = S.GroundingsTried;
-  PA.InnerSolverCalls = S.InnerSolverCalls;
+  PA.GroundingsPruned = S.GroundingsPruned;
   return PA;
 }
 
@@ -663,6 +666,9 @@ smt::SatAnswer DirectedSearch::solveSat(smt::TermId Alt) {
       Result.SolverQueryStats.SupportsExplored += Hit->SupportsExplored;
       Result.SolverQueryStats.Decisions += Hit->Decisions;
       Result.SolverQueryStats.Propagations += Hit->Propagations;
+      Result.SolverQueryStats.LearnedClauses += Hit->LearnedClauses;
+      Result.SolverQueryStats.LearnedClauseHits += Hit->LearnedClauseHits;
+      Result.SolverQueryStats.Backjumps += Hit->Backjumps;
       smt::SatAnswer Answer;
       Answer.Result = static_cast<smt::SatResult>(Hit->Status);
       Answer.ModelValue = decodeModel(Hit->Model, Arena);
@@ -698,6 +704,9 @@ smt::SatAnswer DirectedSearch::solveSat(smt::TermId Alt) {
   Result.SolverQueryStats.SupportsExplored += S.SupportsExplored;
   Result.SolverQueryStats.Decisions += S.Decisions;
   Result.SolverQueryStats.Propagations += S.Propagations;
+  Result.SolverQueryStats.LearnedClauses += S.LearnedClauses;
+  Result.SolverQueryStats.LearnedClauseHits += S.LearnedClauseHits;
+  Result.SolverQueryStats.Backjumps += S.Backjumps;
   // Computed on the main arena, so any atoms it interned are permanent:
   // the answer is transferable to every later consumer.
   if (Parallel) {
@@ -737,7 +746,7 @@ ValidityAnswer DirectedSearch::solveValidity(smt::TermId Alt) {
       Parallel->PendingInlineRetry = false;
       Result.ValidityQueryStats.SupportsExplored += Hit->ValiditySupports;
       Result.ValidityQueryStats.GroundingsTried += Hit->GroundingsTried;
-      Result.ValidityQueryStats.InnerSolverCalls += Hit->InnerSolverCalls;
+      Result.ValidityQueryStats.GroundingsPruned += Hit->GroundingsPruned;
       ValidityAnswer Answer;
       Answer.Status = static_cast<ValidityStatus>(Hit->Status);
       Answer.ModelValue = decodeModel(Hit->Model, Arena);
@@ -759,7 +768,7 @@ ValidityAnswer DirectedSearch::solveValidity(smt::TermId Alt) {
   const ValidityStats &S = Validity.stats();
   Result.ValidityQueryStats.SupportsExplored += S.SupportsExplored;
   Result.ValidityQueryStats.GroundingsTried += S.GroundingsTried;
-  Result.ValidityQueryStats.InnerSolverCalls += S.InnerSolverCalls;
+  Result.ValidityQueryStats.GroundingsPruned += S.GroundingsPruned;
   if (Parallel) {
     try {
       support::maybeInjectFault(support::FaultSite::CachePublish);

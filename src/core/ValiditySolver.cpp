@@ -18,6 +18,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <unordered_set>
 
 using namespace hotg;
@@ -85,8 +86,13 @@ public:
     AppDisjuncts.clear();
     AppPeers.clear();
     Choices.clear();
-    Query = Literals;
+    Query.clear();
     DeterminedApps.clear();
+    QueryLeaves.clear();
+    LeafCounts.clear();
+    // BlockedCores survives across supports on purpose: a recorded core is
+    // standalone-unsat, independent of which support's query produced it.
+    appendQuery(Literals);
 
     std::vector<TermId> Seen;
     for (TermId Lit : Literals)
@@ -112,6 +118,78 @@ private:
   /// Maximum applications considered in one support (bounds nested-summary
   /// expansion).
   static constexpr size_t MaxApps = 24;
+  /// Maximum recorded unsat cores (deterministic first-come cap).
+  static constexpr size_t MaxBlockedCores = 32;
+
+  /// Appends \p Terms to the query, maintaining the mandatory-leaf index
+  /// used by core matching: for each conjunctive entry, its comparison
+  /// literals (every model of the query satisfies all of them); a
+  /// disjunctive entry pins none of its leaves and contributes nothing.
+  void appendQuery(const std::vector<TermId> &Terms) {
+    for (TermId T : Terms)
+      Query.push_back(T);
+    indexNewLeaves();
+  }
+
+  /// Indexes query entries appended since the last call.
+  void indexNewLeaves() {
+    if (!Options.CoreGuidedPruning)
+      return;
+    while (QueryLeaves.size() < Query.size()) {
+      TermId Entry = Query[QueryLeaves.size()];
+      auto Leaves = SolverContext::conjunctiveLiterals(Arena, Entry);
+      QueryLeaves.push_back(Leaves ? std::move(*Leaves)
+                                   : std::vector<TermId>{});
+      for (TermId L : QueryLeaves.back())
+        ++LeafCounts[L];
+    }
+  }
+
+  /// Rolls the leaf index back in sync with Query.resize(\p QMark).
+  void dropQueryLeaves(size_t QMark) {
+    if (!Options.CoreGuidedPruning)
+      return;
+    while (QueryLeaves.size() > QMark) {
+      for (TermId L : QueryLeaves.back()) {
+        auto It = LeafCounts.find(L);
+        if (--It->second == 0)
+          LeafCounts.erase(It);
+      }
+      QueryLeaves.pop_back();
+    }
+  }
+
+  /// True when a recorded core is contained in the query's mandatory
+  /// leaves: the query implies the core's conjunction, which is
+  /// standalone-unsat, so the query is unsatisfiable.
+  bool matchesBlockedCore() const {
+    for (const std::vector<TermId> &Core : BlockedCores) {
+      bool Contained = true;
+      for (TermId L : Core)
+        if (!LeafCounts.count(L)) {
+          Contained = false;
+          break;
+        }
+      if (Contained)
+        return true;
+    }
+    return false;
+  }
+
+  /// Records the (deduplicated, sorted) core of a refuted grounding.
+  void recordBlockedCore(const std::vector<TermId> &UnsatCore) {
+    if (BlockedCores.size() >= MaxBlockedCores)
+      return;
+    std::vector<TermId> Core = UnsatCore;
+    std::sort(Core.begin(), Core.end());
+    Core.erase(std::unique(Core.begin(), Core.end()), Core.end());
+    if (Core.empty())
+      return;
+    if (std::find(BlockedCores.begin(), BlockedCores.end(), Core) !=
+        BlockedCores.end())
+      return;
+    BlockedCores.push_back(std::move(Core));
+  }
 
   /// Adds \p App to the worklist if new. Returns false when the cap is
   /// hit.
@@ -171,6 +249,7 @@ private:
       for (size_t A = 0; A != Args.size(); ++A)
         Query.push_back(Arena.mkEq(Args[A], PeerArgs[A]));
     }
+    indexNewLeaves();
     // Nested applications introduced by the instantiation join the
     // worklist so they get grounded too (the compositional recursion).
     std::vector<TermId> Fresh;
@@ -187,7 +266,8 @@ private:
   bool enumerate(const std::vector<TermId> &Literals, size_t Index,
                  Outcome &Result, std::optional<Outcome> &Learnable,
                  bool &SawUnknown) {
-    if (Stats.GroundingsTried >= Options.MaxGroundings) {
+    if (Stats.GroundingsTried + Stats.GroundingsPruned >=
+        Options.MaxGroundings) {
       SawUnknown = true;
       return false;
     }
@@ -218,6 +298,7 @@ private:
         SawUnknown = true;
       if (!Found) {
         // Backtrack: shrink the query and drop worklist growth.
+        dropQueryLeaves(QMark);
         Query.resize(QMark);
         if (C.ChoiceKind == GroundingChoice::Kind::Disjunct)
           DeterminedApps.erase(Apps[Index]);
@@ -264,9 +345,17 @@ private:
     // the enumeration state stays consistent when the throw unwinds
     // through solve() (the whole checkPost is retried by the caller).
     support::maybeInjectFault(support::FaultSite::ValidityGround);
+    // Core-guided pruning: when a recorded unsat core is contained in the
+    // query's mandatory leaves, the query is unsat without asking the
+    // inner solver. A pruned grounding behaves exactly like an Unsat
+    // answer — no SawUnknown, no learning candidate — and spends one unit
+    // of the grounding budget, so the enumeration and its outcome are
+    // identical with pruning off; only the inner solver call disappears.
+    if (Options.CoreGuidedPruning && matchesBlockedCore()) {
+      ++Stats.GroundingsPruned;
+      return false;
+    }
     ++Stats.GroundingsTried;
-
-    ++Stats.InnerSolverCalls;
     // Tag the inner solver checks of this grounding with its choice
     // signature, so solver_check events can be grouped by grounding
     // family offline. Only when a sink is attached: the signature
@@ -291,6 +380,8 @@ private:
         SolverOptions CtxOpts = Options.SolverOpts;
         CtxOpts.Samples = &Samples;
         CtxOpts.EnableRefutationMemo = true;
+        CtxOpts.ExtractUnsatCores =
+            Options.CoreGuidedPruning && BlockedCores.size() < MaxBlockedCores;
         Ctx = std::make_unique<SolverContext>(Arena, CtxOpts);
       }
       SolverStats QueryStats;
@@ -298,11 +389,21 @@ private:
     } else {
       SolverOptions InnerOpts = Options.SolverOpts;
       InnerOpts.Samples = &Samples;
+      InnerOpts.ExtractUnsatCores =
+          Options.CoreGuidedPruning && BlockedCores.size() < MaxBlockedCores;
       Solver Inner(Arena, InnerOpts);
       Answer = Inner.checkConjunction(Query);
     }
     if (Answer.Result == SatResult::Unknown)
       SawUnknown = true;
+    if (Answer.Result == SatResult::Unsat && Options.CoreGuidedPruning &&
+        !Answer.UnsatCore.empty()) {
+      recordBlockedCore(Answer.UnsatCore);
+      // Once the store is full, stop paying for extraction (the probe
+      // solves behind minimizeCore); extraction never affects answers.
+      if (BlockedCores.size() >= MaxBlockedCores && Ctx)
+        Ctx->setExtractUnsatCores(false);
+    }
     if (Answer.Result != SatResult::Sat)
       return false;
 
@@ -435,6 +536,14 @@ private:
   std::vector<GroundingChoice> Choices;
   std::vector<TermId> Query;
   std::unordered_set<TermId> DeterminedApps;
+  /// Core-guided pruning state (CoreGuidedPruning). QueryLeaves runs
+  /// parallel to Query: the conjunctive comparison literals of each entry.
+  /// LeafCounts is their multiset, giving O(core size) containment checks.
+  /// BlockedCores persists across solve() calls — each core is
+  /// standalone-unsat, so it refutes any later query containing it.
+  std::vector<std::vector<TermId>> QueryLeaves;
+  std::unordered_map<TermId, int> LeafCounts;
+  std::vector<std::vector<TermId>> BlockedCores;
   /// Shared incremental context for every grounding query of this
   /// enumeration (UseIncrementalContexts); created on first use. Lives
   /// inside one checkPost call, so it never outlives arena truncation of
@@ -540,7 +649,7 @@ ValidityAnswer ValiditySolver::checkAdHoc(TermId PathCondition) {
   SolverOptions InnerOpts = Options.SolverOpts;
   InnerOpts.Samples = &Samples;
   Solver Inner(Arena, InnerOpts);
-  ++Stats.InnerSolverCalls;
+  ++Stats.GroundingsTried;
   SatAnswer Sat = Inner.check(Rewritten);
   switch (Sat.Result) {
   case SatResult::Sat:
@@ -573,8 +682,8 @@ ValidityAnswer ValiditySolver::checkPost(TermId PathCondition) {
 
   ValidityAnswer Answer = checkPostImpl(PathCondition);
 
-  Reg.counter("validity.groundings").add(Stats.GroundingsTried);
-  Reg.counter("validity.inner_solver_calls").add(Stats.InnerSolverCalls);
+  Reg.counter("validity.groundings_tried").add(Stats.GroundingsTried);
+  Reg.counter("validity.groundings_pruned").add(Stats.GroundingsPruned);
   switch (Answer.Status) {
   case ValidityStatus::Valid:
     Reg.counter("validity.strategy_found").add();
@@ -596,8 +705,8 @@ ValidityAnswer ValiditySolver::checkPost(TermId PathCondition) {
     telemetry::Event E(telemetry::EventKind::ValidityQuery);
     E.set("status", validityStatusName(Answer.Status));
     E.set("supports", int64_t(Stats.SupportsExplored));
-    E.set("groundings", int64_t(Stats.GroundingsTried));
-    E.set("inner_solver_calls", int64_t(Stats.InnerSolverCalls));
+    E.set("groundings_tried", int64_t(Stats.GroundingsTried));
+    E.set("groundings_pruned", int64_t(Stats.GroundingsPruned));
     E.set("learn_requests", int64_t(Answer.Learn.size()));
     E.set("ns", int64_t(Timer.elapsedNs()));
     if (!Answer.Reason.empty())
@@ -674,7 +783,8 @@ ValidityAnswer ValiditySolver::checkPostImpl(TermId PathCondition) {
       Answer.Reason = "cancelled";
     else if (SO.Deadline.expired())
       Answer.Reason = "deadline expired";
-    else if (Stats.GroundingsTried >= Options.MaxGroundings)
+    else if (Stats.GroundingsTried + Stats.GroundingsPruned >=
+             Options.MaxGroundings)
       Answer.Reason = "grounding budget exhausted";
     else if (EnumStats.BudgetExhausted)
       Answer.Reason = "support budget exhausted";

@@ -115,15 +115,29 @@ struct ValidityOptions {
   /// invariant of docs/solver.md — so this switch exists only for the
   /// differential test suite and for debugging.
   bool UseIncrementalContexts = true;
+  /// Unsat-core-guided grounding pruning: request unsat cores from the
+  /// inner solver (SolverOptions::ExtractUnsatCores), record each refuted
+  /// grounding's core, and skip — before the inner solver is called — any
+  /// later grounding whose query conjunction already contains every core
+  /// literal (the core is standalone-unsat, so the query is too). A
+  /// pruned grounding behaves exactly like an Unsat answer and spends one
+  /// unit of the grounding budget, so the enumeration and its outcome
+  /// match the pruning-off run; only the inner solver calls disappear.
+  /// The switch exists for differential testing (hotg-run --no-learning).
+  bool CoreGuidedPruning = true;
   /// Options of the inner existential LIA+EUF solver.
   smt::SolverOptions SolverOpts;
 };
 
-/// Statistics of the last checkPost call.
+/// Statistics of the last checkPost call. GroundingsTried counts inner
+/// solver calls (one per grounding actually checked); GroundingsPruned
+/// counts groundings refuted by a recorded unsat core before the inner
+/// solver was called. Tried + Pruned is the enumeration size, identical
+/// with pruning on or off.
 struct ValidityStats {
   unsigned SupportsExplored = 0;
   unsigned GroundingsTried = 0;
-  unsigned InnerSolverCalls = 0;
+  unsigned GroundingsPruned = 0;
 };
 
 /// Decides POST(pc) validity and extracts strategies.

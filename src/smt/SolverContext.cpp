@@ -186,14 +186,36 @@ public:
     Exhausted ///< Budget or candidate exhaustion; no conclusion.
   };
 
+  /// \p PristineRows: Rows is the context's own (un-eliminated) row list.
+  /// Conflict learning is enabled only then — learned nogoods assume the
+  /// row system of later checks extends the one they were learned under,
+  /// which holds for the append-only context rows but not for a
+  /// Gauss–Jordan-rewritten copy.
   Engine(SolverContext &Ctx, const std::vector<LinearAtom> &Rows,
-         size_t NumAtoms, SolverStats &Stats, bool UseMemo)
+         size_t NumAtoms, SolverStats &Stats, bool UseMemo,
+         bool PristineRows = false)
       : Ctx(Ctx), Arena(Ctx.Arena), Options(Ctx.Options), Rows(Rows),
-        NumAtoms(NumAtoms), Stats(Stats), UseMemo(UseMemo) {}
+        NumAtoms(NumAtoms), Stats(Stats), UseMemo(UseMemo),
+        Learn(PristineRows && Ctx.Options.ConflictLearning) {}
 
   /// Bound propagation to a fixpoint. Returns false when a domain empties
   /// (a sound refutation of the rows).
   bool propagate(std::vector<Interval> &Domains) {
+    return propagateTracked(Domains, nullptr, nullptr);
+  }
+
+  /// propagate() with conflict provenance: \p Masks (parallel to
+  /// \p Domains) carries, per atom, the set of case-split decision levels
+  /// its current bounds transitively depend on (bit d = decision at depth
+  /// d; depths >= 63 share the saturated bit 63). Every narrowing unions
+  /// the masks of its antecedents into the narrowed atom, so a mask
+  /// over-approximates the decisions a fact's derivation used. On failure
+  /// \p ConflictOut receives the mask of the failing derivation: a
+  /// conflict whose mask lacks bit d is derivable without the decision at
+  /// depth d — the backjumping and nogood-soundness argument
+  /// (docs/solver.md).
+  bool propagateTracked(std::vector<Interval> &Domains,
+                        std::vector<uint64_t> *Masks, uint64_t *ConflictOut) {
     bool Changed = true;
     unsigned Rounds = 0;
     while (Changed && Rounds < 64) {
@@ -201,16 +223,29 @@ public:
       ++Rounds;
       ++Stats.Propagations;
       for (const LinearAtom &LA : Rows)
-        if (!propagateAtom(LA, Domains, Changed))
+        if (!propagateAtom(LA, Domains, Changed, Masks, ConflictOut))
           return false;
-      if (!propagateUF(Domains, Changed))
+      if (!propagateUF(Domains, Changed, Masks, ConflictOut))
         return false;
     }
     return true;
   }
 
-  Outcome search(std::vector<Interval> Domains, unsigned Depth,
-                 Model &ModelOut) {
+  /// Entry point for check(): allocates the decision-mask vector when
+  /// learning is on (all-zero: base facts depend on no decision).
+  Outcome searchRoot(std::vector<Interval> Domains, Model &ModelOut) {
+    std::vector<uint64_t> Masks(Learn ? Domains.size() : 0, 0);
+    uint64_t ConflictOut = 0;
+    return search(std::move(Domains), std::move(Masks), 0, ModelOut,
+                  ConflictOut);
+  }
+
+  /// \p ConflictOut is meaningful only for Outcome::Refuted with learning
+  /// on: the union of decision bits the refutation depended on, restricted
+  /// to depths above this node (its own decision bit is stripped).
+  Outcome search(std::vector<Interval> Domains, std::vector<uint64_t> Masks,
+                 unsigned Depth, Model &ModelOut, uint64_t &ConflictOut) {
+    ConflictOut = 0;
     if (Stats.Decisions >= Options.MaxDecisions)
       return Outcome::Exhausted;
     // Wall-clock stop controls: polled once per search node, but only when
@@ -248,38 +283,163 @@ public:
         Domains[BestIdx].width() <= static_cast<int64_t>(Candidates.size());
 
     TermId Atom = Ctx.Atoms[BestIdx];
+    const uint64_t DecisionBit = decisionBit(Depth);
+    // The exhaustiveness proof depends on how this atom's domain was
+    // narrowed, so the node's own conflict starts from its mask.
+    uint64_t NodeConflict = Learn ? Masks[BestIdx] : 0;
     bool AllRefuted = true;
     for (int64_t Value : Candidates) {
       // A candidate the asserted prefix already refuted stays refuted under
       // the full assertion set: skip it without spending a decision. The
       // skip counts as a refutation for Exhaustive purposes (the memo holds
-      // only sound refutations).
+      // only sound refutations). Its conflict depends on no decision but
+      // this one (the prefix alone refutes it), so it contributes nothing
+      // to NodeConflict.
       if (UseMemo && Ctx.memoRefuted(Atom, Value)) {
         ++Ctx.Stats.MemoHits;
         continue;
       }
-      ++Stats.Decisions;
-      std::vector<Interval> Next = Domains;
-      Next[BestIdx] = Interval::point(Value);
-      if (!propagate(Next)) {
-        if (UseMemo)
-          Ctx.notePrefixCandidate(Atom, Value);
-        continue; // Candidate refuted.
+      uint64_t BranchConflict = 0;
+      bool BranchRefuted = false;
+      if (Learn && matchesNogood(Atom, Value, Domains, Masks, DecisionBit,
+                                 BranchConflict)) {
+        // A learned nogood covers this assignment: the recorded conflict
+        // chain replays under it, so the branch is refuted without the
+        // propagate pass a plain search would spend on it.
+        ++Stats.LearnedClauseHits;
+        BranchRefuted = true;
+      } else {
+        ++Stats.Decisions;
+        std::vector<Interval> Next = Domains;
+        std::vector<uint64_t> NextMasks = Masks;
+        Next[BestIdx] = Interval::point(Value);
+        if (Learn) {
+          NextMasks[BestIdx] |= DecisionBit;
+          if (DecisionPath.size() <= Depth)
+            DecisionPath.resize(Depth + 1);
+          DecisionPath[Depth] = {Atom, Value};
+        }
+        if (!propagateTracked(Next, Learn ? &NextMasks : nullptr,
+                              Learn ? &BranchConflict : nullptr)) {
+          if (UseMemo)
+            Ctx.notePrefixCandidate(Atom, Value);
+          BranchRefuted = true;
+          if (Learn)
+            learnNogood(BranchConflict, Depth);
+        } else {
+          uint64_t SubConflict = 0;
+          Outcome Sub = search(std::move(Next), std::move(NextMasks),
+                               Depth + 1, ModelOut, SubConflict);
+          if (Sub == Outcome::Sat)
+            return Outcome::Sat;
+          if (Sub == Outcome::Refuted) {
+            BranchRefuted = true;
+            BranchConflict = SubConflict;
+            if (Learn)
+              learnNogood(BranchConflict | DecisionBit, Depth);
+          } else {
+            AllRefuted = false;
+          }
+        }
       }
-      Outcome Sub = search(std::move(Next), Depth + 1, ModelOut);
-      if (Sub == Outcome::Sat)
-        return Outcome::Sat;
-      if (Sub != Outcome::Refuted)
-        AllRefuted = false;
+      if (Learn && BranchRefuted) {
+        if (!(BranchConflict & DecisionBit)) {
+          // Non-chronological backjump: the refutation never used this
+          // node's decision, so it holds for every sibling. A plain search
+          // would refute each sibling by the same (replayed) propagation
+          // chain, so skipping them preserves the node's outcome exactly:
+          // Refuted when the enumeration was exhaustive, Exhausted
+          // otherwise.
+          ++Stats.Backjumps;
+          ConflictOut = BranchConflict;
+          return Exhaustive ? Outcome::Refuted : Outcome::Exhausted;
+        }
+        NodeConflict |= BranchConflict & ~DecisionBit;
+      }
     }
     // Candidate sampling proves unsatisfiability only when it enumerated
     // the whole (finite) domain and every branch was refuted.
-    if (Exhaustive && AllRefuted)
+    if (Exhaustive && AllRefuted) {
+      ConflictOut = NodeConflict;
       return Outcome::Refuted;
+    }
     return Outcome::Exhausted;
   }
 
 private:
+  /// Decision-level bit for \p Depth; depths >= 63 share a saturated
+  /// sentinel bit, which only ever widens conflict masks (deep conflicts
+  /// can never be mistaken for decision-free ones).
+  static uint64_t decisionBit(unsigned Depth) {
+    return uint64_t(1) << (Depth >= 63 ? 63 : Depth);
+  }
+
+  /// Records the case-split assignments named by \p ConflictMask as a
+  /// nogood in the context store. Skipped when the mask saturated (bit
+  /// 63: ambiguous deep decisions), when it names too many decisions to
+  /// be a useful clause, or when the store is full (deterministic cap).
+  void learnNogood(uint64_t ConflictMask, unsigned Depth) {
+    if (ConflictMask & decisionBit(63))
+      return;
+    if (__builtin_popcountll(ConflictMask) > 8)
+      return;
+    if (Ctx.Nogoods.size() >= 64)
+      return;
+    SolverContext::Nogood N;
+    N.OwnerFrames = Ctx.Frames.size();
+    for (unsigned D = 0; D <= Depth && D < 63; ++D)
+      if (ConflictMask & decisionBit(D))
+        N.Pairs.push_back(DecisionPath[D]);
+    if (N.Pairs.empty())
+      return;
+    for (const SolverContext::Nogood &Old : Ctx.Nogoods)
+      if (Old.Pairs == N.Pairs)
+        return;
+    Ctx.Nogoods.push_back(std::move(N));
+    ++Stats.LearnedClauses;
+  }
+
+  /// True when a learned nogood covers candidate (\p Atom = \p Value)
+  /// under the current \p Domains: every recorded assignment is either
+  /// the candidate itself or already forced (point domain). The conflict
+  /// chain recorded by the nogood replays under those conditions, so the
+  /// branch is refuted; \p ConflictOut receives the union of the matched
+  /// facts' decision masks plus the candidate's own bit.
+  bool matchesNogood(TermId Atom, int64_t Value,
+                     const std::vector<Interval> &Domains,
+                     const std::vector<uint64_t> &Masks, uint64_t DecisionBit,
+                     uint64_t &ConflictOut) {
+    for (const SolverContext::Nogood &N : Ctx.Nogoods) {
+      bool Match = true;
+      uint64_t M = DecisionBit;
+      for (const auto &[A, V] : N.Pairs) {
+        if (A == Atom) {
+          if (V != Value) {
+            Match = false;
+            break;
+          }
+          continue;
+        }
+        auto It = Ctx.AtomIndex.find(A);
+        if (It == Ctx.AtomIndex.end() || It->second >= NumAtoms) {
+          Match = false;
+          break;
+        }
+        const Interval &D = Domains[It->second];
+        if (!(D.isPoint() && D.Lo == V)) {
+          Match = false;
+          break;
+        }
+        M |= Masks[It->second];
+      }
+      if (Match) {
+        ConflictOut = M;
+        return true;
+      }
+    }
+    return false;
+  }
+
   /// Interval evaluation of a linear expression under current domains.
   Interval evalExpr(const LinearExpr &Expr,
                     const std::vector<Interval> &Domains) const {
@@ -291,22 +451,42 @@ private:
     return Acc;
   }
 
+  /// Union of the decision masks of every atom in \p Expr.
+  uint64_t exprMask(const LinearExpr &Expr,
+                    const std::vector<uint64_t> &Masks) const {
+    uint64_t M = 0;
+    for (const LinearMonomial &Mono : Expr.Monomials)
+      M |= Masks[Ctx.AtomIndex.at(Mono.Atom)];
+    return M;
+  }
+
   bool propagateAtom(const LinearAtom &LA, std::vector<Interval> &Domains,
-                     bool &Changed) {
+                     bool &Changed, std::vector<uint64_t> *Masks,
+                     uint64_t *ConflictOut) {
+    // Provenance of everything this row can derive: the decision masks of
+    // every atom feeding it (an over-approximation of the decisions any
+    // single derivation step here depends on).
+    const uint64_t RowMask = Masks ? exprMask(LA.Expr, *Masks) : 0;
+    auto Fail = [&] {
+      if (ConflictOut)
+        *ConflictOut = RowMask;
+      return false;
+    };
+
     // Expr ⋈ 0 with ⋈ ∈ {=, ≠, ≤}.
     Interval Whole = evalExpr(LA.Expr, Domains);
     switch (LA.Rel) {
     case LinearRelKind::Eq:
       if (Whole.Lo > 0 || Whole.Hi < 0)
-        return false;
+        return Fail();
       break;
     case LinearRelKind::Le:
       if (Whole.Lo > 0)
-        return false;
+        return Fail();
       break;
     case LinearRelKind::Ne:
       if (Whole.isPoint() && Whole.Lo == 0)
-        return false;
+        return Fail();
       // Ne prunes only singleton complements below.
       break;
     }
@@ -349,19 +529,37 @@ private:
           NewDom = NewDom.without(Forbidden);
         }
       }
-      if (NewDom.isEmpty())
+      if (NewDom.isEmpty()) {
+        if (ConflictOut)
+          *ConflictOut = RowMask | (*Masks)[Idx];
         return false;
+      }
       if (!(NewDom == Domains[Idx])) {
         Domains[Idx] = NewDom;
+        if (Masks)
+          (*Masks)[Idx] |= RowMask;
         Changed = true;
       }
     }
     return true;
   }
 
+  /// Union of the decision masks of every atom feeding \p App's argument
+  /// expressions (the provenance of a determinedArgs() evaluation).
+  uint64_t argsMask(TermId App, const std::vector<uint64_t> &Masks) const {
+    uint64_t M = 0;
+    for (TermId Arg : Arena.operands(App)) {
+      auto Lin = extractLinear(Arena, Arg);
+      assert(Lin && "UF argument outside linear fragment");
+      M |= exprMask(*Lin, Masks);
+    }
+    return M;
+  }
+
   /// UF consistency: sampled points pin application outputs; syntactic
   /// congruence (same func, same determined args) links outputs.
-  bool propagateUF(std::vector<Interval> &Domains, bool &Changed) {
+  bool propagateUF(std::vector<Interval> &Domains, bool &Changed,
+                   std::vector<uint64_t> *Masks, uint64_t *ConflictOut) {
     for (size_t I = 0; I != NumAtoms; ++I) {
       TermId App = Ctx.Atoms[I];
       if (Arena.kind(App) != TermKind::UFApp)
@@ -369,13 +567,19 @@ private:
       auto ArgsOpt = determinedArgs(App, Domains);
       if (!ArgsOpt)
         continue;
+      const uint64_t AppArgsMask = Masks ? argsMask(App, *Masks) : 0;
       if (Options.Samples) {
         if (auto Out = Options.Samples->lookup(Arena.funcIdOf(App), *ArgsOpt)) {
           Interval NewDom = Domains[I].intersect(Interval::point(*Out));
-          if (NewDom.isEmpty())
+          if (NewDom.isEmpty()) {
+            if (ConflictOut)
+              *ConflictOut = AppArgsMask | (*Masks)[I];
             return false;
+          }
           if (!(NewDom == Domains[I])) {
             Domains[I] = NewDom;
+            if (Masks)
+              (*Masks)[I] |= AppArgsMask;
             Changed = true;
           }
         }
@@ -389,12 +593,23 @@ private:
         auto OtherArgs = determinedArgs(Other, Domains);
         if (!OtherArgs || *OtherArgs != *ArgsOpt)
           continue;
+        const uint64_t JointMask =
+            Masks ? (AppArgsMask | argsMask(Other, *Masks) | (*Masks)[I] |
+                     (*Masks)[J])
+                  : 0;
         Interval Joint = Domains[I].intersect(Domains[J]);
-        if (Joint.isEmpty())
+        if (Joint.isEmpty()) {
+          if (ConflictOut)
+            *ConflictOut = JointMask;
           return false;
+        }
         if (!(Joint == Domains[I]) || !(Joint == Domains[J])) {
           Domains[I] = Joint;
           Domains[J] = Joint;
+          if (Masks) {
+            (*Masks)[I] |= JointMask;
+            (*Masks)[J] |= JointMask;
+          }
           Changed = true;
         }
       }
@@ -543,6 +758,12 @@ private:
   size_t NumAtoms;
   SolverStats &Stats;
   bool UseMemo;
+  /// Conflict learning active for this engine (ConflictLearning option on
+  /// a pristine row system; see the constructor).
+  bool Learn;
+  /// Case-split assignment per decision depth (indexed by depth, valid up
+  /// to the current recursion); the pairs a learned nogood records.
+  std::vector<std::pair<TermId, int64_t>> DecisionPath;
 };
 
 //===----------------------------------------------------------------------===//
@@ -588,6 +809,11 @@ void SolverContext::pop() {
   if (RefutedAt && *RefutedAt >= Depth)
     RefutedAt.reset();
   Frames.pop_back();
+  // Nogoods learned under the dying scope assumed its literals stay
+  // asserted; learning is append-only and pops are LIFO, so they form a
+  // suffix of the store.
+  while (!Nogoods.empty() && Nogoods.back().OwnerFrames > Frames.size())
+    Nogoods.pop_back();
   ++Stats.ScopePops;
   static telemetry::Counter &Pops =
       telemetry::Registry::global().counter("solver.scope_pops");
@@ -650,16 +876,22 @@ bool SolverContext::assertLiteral(TermId Lit) {
     registerAtom(M.Atom);
   Rows.push_back(*CacheIt->second);
 
-  auto Refute = [&] {
+  auto Refute = [&](bool FromCC) {
     RefutedAt = Frames.size();
+    RefutedLitIdx = Lits.size() - 1;
+    // Conflict tags are only meaningful for a congruence conflict; other
+    // refutation paths leave no per-literal provenance.
+    RefuteTags = FromCC ? CC.conflictTags() : std::vector<uint32_t>{};
     if (!Frames.empty())
       Frames.back().RefutedHere = true;
     return true;
   };
 
-  // Structural EUF content feeds congruence closure immediately.
+  // Structural EUF content feeds congruence closure immediately, labelled
+  // with the literal's assertion index for conflict provenance.
+  CC.setAssertionTag(static_cast<uint32_t>(Lits.size() - 1));
   if (!assertRowInCC(Arena, CC, Rows.back()))
-    return Refute();
+    return Refute(/*FromCC=*/true);
 
   // Fold congruence-derived constants into the base domains. constantOf
   // registers atoms on demand; with a scope open every CC mutation lands
@@ -669,14 +901,14 @@ bool SolverContext::assertLiteral(TermId Lit) {
       Interval NewDom = Domains[I].intersect(Interval::point(*C));
       if (NewDom.isEmpty()) {
         setDomain(I, NewDom);
-        return Refute();
+        return Refute(/*FromCC=*/false);
       }
       if (!(NewDom == Domains[I]))
         setDomain(I, NewDom);
     }
 
   if (!propagateBase())
-    return Refute();
+    return Refute(/*FromCC=*/false);
   return true;
 }
 
@@ -744,7 +976,140 @@ static const char *unknownReason(const SolverOptions &Options,
   return "search budget exhausted";
 }
 
+/// Stable slug for the solver.unknown.<reason> sub-counters (decision
+/// budget vs. stop controls vs. incomplete theory), keyed off the
+/// human-readable reason so trace events and counters can never disagree.
+static const char *unknownReasonSlug(const SatAnswer &Answer) {
+  const std::string &R = Answer.Reason;
+  if (R == "cancelled")
+    return "cancelled";
+  if (R == "deadline expired")
+    return "deadline";
+  if (R == "decision budget exhausted")
+    return "decision_budget";
+  if (R == "search budget exhausted")
+    return "search_budget";
+  if (R == "support budget exhausted")
+    return "support_budget";
+  if (R == "non-linear literal")
+    return "nonlinear";
+  return "other";
+}
+
 SatAnswer SolverContext::check(SolverStats &QueryStats) {
+  SatAnswer Answer = checkImpl(QueryStats);
+  if (Answer.isUnsat() && Options.ExtractUnsatCores) {
+    // Cores are recomputed on answer-cache replays (the cache stores the
+    // impl answer): extraction is a deterministic function of the literal
+    // sequence, so the replayed core is identical.
+    Answer.UnsatCore = extractCore();
+    static telemetry::Histogram &CoreSize =
+        telemetry::Registry::global().histogram("solver.core_size");
+    CoreSize.note(Answer.UnsatCore.size());
+  }
+  return Answer;
+}
+
+bool SolverContext::quickRefutes() {
+  if (PoisonedAt)
+    return false;
+  if (RefutedAt)
+    return true;
+  std::vector<LinearAtom> Work = Rows;
+  if (!eliminateEqualities(Work))
+    return true;
+  if (fourierMotzkinRefutes(Work))
+    return true;
+  SolverStats Scratch; // Probe work never lands in per-query stats.
+  if (Work == Rows) {
+    Engine E(*this, Rows, Atoms.size(), Scratch, /*UseMemo=*/false);
+    std::vector<Interval> Doms = Domains;
+    return !E.propagate(Doms);
+  }
+  CongruenceClosure ScratchCC(Arena);
+  for (const LinearAtom &LA : Work)
+    if (!assertRowInCC(Arena, ScratchCC, LA))
+      return true;
+  std::vector<Interval> Doms(Atoms.size(), Interval::full());
+  for (size_t I = 0; I != Atoms.size(); ++I)
+    if (auto C = ScratchCC.constantOf(Atoms[I]))
+      Doms[I] = Doms[I].intersect(Interval::point(*C));
+  Engine E(*this, Work, Atoms.size(), Scratch, /*UseMemo=*/false);
+  return !E.propagate(Doms);
+}
+
+bool SolverContext::probeRefutes(std::span<const TermId> Literals) {
+  if (!CoreProbe) {
+    SolverOptions ProbeOpts = Options;
+    ProbeOpts.ExtractUnsatCores = false; // No recursive extraction.
+    ProbeOpts.ConflictLearning = false;
+    ProbeOpts.EnableRefutationMemo = false;
+    ProbeOpts.EnableAnswerCache = false;
+    // Samples stay: propagateUF narrowing is part of quick refutation.
+    CoreProbe = std::make_unique<SolverContext>(Arena, ProbeOpts);
+  }
+  CoreProbe->retarget(Literals);
+  return CoreProbe->quickRefutes();
+}
+
+std::vector<TermId> SolverContext::extractCore() {
+  // Callers reach here only on an Unsat answer, so one of the candidate
+  // sets below is a proven-unsat subset by construction: the asserted
+  // prefix up to the refuting literal (the fold invariant makes that
+  // prefix standalone-unsat), or — for a check-time refutation — the full
+  // literal list the check just refuted.
+  std::vector<TermId> Candidate;
+  if (RefutedAt) {
+    Candidate.assign(Lits.begin(), Lits.begin() + RefutedLitIdx + 1);
+    if (!RefuteTags.empty() && Candidate.size() > 2) {
+      // Congruence conflict-tag fast path: the clashing assertions' literal
+      // indices, probe-verified (tags do not explain equality chains, so
+      // the hint can be incomplete — fall back to the prefix then).
+      std::set<uint32_t> Indices(RefuteTags.begin(), RefuteTags.end());
+      Indices.insert(static_cast<uint32_t>(RefutedLitIdx));
+      std::vector<TermId> Hint;
+      for (uint32_t I : Indices)
+        if (I < Lits.size())
+          Hint.push_back(Lits[I]);
+      if (Hint.size() < Candidate.size() && probeRefutes(Hint))
+        return minimizeCore(std::move(Hint));
+    }
+  } else {
+    Candidate = Lits;
+  }
+  return minimizeCore(std::move(Candidate));
+}
+
+std::vector<TermId> SolverContext::minimizeCore(std::vector<TermId> Candidate) {
+  if (Candidate.size() <= 1)
+    return Candidate;
+  if (Candidate.size() > 48)
+    return Candidate; // Minimization cost cap; the candidate stays sound.
+  // When the probe cannot reproduce the refutation (it came from the value
+  // search, which the probe deliberately skips), deletion probes can never
+  // certify a removal — return the candidate unshrunk.
+  if (!probeRefutes(Candidate))
+    return Candidate;
+  for (size_t I = Candidate.size(); Candidate.size() > 1 && I-- > 0;) {
+    std::vector<TermId> Trial;
+    Trial.reserve(Candidate.size() - 1);
+    for (size_t J = 0; J != Candidate.size(); ++J)
+      if (J != I)
+        Trial.push_back(Candidate[J]);
+    if (probeRefutes(Trial))
+      Candidate = std::move(Trial);
+  }
+  return Candidate;
+}
+
+SatAnswer SolverContext::checkImpl(SolverStats &QueryStats) {
+  // Without the memo gate, learned nogoods must not outlive the query:
+  // cross-check retention would make later answers' decision counts depend
+  // on which checks ran earlier in this context (the same schedule-
+  // dependence argument as the refutation memo, docs/solver.md).
+  if (!Options.EnableRefutationMemo && !Nogoods.empty())
+    Nogoods.clear();
+
   SatAnswer Answer;
   if (PoisonedAt) {
     Answer.Result = SatResult::Unknown;
@@ -810,14 +1175,15 @@ SatAnswer SolverContext::check(SolverStats &QueryStats) {
     // Fast path: elimination was the identity, so the base domains (the
     // assert-time fixpoint over exactly these rows, with congruence
     // constants folded in) are the search's starting point.
-    Engine E(*this, Rows, Atoms.size(), QueryStats, UseMemo);
+    Engine E(*this, Rows, Atoms.size(), QueryStats, UseMemo,
+             /*PristineRows=*/true);
     std::vector<Interval> Doms = Domains;
     if (!E.propagate(Doms)) {
       Answer.Result = SatResult::Unsat;
       CacheResult(Answer);
       return Answer;
     }
-    Out = E.search(std::move(Doms), 0, M);
+    Out = E.searchRoot(std::move(Doms), M);
   } else {
     // Slow path: elimination rewrote rows, so congruence constants and
     // domains are rebuilt against the echelon system, exactly like a
@@ -839,7 +1205,7 @@ SatAnswer SolverContext::check(SolverStats &QueryStats) {
       CacheResult(Answer);
       return Answer;
     }
-    Out = E.search(std::move(Doms), 0, M);
+    Out = E.searchRoot(std::move(Doms), M);
   }
 
   switch (Out) {
@@ -930,6 +1296,7 @@ void SolverContext::reset() {
   CC.clear();
   PoisonedAt.reset();
   RefutedAt.reset();
+  Nogoods.clear();
   BaseMemoRefuted.clear();
   BaseMemoUnknown.clear();
   // NormCache survives: it is a pure function of arena terms.
@@ -975,6 +1342,14 @@ SatAnswer SolverContext::checkFormula(TermId Formula, SolverStats &QueryStats) {
         for (TermId Lit : Literals)
           Scratch.assertLiteral(Lit);
         SatAnswer Sub = Scratch.check(QueryStats);
+        if (Sub.isUnsat() && Options.ExtractUnsatCores) {
+          // Union of per-support cores: each one is standalone-unsat, so
+          // the union is too (Solver.h, SatAnswer::UnsatCore).
+          for (TermId CoreLit : Sub.UnsatCore)
+            if (std::find(Answer.UnsatCore.begin(), Answer.UnsatCore.end(),
+                          CoreLit) == Answer.UnsatCore.end())
+              Answer.UnsatCore.push_back(CoreLit);
+        }
         if (Sub.isSat()) {
           // Verify against the full original formula under the model.
           if (Sub.ModelValue.evalBool(Arena, Formula)) {
@@ -991,9 +1366,12 @@ SatAnswer SolverContext::checkFormula(TermId Formula, SolverStats &QueryStats) {
       });
   QueryStats.SupportsExplored += EnumStats.SupportsTried;
 
-  if (Answer.Result == SatResult::Sat)
+  if (Answer.Result == SatResult::Sat) {
+    Answer.UnsatCore.clear();
     return Answer;
+  }
   if (SawExhausted || EnumStats.BudgetExhausted) {
+    Answer.UnsatCore.clear();
     Answer.Result = SatResult::Unknown;
     // unknownReason reports a tripped stop control first, so a deadline
     // that halted the enumeration (StopHit) or the inner search wins over
@@ -1017,9 +1395,25 @@ void SolverContext::foldQueryTelemetry(const SatAnswer &Answer,
   CumStats.SupportsExplored += QueryStats.SupportsExplored;
   CumStats.Decisions += QueryStats.Decisions;
   CumStats.Propagations += QueryStats.Propagations;
+  CumStats.LearnedClauses += QueryStats.LearnedClauses;
+  CumStats.LearnedClauseHits += QueryStats.LearnedClauseHits;
+  CumStats.Backjumps += QueryStats.Backjumps;
   Reg.counter("solver.decisions").add(QueryStats.Decisions);
   Reg.counter("solver.propagations").add(QueryStats.Propagations);
   Reg.counter("solver.supports_explored").add(QueryStats.SupportsExplored);
+  if (QueryStats.LearnedClauses) {
+    static telemetry::Counter &Learned = Reg.counter("solver.learned_clauses");
+    Learned.add(QueryStats.LearnedClauses);
+  }
+  if (QueryStats.LearnedClauseHits) {
+    static telemetry::Counter &Hits =
+        Reg.counter("solver.learned_clause_hits");
+    Hits.add(QueryStats.LearnedClauseHits);
+  }
+  if (QueryStats.Backjumps) {
+    static telemetry::Counter &Backjumps = Reg.counter("solver.backjumps");
+    Backjumps.add(QueryStats.Backjumps);
+  }
   switch (Answer.Result) {
   case SatResult::Sat:
     Reg.counter("solver.sat").add();
@@ -1029,6 +1423,10 @@ void SolverContext::foldQueryTelemetry(const SatAnswer &Answer,
     break;
   case SatResult::Unknown:
     Reg.counter("solver.unknown").add();
+    // Structured sub-counter so residual unknowns are attributable in
+    // --stats-json without parsing trace reason strings.
+    Reg.counter(std::string("solver.unknown.") + unknownReasonSlug(Answer))
+        .add();
     break;
   }
 

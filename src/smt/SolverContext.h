@@ -35,6 +35,7 @@
 #include "smt/Solver.h"
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <span>
@@ -130,6 +131,14 @@ public:
   const SolverOptions &options() const { return Options; }
   const ContextStats &contextStats() const { return Stats; }
 
+  /// Toggles unsat-core extraction. Extraction never affects an answer's
+  /// Result/Model — only whether SatAnswer::UnsatCore is populated — so
+  /// flipping it mid-lifetime is safe; core::ValiditySolver turns it off
+  /// once its blocked-core store is full to stop paying for probes.
+  void setExtractUnsatCores(bool Enable) {
+    Options.ExtractUnsatCores = Enable;
+  }
+
   /// Flattens simplify(\p Formula) into its comparison literals, in
   /// source order. nullopt when the formula has disjunctive structure (or
   /// simplifies to a boolean constant). This is the shared decomposition
@@ -159,6 +168,27 @@ private:
 
   class Engine; // Check-time search engine (SolverContext.cpp).
   friend class Engine;
+
+  /// check() minus core extraction (the shared body of every Unsat path).
+  SatAnswer checkImpl(SolverStats &QueryStats);
+  /// Propagation-level refutation of the asserted stack: assert-time
+  /// refutation, Gauss–Jordan infeasibility, Fourier–Motzkin, or an empty
+  /// domain at the propagation fixpoint. No value search, no stats — the
+  /// probe half of core minimization.
+  bool quickRefutes();
+  /// Builds the unsat core for the current (just proven Unsat) state: the
+  /// refuted assertion prefix (with a CC conflict-tag fast path) or the
+  /// full literal list, shrunk by deletion-based minimization.
+  std::vector<TermId> extractCore();
+  /// Deletion minimization: drops literals whose removal keeps the
+  /// candidate quick-refutable in the probe context. The input is always a
+  /// sound core (proven unsat by the caller); every deletion is
+  /// probe-proven, so the output stays sound even when the probe cannot
+  /// reproduce the original (search-level) refutation.
+  std::vector<TermId> minimizeCore(std::vector<TermId> Candidate);
+  /// quickRefutes() over \p Literals in the lazily-created CoreProbe
+  /// context (prefix sharing via retarget makes a deletion sweep cheap).
+  bool probeRefutes(std::span<const TermId> Literals);
 
   void registerAtom(TermId Atom);
   void setDomain(size_t Idx, const Interval &NewDom);
@@ -208,6 +238,33 @@ private:
   /// fold).
   std::optional<size_t> PoisonedAt;
   std::optional<size_t> RefutedAt;
+  /// Index into Lits of the literal whose assertion refuted the context;
+  /// valid only while RefutedAt is set (reset together with it).
+  size_t RefutedLitIdx = 0;
+  /// CC conflict tags (literal indices) captured when the refuting assert
+  /// was a congruence conflict; a core-candidate hint, probe-verified
+  /// before use (CongruenceClosure::conflictTags).
+  std::vector<uint32_t> RefuteTags;
+
+  /// A learned nogood (ConflictLearning): the case-split assignments whose
+  /// conjunction — together with the literals asserted when it was learned
+  /// — propagates to a conflict. OwnerFrames scopes it to the assertion
+  /// stack: the nogood dies when the scope it was learned under pops
+  /// (later scopes only add literals, which keeps it valid). Cross-check
+  /// retention is gated on EnableRefutationMemo exactly like the
+  /// refutation memo (docs/solver.md); otherwise the store is cleared at
+  /// every check() entry.
+  struct Nogood {
+    std::vector<std::pair<TermId, int64_t>> Pairs;
+    size_t OwnerFrames = 0;
+  };
+  std::vector<Nogood> Nogoods;
+
+  /// Lazily-created probe context for core minimization (ExtractUnsatCores
+  /// only): same options minus cores/learning/memo/cache, managed
+  /// exclusively through retarget so deletion probes share prefixes.
+  std::unique_ptr<SolverContext> CoreProbe;
+
   /// Memo entries proven against the base level only.
   std::set<std::pair<TermId, int64_t>> BaseMemoRefuted;
   std::set<std::pair<TermId, int64_t>> BaseMemoUnknown;

@@ -126,8 +126,8 @@ const std::vector<KindSpec> &schema() {
       {"validity_query",
        {{"status", FieldType::Str, true},
         {"supports", FieldType::Int, true},
-        {"groundings", FieldType::Int, true},
-        {"inner_solver_calls", FieldType::Int, true},
+        {"groundings_tried", FieldType::Int, true},
+        {"groundings_pruned", FieldType::Int, true},
         {"learn_requests", FieldType::Int, true},
         {"ns", FieldType::Int, true},
         {"reason", FieldType::Str, false},
@@ -409,6 +409,10 @@ Report hotg::trace::buildReport(const Trace &T, unsigned TopK) {
           ++R.CacheMisses;
       } else {
         ++R.ValidityQueries;
+        R.GroundingsTried +=
+            static_cast<uint64_t>(E.Json.getInt("groundings_tried"));
+        R.GroundingsPruned +=
+            static_cast<uint64_t>(E.Json.getInt("groundings_pruned"));
       }
       SlowQuery Q;
       Q.Kind = E.Kind;
@@ -421,6 +425,10 @@ Report hotg::trace::buildReport(const Trace &T, unsigned TopK) {
       Q.Grounding = std::string(E.Json.getString("grounding"));
       Q.ScopeDepth = E.Json.getInt("scope_depth", -1);
       Q.Cache = std::string(E.Json.getString("cache"));
+      if (E.Kind == "validity_query") {
+        Q.GroundingsTried = E.Json.getInt("groundings_tried");
+        Q.GroundingsPruned = E.Json.getInt("groundings_pruned");
+      }
       R.SlowQueries.push_back(std::move(Q));
     } else if (E.Kind == "test_run") {
       ++R.Tests;
@@ -462,6 +470,13 @@ std::string hotg::trace::renderReport(const Report &R) {
                       static_cast<unsigned long long>(R.ValidityQueries),
                       static_cast<unsigned long long>(R.Divergences),
                       static_cast<unsigned long long>(R.Heartbeats));
+  if (uint64_t Enum = R.GroundingsTried + R.GroundingsPruned)
+    Out += formatString("  groundings: %llu tried, %llu pruned by unsat "
+                        "cores (%.1f%% pruned)\n",
+                        static_cast<unsigned long long>(R.GroundingsTried),
+                        static_cast<unsigned long long>(R.GroundingsPruned),
+                        100.0 * static_cast<double>(R.GroundingsPruned) /
+                            static_cast<double>(Enum));
   if (!R.StopReason.empty())
     Out += formatString("  stop reason %s  worker failures %llu  "
                         "inline retries %llu\n",
@@ -516,6 +531,10 @@ std::string hotg::trace::renderReport(const Report &R) {
       Out += formatString("  worker %lld", static_cast<long long>(Q.Worker));
     if (!Q.Grounding.empty())
       Out += formatString("  grounding %s", Q.Grounding.c_str());
+    if (Q.GroundingsTried >= 0)
+      Out += formatString("  tried %lld  pruned %lld",
+                          static_cast<long long>(Q.GroundingsTried),
+                          static_cast<long long>(Q.GroundingsPruned));
     if (Q.ScopeDepth >= 0)
       Out += formatString("  depth %lld",
                           static_cast<long long>(Q.ScopeDepth));

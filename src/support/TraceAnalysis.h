@@ -115,6 +115,10 @@ struct SlowQuery {
   std::string Grounding;
   int64_t ScopeDepth = -1;
   std::string Cache; ///< "hit"/"miss"/"" (fresh-solver checks).
+  /// validity_query only (-1 for solver checks): enumeration size split
+  /// into inner-solver calls and core-guided skips.
+  int64_t GroundingsTried = -1;
+  int64_t GroundingsPruned = -1;
 };
 
 /// The profiling report of one trace.
@@ -134,6 +138,10 @@ struct Report {
   /// Counts of interesting events.
   uint64_t Tests = 0, Candidates = 0, SolverChecks = 0, ValidityQueries = 0,
            Divergences = 0, Heartbeats = 0;
+  /// Grounding enumeration totals across validity_query events: inner
+  /// solver calls actually made vs. groundings skipped by a recorded
+  /// unsat core.
+  uint64_t GroundingsTried = 0, GroundingsPruned = 0;
   /// From search_summary (0 when the trace has none).
   uint64_t WorkerFailures = 0, InlineRetries = 0;
   std::string StopReason;

@@ -59,8 +59,8 @@ void expectSameResult(const SearchResult &A, const SearchResult &B,
   EXPECT_EQ(A.ValidityQueryStats.GroundingsTried,
             B.ValidityQueryStats.GroundingsTried)
       << What;
-  EXPECT_EQ(A.ValidityQueryStats.InnerSolverCalls,
-            B.ValidityQueryStats.InnerSolverCalls)
+  EXPECT_EQ(A.ValidityQueryStats.GroundingsPruned,
+            B.ValidityQueryStats.GroundingsPruned)
       << What;
   EXPECT_EQ(A.Stopped, B.Stopped) << What;
 }

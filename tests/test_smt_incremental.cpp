@@ -396,8 +396,8 @@ void expectSameSearchResult(const core::SearchResult &A,
   EXPECT_EQ(A.ValidityQueryStats.GroundingsTried,
             B.ValidityQueryStats.GroundingsTried)
       << What;
-  EXPECT_EQ(A.ValidityQueryStats.InnerSolverCalls,
-            B.ValidityQueryStats.InnerSolverCalls)
+  EXPECT_EQ(A.ValidityQueryStats.GroundingsPruned,
+            B.ValidityQueryStats.GroundingsPruned)
       << What;
 }
 

@@ -1,0 +1,520 @@
+//===- tests/test_smt_learning.cpp - Conflict learning and unsat cores ----------===//
+//
+// Coverage for the conflict-learning + core-extraction stack
+// (docs/solver.md): nogood learning and non-chronological backjumping in
+// the case-split loop (answer-identical to plain search by the chain-replay
+// argument), learned-store scoping across push/pop and retarget, probe-
+// verified unsat cores with a minimality-ish property (dropping any core
+// literal loses the refutation), core-guided grounding pruning in the
+// validity solver, and a search-level differential sweep asserting the
+// output slice — tests, bugs, coverage, IOF tables — is byte-identical
+// with learning on or off for jobs 1 and 4.
+//
+//===----------------------------------------------------------------------===//
+
+#include "app/Examples.h"
+#include "core/Search.h"
+#include "core/ValiditySolver.h"
+#include "smt/Solver.h"
+#include "smt/SolverContext.h"
+#include "support/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace hotg;
+using namespace hotg::smt;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Nogood learning and backjumping in the case-split loop
+//===----------------------------------------------------------------------===//
+
+class LearningTest : public ::testing::Test {
+protected:
+  TermArena Arena;
+  SampleTable Samples;
+  TermId A = Arena.mkVar("a");
+  TermId B = Arena.mkVar("b");
+  FuncId F = Arena.getOrCreateFunc("f", 1);
+
+  TermId f(TermId T) { return Arena.mkUFApp(F, {{T}}); }
+  TermId c(int64_t V) { return Arena.mkIntConst(V); }
+
+  SatAnswer check(std::span<const TermId> Lits, bool Learn,
+                  SolverStats &Stats) {
+    SolverOptions Options;
+    Options.Samples = &Samples;
+    Options.ConflictLearning = Learn;
+    Solver S(Arena, Options);
+    SatAnswer Answer = S.checkConjunction(Lits);
+    Stats = S.stats();
+    return Answer;
+  }
+
+  /// The crafted backjump workload: a ∈ {0,1} is decided first (smallest
+  /// domain) but is irrelevant — every sample pins f at b's value to
+  /// something other than 99, so each b branch conflicts with a mask that
+  /// never mentions a's decision level.
+  std::vector<TermId> backjumpQuery() {
+    Samples.record(F, {0}, 10);
+    Samples.record(F, {1}, 11);
+    Samples.record(F, {2}, 12);
+    return {Arena.mkLe(c(0), A), Arena.mkLe(A, c(1)),
+            Arena.mkLe(c(0), B), Arena.mkLe(B, c(2)),
+            Arena.mkEq(f(B), c(99))};
+  }
+};
+
+TEST_F(LearningTest, BackjumpSkipsDecisionsIndependentOfConflict) {
+  std::vector<TermId> Query = backjumpQuery();
+
+  SolverStats Plain, Learned;
+  SatAnswer Off = check(Query, /*Learn=*/false, Plain);
+  SatAnswer On = check(Query, /*Learn=*/true, Learned);
+
+  EXPECT_EQ(Off.Result, SatResult::Unsat);
+  EXPECT_EQ(On.Result, SatResult::Unsat)
+      << "learning must not change the answer";
+  EXPECT_EQ(Plain.Backjumps, 0u) << "plain search never backjumps";
+  EXPECT_GE(Learned.Backjumps, 1u)
+      << "the b-conflicts never involve a's decision level, so a's "
+         "sibling branch must be abandoned non-chronologically";
+  EXPECT_GT(Learned.LearnedClauses, 0u);
+  EXPECT_LT(Learned.Decisions, Plain.Decisions)
+      << "backjumping must skip the sibling's re-enumeration";
+}
+
+TEST_F(LearningTest, LearningPreservesModelsOnSatQueries) {
+  Samples.record(F, {7}, 70);
+  // Satisfiable: b = 7 pins f(b) = 70; a is free in {0, 1}.
+  std::vector<TermId> Query{Arena.mkLe(c(0), A), Arena.mkLe(A, c(1)),
+                            Arena.mkEq(B, c(7)),
+                            Arena.mkEq(f(B), c(70))};
+  SolverStats Plain, Learned;
+  SatAnswer Off = check(Query, false, Plain);
+  SatAnswer On = check(Query, true, Learned);
+  ASSERT_TRUE(Off.isSat());
+  ASSERT_TRUE(On.isSat());
+  // Learning only skips branches plain search refutes, so the first model
+  // found is the same model.
+  EXPECT_EQ(On.ModelValue.varValueOr(Arena.getOrCreateVar("a"), -1),
+            Off.ModelValue.varValueOr(Arena.getOrCreateVar("a"), -1));
+  EXPECT_EQ(On.ModelValue.varValueOr(Arena.getOrCreateVar("b"), -1),
+            Off.ModelValue.varValueOr(Arena.getOrCreateVar("b"), -1));
+  EXPECT_EQ(Learned.Decisions, Plain.Decisions)
+      << "no branch was refuted before the model, so nothing to skip";
+}
+
+TEST_F(LearningTest, NogoodsRollBackWithTheirScope) {
+  // Fold invariant under learning: after a refuted check() learns
+  // nogoods, retargeting the same context onto a different literal
+  // sequence must answer exactly like a fresh context — the learned store
+  // is scoped to the assertion-stack prefix and truncated on pop.
+  std::vector<TermId> Refuted = backjumpQuery();
+  std::vector<TermId> Sat{Arena.mkLe(c(0), A), Arena.mkLe(A, c(1)),
+                          Arena.mkEq(B, c(1)),
+                          Arena.mkEq(f(B), c(11))};
+
+  SolverOptions Options;
+  Options.Samples = &Samples;
+  SolverContext Ctx(Arena, Options);
+
+  SolverStats S1;
+  EXPECT_EQ(Ctx.checkFormula(Arena.mkAnd(Refuted), S1).Result,
+            SatResult::Unsat);
+
+  SolverStats S2;
+  SatAnswer Reused = Ctx.checkFormula(Arena.mkAnd(Sat), S2);
+
+  SolverContext Fresh(Arena, Options);
+  SolverStats S3;
+  SatAnswer Scratch = Fresh.checkFormula(Arena.mkAnd(Sat), S3);
+
+  ASSERT_TRUE(Reused.isSat());
+  ASSERT_TRUE(Scratch.isSat());
+  EXPECT_EQ(Reused.ModelValue.varValueOr(Arena.getOrCreateVar("b"), -1),
+            Scratch.ModelValue.varValueOr(Arena.getOrCreateVar("b"), -1));
+  EXPECT_EQ(S2.Decisions, S3.Decisions)
+      << "stale nogoods from the popped prefix must not influence the "
+         "reused context";
+  EXPECT_EQ(S2.LearnedClauseHits, S3.LearnedClauseHits);
+}
+
+TEST_F(LearningTest, PushPopRestoresAnswersAroundLearnedConflicts) {
+  // Trail-rollback at the context level: push a scope, refute inside it
+  // (learning nogoods against the scoped prefix), pop, and re-check — the
+  // base-level query must answer exactly as if the scope never existed.
+  Samples.record(F, {3}, 30);
+  SolverOptions Options;
+  Options.Samples = &Samples;
+  SolverContext Ctx(Arena, Options);
+
+  ASSERT_TRUE(Ctx.assertLiteral(Arena.mkLe(c(0), B)));
+  ASSERT_TRUE(Ctx.assertLiteral(Arena.mkLe(B, c(3))));
+
+  SolverStats Before;
+  SatAnswer Base = Ctx.check(Before);
+  ASSERT_TRUE(Base.isSat());
+
+  Ctx.push();
+  ASSERT_TRUE(Ctx.assertLiteral(Arena.mkEq(B, c(3))));
+  ASSERT_TRUE(Ctx.assertLiteral(Arena.mkEq(f(B), c(99))));
+  SolverStats Inner;
+  EXPECT_EQ(Ctx.check(Inner).Result, SatResult::Unsat)
+      << "the f(3) = 30 sample pin refutes f(b) = 99 under b = 3";
+  Ctx.pop();
+
+  SolverStats After;
+  SatAnswer Replay = Ctx.check(After);
+  ASSERT_TRUE(Replay.isSat());
+  EXPECT_EQ(Replay.ModelValue.varValueOr(Arena.getOrCreateVar("b"), -1),
+            Base.ModelValue.varValueOr(Arena.getOrCreateVar("b"), -1));
+  EXPECT_EQ(After.Decisions, Before.Decisions)
+      << "pop must restore the exact pre-push search behavior";
+}
+
+//===----------------------------------------------------------------------===//
+// Unsat-core extraction
+//===----------------------------------------------------------------------===//
+
+class UnsatCoreTest : public ::testing::Test {
+protected:
+  TermArena Arena;
+  SampleTable Samples;
+  TermId X = Arena.mkVar("x");
+  TermId Y = Arena.mkVar("y");
+  TermId Z = Arena.mkVar("z");
+  FuncId F = Arena.getOrCreateFunc("f", 1);
+
+  TermId f(TermId T) { return Arena.mkUFApp(F, {{T}}); }
+  TermId c(int64_t V) { return Arena.mkIntConst(V); }
+
+  SatAnswer checkCore(const std::vector<TermId> &Lits) {
+    SolverOptions Options;
+    Options.Samples = &Samples;
+    Options.ExtractUnsatCores = true;
+    Solver S(Arena, Options);
+    return S.checkConjunction(Lits);
+  }
+
+  SatResult resultOf(const std::vector<TermId> &Lits) {
+    SolverOptions Options;
+    Options.Samples = &Samples;
+    Solver S(Arena, Options);
+    return S.checkConjunction(Lits).Result;
+  }
+
+  /// The minimality-ish property: the core alone refutes, every core
+  /// literal came from the input, and dropping any single literal loses
+  /// the refutation (Sat or Unknown, never Unsat).
+  void expectMinimalishCore(const std::vector<TermId> &Input,
+                            const std::vector<TermId> &Core) {
+    ASSERT_FALSE(Core.empty());
+    for (TermId L : Core)
+      EXPECT_NE(std::find(Input.begin(), Input.end(), L), Input.end())
+          << "core literal not in the input: " << Arena.toString(L);
+    EXPECT_EQ(resultOf(Core), SatResult::Unsat)
+        << "the core must refute standalone";
+    if (Core.size() == 1)
+      return;
+    for (size_t I = 0; I != Core.size(); ++I) {
+      std::vector<TermId> Dropped;
+      for (size_t J = 0; J != Core.size(); ++J)
+        if (J != I)
+          Dropped.push_back(Core[J]);
+      EXPECT_NE(resultOf(Dropped), SatResult::Unsat)
+          << "dropping " << Arena.toString(Core[I])
+          << " should lose the refutation";
+    }
+  }
+};
+
+TEST_F(UnsatCoreTest, IntervalContradictionCoreDropsPadding) {
+  std::vector<TermId> Lits{Arena.mkLe(c(0), Y), Arena.mkLe(c(0), Z),
+                           Arena.mkLe(c(5), X), Arena.mkLe(X, c(3))};
+  SatAnswer Answer = checkCore(Lits);
+  ASSERT_EQ(Answer.Result, SatResult::Unsat);
+  EXPECT_EQ(Answer.UnsatCore.size(), 2u)
+      << "only the two x bounds participate";
+  expectMinimalishCore(Lits, Answer.UnsatCore);
+}
+
+TEST_F(UnsatCoreTest, CongruenceConflictCore) {
+  // x = y forces f(x) = f(y); the padding z bound is irrelevant.
+  std::vector<TermId> Lits{Arena.mkLe(c(17), Z), Arena.mkEq(X, Y),
+                           Arena.mkEq(f(X), c(0)),
+                           Arena.mkEq(f(Y), c(1))};
+  SatAnswer Answer = checkCore(Lits);
+  ASSERT_EQ(Answer.Result, SatResult::Unsat);
+  EXPECT_LE(Answer.UnsatCore.size(), 3u);
+  expectMinimalishCore(Lits, Answer.UnsatCore);
+}
+
+TEST_F(UnsatCoreTest, SamplePinConflictCore) {
+  Samples.record(F, {1}, 2);
+  std::vector<TermId> Lits{Arena.mkLe(Y, c(9)), Arena.mkEq(X, c(1)),
+                           Arena.mkEq(f(X), c(3))};
+  SatAnswer Answer = checkCore(Lits);
+  ASSERT_EQ(Answer.Result, SatResult::Unsat);
+  expectMinimalishCore(Lits, Answer.UnsatCore);
+  for (TermId L : Answer.UnsatCore)
+    EXPECT_NE(L, Lits[0]) << "the y padding cannot be in the core";
+}
+
+TEST_F(UnsatCoreTest, DisjunctiveFormulaUnionsPerSupportCores) {
+  // Each disjunct is refuted by its own pair of bounds; the reported core
+  // is the union, and the union still refutes conjunctively.
+  TermId Left = Arena.mkAnd(Arena.mkLe(c(5), X), Arena.mkLe(X, c(3)));
+  TermId Right = Arena.mkAnd(Arena.mkLe(c(7), Y), Arena.mkLe(Y, c(2)));
+  SolverOptions Options;
+  Options.ExtractUnsatCores = true;
+  Solver S(Arena, Options);
+  SatAnswer Answer = S.check(Arena.mkOr(Left, Right));
+  ASSERT_EQ(Answer.Result, SatResult::Unsat);
+  ASSERT_FALSE(Answer.UnsatCore.empty());
+  EXPECT_EQ(resultOf(Answer.UnsatCore), SatResult::Unsat);
+}
+
+TEST_F(UnsatCoreTest, ExtractionNeverChangesTheAnswer) {
+  // Differential: the same queries with extraction off — identical
+  // Result and model on the sat side, identical Result on the unsat side.
+  Samples.record(F, {1}, 2);
+  std::vector<std::vector<TermId>> Queries{
+      {Arena.mkLe(c(5), X), Arena.mkLe(X, c(3))},
+      {Arena.mkEq(X, Y), Arena.mkEq(f(X), c(0)), Arena.mkEq(f(Y), c(1))},
+      {Arena.mkEq(X, c(1)), Arena.mkEq(f(X), c(3))},
+      {Arena.mkLe(c(3), X), Arena.mkLt(X, Y), Arena.mkLe(Y, c(5))},
+  };
+  for (const auto &Q : Queries) {
+    SatAnswer WithCores = checkCore(Q);
+    SatResult Plain = resultOf(Q);
+    EXPECT_EQ(WithCores.Result, Plain);
+    if (WithCores.Result != SatResult::Unsat) {
+      EXPECT_TRUE(WithCores.UnsatCore.empty());
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Structured unknown reasons
+//===----------------------------------------------------------------------===//
+
+TEST(UnknownReasonCounters, DecisionBudgetSubCounterIsBumped) {
+  telemetry::Registry &Reg = telemetry::Registry::global();
+  uint64_t Before = Reg.counter("solver.unknown.decision_budget").value();
+
+  TermArena Arena;
+  TermId X = Arena.mkVar("x");
+  SolverOptions Options;
+  Options.MaxDecisions = 0;
+  SolverContext Ctx(Arena, Options);
+  SolverStats Stats;
+  SatAnswer Answer = Ctx.checkFormulaWithTelemetry(
+      Arena.mkAnd(Arena.mkLe(Arena.mkIntConst(3), X),
+                  Arena.mkLt(X, Arena.mkIntConst(9))),
+      Stats);
+  ASSERT_EQ(Answer.Result, SatResult::Unknown);
+  EXPECT_EQ(Answer.Reason, "decision budget exhausted");
+  EXPECT_EQ(Reg.counter("solver.unknown.decision_budget").value(),
+            Before + 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Core-guided grounding pruning in the validity solver
+//===----------------------------------------------------------------------===//
+
+class CorePruningTest : public ::testing::Test {
+protected:
+  TermArena Arena;
+  SampleTable Samples;
+  TermId X = Arena.mkVar("x");
+  FuncId F = Arena.getOrCreateFunc("f", 1);
+
+  TermId f(TermId T) { return Arena.mkUFApp(F, {{T}}); }
+  TermId c(int64_t V) { return Arena.mkIntConst(V); }
+
+  std::pair<core::ValidityAnswer, core::ValidityStats>
+  solve(TermId Pc, bool Pruning) {
+    core::ValidityOptions Options;
+    Options.CoreGuidedPruning = Pruning;
+    core::ValiditySolver Solver(Arena, Samples, Options);
+    core::ValidityAnswer Answer = Solver.checkPost(Pc);
+    return {std::move(Answer), Solver.stats()};
+  }
+};
+
+TEST_F(CorePruningTest, SiblingGroundingsSharingACoreAreSkipped) {
+  // The support literals alone are contradictory (f(x) can't equal both
+  // 1 and 2), so the first grounding's core refutes every sibling before
+  // the inner solver sees it.
+  Samples.record(F, {0}, 1);
+  Samples.record(F, {1}, 1);
+  Samples.record(F, {2}, 1);
+  TermId Pc = Arena.mkAnd(Arena.mkEq(f(X), c(1)), Arena.mkEq(f(X), c(2)));
+
+  auto [Off, OffStats] = solve(Pc, false);
+  auto [On, OnStats] = solve(Pc, true);
+
+  EXPECT_EQ(On.Status, Off.Status);
+  EXPECT_EQ(OffStats.GroundingsPruned, 0u);
+  EXPECT_GT(OnStats.GroundingsPruned, 0u)
+      << "sibling groundings of the contradictory support must be pruned";
+  EXPECT_LT(OnStats.GroundingsTried, OffStats.GroundingsTried);
+  EXPECT_EQ(OnStats.GroundingsTried + OnStats.GroundingsPruned,
+            OffStats.GroundingsTried + OffStats.GroundingsPruned)
+      << "pruning must not change the enumeration size";
+}
+
+TEST_F(CorePruningTest, PrunedGroundingsSpendTheBudget) {
+  // A pruned grounding behaves exactly like an Unsat answer, including
+  // its budget unit: the grounding-budget Unknown fires at the same point
+  // with pruning on or off.
+  Samples.record(F, {0}, 1);
+  Samples.record(F, {1}, 1);
+  Samples.record(F, {2}, 1);
+  TermId Pc = Arena.mkAnd(Arena.mkEq(f(X), c(1)), Arena.mkEq(f(X), c(2)));
+
+  core::ValidityOptions Options;
+  Options.MaxGroundings = 2;
+  for (bool Pruning : {false, true}) {
+    Options.CoreGuidedPruning = Pruning;
+    core::ValiditySolver Solver(Arena, Samples, Options);
+    core::ValidityAnswer A = Solver.checkPost(Pc);
+    EXPECT_EQ(A.Status, core::ValidityStatus::Unknown)
+        << "pruning=" << Pruning;
+    EXPECT_EQ(A.Reason, "grounding budget exhausted")
+        << "pruning=" << Pruning;
+    EXPECT_EQ(Solver.stats().GroundingsTried +
+                  Solver.stats().GroundingsPruned,
+              2u)
+        << "pruning=" << Pruning;
+  }
+}
+
+TEST_F(CorePruningTest, ValidAnswersSurvivePruning) {
+  // A satisfiable strategy query: pruning must not skip the grounding
+  // that carries the strategy.
+  Samples.record(F, {42}, 567);
+  TermId Y = Arena.mkVar("y");
+  TermId Pc = Arena.mkEq(X, f(Y));
+  auto [Off, OffStats] = solve(Pc, false);
+  auto [On, OnStats] = solve(Pc, true);
+  ASSERT_EQ(Off.Status, core::ValidityStatus::Valid);
+  ASSERT_EQ(On.Status, core::ValidityStatus::Valid);
+  EXPECT_EQ(On.ModelValue.varValueOr(Arena.getOrCreateVar("y"), -1),
+            Off.ModelValue.varValueOr(Arena.getOrCreateVar("y"), -1));
+  EXPECT_EQ(On.ModelValue.varValueOr(Arena.getOrCreateVar("x"), -1),
+            Off.ModelValue.varValueOr(Arena.getOrCreateVar("x"), -1));
+}
+
+//===----------------------------------------------------------------------===//
+// Search-level differential sweep: learning on/off × jobs 1/4
+//===----------------------------------------------------------------------===//
+
+/// The output slice of a SearchResult that must be byte-identical with
+/// learning on or off: tests, bugs, coverage, divergences, multi-step
+/// runs. Query-work counters (checks, decisions, groundings) legitimately
+/// differ — fewer inner solver calls is the point — and are compared only
+/// across jobs values within one learning mode.
+void expectSameOutput(const core::SearchResult &A,
+                      const core::SearchResult &B, const char *What) {
+  ASSERT_EQ(A.Tests.size(), B.Tests.size()) << What;
+  for (size_t I = 0; I != A.Tests.size(); ++I) {
+    EXPECT_EQ(A.Tests[I].Input.Cells, B.Tests[I].Input.Cells)
+        << What << " test #" << I;
+    EXPECT_EQ(A.Tests[I].Status, B.Tests[I].Status) << What << " #" << I;
+    EXPECT_EQ(A.Tests[I].Diverged, B.Tests[I].Diverged) << What;
+    EXPECT_EQ(A.Tests[I].Intermediate, B.Tests[I].Intermediate) << What;
+  }
+  ASSERT_EQ(A.Bugs.size(), B.Bugs.size()) << What;
+  for (size_t I = 0; I != A.Bugs.size(); ++I) {
+    EXPECT_EQ(A.Bugs[I].Input.Cells, B.Bugs[I].Input.Cells) << What;
+    EXPECT_EQ(A.Bugs[I].Status, B.Bugs[I].Status) << What;
+    EXPECT_EQ(A.Bugs[I].Site, B.Bugs[I].Site) << What;
+    EXPECT_EQ(A.Bugs[I].FoundAtTest, B.Bugs[I].FoundAtTest) << What;
+  }
+  EXPECT_TRUE(A.Cov == B.Cov) << What << ": coverage differs";
+  EXPECT_EQ(A.Divergences, B.Divergences) << What;
+  EXPECT_EQ(A.MultiStepRuns, B.MultiStepRuns) << What;
+}
+
+/// Within one learning mode, jobs must not change anything, including the
+/// work aggregates (the existing any-jobs determinism contract).
+void expectSameWork(const core::SearchResult &A,
+                    const core::SearchResult &B, const char *What) {
+  expectSameOutput(A, B, What);
+  EXPECT_EQ(A.SolverCalls, B.SolverCalls) << What;
+  EXPECT_EQ(A.ValidityCalls, B.ValidityCalls) << What;
+  EXPECT_EQ(A.SolverQueryStats.Checks, B.SolverQueryStats.Checks) << What;
+  EXPECT_EQ(A.SolverQueryStats.Decisions, B.SolverQueryStats.Decisions)
+      << What;
+  EXPECT_EQ(A.SolverQueryStats.LearnedClauses,
+            B.SolverQueryStats.LearnedClauses)
+      << What;
+  EXPECT_EQ(A.SolverQueryStats.Backjumps, B.SolverQueryStats.Backjumps)
+      << What;
+  EXPECT_EQ(A.ValidityQueryStats.GroundingsTried,
+            B.ValidityQueryStats.GroundingsTried)
+      << What;
+  EXPECT_EQ(A.ValidityQueryStats.GroundingsPruned,
+            B.ValidityQueryStats.GroundingsPruned)
+      << What;
+}
+
+class LearningSearchSweep
+    : public ::testing::TestWithParam<dse::ConcretizationPolicy> {};
+
+TEST_P(LearningSearchSweep, OutputIdenticalWithLearningOnOrOff) {
+  dse::ConcretizationPolicy Policy = GetParam();
+  for (const app::ExampleProgram &Example : app::allExamples()) {
+    lang::Program Prog = app::compileExample(Example);
+    interp::NativeRegistry Natives;
+    app::registerExampleNatives(Natives);
+
+    auto RunArm = [&](bool Learn, unsigned Jobs) {
+      core::SearchOptions Options;
+      Options.Policy = Policy;
+      Options.MaxTests = 24;
+      Options.Jobs = Jobs;
+      Options.InitialInput = Example.InitialInput;
+      Options.SkipCoveredTargets = false;
+      Options.SolverOpts.ConflictLearning = Learn;
+      Options.ValidityOpts.CoreGuidedPruning = Learn;
+      core::DirectedSearch Search(Prog, Natives, Example.Entry, Options);
+      core::SearchResult Result = Search.run();
+      return std::make_pair(std::move(Result), Search.exportSamples());
+    };
+
+    auto [On1, OnSamples1] = RunArm(true, 1);
+    auto [On4, OnSamples4] = RunArm(true, 4);
+    auto [Off1, OffSamples1] = RunArm(false, 1);
+    auto [Off4, OffSamples4] = RunArm(false, 4);
+
+    expectSameWork(On1, On4, Example.Name.c_str());
+    expectSameWork(Off1, Off4, Example.Name.c_str());
+    expectSameOutput(On1, Off1, Example.Name.c_str());
+    EXPECT_EQ(OnSamples1, OnSamples4) << Example.Name;
+    EXPECT_EQ(OffSamples1, OffSamples4) << Example.Name;
+    EXPECT_EQ(OnSamples1, OffSamples1)
+        << Example.Name << ": learned IOF tables must match";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, LearningSearchSweep,
+    ::testing::Values(dse::ConcretizationPolicy::Unsound,
+                      dse::ConcretizationPolicy::Sound,
+                      dse::ConcretizationPolicy::SoundDelayed,
+                      dse::ConcretizationPolicy::HigherOrder),
+    [](const auto &Info) {
+      std::string Name = dse::policyName(Info.param);
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name;
+    });
+
+} // namespace

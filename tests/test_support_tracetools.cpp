@@ -125,7 +125,7 @@ const char *miniTrace() {
 {"event":"span_begin","span":2,"parent":1,"thread":1,"name":"search.candidate","ts_ns":100}
 {"event":"solver_check","result":"sat","supports":1,"decisions":4,"propagations":9,"ns":5000,"scope_depth":2,"cache":"hit","test":3,"candidate":7,"span":2}
 {"event":"solver_check","result":"unsat","supports":0,"decisions":1,"propagations":2,"ns":300,"cache":"miss"}
-{"event":"validity_query","status":"valid","supports":1,"groundings":2,"inner_solver_calls":3,"learn_requests":0,"ns":9000,"test":2,"candidate":5,"worker":1,"grounding":"d1s0p0u0","span":2}
+{"event":"validity_query","status":"valid","supports":1,"groundings_tried":2,"groundings_pruned":3,"learn_requests":0,"ns":9000,"test":2,"candidate":5,"worker":1,"grounding":"d1s0p0u0","span":2}
 {"event":"span_end","span":2,"parent":1,"thread":1,"name":"search.candidate","ts_ns":700,"dur_ns":600}
 {"event":"span_begin","span":3,"parent":1,"thread":1,"name":"search.test","ts_ns":700}
 {"event":"span_end","span":3,"parent":1,"thread":1,"name":"search.test","ts_ns":900,"dur_ns":200}

@@ -21,6 +21,10 @@
 //   --summarize        compositional mode: summarize helper calls (§8)
 //   --explore-paths    do not skip already-covered branch targets
 //   --order bfs|dfs    candidate exploration order (default bfs)
+//   --no-learning      disable conflict learning in the inner solver and
+//                      unsat-core-guided grounding pruning in the
+//                      validity solver (for differential runs; answers
+//                      are identical either way, see docs/solver.md)
 //   --dump-tests       print every executed test
 //   --dump-pc          print the AST and per-test path constraints
 //   --stats            print the telemetry counter/timer table to stderr
@@ -79,7 +83,8 @@ namespace {
                "[--max-tests N] [--multistep K] [--jobs N] [--input a,b,c] "
                "[--seed-input a,b,c] [--seed N] [--samples-in F] "
                "[--samples-out F] [--summarize] [--explore-paths] "
-               "[--order bfs|dfs] [--dump-tests] [--dump-pc] [--stats] "
+               "[--order bfs|dfs] [--no-learning] [--dump-tests] "
+               "[--dump-pc] [--stats] "
                "[--stats-json F] [--trace-out F] [--progress-ms N] "
                "[--deadline-ms N] [--fault-spec site:prob:seed[,...]]\n");
   std::exit(1);
@@ -110,6 +115,7 @@ int runTool(int Argc, char **Argv) {
   std::vector<TestInput> Seeds;
   bool ExplorePaths = false, DumpTests = false, DumpPc = false;
   bool DepthFirst = false, Summarize = false, PrintStats = false;
+  bool NoLearning = false;
   uint64_t DeadlineMs = 0;
   uint64_t ProgressMs = 0;
   std::string SamplesIn, SamplesOut, StatsJsonPath, TracePath, FaultSpec;
@@ -157,6 +163,8 @@ int runTool(int Argc, char **Argv) {
       else if (std::strcmp(Order, "bfs"))
         usageError("--order expects bfs or dfs");
     }
+    else if (!std::strcmp(Argv[I], "--no-learning"))
+      NoLearning = true;
     else if (!std::strcmp(Argv[I], "--dump-tests"))
       DumpTests = true;
     else if (!std::strcmp(Argv[I], "--dump-pc"))
@@ -303,6 +311,10 @@ int runTool(int Argc, char **Argv) {
     Options.SummarizeCalls = Summarize;
     Options.ProgressEveryMs = ProgressMs;
     Options.Deadline = Deadline;
+    if (NoLearning) {
+      Options.SolverOpts.ConflictLearning = false;
+      Options.ValidityOpts.CoreGuidedPruning = false;
+    }
     if (DepthFirst)
       Options.Order = SearchOptions::OrderKind::DepthFirst;
 
@@ -361,6 +373,16 @@ int runTool(int Argc, char **Argv) {
       std::fprintf(stderr, "solver prefix reuse: %.1f%% (%llu reused, %llu pushed)\n",
                    100.0 * double(Reused) / double(Reused + Pushes),
                    (unsigned long long)Reused, (unsigned long long)Pushes);
+    // Core-guided grounding pruning rate: groundings refuted by a recorded
+    // unsat core before the inner solver was called, as a fraction of the
+    // enumeration (tried + pruned). See docs/solver.md.
+    uint64_t Tried = Reg.counter("validity.groundings_tried").value();
+    uint64_t Pruned = Reg.counter("validity.groundings_pruned").value();
+    if (Tried + Pruned != 0)
+      std::fprintf(stderr,
+                   "grounding pruning: %.1f%% (%llu pruned, %llu tried)\n",
+                   100.0 * double(Pruned) / double(Tried + Pruned),
+                   (unsigned long long)Pruned, (unsigned long long)Tried);
     if (Injector)
       std::fprintf(stderr, "fault injection (per armed site):\n%s",
                    Injector->summary().c_str());

@@ -3,8 +3,9 @@
 #include "core/Search.h"
 
 #include "core/Post.h"
+#include "smt/ISolver.h"
 #include "smt/QueryCache.h"
-#include "smt/SolverContext.h"
+#include "smt/SolverFactory.h"
 #include "support/FaultInjector.h"
 #include "support/Random.h"
 #include "support/Support.h"
@@ -126,8 +127,11 @@ struct DirectedSearch::ParallelState {
     /// first, so positional prefix sharing is incidental here — the point
     /// is avoiding per-job context construction (docs/solver.md). Dropped
     /// whenever a query interns replica terms, because the post-job
-    /// truncation recycles those TermIds (see runJob).
-    std::unique_ptr<smt::SolverContext> Ctx;
+    /// truncation recycles those TermIds (see runJob). Always the "native"
+    /// backend regardless of SearchOptions::SolverBackend: portfolio state
+    /// is single-threaded, and the determinism contract makes the answers
+    /// identical anyway (docs/solver.md).
+    std::unique_ptr<smt::ISolver> Ctx;
   };
   std::vector<Worker> Workers;
 
@@ -217,7 +221,8 @@ void DirectedSearch::ParallelState::runJob(
           // queries this worker happened to run earlier — the cached stats
           // must equal what the merge path computes (docs/solver.md).
           CtxOpts.EnableRefutationMemo = false;
-          Me.Ctx = std::make_unique<smt::SolverContext>(Me.Replica, CtxOpts);
+          Me.Ctx = smt::SolverFactory::global().create("native", Me.Replica,
+                                                       CtxOpts);
         }
         Answer = Me.Ctx->checkFormulaWithTelemetry(Alt, QS);
       } else {
@@ -597,6 +602,9 @@ void DirectedSearch::dispatchSpeculative() {
     ValidityOptions VOpts = Options.ValidityOpts;
     VOpts.SolverOpts = Options.SolverOpts;
     VOpts.UseIncrementalContexts = Options.UseIncrementalContexts;
+    // Workers keep the default native backend (no SolverBackend /
+    // SolverShared threading): portfolio shared state is single-threaded,
+    // and the determinism contract guarantees identical answers.
     Reg.counter("search.speculative_dispatches").add();
     PS.Inflight.emplace(
         Cand.Id, PS.Pool.submit([&PS, Alt, Fp, Gen, Kind, VOpts,
@@ -692,7 +700,11 @@ smt::SatAnswer DirectedSearch::solveSat(smt::TermId Alt) {
       // workers see a different query order) would report different
       // aggregates (docs/solver.md).
       CtxOpts.EnableRefutationMemo = false;
-      SatCtx = std::make_unique<smt::SolverContext>(Arena, CtxOpts);
+      smt::SolverFactory &Factory = smt::SolverFactory::global();
+      if (!SolverShared)
+        SolverShared = Factory.createSharedState(Options.SolverBackend);
+      SatCtx = Factory.create(Options.SolverBackend, Arena, CtxOpts,
+                              SolverShared.get());
     }
     Answer = SatCtx->checkFormulaWithTelemetry(Alt, S);
   } else {
@@ -761,6 +773,17 @@ ValidityAnswer DirectedSearch::solveValidity(smt::TermId Alt) {
   ValidityOptions VOpts = Options.ValidityOpts;
   VOpts.SolverOpts = Options.SolverOpts;
   VOpts.UseIncrementalContexts = Options.UseIncrementalContexts;
+  // The merge path shares the search's backend (and its shared state: the
+  // portfolio's race pool and replica lanes amortize across the one solver
+  // ValiditySolver builds per support enumeration). Speculative workers
+  // stay native — see ParallelState::Worker.
+  VOpts.SolverBackend = Options.SolverBackend;
+  if (Options.SolverBackend != "native") {
+    if (!SolverShared)
+      SolverShared = smt::SolverFactory::global().createSharedState(
+          Options.SolverBackend);
+    VOpts.SolverShared = SolverShared.get();
+  }
   if (Options.SummarizeCalls)
     VOpts.Summaries = &Summaries;
   ValiditySolver Validity(Arena, Antecedent, VOpts);

@@ -35,7 +35,8 @@
 #include <tuple>
 
 namespace hotg::smt {
-class SolverContext;
+class ISolver;
+class ISolverSharedState;
 } // namespace hotg::smt
 
 namespace hotg::core {
@@ -85,6 +86,15 @@ struct SearchOptions {
   /// invariant of docs/solver.md — so this switch exists only for the
   /// differential test suite and for debugging.
   bool UseIncrementalContexts = true;
+  /// smt::SolverFactory spec ("native", "portfolio",
+  /// "portfolio:case-split,fresh", ...) behind the merge path's
+  /// satisfiability context and the validity solver's grounding contexts.
+  /// Speculative workers always run "native": shared portfolio state is
+  /// single-threaded, and the determinism contract makes the answers
+  /// identical anyway (docs/solver.md "Backends and portfolio racing").
+  /// Requires UseIncrementalContexts; the fresh-solver differential path
+  /// stays native. Invalid specs are fatal — CLI layers validate first.
+  std::string SolverBackend = "native";
   smt::SolverOptions SolverOpts;
   ValidityOptions ValidityOpts;
   /// Emit a `heartbeat` trace event (tests/s, solver checks/s, cache hit
@@ -272,10 +282,17 @@ private:
   std::set<std::tuple<uint64_t, uint64_t, uint64_t, std::vector<int64_t>>>
       EvaluatedCandidates;
   SearchResult Result;
+  /// Backend state shared across every ISolver of this search (the
+  /// portfolio's race pool and replica lanes); null for backends that
+  /// need none. Declared before SatCtx: members destroy in reverse
+  /// declaration order, and a solver's destructor detaches its lane
+  /// contexts from this state, so the state must die last.
+  std::unique_ptr<smt::ISolverSharedState> SolverShared;
   /// Long-lived incremental context for the merge path's satisfiability
-  /// queries (UseIncrementalContexts); created lazily, refutation memo
+  /// queries (UseIncrementalContexts); created lazily through
+  /// smt::SolverFactory from Options.SolverBackend, refutation memo
   /// forced off so per-query stats stay jobs-invariant (docs/solver.md).
-  std::unique_ptr<smt::SolverContext> SatCtx;
+  std::unique_ptr<smt::ISolver> SatCtx;
   uint64_t NextCandidateId = 0;
   /// Heartbeat sampling state (maybeEmitHeartbeat): search start time,
   /// plus time and counter values at the previous beat for the

@@ -1,0 +1,139 @@
+//===- smt/ISolver.h - Abstract incremental solver interface ---------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The backend seam: every solver consumer (core::DirectedSearch's
+/// merge-path and per-worker contexts, core::ValiditySolver's grounding
+/// enumeration, tools, benches) programs against ISolver instead of a
+/// concrete implementation. The native LIA+EUF SolverContext is the first
+/// registered backend ("native"); smt::PortfolioSolver races tactic
+/// variants of it behind the same interface ("portfolio"). Instances are
+/// created through smt::SolverFactory, never by naming a backend type.
+///
+/// The interface mirrors SolverContext's surface exactly — a scoped
+/// assertion stack (push/pop/assertLiteral/retarget) plus the check entry
+/// points — because the fold invariant documented there (fresh context +
+/// same literal sequence => byte-identical state and answer) is what every
+/// conforming backend must preserve: two registered backends given the
+/// same queries must return byte-identical answers and models. That
+/// contract is what lets DirectedSearch swap backends without perturbing
+/// search output (docs/solver.md "Backends and portfolio racing").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_SMT_ISOLVER_H
+#define HOTG_SMT_ISOLVER_H
+
+#include "smt/Solver.h"
+
+#include <span>
+
+namespace hotg::smt {
+
+/// Context-level reuse accounting (scheduling facts, not query work: these
+/// describe how much asserted state was shared, and may legitimately vary
+/// between serial and speculative schedules that produce identical
+/// answers).
+struct ContextStats {
+  uint64_t ScopePushes = 0;
+  uint64_t ScopePops = 0;
+  /// Literals retarget() kept asserted instead of re-asserting.
+  uint64_t PrefixLiteralsReused = 0;
+  /// Propagation rounds spent maintaining base domains at assert time
+  /// (charged here, never to per-query SolverStats).
+  uint64_t AssertPropagations = 0;
+  /// Refutation-memo traffic (EnableRefutationMemo only).
+  uint64_t MemoHits = 0;
+  uint64_t MemoProbes = 0;
+  /// Answer-cache traffic (EnableAnswerCache only).
+  uint64_t AnswerCacheHits = 0;
+  uint64_t AnswerCacheMisses = 0;
+};
+
+/// Opaque per-run state a backend may share across ISolver instances
+/// created for the same TermArena (e.g. the portfolio's thread pool and
+/// replica arenas, which would be prohibitively expensive to rebuild per
+/// instance). Created via SolverFactory::createSharedState and owned by
+/// the driver (core::DirectedSearch keeps one per search); backends that
+/// need no shared state simply return null. Not thread-safe: all ISolver
+/// instances attached to one shared state must check from one thread at a
+/// time (DirectedSearch's speculative workers therefore always run the
+/// "native" backend; see docs/parallelism.md).
+class ISolverSharedState {
+public:
+  virtual ~ISolverSharedState() = default;
+};
+
+/// An incremental satisfiability backend: a scoped stack of asserted
+/// comparison literals plus check entry points over it. See
+/// smt::SolverContext for the reference semantics every method must match
+/// answer-for-answer.
+class ISolver {
+public:
+  virtual ~ISolver() = default;
+
+  ISolver(const ISolver &) = delete;
+  ISolver &operator=(const ISolver &) = delete;
+
+  /// Opens a scope. Subsequent assertLiteral() calls land in it.
+  virtual void push() = 0;
+
+  /// Discards the newest scope, restoring the exact prior state.
+  virtual void pop() = 0;
+
+  virtual size_t numScopes() const = 0;
+  virtual size_t numAssertedLiterals() const = 0;
+
+  /// Asserts comparison literal \p Lit in the current scope. Returns false
+  /// when the literal is outside the backend's fragment — the context is
+  /// then poisoned (check() answers Unknown) until the owning scope pops.
+  virtual bool assertLiteral(TermId Lit) = 0;
+
+  /// Decides the conjunction of every asserted literal. Work is charged to
+  /// \p QueryStats; budgets (Options.MaxDecisions) are read from it, so
+  /// sharing one QueryStats across several check() calls shares the budget.
+  virtual SatAnswer check(SolverStats &QueryStats) = 0;
+
+  /// Decides an arbitrary boolean formula (conjunctions retarget the
+  /// assertion stack; disjunctions fall back to support enumeration).
+  virtual SatAnswer checkFormula(TermId Formula, SolverStats &QueryStats) = 0;
+
+  /// checkFormula plus the per-query solver.check telemetry (timer,
+  /// counters, one SolverCheck trace event) folded into \p CumStats.
+  virtual SatAnswer checkFormulaWithTelemetry(TermId Formula,
+                                              SolverStats &CumStats) = 0;
+
+  /// check() of the asserted stack with the same per-query telemetry and
+  /// cumulative-stats fold as checkFormulaWithTelemetry.
+  virtual SatAnswer checkWithTelemetry(SolverStats &CumStats) = 0;
+
+  /// Pops and pushes scopes until the asserted literal stack equals
+  /// \p Literals, reusing the longest common prefix (one scope per
+  /// literal). Only valid on contexts managed exclusively through
+  /// retarget (no base-level assertions, one literal per scope).
+  virtual void retarget(std::span<const TermId> Literals) = 0;
+
+  /// Drops every scope and base-level assertion.
+  virtual void reset() = 0;
+
+  virtual const SolverOptions &options() const = 0;
+  virtual const ContextStats &contextStats() const = 0;
+
+  /// Toggles unsat-core extraction. Never affects an answer's
+  /// Result/Model — only whether SatAnswer::UnsatCore is populated.
+  virtual void setExtractUnsatCores(bool Enable) = 0;
+
+  /// The factory name of the backend serving this instance ("native",
+  /// "portfolio", ...) — diagnostics and tests only, never dispatch.
+  virtual const char *backendName() const = 0;
+
+protected:
+  ISolver() = default;
+};
+
+} // namespace hotg::smt
+
+#endif // HOTG_SMT_ISOLVER_H

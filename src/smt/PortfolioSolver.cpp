@@ -1,0 +1,483 @@
+//===- smt/PortfolioSolver.cpp - First-answer-wins tactic racing -----------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/PortfolioSolver.h"
+
+#include "smt/Simplify.h"
+#include "support/FaultInjector.h"
+#include "support/Support.h"
+#include "support/Telemetry.h"
+
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+using namespace hotg;
+using namespace hotg::smt;
+
+//===----------------------------------------------------------------------===//
+// Tactic vocabulary
+//===----------------------------------------------------------------------===//
+
+const std::vector<std::string> &hotg::smt::portfolioTacticNames() {
+  static const std::vector<std::string> Names = {
+      "incremental", "case-split", "fresh", "fresh-case-split"};
+  return Names;
+}
+
+TacticConfig hotg::smt::portfolioTacticConfig(const std::string &Name) {
+  if (Name == "incremental")
+    return {Name, /*FreshContextPerCheck=*/false, /*ForceLearningOff=*/false};
+  if (Name == "case-split")
+    return {Name, /*FreshContextPerCheck=*/false, /*ForceLearningOff=*/true};
+  if (Name == "fresh")
+    return {Name, /*FreshContextPerCheck=*/true, /*ForceLearningOff=*/false};
+  if (Name == "fresh-case-split")
+    return {Name, /*FreshContextPerCheck=*/true, /*ForceLearningOff=*/true};
+  reportFatalError("unknown portfolio tactic '" + Name + "'", __FILE__,
+                   __LINE__);
+}
+
+//===----------------------------------------------------------------------===//
+// PortfolioSharedState
+//===----------------------------------------------------------------------===//
+
+size_t PortfolioSharedState::liveLaneContexts() const {
+  size_t N = 0;
+  for (const auto &L : Lanes)
+    if (L->Ctx)
+      ++N;
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Construction / teardown
+//===----------------------------------------------------------------------===//
+
+PortfolioSolver::PortfolioSolver(TermArena &Arena, SolverOptions Options,
+                                 std::vector<TacticConfig> TacticList,
+                                 PortfolioSharedState *SharedIn)
+    : Arena(Arena), Options(std::move(Options)),
+      ExtractCores(this->Options.ExtractUnsatCores) {
+  // The reference tactic always races: its answer is the authoritative
+  // fallback when no lane finishes definitively, which is what pins the
+  // portfolio's answers to the native reference (file comment).
+  Tactics.push_back(portfolioTacticConfig("incremental"));
+  if (TacticList.empty())
+    for (const std::string &Name : portfolioTacticNames())
+      TacticList.push_back(portfolioTacticConfig(Name));
+  for (TacticConfig &T : TacticList) {
+    bool Dup = false;
+    for (const TacticConfig &Have : Tactics)
+      Dup = Dup || Have.Name == T.Name;
+    if (!Dup)
+      Tactics.push_back(std::move(T));
+  }
+
+  if (SharedIn) {
+    Shared = SharedIn;
+  } else {
+    OwnedShared = std::make_unique<PortfolioSharedState>();
+    Shared = OwnedShared.get();
+  }
+  if (!Shared->BoundArena)
+    Shared->BoundArena = &Arena;
+  else if (Shared->BoundArena != &Arena)
+    reportFatalError("portfolio shared state is bound to a different arena",
+                     __FILE__, __LINE__);
+  InstanceId = Shared->NextInstance++;
+
+  // Eager so push/pop/assertLiteral have native semantics from the first
+  // call; an empty context is cheap and checkFormula-only consumers never
+  // touch it again.
+  AssertMirror = std::make_unique<SolverContext>(Arena, this->Options);
+}
+
+PortfolioSolver::~PortfolioSolver() {
+  // Loser/winner lane contexts belonging to this instance die with it;
+  // replica arenas stay behind in the shared state for the next instance.
+  for (auto &L : Shared->Lanes)
+    if (L->Ctx && L->CtxOwner == InstanceId)
+      L->Ctx.reset();
+}
+
+//===----------------------------------------------------------------------===//
+// Assertion-stack mirror
+//===----------------------------------------------------------------------===//
+
+void PortfolioSolver::push() {
+  Scopes.push_back(Lits.size());
+  AssertMirror->push();
+}
+
+void PortfolioSolver::pop() {
+  assert(!Scopes.empty() && "pop without matching push");
+  Lits.resize(Scopes.back());
+  Scopes.pop_back();
+  AssertMirror->pop();
+}
+
+bool PortfolioSolver::assertLiteral(TermId Lit) {
+  Lits.push_back(Lit);
+  return AssertMirror->assertLiteral(Lit);
+}
+
+void PortfolioSolver::retarget(std::span<const TermId> Literals) {
+  AssertMirror->retarget(Literals);
+  Lits.assign(Literals.begin(), Literals.end());
+  Scopes.clear();
+  for (size_t I = 0; I != Lits.size(); ++I)
+    Scopes.push_back(I);
+}
+
+void PortfolioSolver::reset() {
+  Lits.clear();
+  Scopes.clear();
+  AssertMirror->reset();
+  if (Fallback)
+    Fallback->reset();
+  for (auto &L : Shared->Lanes)
+    if (L->Ctx && L->CtxOwner == InstanceId)
+      L->Ctx.reset();
+}
+
+void PortfolioSolver::setExtractUnsatCores(bool Enable) {
+  ExtractCores = Enable;
+  Options.ExtractUnsatCores = Enable;
+  AssertMirror->setExtractUnsatCores(Enable);
+  if (Fallback)
+    Fallback->setExtractUnsatCores(Enable);
+}
+
+SolverContext &PortfolioSolver::fallbackCtx() {
+  if (!Fallback) {
+    SolverOptions FOpts = Options;
+    FOpts.ExtractUnsatCores = ExtractCores;
+    Fallback = std::make_unique<SolverContext>(Arena, FOpts);
+  }
+  return *Fallback;
+}
+
+//===----------------------------------------------------------------------===//
+// The race
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Everything one lane reports back to the coordinating thread.
+struct LaneOutcome {
+  SatAnswer Answer;
+  SolverStats QS;
+  uint64_t Ns = 0;
+  bool Faulted = false;
+  /// Answer transfers to the caller's arena (the lane interned no atom, so
+  /// every model/core id is a shared-prefix id — docs/parallelism.md).
+  bool Usable = false;
+  bool Definitive = false;
+  std::exception_ptr Err;
+};
+
+} // namespace
+
+SatAnswer PortfolioSolver::raceCheck(bool UseFormula, TermId Formula,
+                                     SolverStats &QueryStats) {
+  auto RaceStart = std::chrono::steady_clock::now();
+  size_t N = Tactics.size();
+
+  // -- Sync: publish the caller arena's tail and catch every lane up
+  // (single-threaded: lanes are only touched here and inside their own
+  // race task, never concurrently).
+  ArenaMark Now = Arena.mark();
+  if (!(Now == Shared->Published)) {
+    Shared->Deltas.push_back(
+        std::make_shared<const ArenaDelta>(Arena.deltaSince(Shared->Published)));
+    Shared->Published = Now;
+  }
+  while (Shared->Lanes.size() < N)
+    Shared->Lanes.push_back(
+        std::make_unique<PortfolioSharedState::Lane>());
+  if (!Shared->Pool || Shared->Pool->size() < N)
+    Shared->Pool = std::make_unique<support::ThreadPool>(unsigned(N));
+
+  std::vector<ArenaMark> PreMark(N);
+  for (size_t I = 0; I != N; ++I) {
+    PortfolioSharedState::Lane &L = *Shared->Lanes[I];
+    if (L.Broken) {
+      L.Replica = TermArena();
+      L.DeltasApplied = 0;
+      L.Ctx.reset();
+      L.Broken = false;
+    }
+    // A surviving context of an earlier PortfolioSolver instance would
+    // leak that instance's options and prefix state into this one.
+    if (L.Ctx && L.CtxOwner != InstanceId)
+      L.Ctx.reset();
+    while (L.DeltasApplied != Shared->Deltas.size()) {
+      L.Replica.applyDelta(*Shared->Deltas[L.DeltasApplied]);
+      ++L.DeltasApplied;
+    }
+    PreMark[I] = L.Replica.mark();
+  }
+  ContextStats Ref0Before =
+      Shared->Lanes[0]->Ctx ? Shared->Lanes[0]->Ctx->contextStats()
+                            : ContextStats{};
+
+  // -- Dispatch one task per tactic. First usable definitive answer claims
+  // the win and cancels everyone else through the shared per-race token.
+  support::CancelToken RaceCancel = support::CancelToken::create();
+  if (Options.Cancel.cancelled())
+    RaceCancel.requestCancel();
+  std::mutex M;
+  std::condition_variable CV;
+  unsigned DoneCount = 0;
+  int Winner = -1;
+  std::vector<LaneOutcome> Out(N);
+
+  std::vector<std::future<void>> Futures;
+  Futures.reserve(N);
+  for (size_t I = 0; I != N; ++I) {
+    Futures.push_back(Shared->Pool->submit([&, I](unsigned) {
+      auto Start = std::chrono::steady_clock::now();
+      LaneOutcome R;
+      PortfolioSharedState::Lane &L = *Shared->Lanes[I];
+      try {
+        // Satellite fault site: a raced tactic that faults must lose
+        // cleanly without corrupting the winner (docs/robustness.md).
+        support::maybeInjectFault(support::FaultSite::SolverCheck);
+        SolverOptions TOpts = Options;
+        TOpts.Cancel = RaceCancel;
+        TOpts.ExtractUnsatCores = ExtractCores;
+        if (Tactics[I].ForceLearningOff)
+          TOpts.ConflictLearning = false;
+        std::unique_ptr<SolverContext> FreshCtx;
+        SolverContext *Ctx;
+        if (Tactics[I].FreshContextPerCheck) {
+          FreshCtx = std::make_unique<SolverContext>(L.Replica, TOpts);
+          Ctx = FreshCtx.get();
+        } else {
+          if (!L.Ctx) {
+            L.Ctx = std::make_unique<SolverContext>(L.Replica, TOpts);
+            L.CtxOwner = InstanceId;
+          }
+          L.Ctx->setStopControls(Options.Deadline, RaceCancel);
+          L.Ctx->setExtractUnsatCores(ExtractCores);
+          Ctx = L.Ctx.get();
+        }
+        // Inherit the caller's spent budget so budget semantics match a
+        // native check fed the same SolverStats.
+        R.QS = QueryStats;
+        if (UseFormula) {
+          R.Answer = Ctx->checkFormula(Formula, R.QS);
+        } else {
+          Ctx->retarget(Lits);
+          R.Answer = Ctx->check(R.QS);
+        }
+        R.Usable = L.Replica.numAtomsCreatedSince(PreMark[I]) == 0;
+        R.Definitive = R.Usable && (R.Answer.isSat() || R.Answer.isUnsat());
+        FreshCtx.reset(); // Scratch contexts never outlive their race.
+      } catch (...) {
+        R.Faulted = true;
+        R.Err = std::current_exception();
+        L.Broken = true;
+      }
+      R.Ns = uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - Start)
+                          .count());
+      {
+        std::lock_guard<std::mutex> Lock(M);
+        Out[I] = std::move(R);
+        if (Out[I].Definitive && Winner < 0) {
+          Winner = int(I);
+          RaceCancel.requestCancel();
+        }
+        ++DoneCount;
+      }
+      CV.notify_all();
+    }));
+  }
+
+  // -- Wait for every lane (structured: lanes reference shared replicas),
+  // relaying the caller's cancel token into the race. The deadline needs
+  // no relay — lanes poll it directly through their options.
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    while (DoneCount != N) {
+      CV.wait_for(Lock, std::chrono::milliseconds(1));
+      if (Options.Cancel.cancelled())
+        RaceCancel.requestCancel();
+    }
+  }
+  for (std::future<void> &F : Futures)
+    F.get(); // Tasks catch internally; this is the full-completion fence.
+
+  // -- Reference-lane reuse accounting (scheduling facts; ContextStats'
+  // own caveat applies).
+  {
+    PortfolioSharedState::Lane &L0 = *Shared->Lanes[0];
+    if (!Out[0].Faulted && L0.Ctx) {
+      const ContextStats &After = L0.Ctx->contextStats();
+      Stats.ScopePushes += After.ScopePushes - Ref0Before.ScopePushes;
+      Stats.ScopePops += After.ScopePops - Ref0Before.ScopePops;
+      Stats.PrefixLiteralsReused +=
+          After.PrefixLiteralsReused - Ref0Before.PrefixLiteralsReused;
+      Stats.AssertPropagations +=
+          After.AssertPropagations - Ref0Before.AssertPropagations;
+      Stats.MemoHits += After.MemoHits - Ref0Before.MemoHits;
+      Stats.MemoProbes += After.MemoProbes - Ref0Before.MemoProbes;
+    }
+  }
+
+  // -- Roll every surviving lane back to an exact prefix (faulted lanes
+  // are Broken and rebuild from the delta stream next race).
+  for (size_t I = 0; I != N; ++I) {
+    PortfolioSharedState::Lane &L = *Shared->Lanes[I];
+    if (Out[I].Faulted)
+      continue;
+    if (!(L.Replica.mark() == PreMark[I])) {
+      // The persistent context may reference terms above the mark; the
+      // truncation recycles those ids (same rule as the search workers).
+      L.Ctx.reset();
+      L.Replica.truncateTo(PreMark[I]);
+    }
+  }
+
+  // -- Pick the answer. A definitive winner is byte-identical to the
+  // reference by the tactic-safety argument (file comment); otherwise the
+  // reference lane's Unknown is exactly the native answer.
+  SatAnswer Final;
+  bool HaveFinal = false;
+  if (Winner >= 0) {
+    Final = std::move(Out[Winner].Answer);
+    QueryStats = Out[Winner].QS;
+    HaveFinal = true;
+  } else if (!Out[0].Faulted && Out[0].Usable) {
+    Final = std::move(Out[0].Answer);
+    QueryStats = Out[0].QS;
+    HaveFinal = true;
+  }
+
+  // -- Race telemetry (satellite 2). Losers count as cancelled only when
+  // the race token actually cut them short.
+  telemetry::Registry &Reg = telemetry::Registry::global();
+  static telemetry::Counter &Races = Reg.counter("solver.portfolio.races");
+  Races.add();
+  uint64_t CancelledLosers = 0;
+  uint64_t FaultedLanes = 0;
+  for (size_t I = 0; I != N; ++I) {
+    if (Out[I].Faulted) {
+      ++FaultedLanes;
+      continue;
+    }
+    Reg.histogram("solver.portfolio.tactic." + Tactics[I].Name).note(Out[I].Ns);
+    if (Winner >= 0 && int(I) != Winner &&
+        Out[I].Answer.Result == SatResult::Unknown &&
+        Out[I].Answer.Reason == "cancelled")
+      ++CancelledLosers;
+  }
+  if (Winner >= 0) {
+    Reg.counter("solver.portfolio.wins_by_tactic." + Tactics[Winner].Name)
+        .add();
+    if (CancelledLosers) {
+      static telemetry::Counter &CancelledCtr =
+          Reg.counter("solver.portfolio.cancelled_losers");
+      CancelledCtr.add(CancelledLosers);
+    }
+  }
+
+  // -- No usable answer anywhere: the reference lane either faulted
+  // (propagate, matching the native recoverable-entry contract) or
+  // interned atoms its answer cannot carry across arenas (recompute
+  // inline on the caller's arena — still the reference tactic).
+  if (!HaveFinal && !Out[0].Faulted) {
+    if (UseFormula) {
+      Final = fallbackCtx().checkFormula(Formula, QueryStats);
+    } else {
+      fallbackCtx().retarget(Lits);
+      Final = fallbackCtx().check(QueryStats);
+    }
+    HaveFinal = true;
+  }
+
+  uint64_t RaceNs = uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                 std::chrono::steady_clock::now() - RaceStart)
+                                 .count());
+  if (telemetry::TraceSink *S = telemetry::sink()) {
+    telemetry::Event E(telemetry::EventKind::PortfolioRace);
+    E.set("winner", Winner >= 0 ? std::string_view(Tactics[Winner].Name)
+                                : std::string_view("none"));
+    E.set("result",
+          HaveFinal ? satResultName(Final.Result) : "fault");
+    E.set("tactics", int64_t(N));
+    E.set("cancelled_losers", int64_t(CancelledLosers));
+    E.set("faulted", int64_t(FaultedLanes));
+    E.set("ns", int64_t(RaceNs));
+    telemetry::attachAttribution(E);
+    S->handle(E);
+  }
+
+  if (!HaveFinal)
+    std::rethrow_exception(Out[0].Err);
+  return Final;
+}
+
+//===----------------------------------------------------------------------===//
+// Check entry points
+//===----------------------------------------------------------------------===//
+
+SatAnswer PortfolioSolver::check(SolverStats &QueryStats) {
+  return raceCheck(/*UseFormula=*/false, TermId{}, QueryStats);
+}
+
+SatAnswer PortfolioSolver::checkFormula(TermId Formula,
+                                        SolverStats &QueryStats) {
+  // Same trivial fast path (and caller-arena NNF interning) as the native
+  // backend; racing a boolean constant would only buy dispatch overhead.
+  TermId NNF = toNNF(Arena, Formula);
+  if (Arena.isBoolConst(NNF)) {
+    SatAnswer Answer;
+    Answer.Result =
+        Arena.boolConstValue(NNF) ? SatResult::Sat : SatResult::Unsat;
+    return Answer;
+  }
+  return raceCheck(/*UseFormula=*/true, Formula, QueryStats);
+}
+
+SatAnswer PortfolioSolver::checkFormulaWithTelemetry(TermId Formula,
+                                                     SolverStats &CumStats) {
+  // Same recoverable-entry fault site and per-query telemetry shape as
+  // the native backend: one solver.check sample per portfolio-served
+  // query, never one per lane.
+  support::maybeInjectFault(support::FaultSite::SolverCheck);
+  telemetry::Registry &Reg = telemetry::Registry::global();
+  static telemetry::PhaseTimer &CheckTimer = Reg.timer("solver.check");
+  static telemetry::Counter &Checks = Reg.counter("solver.checks");
+  telemetry::ScopedSpan Span("solver.check");
+  telemetry::ScopedTimer Timer(CheckTimer);
+  Checks.add();
+
+  SolverStats QueryStats;
+  SatAnswer Answer = checkFormula(Formula, QueryStats);
+  foldSolverQueryTelemetry(Answer, QueryStats, CumStats,
+                           int64_t(Timer.elapsedNs()), nullptr, numScopes());
+  return Answer;
+}
+
+SatAnswer PortfolioSolver::checkWithTelemetry(SolverStats &CumStats) {
+  support::maybeInjectFault(support::FaultSite::SolverCheck);
+  telemetry::Registry &Reg = telemetry::Registry::global();
+  static telemetry::PhaseTimer &CheckTimer = Reg.timer("solver.check");
+  static telemetry::Counter &Checks = Reg.counter("solver.checks");
+  telemetry::ScopedSpan Span("solver.check");
+  telemetry::ScopedTimer Timer(CheckTimer);
+  Checks.add();
+
+  SolverStats QueryStats;
+  SatAnswer Answer = check(QueryStats);
+  foldSolverQueryTelemetry(Answer, QueryStats, CumStats,
+                           int64_t(Timer.elapsedNs()), nullptr, numScopes());
+  return Answer;
+}

@@ -1,0 +1,176 @@
+//===- smt/PortfolioSolver.h - First-answer-wins tactic racing -------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An ISolver backend that races N tactic variants of the native
+/// SolverContext on a support::ThreadPool and returns the first definitive
+/// (Sat/Unsat) answer, cancelling the losers through a per-race
+/// CancelToken. Each tactic lane owns a TermArena replica kept as an exact
+/// prefix of the caller's arena by the same append-only ArenaDelta stream
+/// the parallel search workers use (docs/parallelism.md), so lane answers
+/// and models transfer to the caller's arena by raw id.
+///
+/// Determinism contract (docs/solver.md "Backends and portfolio racing"):
+/// every answer the portfolio returns is byte-identical — Result, model,
+/// and Unknown reason — to what the reference tactic ("incremental": the
+/// caller's options verbatim on a persistent context) would have returned.
+/// The registered tactic variants are chosen to make that a theorem, not a
+/// hope: "fresh" re-folds the same literal sequence (the fold invariant),
+/// and the "*-case-split" variants only disable conflict learning, which
+/// skips work without changing any answer and never reaches a definitive
+/// answer the learning-on reference would miss under the same decision
+/// budget. Races where no usable definitive answer arrives fall back to
+/// the reference lane's Unknown, or — when the reference lane's answer
+/// cannot transfer — to an inline recomputation on the caller's arena.
+///
+/// A lane that throws (e.g. an injected solver-check fault) is marked
+/// broken and simply loses the race: its replica is rebuilt from the delta
+/// stream on the next check, and the winner's answer is unaffected. Only
+/// when the *reference* lane faults and no other lane produced a
+/// definitive answer does the fault propagate to the caller, matching the
+/// recoverable-entry contract of the native backend (docs/robustness.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_SMT_PORTFOLIOSOLVER_H
+#define HOTG_SMT_PORTFOLIOSOLVER_H
+
+#include "smt/ISolver.h"
+#include "smt/SolverContext.h"
+#include "support/ThreadPool.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hotg::smt {
+
+/// One raced configuration of the native solver.
+struct TacticConfig {
+  std::string Name;
+  /// Solve every check in a context built from scratch instead of the
+  /// lane's persistent (prefix-sharing) context.
+  bool FreshContextPerCheck = false;
+  /// Force SolverOptions::ConflictLearning off (case-split-heavy: the
+  /// search explores the splits learning would have pruned). Never forces
+  /// it *on* — the reference semantics are the caller's options.
+  bool ForceLearningOff = false;
+};
+
+/// The registered tactic vocabulary, in canonical (default-race) order.
+/// The first entry, "incremental", is the reference tactic and is always
+/// part of a race even when a spec names only others.
+const std::vector<std::string> &portfolioTacticNames();
+
+/// The config behind a registered name; fatal on unknown names (validate
+/// through SolverFactory first).
+TacticConfig portfolioTacticConfig(const std::string &Name);
+
+/// Per-run state shared by every PortfolioSolver instance of one search:
+/// the race pool and the per-tactic replica arenas with their delta
+/// cursors, which would be prohibitively expensive to rebuild for each
+/// instance (core::ValiditySolver creates one solver per support
+/// enumeration). Bound to the first TermArena it serves; not thread-safe —
+/// all attached instances must check from one thread (the search's merge
+/// path; speculative workers stay on the native backend).
+class PortfolioSharedState final : public ISolverSharedState {
+public:
+  PortfolioSharedState() = default;
+  ~PortfolioSharedState() override = default;
+
+  /// Test hook: lane contexts currently alive (the cancellation-teardown
+  /// unit asserts this returns 0 once every PortfolioSolver is gone).
+  size_t liveLaneContexts() const;
+
+private:
+  friend class PortfolioSolver;
+
+  struct Lane {
+    TermArena Replica; ///< Exact prefix of the bound arena.
+    size_t DeltasApplied = 0;
+    /// Persistent tactic context over the replica, owned by (and torn
+    /// down with) the PortfolioSolver instance identified by CtxOwner.
+    std::unique_ptr<SolverContext> Ctx;
+    uint64_t CtxOwner = 0;
+    /// A task on this lane threw mid-flight: rebuild the replica from the
+    /// full delta stream before the next check (docs/robustness.md).
+    bool Broken = false;
+  };
+
+  TermArena *BoundArena = nullptr;
+  ArenaMark Published{};
+  std::vector<std::shared_ptr<const ArenaDelta>> Deltas;
+  /// unique_ptr so growing the lane vector never moves a lane out from
+  /// under the contexts and replicas it owns.
+  std::vector<std::unique_ptr<Lane>> Lanes;
+  std::unique_ptr<support::ThreadPool> Pool;
+  uint64_t NextInstance = 1;
+};
+
+/// The "portfolio" backend: ISolver over a race of native-tactic lanes.
+class PortfolioSolver final : public ISolver {
+public:
+  /// Races \p Tactics (resolved names; "incremental" is prepended when
+  /// absent). \p Shared may be null — the instance then owns a private
+  /// PortfolioSharedState — or must outlive this instance and be bound to
+  /// \p Arena (or nothing yet).
+  PortfolioSolver(TermArena &Arena, SolverOptions Options,
+                  std::vector<TacticConfig> Tactics,
+                  PortfolioSharedState *Shared = nullptr);
+  ~PortfolioSolver() override;
+
+  void push() override;
+  void pop() override;
+  size_t numScopes() const override { return Scopes.size(); }
+  size_t numAssertedLiterals() const override { return Lits.size(); }
+  bool assertLiteral(TermId Lit) override;
+  SatAnswer check(SolverStats &QueryStats) override;
+  SatAnswer checkFormula(TermId Formula, SolverStats &QueryStats) override;
+  SatAnswer checkFormulaWithTelemetry(TermId Formula,
+                                      SolverStats &CumStats) override;
+  SatAnswer checkWithTelemetry(SolverStats &CumStats) override;
+  void retarget(std::span<const TermId> Literals) override;
+  void reset() override;
+  const SolverOptions &options() const override { return Options; }
+  const ContextStats &contextStats() const override { return Stats; }
+  void setExtractUnsatCores(bool Enable) override;
+  const char *backendName() const override { return "portfolio"; }
+
+  size_t numTactics() const { return Tactics.size(); }
+
+private:
+  /// The race: sync lanes, dispatch one task per tactic, first usable
+  /// definitive answer wins and cancels the rest, wait for every lane,
+  /// roll replicas back. Exactly one of \p Formula / the asserted-stack
+  /// mirror is raced depending on \p UseFormula.
+  SatAnswer raceCheck(bool UseFormula, TermId Formula,
+                      SolverStats &QueryStats);
+
+  /// The no-usable-answer fallback: recompute on the caller's arena with
+  /// the caller's options (lazily created, persistent).
+  SolverContext &fallbackCtx();
+
+  TermArena &Arena;
+  SolverOptions Options;
+  ContextStats Stats;
+  std::vector<TacticConfig> Tactics;
+  PortfolioSharedState *Shared; ///< Owned iff OwnedShared holds it.
+  std::unique_ptr<PortfolioSharedState> OwnedShared;
+  uint64_t InstanceId;
+  bool ExtractCores;
+
+  /// Mirror of the caller-managed assertion stack (check()/retarget()
+  /// callers): the literal sequence is what lanes re-fold, and the
+  /// AssertMirror supplies native assertLiteral() poison semantics.
+  std::vector<TermId> Lits;
+  std::vector<size_t> Scopes;
+  std::unique_ptr<SolverContext> AssertMirror;
+  std::unique_ptr<SolverContext> Fallback;
+};
+
+} // namespace hotg::smt
+
+#endif // HOTG_SMT_PORTFOLIOSOLVER_H

@@ -1383,11 +1383,12 @@ SatAnswer SolverContext::checkFormula(TermId Formula, SolverStats &QueryStats) {
   return Answer;
 }
 
-void SolverContext::foldQueryTelemetry(const SatAnswer &Answer,
-                                       const SolverStats &QueryStats,
-                                       SolverStats &CumStats,
-                                       int64_t ElapsedNs,
-                                       const char *CacheOutcome) {
+void hotg::smt::foldSolverQueryTelemetry(const SatAnswer &Answer,
+                                         const SolverStats &QueryStats,
+                                         SolverStats &CumStats,
+                                         int64_t ElapsedNs,
+                                         const char *CacheOutcome,
+                                         size_t ScopeDepth) {
   telemetry::Registry &Reg = telemetry::Registry::global();
   static telemetry::Histogram &CheckHist = Reg.histogram("solver.check");
   CheckHist.note(static_cast<uint64_t>(ElapsedNs));
@@ -1439,7 +1440,7 @@ void SolverContext::foldQueryTelemetry(const SatAnswer &Answer,
     E.set("ns", ElapsedNs);
     if (!Answer.Reason.empty())
       E.set("reason", Answer.Reason);
-    E.set("scope_depth", int64_t(numScopes()));
+    E.set("scope_depth", int64_t(ScopeDepth));
     if (CacheOutcome)
       E.set("cache", CacheOutcome);
     telemetry::attachAttribution(E);
@@ -1463,10 +1464,12 @@ SatAnswer SolverContext::checkFormulaWithTelemetry(TermId Formula,
   uint64_t CacheMissesBefore = Stats.AnswerCacheMisses;
   SolverStats QueryStats;
   SatAnswer Answer = checkFormula(Formula, QueryStats);
-  foldQueryTelemetry(Answer, QueryStats, CumStats, int64_t(Timer.elapsedNs()),
-                     Stats.AnswerCacheHits > CacheHitsBefore     ? "hit"
-                     : Stats.AnswerCacheMisses > CacheMissesBefore ? "miss"
-                                                                   : nullptr);
+  foldSolverQueryTelemetry(
+      Answer, QueryStats, CumStats, int64_t(Timer.elapsedNs()),
+      Stats.AnswerCacheHits > CacheHitsBefore       ? "hit"
+      : Stats.AnswerCacheMisses > CacheMissesBefore ? "miss"
+                                                    : nullptr,
+      numScopes());
   return Answer;
 }
 
@@ -1483,9 +1486,11 @@ SatAnswer SolverContext::checkWithTelemetry(SolverStats &CumStats) {
   uint64_t CacheMissesBefore = Stats.AnswerCacheMisses;
   SolverStats QueryStats;
   SatAnswer Answer = check(QueryStats);
-  foldQueryTelemetry(Answer, QueryStats, CumStats, int64_t(Timer.elapsedNs()),
-                     Stats.AnswerCacheHits > CacheHitsBefore     ? "hit"
-                     : Stats.AnswerCacheMisses > CacheMissesBefore ? "miss"
-                                                                   : nullptr);
+  foldSolverQueryTelemetry(
+      Answer, QueryStats, CumStats, int64_t(Timer.elapsedNs()),
+      Stats.AnswerCacheHits > CacheHitsBefore       ? "hit"
+      : Stats.AnswerCacheMisses > CacheMissesBefore ? "miss"
+                                                    : nullptr,
+      numScopes());
   return Answer;
 }

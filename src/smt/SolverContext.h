@@ -30,6 +30,7 @@
 #define HOTG_SMT_SOLVERCONTEXT_H
 
 #include "smt/CongruenceClosure.h"
+#include "smt/ISolver.h"
 #include "smt/Interval.h"
 #include "smt/Linear.h"
 #include "smt/Solver.h"
@@ -45,44 +46,23 @@
 
 namespace hotg::smt {
 
-/// Context-level reuse accounting (scheduling facts, not query work: these
-/// describe how much asserted state was shared, and may legitimately vary
-/// between serial and speculative schedules that produce identical
-/// answers).
-struct ContextStats {
-  uint64_t ScopePushes = 0;
-  uint64_t ScopePops = 0;
-  /// Literals retarget() kept asserted instead of re-asserting.
-  uint64_t PrefixLiteralsReused = 0;
-  /// Propagation rounds spent maintaining base domains at assert time
-  /// (charged here, never to per-query SolverStats).
-  uint64_t AssertPropagations = 0;
-  /// Refutation-memo traffic (EnableRefutationMemo only).
-  uint64_t MemoHits = 0;
-  uint64_t MemoProbes = 0;
-  /// Answer-cache traffic (EnableAnswerCache only).
-  uint64_t AnswerCacheHits = 0;
-  uint64_t AnswerCacheMisses = 0;
-};
-
 /// An incremental LIA+EUF context: a scoped stack of asserted comparison
-/// literals plus the theory state derived from them.
-class SolverContext {
+/// literals plus the theory state derived from them. The reference
+/// implementation of smt::ISolver, registered with SolverFactory as
+/// "native".
+class SolverContext : public ISolver {
 public:
   explicit SolverContext(TermArena &Arena, SolverOptions Options = {});
-  ~SolverContext();
-
-  SolverContext(const SolverContext &) = delete;
-  SolverContext &operator=(const SolverContext &) = delete;
+  ~SolverContext() override;
 
   /// Opens a scope. Subsequent assertLiteral() calls land in it.
-  void push();
+  void push() override;
 
   /// Discards the newest scope, restoring the exact prior state.
-  void pop();
+  void pop() override;
 
-  size_t numScopes() const { return Frames.size(); }
-  size_t numAssertedLiterals() const { return Lits.size(); }
+  size_t numScopes() const override { return Frames.size(); }
+  size_t numAssertedLiterals() const override { return Lits.size(); }
 
   /// Asserts comparison literal \p Lit in the current scope (or at the
   /// permanent base level when no scope is open), folding it into the
@@ -91,52 +71,66 @@ public:
   /// false when the literal is outside the linear fragment — the context
   /// is then poisoned (check() answers Unknown) until the owning scope
   /// pops.
-  bool assertLiteral(TermId Lit);
+  bool assertLiteral(TermId Lit) override;
 
   /// Decides the conjunction of every asserted literal. Work is charged to
   /// \p QueryStats; budgets (Options.MaxDecisions) are read from it, so
   /// sharing one QueryStats across several check() calls shares the
   /// budget, matching the one-query-many-supports accounting of
   /// Solver::check.
-  SatAnswer check(SolverStats &QueryStats);
+  SatAnswer check(SolverStats &QueryStats) override;
 
   /// Decides an arbitrary boolean formula. Flat conjunctions of
   /// comparisons retarget() this context's assertion stack (the
   /// incremental fast path); disjunctive formulas fall back to support
   /// enumeration in scratch contexts, leaving this context's assertions
   /// untouched. Semantically identical to the historic Solver::check.
-  SatAnswer checkFormula(TermId Formula, SolverStats &QueryStats);
+  SatAnswer checkFormula(TermId Formula, SolverStats &QueryStats) override;
 
   /// checkFormula plus the solver.check telemetry (timer, counters, one
   /// SolverCheck trace event) — what Solver::check emits per query.
-  SatAnswer checkFormulaWithTelemetry(TermId Formula, SolverStats &QueryStats);
+  SatAnswer checkFormulaWithTelemetry(TermId Formula,
+                                      SolverStats &QueryStats) override;
 
   /// check() of the asserted stack with the same per-query telemetry and
   /// cumulative-stats fold as checkFormulaWithTelemetry. For callers that
   /// manage the assertion stack themselves (core::ValiditySolver's
   /// grounding enumeration) and still want one solver.check event per
   /// query.
-  SatAnswer checkWithTelemetry(SolverStats &CumStats);
+  SatAnswer checkWithTelemetry(SolverStats &CumStats) override;
 
   /// Pops and pushes scopes until the asserted literal stack equals
   /// \p Literals, reusing the longest common prefix (one scope per
   /// literal). Only valid on contexts managed exclusively through
   /// retarget (no base-level assertions, one literal per scope).
-  void retarget(std::span<const TermId> Literals);
+  void retarget(std::span<const TermId> Literals) override;
 
   /// Drops every scope and base-level assertion; keeps the pure
   /// normalization cache (it is arena-keyed and never stale).
-  void reset();
+  void reset() override;
 
-  const SolverOptions &options() const { return Options; }
-  const ContextStats &contextStats() const { return Stats; }
+  const SolverOptions &options() const override { return Options; }
+  const ContextStats &contextStats() const override { return Stats; }
+
+  const char *backendName() const override { return "native"; }
 
   /// Toggles unsat-core extraction. Extraction never affects an answer's
   /// Result/Model — only whether SatAnswer::UnsatCore is populated — so
   /// flipping it mid-lifetime is safe; core::ValiditySolver turns it off
   /// once its blocked-core store is full to stop paying for probes.
-  void setExtractUnsatCores(bool Enable) {
+  void setExtractUnsatCores(bool Enable) override {
     Options.ExtractUnsatCores = Enable;
+  }
+
+  /// Replaces the stop controls polled by later checks. Stop controls are
+  /// not part of the folded state (they bound *when* a check stops, never
+  /// what a finished check answers), so swapping them between checks never
+  /// perturbs an answer — smt::PortfolioSolver rebinds its per-race cancel
+  /// token on persistent lane contexts this way.
+  void setStopControls(const support::Deadline &D,
+                       const support::CancelToken &C) {
+    Options.Deadline = D;
+    Options.Cancel = C;
   }
 
   /// Flattens simplify(\p Formula) into its comparison literals, in
@@ -198,9 +192,6 @@ private:
   /// answer cache resolved/recorded this query, null otherwise; the event
   /// also carries the current scope depth and the thread's query
   /// attribution (test / candidate / worker / grounding).
-  void foldQueryTelemetry(const SatAnswer &Answer,
-                          const SolverStats &QueryStats, SolverStats &CumStats,
-                          int64_t ElapsedNs, const char *CacheOutcome);
   bool propagateBase();
   /// Memo lookup: was (Atom = Value) proven refuted by a still-asserted
   /// prefix?
@@ -284,6 +275,19 @@ private:
   };
   std::map<std::pair<std::vector<TermId>, size_t>, CachedAnswer> AnswerCache;
 };
+
+/// Folds \p QueryStats into \p CumStats and emits the per-query telemetry
+/// counters, latency-histogram sample, and SolverCheck trace event (the
+/// shared tail of every *WithTelemetry entry point). \p CacheOutcome is
+/// "hit"/"miss" when an answer cache resolved/recorded this query, null
+/// otherwise; the event also carries \p ScopeDepth and the thread's query
+/// attribution (test / candidate / worker / grounding). Shared by
+/// SolverContext and PortfolioSolver so a portfolio-served query emits
+/// exactly one solver.check sample, like a native one.
+void foldSolverQueryTelemetry(const SatAnswer &Answer,
+                              const SolverStats &QueryStats,
+                              SolverStats &CumStats, int64_t ElapsedNs,
+                              const char *CacheOutcome, size_t ScopeDepth);
 
 } // namespace hotg::smt
 

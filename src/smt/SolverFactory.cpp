@@ -1,0 +1,167 @@
+//===- smt/SolverFactory.cpp - Backend registry and spec parsing -----------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/SolverFactory.h"
+
+#include "smt/PortfolioSolver.h"
+#include "smt/SolverContext.h"
+#include "support/Support.h"
+
+using namespace hotg;
+using namespace hotg::smt;
+
+namespace {
+
+std::string joinNames(const std::vector<std::string> &Names) {
+  std::string Out;
+  for (const std::string &N : Names) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += N;
+  }
+  return Out;
+}
+
+/// Registers the builtin backends by direct function reference — a static
+/// initializer in a static library could be dropped by the linker.
+void registerBuiltins(SolverFactory &F) {
+  F.registerBackend(
+      "native", /*KnownTactics=*/{},
+      [](TermArena &Arena, const SolverOptions &Options, const BackendSpec &,
+         ISolverSharedState *) -> std::unique_ptr<ISolver> {
+        return std::make_unique<SolverContext>(Arena, Options);
+      });
+  F.registerBackend(
+      "portfolio", portfolioTacticNames(),
+      [](TermArena &Arena, const SolverOptions &Options,
+         const BackendSpec &Spec,
+         ISolverSharedState *Shared) -> std::unique_ptr<ISolver> {
+        std::vector<TacticConfig> Tactics;
+        for (const std::string &Name : Spec.Tactics)
+          Tactics.push_back(portfolioTacticConfig(Name));
+        return std::make_unique<PortfolioSolver>(
+            Arena, Options, std::move(Tactics),
+            static_cast<PortfolioSharedState *>(Shared));
+      },
+      [](const BackendSpec &) -> std::unique_ptr<ISolverSharedState> {
+        return std::make_unique<PortfolioSharedState>();
+      });
+}
+
+} // namespace
+
+SolverFactory &SolverFactory::global() {
+  static SolverFactory *F = [] {
+    auto *Factory = new SolverFactory();
+    registerBuiltins(*Factory);
+    return Factory;
+  }();
+  return *F;
+}
+
+void SolverFactory::registerBackend(std::string Name,
+                                    std::vector<std::string> KnownTactics,
+                                    Builder Build,
+                                    SharedStateBuilder MakeShared) {
+  for (Entry &E : Entries)
+    if (E.Name == Name) {
+      E.KnownTactics = std::move(KnownTactics);
+      E.Build = std::move(Build);
+      E.MakeShared = std::move(MakeShared);
+      return;
+    }
+  Entries.push_back(Entry{std::move(Name), std::move(KnownTactics),
+                          std::move(Build), std::move(MakeShared)});
+}
+
+const SolverFactory::Entry *SolverFactory::find(const std::string &Name) const {
+  for (const Entry &E : Entries)
+    if (E.Name == Name)
+      return &E;
+  return nullptr;
+}
+
+std::vector<std::string> SolverFactory::backendNames() const {
+  std::vector<std::string> Out;
+  for (const Entry &E : Entries)
+    Out.push_back(E.Name);
+  return Out;
+}
+
+std::vector<std::string>
+SolverFactory::tacticNames(const std::string &Backend) const {
+  const Entry *E = find(Backend);
+  return E ? E->KnownTactics : std::vector<std::string>{};
+}
+
+std::string SolverFactory::parseSpec(const std::string &Spec,
+                                     BackendSpec &Out) const {
+  Out = BackendSpec{};
+  std::string Name = Spec;
+  bool HasTacticList = false;
+  std::string TacticList;
+  if (size_t Colon = Spec.find(':'); Colon != std::string::npos) {
+    Name = Spec.substr(0, Colon);
+    TacticList = Spec.substr(Colon + 1);
+    HasTacticList = true;
+  }
+  const Entry *E = find(Name);
+  if (!E)
+    return "unknown solver backend '" + Name +
+           "'; registered backends: " + joinNames(backendNames());
+  Out.Backend = Name;
+  if (!HasTacticList)
+    return "";
+  if (E->KnownTactics.empty())
+    return "solver backend '" + Name + "' accepts no tactic list (spec '" +
+           Spec + "')";
+  // Split the comma-separated tactic list; empty segments are rejected so
+  // "portfolio:" and "portfolio:a,,b" read as typos, not requests.
+  for (size_t Pos = 0; Pos <= TacticList.size();) {
+    size_t Comma = TacticList.find(',', Pos);
+    size_t End = Comma == std::string::npos ? TacticList.size() : Comma;
+    std::string Tactic = TacticList.substr(Pos, End - Pos);
+    if (Tactic.empty())
+      return "empty tactic name in solver backend spec '" + Spec + "'";
+    bool Known = false;
+    for (const std::string &K : E->KnownTactics)
+      Known = Known || K == Tactic;
+    if (!Known)
+      return "unknown tactic '" + Tactic + "' for solver backend '" + Name +
+             "'; registered tactics: " + joinNames(E->KnownTactics);
+    Out.Tactics.push_back(std::move(Tactic));
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  return "";
+}
+
+std::string SolverFactory::validateSpec(const std::string &Spec) const {
+  BackendSpec Parsed;
+  return parseSpec(Spec, Parsed);
+}
+
+std::unique_ptr<ISolverSharedState>
+SolverFactory::createSharedState(const std::string &Spec) const {
+  BackendSpec Parsed;
+  if (std::string Err = parseSpec(Spec, Parsed); !Err.empty())
+    reportFatalError(Err, __FILE__, __LINE__);
+  const Entry *E = find(Parsed.Backend);
+  if (!E->MakeShared)
+    return nullptr;
+  return E->MakeShared(Parsed);
+}
+
+std::unique_ptr<ISolver> SolverFactory::create(const std::string &Spec,
+                                               TermArena &Arena,
+                                               const SolverOptions &Options,
+                                               ISolverSharedState *Shared) const {
+  BackendSpec Parsed;
+  if (std::string Err = parseSpec(Spec, Parsed); !Err.empty())
+    reportFatalError(Err, __FILE__, __LINE__);
+  return find(Parsed.Backend)->Build(Arena, Options, Parsed, Shared);
+}

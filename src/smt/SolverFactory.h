@@ -1,0 +1,105 @@
+//===- smt/SolverFactory.h - Backend registry and spec parsing -------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The registry behind `hotg-run --backend`: maps backend names to ISolver
+/// builders so drivers select a solver by string instead of naming a
+/// concrete type. Specs have the form "name" or "name:tac1,tac2" (the
+/// tactic list is only meaningful for backends that register tactic
+/// names, i.e. "portfolio"). Unknown backend or tactic names are rejected
+/// with a diagnostic listing every registered name, so a typo at the CLI
+/// fails fast instead of silently falling back to the native solver.
+///
+/// The two builtin backends ("native" = smt::SolverContext, "portfolio" =
+/// smt::PortfolioSolver) are registered lazily on first use of global();
+/// a future backend (e.g. bitvector semantics) registers itself the same
+/// way without engine changes (docs/solver.md "Registering a backend").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_SMT_SOLVERFACTORY_H
+#define HOTG_SMT_SOLVERFACTORY_H
+
+#include "smt/ISolver.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hotg::smt {
+
+/// A parsed "backend[:tactic,tactic]" spec.
+struct BackendSpec {
+  std::string Backend;
+  std::vector<std::string> Tactics;
+};
+
+class SolverFactory {
+public:
+  /// Builds one solver instance. \p Shared is the (possibly null) state
+  /// from createSharedState for the same spec.
+  using Builder = std::function<std::unique_ptr<ISolver>(
+      TermArena &, const SolverOptions &, const BackendSpec &,
+      ISolverSharedState *)>;
+
+  /// Builds the per-run shared state of a backend; null builder or a null
+  /// return both mean "backend needs none".
+  using SharedStateBuilder =
+      std::function<std::unique_ptr<ISolverSharedState>(const BackendSpec &)>;
+
+  /// The process-wide registry with the builtin backends registered.
+  static SolverFactory &global();
+
+  /// Registers \p Name. \p KnownTactics is the exhaustive tactic-name
+  /// vocabulary accepted after ':' in a spec (empty = specs naming tactics
+  /// are rejected). Re-registering a name replaces the entry.
+  void registerBackend(std::string Name, std::vector<std::string> KnownTactics,
+                       Builder Build, SharedStateBuilder MakeShared = nullptr);
+
+  /// Registered backend names, in registration order.
+  std::vector<std::string> backendNames() const;
+
+  /// The tactic vocabulary of \p Backend (empty for unknown backends and
+  /// backends without tactics).
+  std::vector<std::string> tacticNames(const std::string &Backend) const;
+
+  /// Parses "backend[:tac1,tac2]". Returns the diagnostic ("" = valid):
+  /// unknown names list the registered vocabulary.
+  std::string parseSpec(const std::string &Spec, BackendSpec &Out) const;
+
+  /// parseSpec without the result — CLI validation.
+  std::string validateSpec(const std::string &Spec) const;
+
+  /// Creates the per-run shared state for \p Spec (null when the backend
+  /// registered no SharedStateBuilder). Fatal on an invalid spec —
+  /// validate first on untrusted input.
+  std::unique_ptr<ISolverSharedState>
+  createSharedState(const std::string &Spec) const;
+
+  /// Creates one solver. Fatal on an invalid spec — validate first on
+  /// untrusted input. \p Shared must be null or come from
+  /// createSharedState with the same spec.
+  std::unique_ptr<ISolver> create(const std::string &Spec, TermArena &Arena,
+                                  const SolverOptions &Options,
+                                  ISolverSharedState *Shared = nullptr) const;
+
+private:
+  struct Entry {
+    std::string Name;
+    std::vector<std::string> KnownTactics;
+    Builder Build;
+    SharedStateBuilder MakeShared;
+  };
+
+  const Entry *find(const std::string &Name) const;
+
+  std::vector<Entry> Entries;
+};
+
+} // namespace hotg::smt
+
+#endif // HOTG_SMT_SOLVERFACTORY_H

@@ -262,6 +262,8 @@ const char *hotg::telemetry::eventKindName(EventKind Kind) {
     return "span_end";
   case EventKind::Heartbeat:
     return "heartbeat";
+  case EventKind::PortfolioRace:
+    return "portfolio_race";
   }
   HOTG_UNREACHABLE("unknown event kind");
 }

@@ -1,0 +1,435 @@
+//===- tests/test_smt_portfolio.cpp - Backend factory and tactic racing ----------===//
+//
+// The ISolver seam (docs/solver.md "Backends and portfolio racing") has
+// two contracts these tests pin:
+//
+//  1. SolverFactory rejects unknown backend/tactic specs with a
+//     diagnostic listing the registered vocabulary, and builds the
+//     builtin "native" and "portfolio" backends.
+//
+//  2. The portfolio's determinism contract: every answer it returns —
+//     Result, model, Unknown reason — is byte-identical to the native
+//     reference, at the direct-query level, under injected lane faults,
+//     and across a full 4-policy × jobs {1,4} search sweep. Losing lanes
+//     are cancelled and torn down cleanly: once every PortfolioSolver of
+//     a shared state is gone, no lane context survives.
+//
+//===----------------------------------------------------------------------===//
+
+#include "app/Examples.h"
+#include "core/Search.h"
+#include "lang/Parser.h"
+#include "smt/PortfolioSolver.h"
+#include "smt/SolverContext.h"
+#include "smt/SolverFactory.h"
+#include "support/FaultInjector.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+using namespace hotg;
+using namespace hotg::smt;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// SolverFactory registry and spec diagnostics
+//===----------------------------------------------------------------------===//
+
+bool contains(const std::string &Haystack, const char *Needle) {
+  return Haystack.find(Needle) != std::string::npos;
+}
+
+TEST(SolverFactory, RegistersBuiltinBackends) {
+  SolverFactory &F = SolverFactory::global();
+  std::vector<std::string> Names = F.backendNames();
+  ASSERT_GE(Names.size(), 2u);
+  EXPECT_EQ(Names[0], "native");
+  EXPECT_EQ(Names[1], "portfolio");
+  EXPECT_TRUE(F.tacticNames("native").empty());
+  EXPECT_EQ(F.tacticNames("portfolio"), portfolioTacticNames());
+  EXPECT_EQ(portfolioTacticNames().front(), "incremental")
+      << "the reference tactic must come first";
+}
+
+TEST(SolverFactory, AcceptsValidSpecs) {
+  SolverFactory &F = SolverFactory::global();
+  EXPECT_EQ(F.validateSpec("native"), "");
+  EXPECT_EQ(F.validateSpec("portfolio"), "");
+  EXPECT_EQ(F.validateSpec("portfolio:fresh"), "");
+  EXPECT_EQ(F.validateSpec("portfolio:incremental,case-split,fresh"), "");
+}
+
+TEST(SolverFactory, RejectsUnknownBackendWithVocabulary) {
+  std::string Err = SolverFactory::global().validateSpec("z3");
+  EXPECT_TRUE(contains(Err, "unknown solver backend 'z3'")) << Err;
+  EXPECT_TRUE(contains(Err, "native")) << Err;
+  EXPECT_TRUE(contains(Err, "portfolio")) << Err;
+}
+
+TEST(SolverFactory, RejectsUnknownTacticWithVocabulary) {
+  std::string Err = SolverFactory::global().validateSpec("portfolio:bogus");
+  EXPECT_TRUE(contains(Err, "unknown tactic 'bogus'")) << Err;
+  EXPECT_TRUE(contains(Err, "incremental")) << Err;
+  EXPECT_TRUE(contains(Err, "fresh-case-split")) << Err;
+}
+
+TEST(SolverFactory, RejectsTacticListOnNative) {
+  std::string Err = SolverFactory::global().validateSpec("native:fresh");
+  EXPECT_TRUE(contains(Err, "accepts no tactic list")) << Err;
+}
+
+TEST(SolverFactory, RejectsEmptyTacticNames) {
+  EXPECT_TRUE(contains(SolverFactory::global().validateSpec("portfolio:"),
+                       "empty tactic name"));
+  EXPECT_TRUE(
+      contains(SolverFactory::global().validateSpec("portfolio:fresh,,fresh"),
+               "empty tactic name"));
+}
+
+TEST(SolverFactory, CreatesBackendsBehindTheInterface) {
+  TermArena Arena;
+  SolverOptions Options;
+  SolverFactory &F = SolverFactory::global();
+  std::unique_ptr<ISolver> Native = F.create("native", Arena, Options);
+  ASSERT_TRUE(Native);
+  EXPECT_STREQ(Native->backendName(), "native");
+  std::unique_ptr<ISolver> Portfolio =
+      F.create("portfolio:fresh", Arena, Options);
+  ASSERT_TRUE(Portfolio);
+  EXPECT_STREQ(Portfolio->backendName(), "portfolio");
+  EXPECT_FALSE(F.createSharedState("native"))
+      << "native needs no shared state";
+  EXPECT_TRUE(F.createSharedState("portfolio"));
+}
+
+//===----------------------------------------------------------------------===//
+// Direct-query answer identity
+//===----------------------------------------------------------------------===//
+
+class PortfolioQueryTest : public ::testing::Test {
+protected:
+  TermArena Arena;
+  TermId X = Arena.mkVar("x");
+  TermId Y = Arena.mkVar("y");
+
+  /// A query mix touching every interesting answer shape: Sat with a
+  /// model, Unsat, and a UF-constrained Sat.
+  std::vector<TermId> queries() {
+    FuncId F = Arena.getOrCreateFunc("f", 1);
+    TermId FX = Arena.mkUFApp(F, std::vector<TermId>{X});
+    return {
+        Arena.mkEq(X, Arena.mkIntConst(567)),
+        Arena.mkAnd(Arena.mkEq(X, Arena.mkIntConst(1)),
+                    Arena.mkEq(X, Arena.mkIntConst(2))),
+        Arena.mkAnd(Arena.mkEq(FX, Arena.mkIntConst(42)),
+                    Arena.mkLt(Y, X)),
+        Arena.mkOr(Arena.mkEq(X, Arena.mkIntConst(3)),
+                   Arena.mkEq(Y, Arena.mkIntConst(4))),
+    };
+  }
+
+  static void expectSameAnswer(const SatAnswer &A, const SatAnswer &B,
+                               const TermArena &Arena, const char *What) {
+    EXPECT_EQ(A.Result, B.Result) << What;
+    EXPECT_EQ(A.ModelValue.toString(Arena), B.ModelValue.toString(Arena))
+        << What;
+    EXPECT_EQ(A.Reason, B.Reason) << What;
+  }
+};
+
+TEST_F(PortfolioQueryTest, CheckFormulaMatchesNative) {
+  SolverOptions Options;
+  SolverContext Native(Arena, Options);
+  PortfolioSolver Portfolio(Arena, Options, {});
+  EXPECT_EQ(Portfolio.numTactics(), portfolioTacticNames().size())
+      << "an empty tactic list races the full vocabulary";
+  for (TermId Q : queries()) {
+    SolverStats NS, PS;
+    SatAnswer A = Native.checkFormula(Q, NS);
+    SatAnswer B = Portfolio.checkFormula(Q, PS);
+    expectSameAnswer(A, B, Arena, Arena.toString(Q).c_str());
+  }
+}
+
+TEST_F(PortfolioQueryTest, AssertedStackCheckMatchesNative) {
+  SolverOptions Options;
+  SolverContext Native(Arena, Options);
+  PortfolioSolver Portfolio(Arena, Options, {});
+  TermId Lit1 = Arena.mkLt(Arena.mkIntConst(10), X);
+  TermId Lit2 = Arena.mkLt(X, Arena.mkIntConst(20));
+  TermId Lit3 = Arena.mkEq(X, Arena.mkIntConst(5));
+  for (ISolver *S : {static_cast<ISolver *>(&Native),
+                     static_cast<ISolver *>(&Portfolio)}) {
+    S->push();
+    ASSERT_TRUE(S->assertLiteral(Lit1));
+    S->push();
+    ASSERT_TRUE(S->assertLiteral(Lit2));
+  }
+  SolverStats NS, PS;
+  expectSameAnswer(Native.check(NS), Portfolio.check(PS), Arena,
+                   "10 < x < 20");
+  // pop() must restore the pre-push literal sequence on both sides.
+  Native.pop();
+  Portfolio.pop();
+  EXPECT_EQ(Native.numScopes(), Portfolio.numScopes());
+  EXPECT_EQ(Native.numAssertedLiterals(), Portfolio.numAssertedLiterals());
+  for (ISolver *S : {static_cast<ISolver *>(&Native),
+                     static_cast<ISolver *>(&Portfolio)}) {
+    S->push();
+    ASSERT_TRUE(S->assertLiteral(Lit3));
+  }
+  SolverStats NS2, PS2;
+  expectSameAnswer(Native.check(NS2), Portfolio.check(PS2), Arena,
+                   "10 < x && x = 5");
+}
+
+TEST_F(PortfolioQueryTest, RetargetMatchesNative) {
+  SolverOptions Options;
+  SolverContext Native(Arena, Options);
+  PortfolioSolver Portfolio(Arena, Options, {});
+  std::vector<TermId> Lits = {Arena.mkLt(Arena.mkIntConst(0), X),
+                              Arena.mkLt(X, Y),
+                              Arena.mkLt(Y, Arena.mkIntConst(10))};
+  Native.retarget(Lits);
+  Portfolio.retarget(Lits);
+  SolverStats NS, PS;
+  expectSameAnswer(Native.check(NS), Portfolio.check(PS), Arena,
+                   "0 < x < y < 10");
+}
+
+TEST_F(PortfolioQueryTest, UnknownAnswersMatchNative) {
+  // A budget small enough that the value search gives up: the portfolio
+  // must reproduce the reference Unknown (same reason), not a racier
+  // lane's. ForceLearningOff lanes never reach a definitive answer the
+  // reference would miss, so the race has no winner here.
+  SolverOptions Options;
+  Options.MaxDecisions = 1;
+  FuncId F = Arena.getOrCreateFunc("g", 1);
+  TermId FX = Arena.mkUFApp(F, std::vector<TermId>{X});
+  TermId FY = Arena.mkUFApp(F, std::vector<TermId>{Y});
+  TermId Q = Arena.mkAnd(
+      {{Arena.mkEq(FX, Arena.mkIntConst(7)), Arena.mkEq(FY, FX),
+        Arena.mkLt(Arena.mkIntConst(100), Arena.mkAdd(X, Y))}});
+  SolverContext Native(Arena, Options);
+  PortfolioSolver Portfolio(Arena, Options, {});
+  SolverStats NS, PS;
+  SatAnswer A = Native.checkFormula(Q, NS);
+  SatAnswer B = Portfolio.checkFormula(Q, PS);
+  expectSameAnswer(A, B, Arena, "budget-starved query");
+}
+
+TEST_F(PortfolioQueryTest, SingleTacticSubsetStillMatches) {
+  // Naming only a non-reference tactic still prepends the reference lane.
+  SolverOptions Options;
+  std::vector<TacticConfig> Tactics = {portfolioTacticConfig("fresh")};
+  PortfolioSolver Portfolio(Arena, Options, std::move(Tactics));
+  EXPECT_EQ(Portfolio.numTactics(), 2u);
+  SolverContext Native(Arena, Options);
+  for (TermId Q : queries()) {
+    SolverStats NS, PS;
+    expectSameAnswer(Native.checkFormula(Q, NS), Portfolio.checkFormula(Q, PS),
+                     Arena, Arena.toString(Q).c_str());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Cancellation teardown
+//===----------------------------------------------------------------------===//
+
+TEST(PortfolioTeardown, NoLaneContextSurvivesItsSolvers) {
+  TermArena Arena;
+  TermId X = Arena.mkVar("x");
+  PortfolioSharedState Shared;
+  SolverOptions Options;
+  {
+    PortfolioSolver A(Arena, Options, {}, &Shared);
+    SolverStats QS;
+    ASSERT_EQ(A.checkFormula(Arena.mkEq(X, Arena.mkIntConst(1)), QS).Result,
+              SatResult::Sat);
+    EXPECT_GT(Shared.liveLaneContexts(), 0u)
+        << "persistent lanes must keep their contexts between checks";
+    {
+      // A second instance over the same shared state: lane contexts are
+      // per-instance (CtxOwner), so B's checks retire A's contexts but
+      // B's own die with B.
+      PortfolioSolver B(Arena, Options, {}, &Shared);
+      SolverStats QS2;
+      TermId Q = Arena.mkLt(X, Arena.mkIntConst(0));
+      ASSERT_EQ(B.checkFormula(Q, QS2).Result, SatResult::Sat);
+    }
+    SolverStats QS3;
+    ASSERT_EQ(A.checkFormula(Arena.mkEq(X, Arena.mkIntConst(2)), QS3).Result,
+              SatResult::Sat);
+  }
+  EXPECT_EQ(Shared.liveLaneContexts(), 0u)
+      << "teardown must not leak lane contexts";
+}
+
+//===----------------------------------------------------------------------===//
+// Fault injection inside the race
+//===----------------------------------------------------------------------===//
+
+TEST(PortfolioFaults, FaultingLanesLoseWithoutCorruptingAnswers) {
+  TermArena Arena;
+  TermId X = Arena.mkVar("x");
+  std::vector<TermId> Queries;
+  for (int I = 0; I != 12; ++I)
+    Queries.push_back(I % 3 == 2
+                          ? Arena.mkAnd(Arena.mkEq(X, Arena.mkIntConst(I)),
+                                        Arena.mkEq(X, Arena.mkIntConst(-1)))
+                          : Arena.mkEq(X, Arena.mkIntConst(100 + I)));
+
+  // Clean native reference answers first.
+  SolverOptions Options;
+  std::vector<SatAnswer> Reference;
+  {
+    SolverContext Native(Arena, Options);
+    for (TermId Q : Queries) {
+      SolverStats QS;
+      Reference.push_back(Native.checkFormula(Q, QS));
+    }
+  }
+
+  // Now race with solver-check faults armed: each lane probes the site
+  // once per check, so some lanes fault and lose. Whenever the portfolio
+  // does produce an answer, it must equal the clean reference; when every
+  // usable path faulted, the fault propagates (the caller's guarded-retry
+  // contract) and we simply retry the same query — determinism makes the
+  // eventual answer identical.
+  support::FaultInjector Injector;
+  Injector.arm(support::FaultSite::SolverCheck, 0.3, 1234);
+  support::setFaultInjector(&Injector);
+  PortfolioSolver Portfolio(Arena, Options, {});
+  size_t Recovered = 0;
+  for (size_t I = 0; I != Queries.size(); ++I) {
+    for (;;) {
+      try {
+        SolverStats QS;
+        SatAnswer Got = Portfolio.checkFormula(Queries[I], QS);
+        EXPECT_EQ(Got.Result, Reference[I].Result) << "query #" << I;
+        EXPECT_EQ(Got.ModelValue.toString(Arena),
+                  Reference[I].ModelValue.toString(Arena))
+            << "query #" << I;
+        break;
+      } catch (const support::FaultInjected &) {
+        ++Recovered; // Reference lane faulted with no usable winner.
+      }
+    }
+  }
+  support::setFaultInjector(nullptr);
+  EXPECT_GT(Injector.fired(support::FaultSite::SolverCheck), 0u)
+      << "the fault site must actually have fired for this test to bite";
+  // Post-fault recovery: with the injector gone, broken lanes rebuild and
+  // answers still match.
+  for (size_t I = 0; I != Queries.size(); ++I) {
+    SolverStats QS;
+    SatAnswer Got = Portfolio.checkFormula(Queries[I], QS);
+    EXPECT_EQ(Got.Result, Reference[I].Result) << "post-fault query #" << I;
+  }
+  (void)Recovered;
+}
+
+TEST(PortfolioFaults, CertainFaultPropagatesAndRecovers) {
+  TermArena Arena;
+  TermId X = Arena.mkVar("x");
+  TermId Q = Arena.mkEq(X, Arena.mkIntConst(9));
+  SolverOptions Options;
+  PortfolioSolver Portfolio(Arena, Options, {});
+  support::FaultInjector Injector;
+  Injector.arm(support::FaultSite::SolverCheck, 1.0, 7);
+  support::setFaultInjector(&Injector);
+  SolverStats QS;
+  EXPECT_THROW(Portfolio.checkFormula(Q, QS), support::FaultInjected)
+      << "every lane faulting must propagate, like the native backend";
+  support::setFaultInjector(nullptr);
+  SolverStats QS2;
+  EXPECT_EQ(Portfolio.checkFormula(Q, QS2).Result, SatResult::Sat)
+      << "the portfolio must recover once the fault is gone";
+}
+
+//===----------------------------------------------------------------------===//
+// Search-level output identity sweep
+//===----------------------------------------------------------------------===//
+
+/// The deterministic output slice of a SearchResult: tests, bugs,
+/// coverage, divergences. Per-query work counters are excluded — under
+/// the portfolio they are the winner's and thus schedule-descriptive,
+/// like CacheHits (docs/solver.md).
+void expectSameSearchOutput(const core::SearchResult &A,
+                            const core::SearchResult &B, const char *What) {
+  ASSERT_EQ(A.Tests.size(), B.Tests.size()) << What;
+  for (size_t I = 0; I != A.Tests.size(); ++I) {
+    EXPECT_EQ(A.Tests[I].Input.Cells, B.Tests[I].Input.Cells)
+        << What << " test #" << I;
+    EXPECT_EQ(A.Tests[I].Status, B.Tests[I].Status) << What << " #" << I;
+    EXPECT_EQ(A.Tests[I].Diverged, B.Tests[I].Diverged) << What << " #" << I;
+    EXPECT_EQ(A.Tests[I].Intermediate, B.Tests[I].Intermediate)
+        << What << " #" << I;
+  }
+  ASSERT_EQ(A.Bugs.size(), B.Bugs.size()) << What;
+  for (size_t I = 0; I != A.Bugs.size(); ++I) {
+    EXPECT_EQ(A.Bugs[I].Input.Cells, B.Bugs[I].Input.Cells) << What;
+    EXPECT_EQ(A.Bugs[I].Status, B.Bugs[I].Status) << What;
+    EXPECT_EQ(A.Bugs[I].Site, B.Bugs[I].Site) << What;
+    EXPECT_EQ(A.Bugs[I].FoundAtTest, B.Bugs[I].FoundAtTest) << What;
+  }
+  EXPECT_TRUE(A.Cov == B.Cov) << What << ": coverage differs";
+  EXPECT_EQ(A.Divergences, B.Divergences) << What;
+  EXPECT_EQ(A.SolverCalls, B.SolverCalls) << What;
+  EXPECT_EQ(A.ValidityCalls, B.ValidityCalls) << What;
+  EXPECT_EQ(A.MultiStepRuns, B.MultiStepRuns) << What;
+}
+
+class PortfolioSearchSweep
+    : public ::testing::TestWithParam<
+          std::tuple<dse::ConcretizationPolicy, unsigned>> {};
+
+TEST_P(PortfolioSearchSweep, PortfolioOutputMatchesNativeOnEveryExample) {
+  auto [Policy, Jobs] = GetParam();
+  for (const app::ExampleProgram &Example : app::allExamples()) {
+    lang::Program Prog = app::compileExample(Example);
+    interp::NativeRegistry Natives;
+    app::registerExampleNatives(Natives);
+
+    auto RunArm = [&, Policy = Policy, Jobs = Jobs](const char *Backend) {
+      core::SearchOptions Options;
+      Options.Policy = Policy;
+      Options.MaxTests = 16;
+      Options.Jobs = Jobs;
+      Options.InitialInput = Example.InitialInput;
+      Options.SkipCoveredTargets = false;
+      Options.SolverBackend = Backend;
+      core::DirectedSearch Search(Prog, Natives, Example.Entry, Options);
+      core::SearchResult Result = Search.run();
+      return std::make_pair(std::move(Result), Search.exportSamples());
+    };
+
+    auto [Native, NativeSamples] = RunArm("native");
+    auto [Portfolio, PortfolioSamples] = RunArm("portfolio");
+    expectSameSearchOutput(Native, Portfolio, Example.Name.c_str());
+    EXPECT_EQ(NativeSamples, PortfolioSamples)
+        << Example.Name << ": learned IOF tables must match";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndJobs, PortfolioSearchSweep,
+    ::testing::Combine(
+        ::testing::Values(dse::ConcretizationPolicy::Unsound,
+                          dse::ConcretizationPolicy::Sound,
+                          dse::ConcretizationPolicy::SoundDelayed,
+                          dse::ConcretizationPolicy::HigherOrder),
+        ::testing::Values(1u, 4u)),
+    [](const auto &Info) {
+      std::string Name = dse::policyName(std::get<0>(Info.param));
+      for (char &C : Name)
+        if (C == '-')
+          C = '_';
+      return Name + "_jobs" + std::to_string(std::get<1>(Info.param));
+    });
+
+} // namespace

@@ -25,6 +25,12 @@
 //                      unsat-core-guided grounding pruning in the
 //                      validity solver (for differential runs; answers
 //                      are identical either way, see docs/solver.md)
+//   --backend SPEC     solver backend behind the search's incremental
+//                      contexts: "native" (default), "portfolio", or
+//                      "portfolio:tac1,tac2" to race a tactic subset
+//                      (see docs/solver.md "Backends and portfolio
+//                      racing"; answers are byte-identical to native)
+//   --portfolio        shorthand for --backend portfolio
 //   --dump-tests       print every executed test
 //   --dump-pc          print the AST and per-test path constraints
 //   --stats            print the telemetry counter/timer table to stderr
@@ -52,6 +58,7 @@
 
 #include "app/Examples.h"
 #include "core/Search.h"
+#include "smt/SolverFactory.h"
 #include "dse/SymbolicExecutor.h"
 #include "lang/Parser.h"
 #include "support/Deadline.h"
@@ -83,7 +90,8 @@ namespace {
                "[--max-tests N] [--multistep K] [--jobs N] [--input a,b,c] "
                "[--seed-input a,b,c] [--seed N] [--samples-in F] "
                "[--samples-out F] [--summarize] [--explore-paths] "
-               "[--order bfs|dfs] [--no-learning] [--dump-tests] "
+               "[--order bfs|dfs] [--no-learning] "
+               "[--backend SPEC] [--portfolio] [--dump-tests] "
                "[--dump-pc] [--stats] "
                "[--stats-json F] [--trace-out F] [--progress-ms N] "
                "[--deadline-ms N] [--fault-spec site:prob:seed[,...]]\n");
@@ -116,6 +124,7 @@ int runTool(int Argc, char **Argv) {
   bool ExplorePaths = false, DumpTests = false, DumpPc = false;
   bool DepthFirst = false, Summarize = false, PrintStats = false;
   bool NoLearning = false;
+  std::string Backend = "native";
   uint64_t DeadlineMs = 0;
   uint64_t ProgressMs = 0;
   std::string SamplesIn, SamplesOut, StatsJsonPath, TracePath, FaultSpec;
@@ -165,6 +174,10 @@ int runTool(int Argc, char **Argv) {
     }
     else if (!std::strcmp(Argv[I], "--no-learning"))
       NoLearning = true;
+    else if (!std::strcmp(Argv[I], "--backend"))
+      Backend = NextArg("--backend");
+    else if (!std::strcmp(Argv[I], "--portfolio"))
+      Backend = "portfolio";
     else if (!std::strcmp(Argv[I], "--dump-tests"))
       DumpTests = true;
     else if (!std::strcmp(Argv[I], "--dump-pc"))
@@ -196,6 +209,14 @@ int runTool(int Argc, char **Argv) {
   }
   if (!Path)
     usageError("missing input file");
+
+  // Validate the backend spec up front: a typo must be a usage error that
+  // lists the registered vocabulary, not a fatal error mid-search.
+  {
+    std::string SpecError = smt::SolverFactory::global().validateSpec(Backend);
+    if (!SpecError.empty())
+      usageError(SpecError.c_str());
+  }
 
   // --fault-spec wins over the HOTG_FAULT_SPEC environment variable so a
   // CI matrix can export a default and individual steps can override it.
@@ -311,6 +332,7 @@ int runTool(int Argc, char **Argv) {
     Options.SummarizeCalls = Summarize;
     Options.ProgressEveryMs = ProgressMs;
     Options.Deadline = Deadline;
+    Options.SolverBackend = Backend;
     if (NoLearning) {
       Options.SolverOpts.ConflictLearning = false;
       Options.ValidityOpts.CoreGuidedPruning = false;
@@ -383,6 +405,26 @@ int runTool(int Argc, char **Argv) {
                    "grounding pruning: %.1f%% (%llu pruned, %llu tried)\n",
                    100.0 * double(Pruned) / double(Tried + Pruned),
                    (unsigned long long)Pruned, (unsigned long long)Tried);
+    // Portfolio race summary: races run, wins per tactic, and losers that
+    // were cancelled mid-flight (see docs/solver.md "Backends and
+    // portfolio racing"). Per-tactic wall time lives in the stats table
+    // above as the solver.portfolio.tactic.<name> timers.
+    uint64_t Races = Reg.counter("solver.portfolio.races").value();
+    if (Races != 0) {
+      uint64_t Cancelled =
+          Reg.counter("solver.portfolio.cancelled_losers").value();
+      std::fprintf(stderr,
+                   "portfolio races: %llu (%llu losers cancelled); wins:",
+                   (unsigned long long)Races, (unsigned long long)Cancelled);
+      for (const std::string &Tactic :
+           smt::SolverFactory::global().tacticNames("portfolio")) {
+        uint64_t Wins =
+            Reg.counter("solver.portfolio.wins_by_tactic." + Tactic).value();
+        std::fprintf(stderr, " %s=%llu", Tactic.c_str(),
+                     (unsigned long long)Wins);
+      }
+      std::fprintf(stderr, "\n");
+    }
     if (Injector)
       std::fprintf(stderr, "fault injection (per armed site):\n%s",
                    Injector->summary().c_str());

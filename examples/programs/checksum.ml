@@ -1,0 +1,213 @@
+// checksum.ml — a frame checksum validator: a 10-cell input models one
+// framed message (magic, type, length, four payload cells, a declared
+// checksum, a sequence number and a flag byte). The validator recomputes
+// the checksum with plain arithmetic, but compares it to the declared one
+// only through the unknown `hash2` native — the Example 5 congruence
+// pattern — so reaching the post-verification handlers requires the
+// higher-order policy to equate the two hash applications. A linear
+// "oversized payload" error site before the checksum gate gives the
+// classic policies a reachable target, and the type handlers behind the
+// gate contain the deep bugs.
+//
+// Frame layout (cells 0..9):
+//   0  magic   — must be 77
+//   1  ptype   — 1 data, 2 ack, 3 control
+//   2  len     — payload cells in use, 0..4
+//   3..6      — payload
+//   7  declared checksum
+//   8  sequence number
+//   9  flags
+
+extern hash2(int) -> int;
+extern fstep(int) -> int;
+
+// --- small arithmetic helpers ----------------------------------------------
+
+// Clamp a declared length into the physical payload size.
+fun clamp_len(n: int) -> int {
+  if (n < 0) { return 0; }
+  if (n > 4) { return 4; }
+  return n;
+}
+
+// One mixing round of the rolling checksum (bounded by the modulus).
+fun mix(acc: int, v: int) -> int {
+  var next: int = acc * 33 + v;
+  return next % 65536;
+}
+
+// Position weight of payload cell i (a tiny fixed table).
+fun weight(i: int) -> int {
+  if (i == 0) { return 7; }
+  if (i == 1) { return 11; }
+  if (i == 2) { return 13; }
+  return 17;
+}
+
+// Saturating payload-sum helper (keeps the oversize check linear).
+fun add_sat(acc: int, v: int) -> int {
+  var next: int = acc + v;
+  if (next > 100000) { return 100000; }
+  return next;
+}
+
+// --- frame predicates -------------------------------------------------------
+
+fun is_known_type(t: int) -> int {
+  if (t == 1) { return 1; }
+  if (t == 2) { return 1; }
+  if (t == 3) { return 1; }
+  return 0;
+}
+
+// An ack frame must carry no payload and a zero flag byte.
+fun ack_well_formed(len: int, flags: int) -> int {
+  if (len != 0) { return 0; }
+  if (flags != 0) { return 0; }
+  return 1;
+}
+
+// A control frame's flag byte encodes a command in its low bits and a
+// parity bit above them; the parity must match the command.
+fun control_parity_ok(flags: int) -> int {
+  var command: int = flags % 8;
+  var parity: int = (flags / 8) % 2;
+  var bits: int = 0;
+  var probe: int = command;
+  while (probe > 0) {
+    bits = bits + probe % 2;
+    probe = probe / 2;
+  }
+  if (bits % 2 == parity) { return 1; }
+  return 0;
+}
+
+// --- checksum computation ---------------------------------------------------
+
+// Recompute the frame checksum: weighted payload cells folded through the
+// mixing rounds, then one `fstep` avalanche step folded back in. All of
+// this is concrete arithmetic over the inputs plus one unknown native —
+// the declared-vs-computed comparison below is where the imprecision
+// actually bites.
+fun compute_checksum(p0: int, p1: int, p2: int, p3: int, len: int) -> int {
+  var acc: int = 5381;
+  var i: int = 0;
+  while (i < len) {
+    var cell: int = 0;
+    if (i == 0) { cell = p0; }
+    if (i == 1) { cell = p1; }
+    if (i == 2) { cell = p2; }
+    if (i == 3) { cell = p3; }
+    acc = mix(acc, cell * weight(i));
+    i = i + 1;
+  }
+  // Length is part of the checksum domain: truncation must not verify.
+  acc = mix(acc, len * 251);
+  return acc;
+}
+
+// --- type handlers (behind the checksum gate) -------------------------------
+
+fun handle_data(p0: int, p1: int, len: int, seq: int) -> int {
+  if (len == 0) {
+    return 20; // empty data frame: legal but pointless
+  }
+  if (seq % 2 == 1) {
+    if (p0 == p1) {
+      if (p0 > 50) {
+        // Verified data frame with a mirrored high payload on an odd
+        // sequence — the deep data-path bug.
+        error("mirrored payload accepted on odd sequence");
+      }
+    }
+  }
+  return 21;
+}
+
+fun handle_ack(len: int, flags: int, seq: int) -> int {
+  if (ack_well_formed(len, flags) == 0) {
+    return -4;
+  }
+  if (seq == 0) {
+    error("ack frame with zero sequence verified");
+  }
+  return 22;
+}
+
+fun handle_control(flags: int, seq: int) -> int {
+  if (control_parity_ok(flags) == 0) {
+    return -5;
+  }
+  var command: int = flags % 8;
+  if (command == 6) {
+    if (seq > 90) {
+      error("reset command verified with stale sequence");
+    }
+  }
+  return 23;
+}
+
+// --- the validator ----------------------------------------------------------
+
+fun main(frame: int[10]) -> int {
+  var magic: int = frame[0];
+  var ptype: int = frame[1];
+  var len: int = clamp_len(frame[2]);
+  var declared: int = frame[7];
+  var seq: int = frame[8];
+  var flags: int = frame[9];
+
+  if (magic != 77) {
+    return -1; // not our protocol
+  }
+  if (is_known_type(ptype) == 0) {
+    return -2;
+  }
+  if (frame[2] != len) {
+    return -3; // declared length out of range
+  }
+
+  // Linear target for the classic policies: an oversized payload must be
+  // rejected before checksum verification, and a full-length frame whose
+  // saturating sum exceeds the budget is the bug.
+  var payload_sum: int = 0;
+  var i: int = 0;
+  while (i < len) {
+    payload_sum = add_sat(payload_sum, frame[3 + i]);
+    i = i + 1;
+  }
+  if (len == 4) {
+    if (payload_sum > 300) {
+      error("oversized payload accepted");
+    }
+  }
+
+  var computed: int = compute_checksum(frame[3], frame[4], frame[5],
+                                       frame[6], len);
+
+  // The congruence gate: the validator never compares raw checksums, only
+  // their hash2 images. Concretely equivalent to computed == declared;
+  // symbolically an uninterpreted-function equation the higher-order
+  // policy solves by equating the arguments (Example 5).
+  if (hash2(computed) == hash2(declared)) {
+    var verdict: int = 0;
+    if (ptype == 1) {
+      verdict = handle_data(frame[3], frame[4], len, seq);
+    }
+    if (ptype == 2) {
+      verdict = handle_ack(len, flags, seq);
+    }
+    if (ptype == 3) {
+      verdict = handle_control(flags, seq);
+    }
+    assert(verdict != 0);
+    return verdict;
+  }
+  // One avalanche probe of the rejected frame keeps `fstep` in the IOF
+  // sample stream even on the failure path.
+  var probe: int = fstep(declared % 97);
+  if (probe == computed) {
+    return -7; // astronomically unlikely, kept for branch diversity
+  }
+  return -6;
+}

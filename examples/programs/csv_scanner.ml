@@ -1,0 +1,218 @@
+// csv_scanner.ml — a miniature CSV record scanner in the style of the
+// Section 7 lexer, but stressing stateful scanning instead of keyword
+// hashing: the input is a 12-character buffer holding up to three
+// semicolon-terminated records of comma-separated fields, and the scanner
+// validates structure (field counts, digit-only id fields, lowercase tag
+// fields) while folding every tag field through the unknown `hash`
+// native. The deep error sites are guarded by hash equalities the
+// higher-order policy can invert through recorded IOF samples; one
+// structural error site is reachable by plain constraint solving so every
+// policy has something to find.
+//
+// Character vocabulary (all plain ASCII, matching the 0..99 search range):
+//   44 ','  — field separator
+//   59 ';'  — record terminator
+//   48..57  — digits (id and count fields)
+//   97..99  — lowercase tag letters the random range can reach
+//
+// Grammar per record:   id ',' tag ',' count ';'
+//   id    — one or two digits, value > 0
+//   tag   — one or two lowercase letters
+//   count — one digit, value <= 7
+
+extern hash(int) -> int;
+extern hash2(int) -> int;
+
+// --- character classification helpers --------------------------------------
+
+fun is_digit(c: int) -> int {
+  if (c >= 48) {
+    if (c <= 57) { return 1; }
+  }
+  return 0;
+}
+
+fun is_lower(c: int) -> int {
+  if (c >= 97) {
+    if (c <= 122) { return 1; }
+  }
+  return 0;
+}
+
+// Character classes: 1 = comma, 2 = record end, 3 = digit, 4 = letter,
+// 0 = junk (anything else aborts the record).
+fun char_class(c: int) -> int {
+  if (c == 44) { return 1; }
+  if (c == 59) { return 2; }
+  if (is_digit(c) == 1) { return 3; }
+  if (is_lower(c) == 1) { return 4; }
+  return 0;
+}
+
+fun digit_value(c: int) -> int {
+  if (is_digit(c) == 1) { return c - 48; }
+  return -1;
+}
+
+// --- per-field accumulators -------------------------------------------------
+
+// Fold one character into a numeric field (base-10 accumulate, saturated
+// at three digits so the values stay small for the validators below).
+fun fold_number(acc: int, c: int) -> int {
+  var next: int = acc * 10 + digit_value(c);
+  if (next > 999) { return 999; }
+  return next;
+}
+
+// Fold one character into a tag accumulator. The multiplier keeps two
+// distinct letters from colliding; the modulus bounds the value.
+fun fold_tag(acc: int, c: int) -> int {
+  var next: int = acc * 31 + c;
+  return next % 100000;
+}
+
+// --- field validators -------------------------------------------------------
+
+// Field 0: the record id. Must be all digits and strictly positive.
+fun check_id(value: int, digits: int, letters: int) -> int {
+  if (letters > 0) { return 0; }
+  if (digits == 0) { return 0; }
+  if (value <= 0) { return 0; }
+  return 1;
+}
+
+// Field 1: the tag. Must be all letters, at least one.
+fun check_tag(digits: int, letters: int) -> int {
+  if (digits > 0) { return 0; }
+  if (letters == 0) { return 0; }
+  return 1;
+}
+
+// Field 2: the count. One digit, small.
+fun check_count(value: int, digits: int, letters: int) -> int {
+  if (letters > 0) { return 0; }
+  if (digits != 1) { return 0; }
+  if (value > 7) { return 0; }
+  return 1;
+}
+
+// Dispatch on the field index inside the record.
+fun check_field(index: int, value: int, digits: int, letters: int) -> int {
+  if (index == 0) { return check_id(value, digits, letters); }
+  if (index == 1) { return check_tag(digits, letters); }
+  if (index == 2) { return check_count(value, digits, letters); }
+  return 0;
+}
+
+// --- the scanner ------------------------------------------------------------
+
+// Scans buf and returns a summary code: 100 + number of valid records, or
+// a negative code for the first structural rejection. The interesting
+// outcomes are the error() sites, which the directed search must reach.
+fun main(buf: int[12]) -> int {
+  var i: int = 0;
+  var field_index: int = 0;    // 0 = id, 1 = tag, 2 = count
+  var field_value: int = 0;    // numeric accumulator of the current field
+  var field_tag: int = 0;      // tag accumulator of the current field
+  var digits: int = 0;         // digit characters seen in this field
+  var letters: int = 0;        // letter characters seen in this field
+  var records: int = 0;        // completed valid records
+  var bad_fields: int = 0;     // rejected fields across the whole buffer
+  var rec_id: int = 0;         // id field of the record in flight
+  var last_id: int = -1;       // id field of the previous valid record
+  var tag_digest: int = 0;     // hash-folded digest of every tag field
+  var total_count: int = 0;    // sum of the count fields
+
+  while (i < 12) {
+    var c: int = buf[i];
+    var cls: int = char_class(c);
+
+    if (cls == 3) {
+      field_value = fold_number(field_value, c);
+      field_tag = fold_tag(field_tag, c);
+      digits = digits + 1;
+    }
+    if (cls == 4) {
+      field_tag = fold_tag(field_tag, c);
+      letters = letters + 1;
+    }
+    if (cls == 0) {
+      // Junk aborts the scan; a junk byte inside a tag field after at
+      // least one valid record is the structural error site every policy
+      // can reach by plain branch solving.
+      if (records > 0) {
+        if (field_index == 1) {
+          if (letters > 0) {
+            error("junk byte inside a tag field");
+          }
+        }
+      }
+      return -1;
+    }
+
+    if (cls == 1) {
+      // Field separator: validate and advance within the record.
+      if (check_field(field_index, field_value, digits, letters) == 0) {
+        bad_fields = bad_fields + 1;
+      }
+      if (field_index == 0) {
+        rec_id = field_value;
+      }
+      if (field_index == 1) {
+        // Fold the finished tag into the running digest through the
+        // unknown hash — the IOF the higher-order policy samples.
+        tag_digest = (tag_digest + hash(field_tag)) % 1000000;
+      }
+      field_index = field_index + 1;
+      if (field_index > 2) {
+        return -2; // too many fields in one record
+      }
+      field_value = 0;
+      field_tag = 0;
+      digits = 0;
+      letters = 0;
+    }
+
+    if (cls == 2) {
+      // Record terminator: the count field must be in flight.
+      if (field_index != 2) {
+        return -3; // short record
+      }
+      if (check_count(field_value, digits, letters) == 0) {
+        bad_fields = bad_fields + 1;
+      }
+      if (bad_fields == 0) {
+        // A duplicate id in consecutive valid records is only detectable
+        // through the digest — hash(id) repeating. Concretely that means
+        // rec_id == last_id (the hash is collision-free), but the scanner
+        // only sees the hashes: the Example 5 congruence strategy of the
+        // higher-order policy is what equates the two applications.
+        if (records > 0) {
+          if (hash(rec_id) == hash(last_id)) {
+            error("duplicate record id");
+          }
+        }
+        last_id = rec_id;
+        total_count = total_count + field_value;
+        records = records + 1;
+      }
+      field_index = 0;
+      field_value = 0;
+      field_tag = 0;
+      digits = 0;
+      letters = 0;
+    }
+
+    i = i + 1;
+  }
+
+  // Every complete scan keeps the folded digest consistent with the
+  // record count — a cheap structural invariant over the state machine.
+  assert(records <= 4);
+  if (records >= 2) {
+    if (total_count > 9) {
+      error("accepted more than nine units across records");
+    }
+  }
+  return 100 + records;
+}

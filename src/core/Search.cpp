@@ -294,7 +294,7 @@ DirectedSearch::DirectedSearch(const lang::Program &Prog,
                                const NativeRegistry &Natives,
                                std::string EntryName, SearchOptions Options)
     : Prog(Prog), Natives(Natives), EntryName(std::move(EntryName)),
-      Options(Options), Executor(Prog, Natives, Arena) {
+      Options(Options) {
   const lang::FunctionDecl *Entry = Prog.findFunction(this->EntryName);
   if (!Entry)
     reportFatalError("entry function '" + this->EntryName + "' not found");
@@ -321,7 +321,8 @@ DirectedSearch::DirectedSearch(const lang::Program &Prog,
   Exec.Limits = O.Limits;
   Exec.RecordSamples = O.RecordSamples;
   Exec.SummarizeCalls = O.SummarizeCalls;
-  Executor.setOptions(Exec);
+  Engine = vm::createEngine(effectiveEngine(), Prog, Natives, Arena);
+  Engine->setOptions(Exec);
 
   Result.Cov = Coverage(Prog.NumBranches);
 }
@@ -354,7 +355,7 @@ DirectedSearch::runTest(const TestInput &Input, bool Intermediate,
   Reg.counter("search.tests").add();
   unsigned CovBefore = Result.Cov.coveredDirections();
 
-  PathResult PR = Executor.execute(
+  PathResult PR = Engine->execute(
       EntryName, Input, &Samples,
       Options.SummarizeCalls ? &Summaries : nullptr);
 
@@ -529,6 +530,15 @@ unsigned DirectedSearch::effectiveJobs() const {
   if (Options.SummarizeCalls || Options.SolverOpts.Samples != nullptr)
     return 1;
   return Options.Jobs;
+}
+
+vm::EngineKind DirectedSearch::effectiveEngine() const {
+  // Summary collection walks call expressions, which the bytecode engine
+  // flattened away — SummarizeCalls keeps the tree-walking pair (results
+  // are identical either way, like the effectiveJobs fallbacks).
+  if (Options.SummarizeCalls)
+    return vm::EngineKind::Interp;
+  return Options.Engine;
 }
 
 void DirectedSearch::initParallel() {
@@ -1081,6 +1091,7 @@ SearchResult DirectedSearch::run() {
     // trace-side face of SearchResult.Stopped (docs/observability.md).
     telemetry::Event E(telemetry::EventKind::SearchSummary);
     E.set("stop_reason", support::stopReasonName(Result.Stopped));
+    E.set("engine", vm::engineName(Engine->kind()));
     E.set("tests", int64_t(Result.Tests.size()));
     E.set("bugs", int64_t(Result.Bugs.size()));
     E.set("covered_directions", int64_t(Result.Cov.coveredDirections()));
@@ -1097,14 +1108,18 @@ SearchResult hotg::core::runRandomSearch(const lang::Program &Prog,
                                          std::string_view EntryName,
                                          unsigned NumTests, int64_t Lo,
                                          int64_t Hi, uint64_t Seed,
-                                         RunLimits Limits) {
+                                         RunLimits Limits,
+                                         vm::EngineKind EngineKind) {
   const lang::FunctionDecl *Entry = Prog.findFunction(EntryName);
   if (!Entry)
     reportFatalError("entry function '" + std::string(EntryName) +
                      "' not found");
   InputLayout Layout(*Entry);
-  Interpreter Interp(Prog, Natives);
-  Interp.setLimits(Limits);
+  // The baseline never builds terms; the arena only parameterizes the
+  // engine seam and stays empty on the concrete path.
+  smt::TermArena Arena;
+  std::unique_ptr<vm::IExecEngine> Engine =
+      vm::createEngine(EngineKind, Prog, Natives, Arena);
   RandomGen Rng(Seed);
 
   SearchResult Result;
@@ -1119,7 +1134,7 @@ SearchResult hotg::core::runRandomSearch(const lang::Program &Prog,
     TestInput Input = Layout.zeroInput();
     for (int64_t &Cell : Input.Cells)
       Cell = Rng.nextInRange(Lo, Hi);
-    RunResult Run = Interp.run(EntryName, Input);
+    RunResult Run = Engine->runConcrete(EntryName, Input, Limits);
 
     TestRecord Record;
     Record.Input = Input;

@@ -27,6 +27,7 @@
 #include "interp/Interp.h"
 #include "smt/SampleTable.h"
 #include "smt/Solver.h"
+#include "vm/Engine.h"
 
 #include <deque>
 #include <memory>
@@ -63,6 +64,13 @@ struct SearchOptions {
   /// Candidate exploration order.
   enum class OrderKind : uint8_t { BreadthFirst, DepthFirst } Order =
       OrderKind::BreadthFirst;
+  /// Execution engine for program runs. Both engines emit byte-identical
+  /// search output (the VM differential suite enforces this); the VM is
+  /// ~an order of magnitude faster per run. SummarizeCalls mode silently
+  /// falls back to the interpreter engine, which is the only one that
+  /// collects intraprocedural summaries (same pattern as the Jobs
+  /// fallbacks above).
+  vm::EngineKind Engine = vm::EngineKind::VM;
   interp::RunLimits Limits;
   /// Initial input; random cells in [RandomLo, RandomHi] when absent.
   std::optional<interp::TestInput> InitialInput;
@@ -232,6 +240,9 @@ private:
   /// Decides the effective worker count (Options.Jobs, clamped to 1 for
   /// modes the speculation pipeline cannot replay deterministically).
   unsigned effectiveJobs() const;
+  /// Decides the effective engine (Options.Engine, forced to the
+  /// interpreter for SummarizeCalls — the VM collects no summaries).
+  vm::EngineKind effectiveEngine() const;
   /// Lazily builds ParallelState + the worker pool.
   void initParallel();
   /// Publishes arena/sample deltas and enqueues speculative evaluations of
@@ -271,7 +282,8 @@ private:
   smt::SampleTable Samples;
   smt::SampleTable EmptySamples;
   dse::SummaryTable Summaries;
-  dse::SymbolicExecutor Executor;
+  /// The execution engine behind every program run (effectiveEngine()).
+  std::unique_ptr<vm::IExecEngine> Engine;
   interp::InputLayout Layout;
 
   std::deque<Candidate> Frontier;
@@ -311,7 +323,8 @@ SearchResult runRandomSearch(const lang::Program &Prog,
                              const interp::NativeRegistry &Natives,
                              std::string_view EntryName, unsigned NumTests,
                              int64_t Lo, int64_t Hi, uint64_t Seed = 42,
-                             interp::RunLimits Limits = {});
+                             interp::RunLimits Limits = {},
+                             vm::EngineKind Engine = vm::EngineKind::VM);
 
 } // namespace hotg::core
 

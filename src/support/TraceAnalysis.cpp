@@ -153,6 +153,7 @@ const std::vector<KindSpec> &schema() {
         {"cells", FieldType::Array, true}}},
       {"search_summary",
        {{"stop_reason", FieldType::Str, true},
+        {"engine", FieldType::Str, false},
         {"tests", FieldType::Int, true},
         {"bugs", FieldType::Int, true},
         {"covered_directions", FieldType::Int, true},

@@ -1,0 +1,131 @@
+//===- vm/Bytecode.h - Register bytecode for MiniLang --------------------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact register bytecode for checked MiniLang programs. One flat
+/// instruction vector per function, a deduplicated constant pool, and
+/// jump-resolved control flow. The instruction stream is emitted in the
+/// exact evaluation order of the tree-walking interpreter, and every
+/// instruction carries the number of interpreter "steps" that the AST walk
+/// would have charged since the previous instruction (its Cost) — so the
+/// VM's step budget, deadline polling, and halt states replay the
+/// interpreter's bit for bit (docs/minilang.md "Bytecode VM").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_VM_BYTECODE_H
+#define HOTG_VM_BYTECODE_H
+
+#include "lang/AST.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hotg::vm {
+
+/// Operation codes. Registers are indices into the current frame: slots
+/// [0, NumSlots) hold the function's variables (same numbering as the AST
+/// walk's frame), [NumSlots, NumRegs) are expression temporaries.
+enum class Opcode : uint8_t {
+  Nop,     ///< Charge Cost only (pending-step flush before a label).
+  LdcI8,   ///< A = const pool[B].
+  Mov,     ///< A = B (concrete and shadow copy).
+  Add,     ///< A = B + C (wrapping).
+  Sub,     ///< A = B - C (wrapping).
+  Mul,     ///< A = B * C (wrapping; nonlinear → UF under HigherOrder).
+  Div,     ///< A = B / C (faults on C == 0).
+  Mod,     ///< A = B % C (faults on C == 0).
+  Neg,     ///< A = -B (wrapping).
+  NotB,    ///< A = !B (boolean).
+  CmpEq,   ///< A = (B == C).
+  CmpNe,   ///< A = (B != C).
+  CmpLt,   ///< A = (B < C).
+  CmpLe,   ///< A = (B <= C).
+  CmpGt,   ///< A = (B > C).
+  CmpGe,   ///< A = (B >= C).
+  AndB,    ///< A = B && C (strict: both operands already evaluated).
+  OrB,     ///< A = B || C (strict).
+  NewArr,  ///< A = fresh array handle of B elements (zero-filled).
+  LoadArr, ///< A = heap[B][C] with bounds check (B holds the handle).
+  StoreArr,///< heap[A][B] = C with bounds check (A holds the handle).
+  Jmp,     ///< Jump to code index A.
+  BrCond,  ///< Branch site B on register A; falls through when A is
+           ///< truthy, jumps to C otherwise. Records the branch event.
+  Assert,  ///< Branch site B on register A; faults when A is falsy.
+  Error,   ///< error() statement: site A, message pool index B.
+  Call,    ///< A = call function B with args staged at [C, C + arity).
+  CallNat, ///< A = call extern B with args staged at [C, C + arity).
+  Ret,     ///< Return register A to the caller.
+  RetZero, ///< Return the implicit integer 0 (missing/void return).
+
+  // Immediate forms, fused from an LdcI8 feeding the next instruction.
+  // The immediate operand is a constant-pool index; it behaves exactly
+  // like a freshly loaded constant register (non-symbolic, no pending
+  // input variables), so the shadow pass emits the same arena terms in
+  // the same order as the unfused pair. Nearly half of all executed
+  // instructions in typical programs are constant loads, so these forms
+  // are the single biggest dispatch-count reduction the compiler makes.
+  AddImm,      ///< A = B + pool[C] (wrapping).
+  SubImm,      ///< A = B - pool[C] (wrapping).
+  MulImm,      ///< A = B * pool[C] (wrapping; always linear — one side
+               ///< is a compile-time constant).
+  CmpEqImm,    ///< A = (B == pool[C]).
+  CmpNeImm,    ///< A = (B != pool[C]).
+  CmpLtImm,    ///< A = (B < pool[C]).
+  CmpLeImm,    ///< A = (B <= pool[C]).
+  CmpGtImm,    ///< A = (B > pool[C]).
+  CmpGeImm,    ///< A = (B >= pool[C]).
+  LoadArrImm,  ///< A = heap[B][pool[C]] with bounds check.
+  StoreArrImm, ///< heap[A][pool[B]] = C with bounds check.
+};
+
+/// Returns the mnemonic of \p Op ("add", "br", ...).
+const char *opcodeName(Opcode Op);
+
+/// One instruction. Cost is the number of AST-walk step charges absorbed
+/// by this instruction (charged before its effects execute).
+struct Instr {
+  Opcode Op = Opcode::Nop;
+  uint32_t Cost = 0;
+  uint32_t A = 0;
+  uint32_t B = 0;
+  uint32_t C = 0;
+};
+
+/// One compiled function.
+struct CompiledFunction {
+  std::string Name;
+  const lang::FunctionDecl *Decl = nullptr;
+  uint32_t NumSlots = 0; ///< Variable registers (same slots as the AST).
+  uint32_t NumRegs = 0;  ///< Slots + expression temporaries.
+  std::vector<Instr> Code;
+  /// Source location per instruction (fault attribution), parallel to Code.
+  std::vector<SourceLoc> Locs;
+};
+
+/// A compiled program: every function of the AST, in declaration order,
+/// plus the shared constant and error-message pools.
+struct CompiledProgram {
+  const lang::Program *Prog = nullptr;
+  std::vector<CompiledFunction> Functions;
+  std::vector<int64_t> ConstPool;
+  std::vector<std::string> ErrorMessages;
+  /// Function-declaration → Functions index (call resolution).
+  std::unordered_map<const lang::FunctionDecl *, uint32_t> FunctionIndex;
+
+  /// Finds a compiled function by name; null when absent.
+  const CompiledFunction *findFunction(std::string_view Name) const;
+};
+
+/// Renders \p Fn as one instruction per line ("0003 add r5, r1, r2 #2").
+std::string disassemble(const CompiledProgram &CP, const CompiledFunction &Fn);
+
+} // namespace hotg::vm
+
+#endif // HOTG_VM_BYTECODE_H

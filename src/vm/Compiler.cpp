@@ -1,0 +1,610 @@
+//===- vm/Compiler.cpp - MiniLang AST → register bytecode ----------------------===//
+
+#include "vm/Compiler.h"
+
+#include "support/StringUtils.h"
+#include "support/Support.h"
+
+#include <cassert>
+#include <map>
+#include <optional>
+
+using namespace hotg;
+using namespace hotg::vm;
+using namespace hotg::lang;
+
+const char *hotg::vm::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Nop:
+    return "nop";
+  case Opcode::LdcI8:
+    return "ldc";
+  case Opcode::Mov:
+    return "mov";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Mod:
+    return "mod";
+  case Opcode::Neg:
+    return "neg";
+  case Opcode::NotB:
+    return "not";
+  case Opcode::CmpEq:
+    return "ceq";
+  case Opcode::CmpNe:
+    return "cne";
+  case Opcode::CmpLt:
+    return "clt";
+  case Opcode::CmpLe:
+    return "cle";
+  case Opcode::CmpGt:
+    return "cgt";
+  case Opcode::CmpGe:
+    return "cge";
+  case Opcode::AndB:
+    return "and";
+  case Opcode::OrB:
+    return "or";
+  case Opcode::NewArr:
+    return "newarr";
+  case Opcode::LoadArr:
+    return "ldarr";
+  case Opcode::StoreArr:
+    return "starr";
+  case Opcode::Jmp:
+    return "jmp";
+  case Opcode::BrCond:
+    return "br";
+  case Opcode::Assert:
+    return "assert";
+  case Opcode::Error:
+    return "error";
+  case Opcode::Call:
+    return "call";
+  case Opcode::CallNat:
+    return "callnat";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::RetZero:
+    return "retz";
+  case Opcode::AddImm:
+    return "addi";
+  case Opcode::SubImm:
+    return "subi";
+  case Opcode::MulImm:
+    return "muli";
+  case Opcode::CmpEqImm:
+    return "ceqi";
+  case Opcode::CmpNeImm:
+    return "cnei";
+  case Opcode::CmpLtImm:
+    return "clti";
+  case Opcode::CmpLeImm:
+    return "clei";
+  case Opcode::CmpGtImm:
+    return "cgti";
+  case Opcode::CmpGeImm:
+    return "cgei";
+  case Opcode::LoadArrImm:
+    return "ldarri";
+  case Opcode::StoreArrImm:
+    return "starri";
+  }
+  HOTG_UNREACHABLE("unknown opcode");
+}
+
+const CompiledFunction *
+CompiledProgram::findFunction(std::string_view Name) const {
+  for (const CompiledFunction &Fn : Functions)
+    if (Fn.Name == Name)
+      return &Fn;
+  return nullptr;
+}
+
+std::string hotg::vm::disassemble(const CompiledProgram &CP,
+                                  const CompiledFunction &Fn) {
+  std::string Out = formatString("fun %s: %u slots, %u regs\n",
+                                 Fn.Name.c_str(), Fn.NumSlots, Fn.NumRegs);
+  for (size_t I = 0; I != Fn.Code.size(); ++I) {
+    const Instr &In = Fn.Code[I];
+    Out += formatString("  %04zu %-7s", I, opcodeName(In.Op));
+    switch (In.Op) {
+    case Opcode::Nop:
+    case Opcode::RetZero:
+      break;
+    case Opcode::LdcI8:
+      Out += formatString(" r%u, %lld", In.A,
+                          (long long)CP.ConstPool[In.B]);
+      break;
+    case Opcode::Mov:
+    case Opcode::Neg:
+    case Opcode::NotB:
+      Out += formatString(" r%u, r%u", In.A, In.B);
+      break;
+    case Opcode::NewArr:
+      Out += formatString(" r%u, [%u]", In.A, In.B);
+      break;
+    case Opcode::Jmp:
+      Out += formatString(" @%u", In.A);
+      break;
+    case Opcode::BrCond:
+      Out += formatString(" r%u, b%u, @%u", In.A, In.B, In.C);
+      break;
+    case Opcode::Assert:
+      Out += formatString(" r%u, b%u", In.A, In.B);
+      break;
+    case Opcode::Error:
+      Out += formatString(" site%u, \"%s\"", In.A,
+                          CP.ErrorMessages[In.B].c_str());
+      break;
+    case Opcode::Call:
+      Out += formatString(" r%u, %s, args@r%u", In.A,
+                          CP.Functions[In.B].Name.c_str(), In.C);
+      break;
+    case Opcode::CallNat:
+      Out += formatString(" r%u, %s, args@r%u", In.A,
+                          CP.Prog->Externs[In.B].Name.c_str(), In.C);
+      break;
+    case Opcode::Ret:
+      Out += formatString(" r%u", In.A);
+      break;
+    case Opcode::AddImm:
+    case Opcode::SubImm:
+    case Opcode::MulImm:
+    case Opcode::CmpEqImm:
+    case Opcode::CmpNeImm:
+    case Opcode::CmpLtImm:
+    case Opcode::CmpLeImm:
+    case Opcode::CmpGtImm:
+    case Opcode::CmpGeImm:
+      Out += formatString(" r%u, r%u, %lld", In.A, In.B,
+                          (long long)CP.ConstPool[In.C]);
+      break;
+    case Opcode::LoadArrImm:
+      Out += formatString(" r%u, r%u[%lld]", In.A, In.B,
+                          (long long)CP.ConstPool[In.C]);
+      break;
+    case Opcode::StoreArrImm:
+      Out += formatString(" r%u[%lld], r%u", In.A,
+                          (long long)CP.ConstPool[In.B], In.C);
+      break;
+    default: // Three-register arithmetic/comparison/array forms.
+      Out += formatString(" r%u, r%u, r%u", In.A, In.B, In.C);
+      break;
+    }
+    if (In.Cost)
+      Out += formatString("  #%u", In.Cost);
+    Out += "\n";
+  }
+  return Out;
+}
+
+namespace {
+
+/// Compiles one function. Step-accounting invariants:
+///  * every AST node adds 1 to Pending at the point the interpreter's
+///    execStmt/evalExpr would charge its budget() step;
+///  * every emitted instruction absorbs the current Pending as its Cost
+///    (charged at instruction start, before any effect);
+///  * labels are only bound while Pending == 0 (flushPending emits a
+///    costed Nop when needed), so jump targets never skip or double
+///    charges.
+class FunctionCompiler {
+public:
+  FunctionCompiler(CompiledProgram &CP, const FunctionDecl &Decl,
+                   std::map<int64_t, uint32_t> &ConstIndex,
+                   std::map<std::string, uint32_t> &MsgIndex)
+      : CP(CP), Decl(Decl), ConstIndex(ConstIndex), MsgIndex(MsgIndex) {}
+
+  CompiledFunction run() {
+    Fn.Name = Decl.Name;
+    Fn.Decl = &Decl;
+    Fn.NumSlots = Decl.NumSlots;
+    RegTop = MaxRegTop = Decl.NumSlots;
+
+    compileStmt(*Decl.Body);
+    // Missing return: the AST walk falls off the body and returns the
+    // implicit integer 0. Also absorbs any trailing pending charges. B
+    // flags a void function's implicit epilogue — a void entry falling off
+    // the end leaves RunResult::ReturnValue unset in concrete mode.
+    emit(Opcode::RetZero, Decl.Loc, 0, Decl.ReturnType.isVoid() ? 1 : 0);
+
+    Fn.NumRegs = MaxRegTop;
+    return std::move(Fn);
+  }
+
+private:
+  using Label = uint32_t; ///< Index of an instruction to backpatch.
+
+  uint32_t allocTemp() {
+    uint32_t Reg = RegTop++;
+    if (RegTop > MaxRegTop)
+      MaxRegTop = RegTop;
+    return Reg;
+  }
+
+  uint32_t emit(Opcode Op, SourceLoc Loc, uint32_t A = 0, uint32_t B = 0,
+                uint32_t C = 0) {
+    Instr In;
+    In.Op = Op;
+    In.Cost = Pending;
+    In.A = A;
+    In.B = B;
+    In.C = C;
+    Pending = 0;
+    Fn.Code.push_back(In);
+    Fn.Locs.push_back(Loc);
+    return static_cast<uint32_t>(Fn.Code.size() - 1);
+  }
+
+  /// Emits a costed Nop when step charges are pending, so a label can be
+  /// bound at a charge-free point.
+  void flushPending(SourceLoc Loc) {
+    if (Pending)
+      emit(Opcode::Nop, Loc);
+  }
+
+  uint32_t here() const { return static_cast<uint32_t>(Fn.Code.size()); }
+
+  void bindJump(Label Fixup) {
+    assert(Pending == 0 && "jump target must be charge-free");
+    Instr &In = Fn.Code[Fixup];
+    if (In.Op == Opcode::Jmp)
+      In.A = here();
+    else
+      In.C = here(); // BrCond's else target.
+  }
+
+  uint32_t poolConst(int64_t Value) {
+    auto [It, Inserted] =
+        ConstIndex.try_emplace(Value, uint32_t(CP.ConstPool.size()));
+    if (Inserted)
+      CP.ConstPool.push_back(Value);
+    return It->second;
+  }
+
+  uint32_t poolMessage(const std::string &Message) {
+    auto [It, Inserted] =
+        MsgIndex.try_emplace(Message, uint32_t(CP.ErrorMessages.size()));
+    if (Inserted)
+      CP.ErrorMessages.push_back(Message);
+    return It->second;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  /// Compiles \p E; the result lands in *Dst when given, otherwise in a
+  /// variable slot (VarRef) or a fresh temporary. Charges 1 pending step
+  /// for the node itself (evalExpr entry).
+  uint32_t compileExpr(const Expr &E, std::optional<uint32_t> Dst) {
+    ++Pending;
+    switch (E.Kind) {
+    case ExprKind::IntLit: {
+      uint32_t Out = Dst ? *Dst : allocTemp();
+      emit(Opcode::LdcI8, E.Loc, Out,
+           poolConst(static_cast<const IntLitExpr &>(E).Value));
+      return Out;
+    }
+    case ExprKind::BoolLit: {
+      uint32_t Out = Dst ? *Dst : allocTemp();
+      emit(Opcode::LdcI8, E.Loc, Out,
+           poolConst(static_cast<const BoolLitExpr &>(E).Value ? 1 : 0));
+      return Out;
+    }
+    case ExprKind::VarRef: {
+      uint32_t Slot = static_cast<const VarRefExpr &>(E).Slot;
+      if (!Dst)
+        return Slot; // Read in place; the charge stays pending.
+      emit(Opcode::Mov, E.Loc, *Dst, Slot);
+      return *Dst;
+    }
+    case ExprKind::ArrayIndex: {
+      const auto &AI = static_cast<const ArrayIndexExpr &>(E);
+      uint32_t Saved = RegTop;
+      uint32_t Base = compileArrayBase(AI);
+      if (auto Imm = literalValue(*AI.Index)) {
+        ++Pending; // The index literal's own evalExpr charge.
+        uint32_t Out = Dst ? *Dst : allocTemp();
+        emit(Opcode::LoadArrImm, AI.Loc, Out, Base, poolConst(*Imm));
+        return Out;
+      }
+      uint32_t Index = compileExpr(*AI.Index, std::nullopt);
+      RegTop = Saved;
+      uint32_t Out = Dst ? *Dst : allocTemp();
+      emit(Opcode::LoadArr, AI.Loc, Out, Base, Index);
+      return Out;
+    }
+    case ExprKind::Unary: {
+      const auto &U = static_cast<const UnaryExpr &>(E);
+      uint32_t Saved = RegTop;
+      uint32_t Src = compileExpr(*U.Operand, std::nullopt);
+      RegTop = Saved;
+      uint32_t Out = Dst ? *Dst : allocTemp();
+      emit(U.Op == UnaryOp::Neg ? Opcode::Neg : Opcode::NotB, U.Loc, Out,
+           Src);
+      return Out;
+    }
+    case ExprKind::Binary: {
+      const auto &B = static_cast<const BinaryExpr &>(E);
+      uint32_t Saved = RegTop;
+      // Fuse a literal right operand into an immediate form. Only the
+      // right side fuses: swapping operands would flip the comparison
+      // terms the shadow pass emits and break byte identity with the
+      // co-executor's constraints.
+      if (auto Imm = literalValue(*B.Rhs)) {
+        if (auto ImmOp = immBinaryOpcode(B.Op)) {
+          uint32_t L = compileExpr(*B.Lhs, std::nullopt);
+          ++Pending; // The literal's own evalExpr charge.
+          RegTop = Saved;
+          uint32_t Out = Dst ? *Dst : allocTemp();
+          emit(*ImmOp, B.Loc, Out, L, poolConst(*Imm));
+          return Out;
+        }
+      }
+      uint32_t L = compileExpr(*B.Lhs, std::nullopt);
+      uint32_t R = compileExpr(*B.Rhs, std::nullopt);
+      RegTop = Saved;
+      uint32_t Out = Dst ? *Dst : allocTemp();
+      emit(binaryOpcode(B.Op), B.Loc, Out, L, R);
+      return Out;
+    }
+    case ExprKind::Call: {
+      const auto &C = static_cast<const CallExpr &>(E);
+      uint32_t Saved = RegTop;
+      uint32_t ArgBase = RegTop;
+      for (size_t I = 0; I != C.Args.size(); ++I)
+        allocTemp();
+      for (size_t I = 0; I != C.Args.size(); ++I)
+        compileExpr(*C.Args[I], uint32_t(ArgBase + I));
+      RegTop = Saved;
+      uint32_t Out = Dst ? *Dst : allocTemp();
+      if (C.callsExtern()) {
+        emit(Opcode::CallNat, C.Loc, Out, C.ResolvedExtern, ArgBase);
+      } else {
+        assert(C.ResolvedFunction && "sema guarantees resolution");
+        emit(Opcode::Call, C.Loc, Out,
+             CP.FunctionIndex.at(C.ResolvedFunction), ArgBase);
+      }
+      return Out;
+    }
+    }
+    HOTG_UNREACHABLE("unknown expression kind");
+  }
+
+  /// The base of an array access is always an array-typed variable (sema);
+  /// its evaluation charges one pending step and reads the slot in place.
+  uint32_t compileArrayBase(const ArrayIndexExpr &AI) {
+    ++Pending;
+    assert(AI.Base->Kind == ExprKind::VarRef &&
+           "sema guarantees an array-typed variable base");
+    return static_cast<const VarRefExpr &>(*AI.Base).Slot;
+  }
+
+  /// A literal's compile-time value when \p E is one (int or bool).
+  static std::optional<int64_t> literalValue(const Expr &E) {
+    if (E.Kind == ExprKind::IntLit)
+      return static_cast<const IntLitExpr &>(E).Value;
+    if (E.Kind == ExprKind::BoolLit)
+      return static_cast<const BoolLitExpr &>(E).Value ? 1 : 0;
+    return std::nullopt;
+  }
+
+  /// The immediate form of \p Op, when one exists. Div/Mod keep the
+  /// register form (their divisor fault handling is not worth a fused
+  /// variant) and the strict logicals rarely see literal operands.
+  static std::optional<Opcode> immBinaryOpcode(BinaryOp Op) {
+    switch (Op) {
+    case BinaryOp::Add:
+      return Opcode::AddImm;
+    case BinaryOp::Sub:
+      return Opcode::SubImm;
+    case BinaryOp::Mul:
+      return Opcode::MulImm;
+    case BinaryOp::Eq:
+      return Opcode::CmpEqImm;
+    case BinaryOp::Ne:
+      return Opcode::CmpNeImm;
+    case BinaryOp::Lt:
+      return Opcode::CmpLtImm;
+    case BinaryOp::Le:
+      return Opcode::CmpLeImm;
+    case BinaryOp::Gt:
+      return Opcode::CmpGtImm;
+    case BinaryOp::Ge:
+      return Opcode::CmpGeImm;
+    default:
+      return std::nullopt;
+    }
+  }
+
+  static Opcode binaryOpcode(BinaryOp Op) {
+    switch (Op) {
+    case BinaryOp::Add:
+      return Opcode::Add;
+    case BinaryOp::Sub:
+      return Opcode::Sub;
+    case BinaryOp::Mul:
+      return Opcode::Mul;
+    case BinaryOp::Div:
+      return Opcode::Div;
+    case BinaryOp::Mod:
+      return Opcode::Mod;
+    case BinaryOp::Eq:
+      return Opcode::CmpEq;
+    case BinaryOp::Ne:
+      return Opcode::CmpNe;
+    case BinaryOp::Lt:
+      return Opcode::CmpLt;
+    case BinaryOp::Le:
+      return Opcode::CmpLe;
+    case BinaryOp::Gt:
+      return Opcode::CmpGt;
+    case BinaryOp::Ge:
+      return Opcode::CmpGe;
+    case BinaryOp::And:
+      return Opcode::AndB;
+    case BinaryOp::Or:
+      return Opcode::OrB;
+    }
+    HOTG_UNREACHABLE("unknown binary op");
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  void compileStmt(const Stmt &S) {
+    ++Pending; // execStmt entry charge.
+    switch (S.Kind) {
+    case StmtKind::Block: {
+      for (const auto &Sub : static_cast<const BlockStmt &>(S).Body)
+        compileStmt(*Sub);
+      return;
+    }
+    case StmtKind::VarDecl: {
+      const auto &V = static_cast<const VarDeclStmt &>(S);
+      if (V.DeclType.isArray()) {
+        emit(Opcode::NewArr, V.Loc, V.Slot, V.DeclType.ArraySize);
+        return;
+      }
+      if (V.Init) {
+        compileExpr(*V.Init, V.Slot);
+        return;
+      }
+      // Default initialization (0 / false) — effect-free, so absorbing
+      // pending charges here is equivalent to leaving them pending.
+      emit(Opcode::LdcI8, V.Loc, V.Slot, poolConst(0));
+      return;
+    }
+    case StmtKind::Assign: {
+      const auto &A = static_cast<const AssignStmt &>(S);
+      if (A.Target->Kind == ExprKind::VarRef) {
+        compileExpr(*A.Value,
+                    static_cast<const VarRefExpr &>(*A.Target).Slot);
+        return;
+      }
+      // Array-element store: the AST walk evaluates the value first, then
+      // resolves base and index (with the bounds-check constraint and the
+      // out-of-bounds fault at the store itself).
+      const auto &AI = static_cast<const ArrayIndexExpr &>(*A.Target);
+      uint32_t Saved = RegTop;
+      uint32_t Val = compileExpr(*A.Value, std::nullopt);
+      uint32_t Base = compileArrayBase(AI);
+      if (auto Imm = literalValue(*AI.Index)) {
+        ++Pending; // The index literal's own evalExpr charge.
+        emit(Opcode::StoreArrImm, AI.Loc, Base, poolConst(*Imm), Val);
+        RegTop = Saved;
+        return;
+      }
+      uint32_t Index = compileExpr(*AI.Index, std::nullopt);
+      emit(Opcode::StoreArr, AI.Loc, Base, Index, Val);
+      RegTop = Saved;
+      return;
+    }
+    case StmtKind::If: {
+      const auto &I = static_cast<const IfStmt &>(S);
+      uint32_t Saved = RegTop;
+      uint32_t Cond = compileExpr(*I.Cond, std::nullopt);
+      Label ToElse = emit(Opcode::BrCond, I.Loc, Cond, I.Branch);
+      RegTop = Saved;
+      compileStmt(*I.Then);
+      if (I.Else) {
+        Label ToEnd = emit(Opcode::Jmp, I.Loc);
+        bindJump(ToElse);
+        compileStmt(*I.Else);
+        flushPending(I.Loc);
+        bindJump(ToEnd);
+      } else {
+        flushPending(I.Loc);
+        bindJump(ToElse);
+      }
+      return;
+    }
+    case StmtKind::While: {
+      const auto &W = static_cast<const WhileStmt &>(S);
+      // The statement-entry charge must not repeat per iteration: flush it
+      // before the loop head. Each iteration then charges the loop-top
+      // budget poll (1) plus the condition's own evaluation.
+      flushPending(W.Loc);
+      uint32_t Head = here();
+      ++Pending; // Loop-top budget charge.
+      uint32_t Saved = RegTop;
+      uint32_t Cond = compileExpr(*W.Cond, std::nullopt);
+      Label ToExit = emit(Opcode::BrCond, W.Loc, Cond, W.Branch);
+      RegTop = Saved;
+      compileStmt(*W.Body);
+      emit(Opcode::Jmp, W.Loc, Head);
+      bindJump(ToExit);
+      return;
+    }
+    case StmtKind::Return: {
+      const auto &R = static_cast<const ReturnStmt &>(S);
+      if (!R.Value) {
+        emit(Opcode::RetZero, R.Loc);
+        return;
+      }
+      uint32_t Saved = RegTop;
+      uint32_t Val = compileExpr(*R.Value, std::nullopt);
+      emit(Opcode::Ret, R.Loc, Val);
+      RegTop = Saved;
+      return;
+    }
+    case StmtKind::Assert: {
+      const auto &A = static_cast<const AssertStmt &>(S);
+      uint32_t Saved = RegTop;
+      uint32_t Cond = compileExpr(*A.Cond, std::nullopt);
+      emit(Opcode::Assert, A.Loc, Cond, A.Branch);
+      RegTop = Saved;
+      return;
+    }
+    case StmtKind::Error: {
+      const auto &E = static_cast<const ErrorStmt &>(S);
+      emit(Opcode::Error, E.Loc, E.Site, poolMessage(E.Message));
+      return;
+    }
+    case StmtKind::ExprStmt: {
+      uint32_t Saved = RegTop;
+      compileExpr(*static_cast<const ExprStmt &>(S).Value, std::nullopt);
+      RegTop = Saved;
+      return;
+    }
+    }
+    HOTG_UNREACHABLE("unknown statement kind");
+  }
+
+  CompiledProgram &CP;
+  const FunctionDecl &Decl;
+  std::map<int64_t, uint32_t> &ConstIndex;
+  std::map<std::string, uint32_t> &MsgIndex;
+
+  CompiledFunction Fn;
+  uint32_t RegTop = 0;
+  uint32_t MaxRegTop = 0;
+  uint32_t Pending = 0;
+};
+
+} // namespace
+
+CompiledProgram hotg::vm::compile(const Program &Prog) {
+  CompiledProgram CP;
+  CP.Prog = &Prog;
+  CP.Functions.reserve(Prog.Functions.size());
+  for (size_t I = 0; I != Prog.Functions.size(); ++I)
+    CP.FunctionIndex[Prog.Functions[I].get()] = static_cast<uint32_t>(I);
+
+  std::map<int64_t, uint32_t> ConstIndex;
+  std::map<std::string, uint32_t> MsgIndex;
+  for (const auto &Fn : Prog.Functions) {
+    FunctionCompiler FC(CP, *Fn, ConstIndex, MsgIndex);
+    CP.Functions.push_back(FC.run());
+  }
+  return CP;
+}

@@ -1,0 +1,31 @@
+//===- vm/Compiler.h - MiniLang AST → register bytecode ------------------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles a checked MiniLang program (lang::Sema output) to the register
+/// bytecode of vm/Bytecode.h. Instructions are emitted in the exact
+/// evaluation order of the AST walk; step charges the tree-walking
+/// interpreter makes between two effects are accumulated as a "pending"
+/// cost and absorbed by the next emitted instruction, so step budgets and
+/// deadline polls replay identically (see docs/minilang.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_VM_COMPILER_H
+#define HOTG_VM_COMPILER_H
+
+#include "vm/Bytecode.h"
+
+namespace hotg::vm {
+
+/// Compiles every function of \p Prog. The program must have passed Sema
+/// (slots, branch ids and callees resolved); the returned CompiledProgram
+/// borrows \p Prog and must not outlive it.
+CompiledProgram compile(const lang::Program &Prog);
+
+} // namespace hotg::vm
+
+#endif // HOTG_VM_COMPILER_H

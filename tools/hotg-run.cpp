@@ -8,6 +8,12 @@
 //                      otherwise the first function)
 //   --policy P         unsound | sound | sound-delayed | higher-order
 //                      (default) | random
+//   --engine E         execution engine for program runs: "vm" (default,
+//                      the register bytecode VM with shadow symbolic
+//                      tracing) or "interp" (the tree-walking reference
+//                      pair). Search output is byte-identical either way
+//                      (docs/minilang.md "Bytecode VM"); --summarize
+//                      always runs on the interpreter engine
 //   --max-tests N      execution budget (default 64)
 //   --multistep K      learning-run bound for higher-order (default 2)
 //   --jobs N           worker threads for speculative candidate evaluation
@@ -65,6 +71,7 @@
 #include "support/FaultInjector.h"
 #include "support/StringUtils.h"
 #include "support/Telemetry.h"
+#include "vm/Engine.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -87,6 +94,7 @@ namespace {
   std::fprintf(stderr,
                "usage: hotg-run <file.ml> [--entry NAME] "
                "[--policy unsound|sound|sound-delayed|higher-order|random] "
+               "[--engine vm|interp] "
                "[--max-tests N] [--multistep K] [--jobs N] [--input a,b,c] "
                "[--seed-input a,b,c] [--seed N] [--samples-in F] "
                "[--samples-out F] [--summarize] [--explore-paths] "
@@ -125,6 +133,7 @@ int runTool(int Argc, char **Argv) {
   bool DepthFirst = false, Summarize = false, PrintStats = false;
   bool NoLearning = false;
   std::string Backend = "native";
+  std::string EngineName = "vm";
   uint64_t DeadlineMs = 0;
   uint64_t ProgressMs = 0;
   std::string SamplesIn, SamplesOut, StatsJsonPath, TracePath, FaultSpec;
@@ -139,6 +148,8 @@ int runTool(int Argc, char **Argv) {
       Entry = NextArg("--entry");
     else if (!std::strcmp(Argv[I], "--policy"))
       Policy = NextArg("--policy");
+    else if (!std::strcmp(Argv[I], "--engine"))
+      EngineName = NextArg("--engine");
     else if (!std::strcmp(Argv[I], "--max-tests"))
       MaxTests = static_cast<unsigned>(
           std::strtoul(NextArg("--max-tests"), nullptr, 10));
@@ -217,6 +228,14 @@ int runTool(int Argc, char **Argv) {
     if (!SpecError.empty())
       usageError(SpecError.c_str());
   }
+
+  // Same early validation for the engine name.
+  std::optional<vm::EngineKind> Engine = vm::parseEngineName(EngineName);
+  if (!Engine)
+    usageError(formatString("unknown engine '%s'; available engines: "
+                            "vm, interp",
+                            EngineName.c_str())
+                   .c_str());
 
   // --fault-spec wins over the HOTG_FAULT_SPEC environment variable so a
   // CI matrix can export a default and individual steps can override it.
@@ -309,7 +328,7 @@ int runTool(int Argc, char **Argv) {
     RunLimits Limits;
     Limits.Deadline = Deadline;
     Result = runRandomSearch(*Prog, Natives, Entry, MaxTests, 0, 99, Seed,
-                             Limits);
+                             Limits, *Engine);
   } else {
     SearchOptions Options;
     if (Policy == "unsound")
@@ -333,6 +352,7 @@ int runTool(int Argc, char **Argv) {
     Options.ProgressEveryMs = ProgressMs;
     Options.Deadline = Deadline;
     Options.SolverBackend = Backend;
+    Options.Engine = *Engine;
     if (NoLearning) {
       Options.SolverOpts.ConflictLearning = false;
       Options.ValidityOpts.CoreGuidedPruning = false;
@@ -386,6 +406,21 @@ int runTool(int Argc, char **Argv) {
   if (PrintStats) {
     telemetry::Registry &Reg = telemetry::Registry::global();
     std::fprintf(stderr, "%s", Reg.statsTable().c_str());
+    // Which engine actually ran the programs (--summarize forces the
+    // interpreter pair; docs/minilang.md "Bytecode VM").
+    bool SummaryMode = Policy != "random" && Summarize;
+    std::fprintf(stderr, "engine: %s\n",
+                 SummaryMode ? vm::engineName(vm::EngineKind::Interp)
+                             : vm::engineName(*Engine));
+    // Execution throughput of the bytecode VM: instructions retired per
+    // second of vm.exec wall time (concrete and shadow runs combined).
+    uint64_t VmInsns = Reg.counter("vm.instructions").value();
+    uint64_t VmNs = Reg.timer("vm.exec").totalNs();
+    if (VmInsns != 0 && VmNs != 0)
+      std::fprintf(stderr, "vm throughput: %.2fM insns/s "
+                   "(%llu instructions in %.2f ms)\n",
+                   1000.0 * double(VmInsns) / double(VmNs),
+                   (unsigned long long)VmInsns, double(VmNs) / 1e6);
     // Incremental-context reuse rate: literals kept asserted across
     // retargets as a fraction of all literal assertion work (reused +
     // freshly pushed scopes). See docs/solver.md.

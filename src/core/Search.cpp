@@ -8,6 +8,7 @@
 #include "smt/SolverFactory.h"
 #include "support/FaultInjector.h"
 #include "support/Random.h"
+#include "support/StringUtils.h"
 #include "support/Support.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
@@ -99,6 +100,14 @@ struct DirectedSearch::ParallelState {
   explicit ParallelState(unsigned Jobs) : Workers(Jobs), Pool(Jobs) {}
 
   smt::QueryCache Cache;
+  /// The cache jobs actually publish to / probe: &Cache for a classic
+  /// private-cache search, or SearchOptions::SharedCache when the caller
+  /// installed a cross-session cache (hotg-serve). Keyed by Epoch.
+  smt::QueryCache *Active = &Cache;
+  uint64_t Epoch = 0;
+  /// True when Active is a caller-installed cross-session cache; Unknown
+  /// answers are then never published (see the solveSat publish guard).
+  bool SharedActive = false;
 
   /// Published arena history; appended by the main thread, replayed in
   /// order by workers. Entries are shared_ptr so late workers can still
@@ -205,7 +214,7 @@ void DirectedSearch::ParallelState::runJob(
       ++Me.DeltasApplied;
     }
 
-    if (Cache.contains(Fp, Gen, Kind))
+    if (Active->contains(Fp, Gen, Kind, Epoch))
       return; // Another worker (or the merge path) already answered.
 
     smt::ArenaMark Mark = Me.Replica.mark();
@@ -247,7 +256,8 @@ void DirectedSearch::ParallelState::runJob(
     // the merge path must not consume as a definitive answer.
     bool StopArmed = SolverOpts.Deadline.active() || SolverOpts.Cancel.valid();
     bool Transferable = Me.Replica.numAtomsCreatedSince(Mark) == 0 &&
-                        !(StopArmed && Unfinished);
+                        !(StopArmed && Unfinished) &&
+                        !(SharedActive && Unfinished);
     // The persistent context may retain state (asserted rows, congruence
     // constants, cached normalizations) referencing terms this query
     // interned above the mark; the truncation below recycles those
@@ -262,7 +272,7 @@ void DirectedSearch::ParallelState::runJob(
       // Fault site: the replica is already rolled back, so a throw here
       // only costs the publish (plus a precautionary rebuild).
       support::maybeInjectFault(support::FaultSite::CachePublish);
-      Cache.store(Fp, Gen, Kind, std::move(PA));
+      Active->store(Fp, Gen, Kind, std::move(PA), Epoch);
     } else {
       telemetry::Registry::global()
           .counter("search.speculation_discarded")
@@ -546,7 +556,18 @@ void DirectedSearch::initParallel() {
   if (Jobs > 1) {
     Parallel = std::make_unique<ParallelState>(Jobs);
     Parallel->UseIncremental = Options.UseIncrementalContexts;
+    if (Options.SharedCache) {
+      Parallel->Active = Options.SharedCache;
+      Parallel->SharedActive = true;
+    }
+    Parallel->Epoch = Options.CacheEpoch;
   }
+}
+
+smt::QueryCache *DirectedSearch::queryCache() {
+  if (Options.SharedCache)
+    return Options.SharedCache;
+  return Parallel ? &Parallel->Cache : nullptr;
 }
 
 void DirectedSearch::dispatchSpeculative() {
@@ -597,7 +618,7 @@ void DirectedSearch::dispatchSpeculative() {
     if (EvaluatedCandidates.count(candidateKey(Alt, Cand.ParentInput)))
       continue;
     smt::TermFingerprint Fp = Arena.fingerprint(Alt);
-    if (PS.Cache.contains(Fp, Gen, Kind))
+    if (PS.Active->contains(Fp, Gen, Kind, PS.Epoch))
       continue; // Answer already available.
 
     smt::ArenaMark Now = Arena.mark();
@@ -673,13 +694,14 @@ static void noteInlineRetryIfPending(bool &Pending, unsigned &Retries) {
 }
 
 smt::SatAnswer DirectedSearch::solveSat(smt::TermId Alt) {
-  if (Parallel) {
+  if (smt::QueryCache *QC = queryCache()) {
     smt::TermFingerprint Fp = Arena.fingerprint(Alt);
-    if (auto Hit =
-            Parallel->Cache.lookup(Fp, 0, smt::QueryKind::Satisfiability)) {
+    if (auto Hit = QC->lookup(Fp, 0, smt::QueryKind::Satisfiability,
+                              Options.CacheEpoch)) {
       // Another worker answered after the awaited one failed: no inline
       // recomputation was needed after all.
-      Parallel->PendingInlineRetry = false;
+      if (Parallel)
+        Parallel->PendingInlineRetry = false;
       Result.SolverQueryStats.Checks += Hit->Checks;
       Result.SolverQueryStats.SupportsExplored += Hit->SupportsExplored;
       Result.SolverQueryStats.Decisions += Hit->Decisions;
@@ -730,13 +752,18 @@ smt::SatAnswer DirectedSearch::solveSat(smt::TermId Alt) {
   Result.SolverQueryStats.LearnedClauseHits += S.LearnedClauseHits;
   Result.SolverQueryStats.Backjumps += S.Backjumps;
   // Computed on the main arena, so any atoms it interned are permanent:
-  // the answer is transferable to every later consumer.
-  if (Parallel) {
+  // the answer is transferable to every later consumer. Unknown answers
+  // stay out of a cross-session SharedCache, though: an Unknown computed
+  // under an armed stop control encodes this session's clock, and even a
+  // budget-driven Unknown buys a later session nothing — a miss merely
+  // recomputes (docs/serving.md).
+  if (smt::QueryCache *QC = queryCache();
+      QC && !(Options.SharedCache &&
+              Answer.Result == smt::SatResult::Unknown)) {
     try {
       support::maybeInjectFault(support::FaultSite::CachePublish);
-      Parallel->Cache.store(Arena.fingerprint(Alt), 0,
-                            smt::QueryKind::Satisfiability,
-                            encodeSat(Answer, S, Arena));
+      QC->store(Arena.fingerprint(Alt), 0, smt::QueryKind::Satisfiability,
+                encodeSat(Answer, S, Arena), Options.CacheEpoch);
     } catch (const support::FaultInjected &) {
       // A dropped publish only costs later duplicates a recomputation —
       // they produce the same answer and fold the same per-query stats.
@@ -762,10 +789,12 @@ DirectedSearch::candidateKey(smt::TermId Alt,
 
 ValidityAnswer DirectedSearch::solveValidity(smt::TermId Alt) {
   const uint64_t Gen = Options.UseAntecedent ? Samples.size() : 0;
-  if (Parallel) {
+  if (smt::QueryCache *QC = queryCache()) {
     smt::TermFingerprint Fp = Arena.fingerprint(Alt);
-    if (auto Hit = Parallel->Cache.lookup(Fp, Gen, smt::QueryKind::Validity)) {
-      Parallel->PendingInlineRetry = false;
+    if (auto Hit =
+            QC->lookup(Fp, Gen, smt::QueryKind::Validity, Options.CacheEpoch)) {
+      if (Parallel)
+        Parallel->PendingInlineRetry = false;
       Result.ValidityQueryStats.SupportsExplored += Hit->ValiditySupports;
       Result.ValidityQueryStats.GroundingsTried += Hit->GroundingsTried;
       Result.ValidityQueryStats.GroundingsPruned += Hit->GroundingsPruned;
@@ -802,12 +831,14 @@ ValidityAnswer DirectedSearch::solveValidity(smt::TermId Alt) {
   Result.ValidityQueryStats.SupportsExplored += S.SupportsExplored;
   Result.ValidityQueryStats.GroundingsTried += S.GroundingsTried;
   Result.ValidityQueryStats.GroundingsPruned += S.GroundingsPruned;
-  if (Parallel) {
+  // Same Unknown guard as solveSat for cross-session caches.
+  if (smt::QueryCache *QC = queryCache();
+      QC && !(Options.SharedCache &&
+              Answer.Status == ValidityStatus::Unknown)) {
     try {
       support::maybeInjectFault(support::FaultSite::CachePublish);
-      Parallel->Cache.store(Arena.fingerprint(Alt), Gen,
-                            smt::QueryKind::Validity,
-                            encodeValidity(Answer, S, Arena));
+      QC->store(Arena.fingerprint(Alt), Gen, smt::QueryKind::Validity,
+                encodeValidity(Answer, S, Arena), Options.CacheEpoch);
     } catch (const support::FaultInjected &) {
       // See solveSat: a dropped publish is a pure scheduling cost.
     }
@@ -873,8 +904,9 @@ void DirectedSearch::maybeEmitHeartbeat() {
   uint64_t Tests = Result.Tests.size();
   uint64_t Checks = Reg.counter("solver.checks").value();
   double IntervalS = static_cast<double>(Now - LastBeatNs) / 1e9;
-  uint64_t CacheHits = Parallel ? Parallel->Cache.hits() : 0;
-  uint64_t CacheMisses = Parallel ? Parallel->Cache.misses() : 0;
+  smt::QueryCache *QC = queryCache();
+  uint64_t CacheHits = QC ? QC->hits() : 0;
+  uint64_t CacheMisses = QC ? QC->misses() : 0;
   uint64_t CacheTotal = CacheHits + CacheMisses;
 
   telemetry::Event E(telemetry::EventKind::Heartbeat);
@@ -1069,13 +1101,19 @@ SearchResult DirectedSearch::run() {
     Reg.counter("search.test_budget_stops").add();
     break;
   }
-  if (Parallel) {
-    Result.CacheHits = Parallel->Cache.hits();
-    Result.CacheMisses = Parallel->Cache.misses();
-    Reg.counter("solver.cache_hits").add(Result.CacheHits);
-    Reg.counter("solver.cache_misses").add(Result.CacheMisses);
-    Reg.counter("search.worker_busy_ns").add(Parallel->Pool.busyNanos());
+  if (smt::QueryCache *QC = queryCache()) {
+    Result.CacheHits = QC->hits();
+    Result.CacheMisses = QC->misses();
+    // With a private cache these are exactly this search's traffic; a
+    // SharedCache reports its cumulative counters (the per-search delta is
+    // not separable, and both describe the schedule — see SearchResult).
+    if (!Options.SharedCache) {
+      Reg.counter("solver.cache_hits").add(Result.CacheHits);
+      Reg.counter("solver.cache_misses").add(Result.CacheMisses);
+    }
   }
+  if (Parallel)
+    Reg.counter("search.worker_busy_ns").add(Parallel->Pool.busyNanos());
   if (SatCtx) {
     // Scope traffic and prefix reuse of the merge-path context. Like
     // CacheHits these describe the schedule, not the search: worker-side
@@ -1173,4 +1211,36 @@ SearchResult hotg::core::runRandomSearch(const lang::Program &Prog,
                   }))
     Result.Stopped = support::stopRequested(Limits.Deadline, Limits.Cancel);
   return Result;
+}
+
+std::string hotg::core::renderSearchReport(std::string_view PolicyName,
+                                           const SearchResult &Result) {
+  std::string Out =
+      formatString("policy %.*s: %u tests, %u/%u branch directions covered, "
+                   "%u divergences\n",
+                   static_cast<int>(PolicyName.size()), PolicyName.data(),
+                   Result.testsRun(), Result.Cov.coveredDirections(),
+                   Result.Cov.totalDirections(), Result.Divergences);
+  if (Result.Bugs.empty())
+    Out += "no bugs found\n";
+  for (const BugRecord &Bug : Result.Bugs)
+    Out += formatString("BUG [%s] \"%s\" input %s (test #%u)\n",
+                        runStatusName(Bug.Status), Bug.Message.c_str(),
+                        Bug.Input.toString().c_str(), Bug.FoundAtTest);
+  if (Result.Stopped != support::StopReason::None)
+    Out += formatString("search stopped: %s\n",
+                        support::stopReasonName(Result.Stopped));
+  return Out;
+}
+
+bool hotg::core::searchDegraded(const SearchResult &Result) {
+  // A deadline/cancellation stop (or a run cut mid-flight by the deadline)
+  // means the results are real but possibly incomplete. Hitting the test
+  // budget is the normal operating mode, not degradation.
+  return Result.Stopped == support::StopReason::DeadlineExpired ||
+         Result.Stopped == support::StopReason::Cancelled ||
+         std::any_of(Result.Tests.begin(), Result.Tests.end(),
+                     [](const TestRecord &T) {
+                       return T.Status == RunStatus::Deadline;
+                     });
 }

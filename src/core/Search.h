@@ -38,6 +38,7 @@
 namespace hotg::smt {
 class ISolver;
 class ISolverSharedState;
+class QueryCache;
 } // namespace hotg::smt
 
 namespace hotg::core {
@@ -118,6 +119,19 @@ struct SearchOptions {
   /// clock and results stay bit-identical across Jobs values.
   support::Deadline Deadline;
   support::CancelToken Cancel;
+  /// A caller-owned query cache shared across searches (hotg-serve's
+  /// cross-session fabric, docs/serving.md). Null (the default) keeps the
+  /// classic behavior: a private cache when Jobs > 1, none when serial.
+  /// When set, both serial and parallel searches consult it, keyed by
+  /// CacheEpoch — the caller must guarantee that every search sharing an
+  /// epoch runs an identical job configuration (program, entry, policy,
+  /// options, seed, imported samples), which makes generation equality
+  /// imply sample-table equality across those sessions. Cached answers
+  /// are deterministic functions of the key, so sharing never changes
+  /// results — only CacheHits/CacheMisses, which are schedule-dependent
+  /// anyway. Must outlive the search.
+  smt::QueryCache *SharedCache = nullptr;
+  uint64_t CacheEpoch = 0;
 };
 
 /// One executed test.
@@ -155,8 +169,10 @@ struct SearchResult {
   smt::SolverStats SolverQueryStats;
   /// Work accumulated across every validity query of the search.
   ValidityStats ValidityQueryStats;
-  /// Query-cache traffic (both zero when Jobs == 1). These describe the
-  /// schedule, not the search: they may vary across Jobs values and runs.
+  /// Query-cache traffic (both zero when Jobs == 1 and no SharedCache is
+  /// installed; with a SharedCache these are the cache's cumulative
+  /// counters). These describe the schedule, not the search: they may
+  /// vary across Jobs values and runs.
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
   /// Why the search returned: None = the frontier drained naturally;
@@ -250,6 +266,10 @@ private:
   void dispatchSpeculative();
   /// Blocks until the speculative evaluation of \p Cand (if any) finished.
   void awaitSpeculation(const Candidate &Cand);
+  /// The query cache consulted by solveSat/solveValidity:
+  /// Options.SharedCache when installed, else the private parallel-state
+  /// cache, else null (classic serial search).
+  smt::QueryCache *queryCache();
   /// One satisfiability query (classic policies), via the query cache when
   /// the search runs parallel; folds work stats into SolverQueryStats.
   smt::SatAnswer solveSat(smt::TermId Alt);
@@ -325,6 +345,21 @@ SearchResult runRandomSearch(const lang::Program &Prog,
                              int64_t Lo, int64_t Hi, uint64_t Seed = 42,
                              interp::RunLimits Limits = {},
                              vm::EngineKind Engine = vm::EngineKind::VM);
+
+/// The canonical human-readable report of a search result — the exact
+/// bytes hotg-run has always printed (summary line, bug lines, stop
+/// reason). hotg-serve returns the same rendering in its job responses so
+/// the CI smoke can assert byte-identity between the daemon and the
+/// one-shot CLI. \p PolicyName is the user-facing policy string
+/// ("higher-order", "random", ...).
+std::string renderSearchReport(std::string_view PolicyName,
+                               const SearchResult &Result);
+
+/// True when \p Result is partial: the search stopped on a deadline or
+/// cancellation, or some test run was truncated by the deadline. This is
+/// the condition behind hotg-run's exit code 2 and hotg-serve's
+/// `degraded` job status.
+bool searchDegraded(const SearchResult &Result);
 
 } // namespace hotg::core
 

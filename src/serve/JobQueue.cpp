@@ -1,0 +1,20 @@
+//===- serve/JobQueue.cpp - Bounded admission and retry policy -------------===//
+
+#include "serve/JobQueue.h"
+
+#include "support/Support.h"
+
+using namespace hotg;
+using namespace hotg::serve;
+
+const char *hotg::serve::failureKindName(FailureKind Kind) {
+  switch (Kind) {
+  case FailureKind::Injected:
+    return "injected";
+  case FailureKind::Exception:
+    return "exception";
+  case FailureKind::Unknown:
+    return "unknown";
+  }
+  HOTG_UNREACHABLE("unknown failure kind");
+}

@@ -1,0 +1,113 @@
+//===- serve/Server.h - The hotg-serve daemon loop -------------------------===//
+//
+// Part of the hotg project (PLDI 2011 "Higher-Order Test Generation").
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon loop of hotg-serve (docs/serving.md): read job frames from a
+/// stream (stdin batch mode) or a Unix socket, admit them through a bounded
+/// AdmissionGate (full gate = structured shed, never a silent drop or an
+/// unbounded queue), multiplex the admitted sessions over one shared
+/// support::ThreadPool, and write one response frame per request — exactly
+/// one, in completion order.
+///
+/// Robustness contract:
+///
+///  * every frame read gets a response: malformed frames and shed jobs are
+///    answered with structured `rejected{reason}` frames inline;
+///  * requestDrain() (first SIGTERM) stops frame intake at the next frame
+///    boundary; every admitted job still runs to completion and is
+///    answered before serveStream returns;
+///  * cancelInFlight() (second SIGTERM) additionally cancels the shared
+///    CancelToken — in-flight sessions degrade at their next poll point
+///    and are answered with `degraded` partial results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HOTG_SERVE_SERVER_H
+#define HOTG_SERVE_SERVER_H
+
+#include "serve/JobQueue.h"
+#include "serve/Protocol.h"
+#include "serve/SessionManager.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+
+namespace hotg::serve {
+
+/// Daemon-wide knobs, fixed at construction.
+struct ServerOptions {
+  /// Session worker threads (concurrent searches).
+  unsigned Workers = 2;
+  /// Admission-gate capacity: jobs queued or running before shedding.
+  unsigned QueueCapacity = 8;
+  SessionConfig Session;
+  FrameLimits Frame;
+  /// Hardened JsonReader bounds applied to every request document.
+  json::ParseLimits Decode;
+};
+
+/// What one serveStream pass did (telemetry holds the cumulative serve.*
+/// view; this is the per-stream summary the CLI prints on exit).
+struct ServerStats {
+  uint64_t FramesRead = 0;
+  uint64_t Admitted = 0;
+  uint64_t Shed = 0;
+  uint64_t RejectedMalformed = 0;
+  uint64_t Responses = 0;
+  /// The loop ended on requestDrain() rather than end-of-stream.
+  bool Drained = false;
+};
+
+class Server {
+public:
+  explicit Server(ServerOptions Options);
+
+  /// Serves one stream of frames until EOF or drain. Blocks until every
+  /// admitted job has been answered. Safe to call repeatedly (the fabric
+  /// persists across streams); not from two threads at once.
+  ServerStats serveStream(std::istream &In, std::ostream &Out);
+
+  /// Binds \p Path, then accepts and serves one connection at a time until
+  /// drain. Returns false (with \p Error) only for setup failures; per-
+  /// connection failures are logged in telemetry and serving continues.
+  bool serveUnixSocket(const std::string &Path, std::string &Error);
+
+  /// Stop reading new frames at the next frame boundary; finish and answer
+  /// everything already admitted. Async-signal-safe.
+  void requestDrain() { DrainRequested.store(true, std::memory_order_relaxed); }
+  bool drainRequested() const {
+    return DrainRequested.load(std::memory_order_relaxed);
+  }
+
+  /// Cancel in-flight sessions (they degrade at the next poll point and
+  /// still produce responses). Async-signal-safe.
+  void cancelInFlight() { Cancel.requestCancel(); }
+
+  SharedFabric &fabric() { return Fabric; }
+  const ServerOptions &options() const { return Options; }
+
+private:
+  /// Serializes response frames from concurrent session workers.
+  void writeResponse(std::ostream &Out, const JobResponse &Response,
+                     ServerStats &Stats);
+
+  ServerOptions Options;
+  SharedFabric Fabric;
+  SessionManager Sessions;
+  AdmissionGate Gate;
+  support::ThreadPool Pool;
+  support::CancelToken Cancel;
+  std::atomic<bool> DrainRequested{false};
+  std::mutex WriteMutex;
+};
+
+} // namespace hotg::serve
+
+#endif // HOTG_SERVE_SERVER_H

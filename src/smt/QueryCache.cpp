@@ -7,9 +7,10 @@ using namespace hotg::smt;
 
 std::optional<PortableAnswer> QueryCache::lookup(const TermFingerprint &Fp,
                                                  uint64_t Generation,
-                                                 QueryKind Kind) {
+                                                 QueryKind Kind,
+                                                 uint64_t Epoch) {
   std::lock_guard<std::mutex> Lock(Mutex);
-  auto It = Entries.find({Fp, Generation, Kind});
+  auto It = Entries.find({Fp, Generation, Kind, Epoch});
   if (It == Entries.end()) {
     Misses.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
@@ -19,15 +20,32 @@ std::optional<PortableAnswer> QueryCache::lookup(const TermFingerprint &Fp,
 }
 
 bool QueryCache::contains(const TermFingerprint &Fp, uint64_t Generation,
-                          QueryKind Kind) {
+                          QueryKind Kind, uint64_t Epoch) {
   std::lock_guard<std::mutex> Lock(Mutex);
-  return Entries.count({Fp, Generation, Kind}) != 0;
+  return Entries.count({Fp, Generation, Kind, Epoch}) != 0;
 }
 
 void QueryCache::store(const TermFingerprint &Fp, uint64_t Generation,
-                       QueryKind Kind, PortableAnswer Answer) {
+                       QueryKind Kind, PortableAnswer Answer, uint64_t Epoch) {
   std::lock_guard<std::mutex> Lock(Mutex);
-  Entries.try_emplace({Fp, Generation, Kind}, std::move(Answer));
+  Entries.try_emplace({Fp, Generation, Kind, Epoch}, std::move(Answer));
+}
+
+size_t QueryCache::evictGenerationsBelow(uint64_t Epoch,
+                                         uint64_t MinGeneration) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  size_t Dropped = 0;
+  for (auto It = Entries.begin(); It != Entries.end();) {
+    const Key &K = It->first;
+    if (K.Epoch == Epoch && K.Generation != 0 &&
+        K.Generation < MinGeneration) {
+      It = Entries.erase(It);
+      ++Dropped;
+    } else {
+      ++It;
+    }
+  }
+  return Dropped;
 }
 
 size_t QueryCache::size() const {

@@ -9,15 +9,23 @@
 /// of both smt::Solver and core::ValiditySolver by the parallel
 /// candidate-evaluation pipeline (docs/parallelism.md). Keys are
 ///
-///     (term fingerprint, sample-table generation, query kind)
+///     (epoch, term fingerprint, sample-table generation, query kind)
 ///
 /// where the fingerprint is the arena-independent structural digest of the
 /// queried formula (TermArena::fingerprint) and the generation is the
 /// number of IOF samples recorded when the query was decided — validity
 /// answers depend on the antecedent A, so an answer is reusable only at
 /// the exact generation it was computed for (the table is append-only,
-/// hence generation equality ⇔ table equality). Pure satisfiability
-/// queries carry generation 0.
+/// hence generation equality ⇔ table equality *within one session*).
+/// Pure satisfiability queries carry generation 0.
+///
+/// The epoch extends that soundness argument across sessions: hotg-serve
+/// keeps one QueryCache alive across many DirectedSearch sessions
+/// (docs/serving.md), and two sessions only grow identical sample tables
+/// when they run the same job configuration — so the serving layer keys
+/// each session by a digest of its full job configuration, and only
+/// same-epoch sessions share answers. Single-session callers use the
+/// default epoch 0.
 ///
 /// Values are arena-independent: a status byte plus the model rendered as
 /// (variable name, value) pairs, so answers computed on a worker's private
@@ -74,17 +82,27 @@ class QueryCache {
 public:
   /// Returns the cached answer for the key, counting a hit or miss.
   std::optional<PortableAnswer> lookup(const TermFingerprint &Fp,
-                                       uint64_t Generation, QueryKind Kind);
+                                       uint64_t Generation, QueryKind Kind,
+                                       uint64_t Epoch = 0);
 
   /// Returns true without touching the hit/miss counters — used by workers
   /// to skip recomputing an answer some other thread already published.
-  bool contains(const TermFingerprint &Fp, uint64_t Generation,
-                QueryKind Kind);
+  bool contains(const TermFingerprint &Fp, uint64_t Generation, QueryKind Kind,
+                uint64_t Epoch = 0);
 
   /// Publishes an answer; the first writer wins (answers are deterministic
   /// functions of the key, so duplicates are identical).
   void store(const TermFingerprint &Fp, uint64_t Generation, QueryKind Kind,
-             PortableAnswer Answer);
+             PortableAnswer Answer, uint64_t Epoch = 0);
+
+  /// Generation-keyed eviction for long-lived caches: drops every entry of
+  /// \p Epoch whose generation is in [1, MinGeneration). Generation-0
+  /// entries (pure satisfiability, reusable at any table state) survive.
+  /// Called by the serving layer when a session of that epoch finishes at
+  /// MinGeneration — a concurrent same-epoch session still below that
+  /// generation merely re-misses and recomputes the identical answer, so
+  /// eviction affects performance, never results. Returns entries dropped.
+  size_t evictGenerationsBelow(uint64_t Epoch, uint64_t MinGeneration);
 
   uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
   uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
@@ -95,6 +113,7 @@ private:
     TermFingerprint Fp;
     uint64_t Generation = 0;
     QueryKind Kind = QueryKind::Satisfiability;
+    uint64_t Epoch = 0;
 
     bool operator==(const Key &Other) const = default;
   };
@@ -104,6 +123,7 @@ private:
       hashCombine(Seed, static_cast<size_t>(K.Fp.Lo));
       hashCombine(Seed, static_cast<size_t>(K.Generation));
       hashCombine(Seed, static_cast<size_t>(K.Kind));
+      hashCombine(Seed, static_cast<size_t>(K.Epoch));
       return Seed;
     }
   };

@@ -31,6 +31,10 @@ const char *hotg::support::faultSiteName(FaultSite Site) {
     return "solver-check";
   case FaultSite::ValidityGround:
     return "validity-ground";
+  case FaultSite::JobDecode:
+    return "serve.job-decode";
+  case FaultSite::SessionSpawn:
+    return "serve.session-spawn";
   }
   HOTG_UNREACHABLE("unknown fault site");
 }

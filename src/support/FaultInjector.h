@@ -51,12 +51,14 @@ enum class FaultSite : uint8_t {
   ArenaDelta,     ///< Applying one arena delta to a worker replica.
   SolverCheck,    ///< Entry of a solver satisfiability check.
   ValidityGround, ///< Trying one grounding in the validity solver.
+  JobDecode,      ///< Decoding one serve-protocol job frame.
+  SessionSpawn,   ///< Spawning one search session in hotg-serve.
 };
 
-inline constexpr unsigned NumFaultSites = 5;
+inline constexpr unsigned NumFaultSites = 7;
 
 /// "worker-dispatch", "cache-publish", "arena-delta", "solver-check",
-/// "validity-ground".
+/// "validity-ground", "serve.job-decode", "serve.session-spawn".
 const char *faultSiteName(FaultSite Site);
 
 /// The exception an armed site throws. Derived from std::runtime_error so

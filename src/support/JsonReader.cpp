@@ -85,9 +85,14 @@ namespace {
 
 class Parser {
 public:
-  explicit Parser(std::string_view Text) : Text(Text) {}
+  Parser(std::string_view Text, const ParseLimits &Limits)
+      : Text(Text), Limits(Limits) {}
 
   ParseResult run() {
+    if (Text.size() > Limits.MaxDocumentBytes)
+      return ParseResult(formatString(
+          "json: document of %zu bytes exceeds limit of %zu bytes",
+          Text.size(), Limits.MaxDocumentBytes));
     skipWhitespace();
     Value V;
     if (!parseValue(V))
@@ -179,8 +184,23 @@ private:
     return false;
   }
 
+  /// Bumps the container nesting depth for the scope of one
+  /// parseObject/parseArray activation; fails the parse when the limit is
+  /// exceeded (the recursion guard).
+  bool enterContainer() {
+    if (Depth >= Limits.MaxDepth) {
+      fail(formatString("nesting deeper than %u levels", Limits.MaxDepth));
+      return false;
+    }
+    ++Depth;
+    return true;
+  }
+
   bool parseObject(Value &Out) {
     ++Pos; // '{'
+    if (!enterContainer())
+      return false;
+    DepthGuard Guard(Depth);
     Value::Object Members;
     skipWhitespace();
     if (consume('}')) {
@@ -216,6 +236,9 @@ private:
 
   bool parseArray(Value &Out) {
     ++Pos; // '['
+    if (!enterContainer())
+      return false;
+    DepthGuard Guard(Depth);
     Value::Array Elements;
     skipWhitespace();
     if (consume(']')) {
@@ -410,13 +433,26 @@ private:
     return true;
   }
 
+  struct DepthGuard {
+    explicit DepthGuard(unsigned &Depth) : Depth(Depth) {}
+    ~DepthGuard() { --Depth; }
+    unsigned &Depth;
+  };
+
   std::string_view Text;
+  ParseLimits Limits;
   size_t Pos = 0;
+  unsigned Depth = 0;
   std::string Error;
 };
 
 } // namespace
 
 ParseResult hotg::json::parse(std::string_view Text) {
-  return Parser(Text).run();
+  return Parser(Text, ParseLimits()).run();
+}
+
+ParseResult hotg::json::parse(std::string_view Text,
+                              const ParseLimits &Limits) {
+  return Parser(Text, Limits).run();
 }

@@ -17,8 +17,15 @@
 /// Numbers without fraction/exponent that fit are kept as int64_t (trace
 /// fields are integers); everything else becomes double. String escapes
 /// are decoded per RFC 8259 including \uXXXX and surrogate pairs (encoded
-/// back to UTF-8). Not a validator of everything (no depth limit beyond
-/// recursion, rejects trailing garbage) — inputs are our own traces.
+/// back to UTF-8).
+///
+/// Since `hotg-serve` started feeding this parser documents that arrive
+/// over the wire from untrusted tenants, parsing is bounded: a nesting
+/// depth limit guards the recursive descent against stack overflow and a
+/// document-size limit rejects oversized payloads up front. Both limits
+/// produce ordinary structured parse errors ("json: ... at offset N")
+/// rather than UB. Callers with trusted input keep the generous defaults
+/// via parse(Text); wire-facing callers pass explicit ParseLimits.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -105,9 +112,22 @@ private:
   bool Ok;
 };
 
+/// Bounds enforced while parsing; both produce structured errors.
+struct ParseLimits {
+  /// Maximum container nesting (each '[' or '{' entered is one level).
+  /// The recursive-descent parser burns one native stack frame per level,
+  /// so this is the stack-overflow guard.
+  unsigned MaxDepth = 64;
+  /// Maximum document size in bytes, checked before parsing begins.
+  size_t MaxDocumentBytes = 64u << 20;
+};
+
 /// Parses exactly one JSON document from \p Text (surrounding whitespace
 /// allowed, trailing non-whitespace is an error).
 ParseResult parse(std::string_view Text);
+
+/// Same, with explicit \p Limits — use for untrusted wire input.
+ParseResult parse(std::string_view Text, const ParseLimits &Limits);
 
 } // namespace hotg::json
 

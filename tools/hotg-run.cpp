@@ -474,31 +474,14 @@ int runTool(int Argc, char **Argv) {
     StatsFile << telemetry::Registry::global().statsJson() << "\n";
   }
 
-  std::printf("policy %s: %u tests, %u/%u branch directions covered, "
-              "%u divergences\n",
-              Policy.c_str(), Result.testsRun(),
-              Result.Cov.coveredDirections(),
-              Result.Cov.totalDirections(), Result.Divergences);
-  if (Result.Bugs.empty())
-    std::printf("no bugs found\n");
-  for (const BugRecord &Bug : Result.Bugs)
-    std::printf("BUG [%s] \"%s\" input %s (test #%u)\n",
-                runStatusName(Bug.Status), Bug.Message.c_str(),
-                Bug.Input.toString().c_str(), Bug.FoundAtTest);
+  // The report block (summary line, bug lines, stop reason) is rendered by
+  // core::renderSearchReport — hotg-serve returns the identical bytes in
+  // its job responses, and CI asserts the two tools agree.
+  std::fputs(renderSearchReport(Policy, Result).c_str(), stdout);
 
   // Exit 2 when the search stopped early (or a run was cut mid-flight by
   // the deadline): the results above are real but possibly incomplete.
-  // Hitting --max-tests is the normal operating mode, not degradation.
-  bool Degraded = Result.Stopped == support::StopReason::DeadlineExpired ||
-                  Result.Stopped == support::StopReason::Cancelled ||
-                  std::any_of(Result.Tests.begin(), Result.Tests.end(),
-                              [](const TestRecord &T) {
-                                return T.Status == RunStatus::Deadline;
-                              });
-  if (Result.Stopped != support::StopReason::None)
-    std::printf("search stopped: %s\n",
-                support::stopReasonName(Result.Stopped));
-  return Degraded ? 2 : 0;
+  return searchDegraded(Result) ? 2 : 0;
 }
 
 } // namespace

@@ -7,6 +7,7 @@
 #include "support/Support.h"
 
 #include <istream>
+#include <limits>
 #include <ostream>
 
 using namespace hotg;
@@ -153,8 +154,11 @@ bool decodeCells(const json::Value &V, std::vector<int64_t> &Out,
 
 bool decodeUnsigned(const json::Value &V, unsigned &Out, std::string &Error,
                     const char *Field) {
-  if (!V.isInt() || V.asInt() < 0) {
-    Error = formatString("field '%s' must be a non-negative integer", Field);
+  if (!V.isInt() || V.asInt() < 0 ||
+      static_cast<uint64_t>(V.asInt()) >
+          std::numeric_limits<unsigned>::max()) {
+    Error = formatString("field '%s' must be an integer in [0, %u]", Field,
+                         std::numeric_limits<unsigned>::max());
     return false;
   }
   Out = static_cast<unsigned>(V.asInt());

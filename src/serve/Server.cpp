@@ -6,6 +6,7 @@
 #include "support/StringUtils.h"
 #include "support/Telemetry.h"
 
+#include <cerrno>
 #include <chrono>
 #include <future>
 #include <istream>
@@ -134,7 +135,9 @@ namespace {
 /// A minimal bidirectional streambuf over one file descriptor. Short and
 /// EINTR-interrupted reads surface as EOF to the stream — exactly what the
 /// drain path wants: a SIGTERM interrupting a blocked read ends the frame
-/// loop at a frame boundary.
+/// loop at a frame boundary. Writes are the opposite: the same signal must
+/// never truncate an in-flight response ("every admitted job is answered"),
+/// so flushOut retries interrupted writes.
 class FdStreamBuf : public std::streambuf {
 public:
   explicit FdStreamBuf(int Fd) : Fd(Fd) {
@@ -169,6 +172,8 @@ private:
     const char *Cur = pbase();
     while (Cur != pptr()) {
       ssize_t N = ::write(Fd, Cur, static_cast<size_t>(pptr() - Cur));
+      if (N < 0 && errno == EINTR)
+        continue; // The drain signal (no SA_RESTART) lands here too.
       if (N <= 0)
         return -1;
       Cur += N;
@@ -184,7 +189,8 @@ private:
 
 } // namespace
 
-bool Server::serveUnixSocket(const std::string &Path, std::string &Error) {
+bool Server::serveUnixSocket(const std::string &Path, ServerStats &Stats,
+                             std::string &Error) {
   sockaddr_un Addr{};
   if (Path.size() >= sizeof(Addr.sun_path)) {
     Error = "socket path too long: " + Path;
@@ -224,7 +230,7 @@ bool Server::serveUnixSocket(const std::string &Path, std::string &Error) {
       FdStreamBuf Buf(Conn);
       std::istream In(&Buf);
       std::ostream ConnOut(&Buf);
-      serveStream(In, ConnOut);
+      Stats.accumulate(serveStream(In, ConnOut));
     }
     ::close(Conn);
   }

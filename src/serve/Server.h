@@ -63,6 +63,17 @@ struct ServerStats {
   uint64_t Responses = 0;
   /// The loop ended on requestDrain() rather than end-of-stream.
   bool Drained = false;
+
+  /// Folds another stream's counters into this one (socket mode sums the
+  /// per-connection summaries into one daemon-lifetime view).
+  void accumulate(const ServerStats &Other) {
+    FramesRead += Other.FramesRead;
+    Admitted += Other.Admitted;
+    Shed += Other.Shed;
+    RejectedMalformed += Other.RejectedMalformed;
+    Responses += Other.Responses;
+    Drained = Drained || Other.Drained;
+  }
 };
 
 class Server {
@@ -75,9 +86,11 @@ public:
   ServerStats serveStream(std::istream &In, std::ostream &Out);
 
   /// Binds \p Path, then accepts and serves one connection at a time until
-  /// drain. Returns false (with \p Error) only for setup failures; per-
-  /// connection failures are logged in telemetry and serving continues.
-  bool serveUnixSocket(const std::string &Path, std::string &Error);
+  /// drain, accumulating every connection's stream summary into \p Stats.
+  /// Returns false (with \p Error) only for setup failures; per-connection
+  /// failures are logged in telemetry and serving continues.
+  bool serveUnixSocket(const std::string &Path, ServerStats &Stats,
+                       std::string &Error);
 
   /// Stop reading new frames at the next frame boundary; finish and answer
   /// everything already admitted. Async-signal-safe.

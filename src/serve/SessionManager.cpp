@@ -81,16 +81,19 @@ struct Digest {
 } // namespace
 
 uint64_t SessionManager::epochFor(const JobRequest &Request,
+                                  std::string_view ResolvedSource,
                                   std::string_view ImportedSamples,
                                   uint64_t DeadlineMs) {
   // Every field that influences the search's query stream. Jobs is
   // deliberately absent: results (and per-query answers/stats) are
   // bit-identical for every worker count — the repo-wide determinism
   // contract (docs/parallelism.md) — so sessions differing only in Jobs
-  // may share answers.
+  // may share answers. The digest covers the *resolved* program text,
+  // never ProgramPath: a file edited under --program-root while the
+  // daemon runs must split the epoch, and two requests naming the same
+  // bytes (inline vs. by path) run identical query streams.
   Digest D;
-  D.bytes(Request.Program);
-  D.bytes(Request.ProgramPath);
+  D.bytes(ResolvedSource);
   D.bytes(Request.Entry);
   D.bytes(Request.Policy);
   D.bytes(Request.Engine);
@@ -246,11 +249,10 @@ JobResponse SessionManager::runJob(const JobRequest &Request,
   std::string ImportedSamples;
   uint64_t SampleKey = 0;
   if (Request.ShareSamples && !Policy->Random) {
-    SampleKey = epochFor(Request, "", 0);
+    SampleKey = epochFor(Request, Source, "", 0);
     if (auto Entry = Fabric.lookupSamples(SampleKey))
       ImportedSamples = std::move(Entry->Text);
   }
-  const uint64_t Epoch = epochFor(Request, ImportedSamples, DeadlineMs);
 
   // ---- The attempt loop: run, and on a transient failure back off and
   // re-run with a fresh session (the throwing DirectedSearch — arena,
@@ -265,6 +267,13 @@ JobResponse SessionManager::runJob(const JobRequest &Request,
       // Fault site: a session that dies before (or while) constructing
       // its search — the protocol-level transient failure CI exercises.
       support::maybeInjectFault(support::FaultSite::SessionSpawn);
+
+      // Per-attempt epoch: deadline-armed streams are clock-dependent, so
+      // a retried attempt must not consume validity entries published by
+      // its aborted predecessor — the fresh salt guarantees it. Without a
+      // deadline the digest is pure, identical across attempts.
+      const uint64_t Epoch =
+          epochFor(Request, Source, ImportedSamples, DeadlineMs);
 
       support::Deadline Deadline;
       if (DeadlineMs != 0)

@@ -102,9 +102,13 @@ public:
   /// influences search results, plus the imported sample text. Jobs with
   /// equal epochs run byte-identical query streams, which is what makes
   /// sharing cached answers across sessions sound (smt::QueryCache).
-  /// Deadline-armed jobs get a unique epoch (never shared): their results
-  /// depend on the wall clock. Exposed for tests.
-  uint64_t epochFor(const JobRequest &Request,
+  /// \p ResolvedSource is the program text the session actually runs —
+  /// for program_path requests, the *contents* loaded from disk, so an
+  /// edit to the file under --program-root changes the epoch even though
+  /// the path string does not. Deadline-armed jobs get a unique epoch
+  /// (never shared, fresh per attempt): their results depend on the wall
+  /// clock. Exposed for tests.
+  uint64_t epochFor(const JobRequest &Request, std::string_view ResolvedSource,
                     std::string_view ImportedSamples, uint64_t DeadlineMs);
 
 private:

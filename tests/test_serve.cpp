@@ -254,6 +254,11 @@ TEST(ServeProtocolTest, DecodeFillsDefaultsAndRejectsStructuralErrors) {
   // Wrong type.
   EXPECT_FALSE(decodeJobRequest(R"({"id":"j","program":"x","seed":"y"})",
                                 Limits, Req, Error));
+  // Out of unsigned range (2^32 + 1 would silently truncate to 1).
+  EXPECT_FALSE(decodeJobRequest(
+      R"({"id":"j","program":"x","max_tests":4294967297})", Limits, Req,
+      Error));
+  EXPECT_NE(Error.find("max_tests"), std::string::npos) << Error;
   // Both program and program_path.
   EXPECT_FALSE(decodeJobRequest(
       R"({"id":"j","program":"x","program_path":"y"})", Limits, Req, Error));
@@ -353,16 +358,28 @@ TEST(ServeSessionTest, EpochSharesAcrossJobsValuesButNotConfigs) {
   JobRequest A;
   A.Id = "a";
   A.Program = "fun main() -> int { return 0; }";
+  const std::string Src = A.Program;
   JobRequest B = A;
   B.Id = "b";
   B.Tenant = "other";
   B.Jobs = 4; // Jobs and identity fields never split an epoch.
-  EXPECT_EQ(Sessions.epochFor(A, "", 0), Sessions.epochFor(B, "", 0));
+  EXPECT_EQ(Sessions.epochFor(A, Src, "", 0), Sessions.epochFor(B, Src, "", 0));
   B.Seed = 7; // Anything that changes the query stream does.
-  EXPECT_NE(Sessions.epochFor(A, "", 0), Sessions.epochFor(B, "", 0));
-  EXPECT_NE(Sessions.epochFor(A, "", 0), Sessions.epochFor(A, "samples", 0));
+  EXPECT_NE(Sessions.epochFor(A, Src, "", 0), Sessions.epochFor(B, Src, "", 0));
+  EXPECT_NE(Sessions.epochFor(A, Src, "", 0),
+            Sessions.epochFor(A, Src, "samples", 0));
+  // The epoch digests the program text the session actually runs, never
+  // the path it was named by: an edited file under --program-root splits
+  // the epoch, and a path spelling alone never does.
+  EXPECT_NE(Sessions.epochFor(A, Src, "", 0),
+            Sessions.epochFor(A, "fun main() -> int { return 1; }", "", 0));
+  JobRequest ByPath = A;
+  ByPath.Program.clear();
+  ByPath.ProgramPath = "some/dir/main.ml";
+  EXPECT_EQ(Sessions.epochFor(A, Src, "", 0),
+            Sessions.epochFor(ByPath, Src, "", 0));
   // Deadline-armed jobs never share an epoch, not even with themselves.
-  EXPECT_NE(Sessions.epochFor(A, "", 5), Sessions.epochFor(A, "", 5));
+  EXPECT_NE(Sessions.epochFor(A, Src, "", 5), Sessions.epochFor(A, Src, "", 5));
 }
 
 TEST(ServeSessionTest, CrossSessionCacheServesRepeatJobs) {

@@ -185,7 +185,7 @@ int runTool(int Argc, char **Argv) {
   serve::ServerStats Stats;
   if (!SocketPath.empty()) {
     std::string Error;
-    if (!Daemon.serveUnixSocket(SocketPath, Error)) {
+    if (!Daemon.serveUnixSocket(SocketPath, Stats, Error)) {
       std::fprintf(stderr, "hotg-serve: %s\n", Error.c_str());
       ActiveServer = nullptr;
       return 1;
